@@ -1,0 +1,173 @@
+package spitz
+
+import (
+	"errors"
+	"fmt"
+
+	"spitz/internal/wire"
+)
+
+// Client is a network client for a served Spitz database. It embeds a
+// Verifier so that verified reads check proofs against the client's own
+// trusted digest — the server is never trusted with verification.
+type Client struct {
+	c        *wire.Client
+	verifier *Verifier
+}
+
+// Dial connects to a Spitz server (e.g. started with DB.Serve or
+// cmd/spitz-server).
+func Dial(network, addr string) (*Client, error) {
+	c, err := wire.Dial(network, addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{c: c, verifier: NewVerifier()}, nil
+}
+
+// Close releases the connection.
+func (cl *Client) Close() error { return cl.c.Close() }
+
+// Verifier exposes the client's proof verifier (for inspecting the
+// trusted digest or deferring verification).
+func (cl *Client) Verifier() *Verifier { return cl.verifier }
+
+// Apply commits a batch of writes and returns the new block header.
+func (cl *Client) Apply(statement string, puts []Put) (BlockHeader, error) {
+	wp := make([]wire.Put, len(puts))
+	for i, p := range puts {
+		wp[i] = wire.Put{Table: p.Table, Column: p.Column, PK: p.PK,
+			Value: p.Value, Tombstone: p.Tombstone}
+	}
+	resp, err := cl.c.Do(wire.Request{Op: wire.OpPut, Statement: statement, Puts: wp})
+	if err != nil {
+		return BlockHeader{}, err
+	}
+	return resp.Header, nil
+}
+
+// Get performs an unverified point read.
+func (cl *Client) Get(table, column string, pk []byte) ([]byte, error) {
+	resp, err := cl.c.Do(wire.Request{Op: wire.OpGet, Table: table, Column: column, PK: pk})
+	if err != nil {
+		return nil, err
+	}
+	if !resp.Found {
+		return nil, ErrNotFound
+	}
+	return resp.Value, nil
+}
+
+// GetVerified performs a verified point read: the proof is fetched,
+// checked against the client's trusted digest (advancing it with a
+// consistency proof when the ledger has grown), and the value is returned
+// only if everything verifies.
+func (cl *Client) GetVerified(table, column string, pk []byte) ([]byte, bool, error) {
+	resp, err := cl.c.Do(wire.Request{Op: wire.OpGetVerified, Table: table, Column: column, PK: pk})
+	if err != nil {
+		return nil, false, err
+	}
+	if resp.Proof == nil {
+		if resp.Found {
+			return nil, false, fmt.Errorf("%w: server omitted proof", ErrTampered)
+		}
+		return nil, false, nil // empty database
+	}
+	if err := cl.syncDigest(resp.Digest); err != nil {
+		return nil, false, err
+	}
+	if err := cl.verifier.VerifyNow(*resp.Proof); err != nil {
+		return nil, false, err
+	}
+	cells, err := resp.Proof.Cells()
+	if err != nil {
+		return nil, false, fmt.Errorf("%w: %v", ErrTampered, err)
+	}
+	if len(cells) == 0 || cells[0].Tombstone {
+		if resp.Found {
+			return nil, false, fmt.Errorf("%w: result contradicts proof", ErrTampered)
+		}
+		return nil, false, nil
+	}
+	return cells[0].Value, true, nil
+}
+
+// RangePKVerified performs a verified range scan, returning the proven
+// cells.
+func (cl *Client) RangePKVerified(table, column string, pkLo, pkHi []byte) ([]Cell, error) {
+	resp, err := cl.c.Do(wire.Request{Op: wire.OpRangeVer, Table: table, Column: column,
+		PK: pkLo, PKHi: pkHi})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Proof == nil {
+		if len(resp.Cells) > 0 {
+			return nil, fmt.Errorf("%w: server omitted proof", ErrTampered)
+		}
+		return nil, nil
+	}
+	if err := cl.syncDigest(resp.Digest); err != nil {
+		return nil, err
+	}
+	if err := cl.verifier.VerifyNow(*resp.Proof); err != nil {
+		return nil, err
+	}
+	cells, err := resp.Proof.Cells()
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrTampered, err)
+	}
+	live := cells[:0]
+	for _, c := range cells {
+		if !c.Tombstone {
+			live = append(live, c)
+		}
+	}
+	return live, nil
+}
+
+// History returns all versions of a cell, newest first.
+func (cl *Client) History(table, column string, pk []byte) ([]Cell, error) {
+	resp, err := cl.c.Do(wire.Request{Op: wire.OpHistory, Table: table, Column: column, PK: pk})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Cells, nil
+}
+
+// Digest fetches the server's current ledger digest (unverified; use
+// SyncDigest to advance trust safely).
+func (cl *Client) Digest() (Digest, error) {
+	resp, err := cl.c.Do(wire.Request{Op: wire.OpDigest})
+	if err != nil {
+		return Digest{}, err
+	}
+	return resp.Digest, nil
+}
+
+// SyncDigest advances the client's trusted digest to the server's current
+// one, verifying a consistency proof so a rewritten history is rejected.
+func (cl *Client) SyncDigest() error {
+	d, err := cl.Digest()
+	if err != nil {
+		return err
+	}
+	return cl.syncDigest(d)
+}
+
+func (cl *Client) syncDigest(d Digest) error {
+	cur := cl.verifier.Digest()
+	if cur == d {
+		return nil
+	}
+	if cur.Height == 0 && cur.Root.IsZero() {
+		return cl.verifier.Advance(d, ConsistencyProof{})
+	}
+	resp, err := cl.c.Do(wire.Request{Op: wire.OpConsistency, OldDigest: cur})
+	if err != nil {
+		return err
+	}
+	if resp.Consistency == nil {
+		return errors.New("spitz: server omitted consistency proof")
+	}
+	return cl.verifier.Advance(resp.Digest, *resp.Consistency)
+}

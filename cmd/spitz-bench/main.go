@@ -1,0 +1,118 @@
+// Command spitz-bench regenerates the figures of the paper's evaluation
+// (Section 6.2) plus the ablations documented in DESIGN.md.
+//
+// Usage:
+//
+//	spitz-bench [flags] all|fig1|fig6a|fig6b|fig7|fig8|siri|deferred|timestamps|cc
+//
+// Flags scale the sweep; the default -max-size runs the paper's full 10k
+// to 1.28M doubling series, which takes a while. Use -max-size 160000 for
+// a quick pass. Results print as aligned tables, one column per series —
+// compare shapes with the paper per EXPERIMENTS.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"spitz/internal/bench"
+	"spitz/internal/workload"
+)
+
+func main() {
+	maxSize := flag.Int("max-size", 1_280_000, "largest database size in the sweep")
+	ops := flag.Int("ops", 20_000, "measured operations per size")
+	batch := flag.Int("batch", 1000, "write batch (group commit) size")
+	seed := flag.Int64("seed", 42, "workload seed")
+	flag.Parse()
+
+	var sizes []int
+	for _, s := range workload.PaperSizes {
+		if s <= *maxSize {
+			sizes = append(sizes, s)
+		}
+	}
+	if len(sizes) == 0 {
+		sizes = []int{*maxSize}
+	}
+	cfg := bench.Config{Sizes: sizes, Ops: *ops, Batch: *batch, Seed: *seed}
+
+	which := "all"
+	if flag.NArg() > 0 {
+		which = flag.Arg(0)
+	}
+	run := func(name string) bool { return which == "all" || which == name }
+	ran := false
+
+	if run("fig1") {
+		ran = true
+		res, err := bench.Fig1(60)
+		check(err)
+		res.Print(os.Stdout)
+	}
+	if run("fig6a") {
+		ran = true
+		res, err := bench.Fig6Read(cfg)
+		check(err)
+		res.Print(os.Stdout)
+	}
+	if run("fig6b") {
+		ran = true
+		res, err := bench.Fig6Write(cfg)
+		check(err)
+		res.Print(os.Stdout)
+	}
+	if run("fig7") {
+		ran = true
+		res, err := bench.Fig7(cfg)
+		check(err)
+		res.Print(os.Stdout)
+	}
+	if run("fig8") {
+		ran = true
+		readRes, writeRes, err := bench.Fig8(cfg)
+		check(err)
+		readRes.Print(os.Stdout)
+		writeRes.Print(os.Stdout)
+	}
+	if run("siri") {
+		ran = true
+		n := 100_000
+		if n > *maxSize {
+			n = *maxSize
+		}
+		res, err := bench.AblationSIRI(n)
+		check(err)
+		res.Print(os.Stdout)
+	}
+	if run("deferred") {
+		ran = true
+		res, err := bench.AblationDeferred(100_000, nil)
+		check(err)
+		res.Print(os.Stdout)
+	}
+	if run("timestamps") {
+		ran = true
+		res, err := bench.AblationTimestamps(nil, 0)
+		check(err)
+		res.Print(os.Stdout)
+	}
+	if run("cc") {
+		ran = true
+		res, err := bench.AblationCC(0, nil)
+		check(err)
+		res.Print(os.Stdout)
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", which)
+		os.Exit(2)
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatalf("spitz-bench: %v", err)
+	}
+}

@@ -1,0 +1,106 @@
+// Command spitz-cli is a one-shot client for a running spitz-server.
+//
+// Usage:
+//
+//	spitz-cli -addr HOST:PORT put   TABLE COLUMN PK VALUE
+//	spitz-cli -addr HOST:PORT get   TABLE COLUMN PK
+//	spitz-cli -addr HOST:PORT getv  TABLE COLUMN PK     (verified read)
+//	spitz-cli -addr HOST:PORT range TABLE COLUMN LO HI  (verified scan)
+//	spitz-cli -addr HOST:PORT hist  TABLE COLUMN PK
+//	spitz-cli -addr HOST:PORT digest
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"spitz"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7687", "server address")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+	}
+
+	cl, err := spitz.Dial("tcp", *addr)
+	if err != nil {
+		log.Fatalf("spitz-cli: %v", err)
+	}
+	defer cl.Close()
+
+	switch args[0] {
+	case "put":
+		need(args, 5)
+		h, err := cl.Apply("cli put", []spitz.Put{{
+			Table: args[1], Column: args[2], PK: []byte(args[3]), Value: []byte(args[4])}})
+		check(err)
+		fmt.Printf("committed block %d (version %d)\n", h.Height, h.Version)
+	case "get":
+		need(args, 4)
+		v, err := cl.Get(args[1], args[2], []byte(args[3]))
+		check(err)
+		fmt.Printf("%s\n", v)
+	case "getv":
+		need(args, 4)
+		v, found, err := cl.GetVerified(args[1], args[2], []byte(args[3]))
+		check(err)
+		if !found {
+			fmt.Println("(verified: absent)")
+			return
+		}
+		fmt.Printf("%s\t(verified against digest height %d)\n", v, cl.Verifier().Digest().Height)
+	case "range":
+		need(args, 5)
+		cells, err := cl.RangePKVerified(args[1], args[2], []byte(args[3]), []byte(args[4]))
+		check(err)
+		for _, c := range cells {
+			fmt.Printf("%s\t%s\t(v%d)\n", c.PK, c.Value, c.Version)
+		}
+		fmt.Printf("%d rows, verified\n", len(cells))
+	case "hist":
+		need(args, 4)
+		cells, err := cl.History(args[1], args[2], []byte(args[3]))
+		check(err)
+		for _, c := range cells {
+			if c.Tombstone {
+				fmt.Printf("v%d\t(deleted)\n", c.Version)
+			} else {
+				fmt.Printf("v%d\t%s\n", c.Version, c.Value)
+			}
+		}
+	case "digest":
+		d, err := cl.Digest()
+		check(err)
+		fmt.Printf("height=%d root=%s\n", d.Height, d.Root)
+	default:
+		usage()
+	}
+}
+
+func need(args []string, n int) {
+	if len(args) < n {
+		usage()
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatalf("spitz-cli: %v", err)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  spitz-cli [-addr HOST:PORT] put   TABLE COLUMN PK VALUE
+  spitz-cli [-addr HOST:PORT] get   TABLE COLUMN PK
+  spitz-cli [-addr HOST:PORT] getv  TABLE COLUMN PK
+  spitz-cli [-addr HOST:PORT] range TABLE COLUMN LO HI
+  spitz-cli [-addr HOST:PORT] hist  TABLE COLUMN PK
+  spitz-cli [-addr HOST:PORT] digest`)
+	os.Exit(2)
+}

@@ -1,0 +1,35 @@
+// Command spitz-server runs a standalone Spitz database server speaking
+// the Spitz wire protocol.
+//
+// Usage:
+//
+//	spitz-server [-addr 127.0.0.1:7687] [-inverted]
+//
+// Connect with cmd/spitz-cli or the spitz.Dial client API.
+package main
+
+import (
+	"flag"
+	"log"
+	"net"
+
+	"spitz"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7687", "listen address")
+	inverted := flag.Bool("inverted", false, "maintain the inverted index for value lookups")
+	flag.Parse()
+
+	db := spitz.Open(spitz.Options{MaintainInverted: *inverted})
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("spitz-server: listen: %v", err)
+	}
+	log.Printf("spitz-server: serving verifiable database on %s", ln.Addr())
+	log.Printf("spitz-server: ledger digest height=%d root=%s",
+		db.Digest().Height, db.Digest().Root.Short())
+	if err := db.Serve(ln); err != nil {
+		log.Fatalf("spitz-server: %v", err)
+	}
+}

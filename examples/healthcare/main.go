@@ -1,0 +1,104 @@
+// Healthcare: the paper's introductory scenario. "Health data needs to be
+// kept for the lifetime of a patient, and each diagnosis, lab test,
+// prescription, etc., is appended to the patient profile. Disease and
+// procedure coding standards evolve over time, e.g., from ICD-9-CM to
+// ICD-10 ... the data must be immutable and a new version of the database
+// ... is appended."
+//
+// This example appends diagnoses under ICD-9 coding, migrates the coding
+// standard to ICD-10 (a new version of every affected record — the old
+// version remains), runs a verified analytical range query over a patient
+// cohort, and time-travels to the pre-migration state.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"spitz"
+)
+
+func patient(i int) []byte { return []byte(fmt.Sprintf("patient-%03d", i)) }
+
+func main() {
+	db := spitz.Open(spitz.Options{MaintainInverted: true})
+
+	// Admit patients with ICD-9-coded diagnoses.
+	var admits []spitz.Put
+	for i := 0; i < 100; i++ {
+		code := "ICD9:250.00" // diabetes mellitus
+		if i%3 == 0 {
+			code = "ICD9:401.9" // essential hypertension
+		}
+		admits = append(admits,
+			spitz.Put{Table: "records", Column: "diagnosis", PK: patient(i), Value: []byte(code)},
+			spitz.Put{Table: "records", Column: "status", PK: patient(i), Value: []byte("admitted")},
+		)
+	}
+	if _, err := db.Apply("admissions (ICD-9 era)", admits); err != nil {
+		log.Fatal(err)
+	}
+	preMigration := db.Height() - 1 // block to time-travel back to
+
+	// The coding standard migrates to ICD-10: every diagnosis is
+	// re-coded. Old versions stay — the profile is append-only.
+	recode := map[string]string{"ICD9:250.00": "ICD10:E11.9", "ICD9:401.9": "ICD10:I10"}
+	var migration []spitz.Put
+	for i := 0; i < 100; i++ {
+		old, err := db.Get("records", "diagnosis", patient(i))
+		if err != nil {
+			log.Fatal(err)
+		}
+		migration = append(migration, spitz.Put{Table: "records", Column: "diagnosis",
+			PK: patient(i), Value: []byte(recode[string(old)])})
+	}
+	if _, err := db.Apply("ICD-9 to ICD-10 migration", migration); err != nil {
+		log.Fatal(err)
+	}
+
+	// A hospital analyst runs a verified cohort query: diagnoses of
+	// patients 20-39, with one proof covering the complete result. The
+	// analyst's verifier would catch an omitted or altered record.
+	analyst := spitz.NewVerifier()
+	res, err := db.RangePKVerified("records", "diagnosis", patient(20), patient(40))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := analyst.Advance(res.Digest, spitz.ConsistencyProof{}); err != nil {
+		log.Fatal(err)
+	}
+	if err := analyst.VerifyNow(res.Proof); err != nil {
+		log.Fatal(err)
+	}
+	counts := map[string]int{}
+	for _, c := range res.Cells {
+		counts[string(c.Value)]++
+	}
+	fmt.Printf("verified cohort (patients 20-39): %d records\n", len(res.Cells))
+	for code, n := range counts {
+		fmt.Printf("  %-12s %d patients\n", code, n)
+	}
+
+	// Value lookup via the inverted index: who has hypertension now?
+	hyper, err := db.LookupEqual("records", "diagnosis", []byte("ICD10:I10"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("inverted index: %d patients currently coded ICD10:I10\n", len(hyper))
+
+	// Provenance: one patient's full coding history, newest first.
+	hist, _ := db.History("records", "diagnosis", patient(0))
+	fmt.Printf("patient-000 diagnosis history:")
+	for _, c := range hist {
+		fmt.Printf("  %s", c.Value)
+	}
+	fmt.Println()
+
+	// Time travel: what did the record say before the migration? The old
+	// snapshot is a first-class, provable database state.
+	c, ok, err := db.GetAt(preMigration, "records", "diagnosis", patient(0))
+	if err != nil || !ok {
+		log.Fatal("historical read failed")
+	}
+	fmt.Printf("patient-000 diagnosis at block %d (pre-migration): %s\n", preMigration, c.Value)
+}

@@ -1,0 +1,106 @@
+// Package bench is the experiment harness: it regenerates every figure of
+// the paper's evaluation (Section 6.2) plus the ablations DESIGN.md calls
+// out, printing the same series the paper plots. Absolute numbers depend
+// on the host; the shapes (who wins, by roughly what factor, where gaps
+// widen) are the reproduction target — see EXPERIMENTS.md.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"text/tabwriter"
+)
+
+// Point is one measurement: X is the swept parameter (records, versions),
+// Y the measured value.
+type Point struct {
+	X int
+	Y float64
+}
+
+// Series is one line of a figure.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Result is one regenerated figure or table.
+type Result struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+}
+
+// Print writes the result as an aligned table, one row per X value and one
+// column per series — the rows a plotting script (or eyeball) needs.
+func (r Result) Print(w io.Writer) {
+	fmt.Fprintf(w, "\n== %s ==\n", r.Title)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	headers := make([]string, 0, len(r.Series)+1)
+	headers = append(headers, r.XLabel)
+	for _, s := range r.Series {
+		headers = append(headers, s.Name)
+	}
+	fmt.Fprintln(tw, strings.Join(headers, "\t"))
+
+	// Collect the union of X values in first-seen order.
+	var xs []int
+	seen := map[int]bool{}
+	for _, s := range r.Series {
+		for _, p := range s.Points {
+			if !seen[p.X] {
+				seen[p.X] = true
+				xs = append(xs, p.X)
+			}
+		}
+	}
+	for _, x := range xs {
+		row := []string{fmt.Sprintf("%d", x)}
+		for _, s := range r.Series {
+			cell := "-"
+			for _, p := range s.Points {
+				if p.X == x {
+					cell = formatY(p.Y)
+					break
+				}
+			}
+			row = append(row, cell)
+		}
+		fmt.Fprintln(tw, strings.Join(row, "\t"))
+	}
+	tw.Flush()
+	fmt.Fprintf(w, "(%s)\n", r.YLabel)
+}
+
+func formatY(y float64) string {
+	switch {
+	case y >= 1000:
+		return fmt.Sprintf("%.0f", y)
+	case y >= 10:
+		return fmt.Sprintf("%.1f", y)
+	default:
+		return fmt.Sprintf("%.3f", y)
+	}
+}
+
+// Get returns the series with the given name, for assertions in tests.
+func (r Result) Get(name string) (Series, bool) {
+	for _, s := range r.Series {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Series{}, false
+}
+
+// At returns the Y value at x; ok is false when absent.
+func (s Series) At(x int) (float64, bool) {
+	for _, p := range s.Points {
+		if p.X == x {
+			return p.Y, true
+		}
+	}
+	return 0, false
+}

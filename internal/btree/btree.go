@@ -1,0 +1,223 @@
+// Package btree implements an in-memory B+-tree over byte-string keys.
+//
+// Spitz uses a B+-tree as its query-routing index (Section 5: "Spitz uses a
+// B+-tree for query processing. The input of the index is the requested
+// keys, and the output is the matched data cell"), and the baseline system
+// materializes its journal into B+-tree indexed views. The tree is generic
+// in its value type so the same structure backs both uses.
+package btree
+
+import (
+	"bytes"
+	"sort"
+)
+
+// degree is the maximum number of keys in a node; nodes split at degree
+// and merge below degree/2.
+const degree = 64
+
+// Tree is a mutable B+-tree mapping []byte keys to values of type V. The
+// zero value... is not usable; create with New. Tree is not safe for
+// concurrent mutation; concurrent readers are safe with external locking.
+type Tree[V any] struct {
+	root *node[V]
+	size int
+}
+
+// node is either internal (children non-nil) or a leaf (values non-nil).
+// Leaves form a linked list for range scans.
+type node[V any] struct {
+	keys     [][]byte
+	children []*node[V] // internal only; len(children) == len(keys)+1
+	values   []V        // leaf only; len(values) == len(keys)
+	next     *node[V]   // leaf chain
+}
+
+func (n *node[V]) leaf() bool { return n.children == nil }
+
+// New returns an empty tree.
+func New[V any]() *Tree[V] {
+	return &Tree[V]{root: &node[V]{}}
+}
+
+// Len returns the number of keys.
+func (t *Tree[V]) Len() int { return t.size }
+
+// Get returns the value under key.
+func (t *Tree[V]) Get(key []byte) (V, bool) {
+	n := t.root
+	for !n.leaf() {
+		n = n.children[childIndex(n.keys, key)]
+	}
+	i := sort.Search(len(n.keys), func(i int) bool { return bytes.Compare(n.keys[i], key) >= 0 })
+	if i < len(n.keys) && bytes.Equal(n.keys[i], key) {
+		return n.values[i], true
+	}
+	var zero V
+	return zero, false
+}
+
+// childIndex returns the child slot for key in an internal node whose keys
+// act as separators: child i holds keys < keys[i] (last child holds the
+// rest).
+func childIndex(keys [][]byte, key []byte) int {
+	return sort.Search(len(keys), func(i int) bool { return bytes.Compare(key, keys[i]) < 0 })
+}
+
+// Put inserts or replaces the value under key. It reports whether the key
+// was newly inserted.
+func (t *Tree[V]) Put(key []byte, value V) bool {
+	newKey := t.insert(t.root, key, value)
+	if len(t.root.keys) >= degree {
+		left := t.root
+		mid, right := split(left)
+		t.root = &node[V]{keys: [][]byte{mid}, children: []*node[V]{left, right}}
+	}
+	if newKey {
+		t.size++
+	}
+	return newKey
+}
+
+func (t *Tree[V]) insert(n *node[V], key []byte, value V) bool {
+	if n.leaf() {
+		i := sort.Search(len(n.keys), func(i int) bool { return bytes.Compare(n.keys[i], key) >= 0 })
+		if i < len(n.keys) && bytes.Equal(n.keys[i], key) {
+			n.values[i] = value
+			return false
+		}
+		n.keys = append(n.keys, nil)
+		copy(n.keys[i+1:], n.keys[i:])
+		n.keys[i] = key
+		var zero V
+		n.values = append(n.values, zero)
+		copy(n.values[i+1:], n.values[i:])
+		n.values[i] = value
+		return true
+	}
+	ci := childIndex(n.keys, key)
+	child := n.children[ci]
+	added := t.insert(child, key, value)
+	if len(child.keys) >= degree {
+		mid, right := split(child)
+		n.keys = append(n.keys, nil)
+		copy(n.keys[ci+1:], n.keys[ci:])
+		n.keys[ci] = mid
+		n.children = append(n.children, nil)
+		copy(n.children[ci+2:], n.children[ci+1:])
+		n.children[ci+1] = right
+	}
+	return added
+}
+
+// split divides an overfull node in two and returns the separator key and
+// the new right node.
+func split[V any](n *node[V]) ([]byte, *node[V]) {
+	mid := len(n.keys) / 2
+	if n.leaf() {
+		right := &node[V]{
+			keys:   append([][]byte(nil), n.keys[mid:]...),
+			values: append([]V(nil), n.values[mid:]...),
+			next:   n.next,
+		}
+		n.keys = n.keys[:mid:mid]
+		n.values = n.values[:mid:mid]
+		n.next = right
+		return right.keys[0], right
+	}
+	sep := n.keys[mid]
+	right := &node[V]{
+		keys:     append([][]byte(nil), n.keys[mid+1:]...),
+		children: append([]*node[V](nil), n.children[mid+1:]...),
+	}
+	n.keys = n.keys[:mid:mid]
+	n.children = n.children[: mid+1 : mid+1]
+	return sep, right
+}
+
+// Delete removes key, reporting whether it was present. Underfull nodes
+// are tolerated (no rebalancing): deletions are rare in an immutable
+// database — the cell store only grows — so simplicity wins; the tree
+// stays correct, merely potentially sparser.
+func (t *Tree[V]) Delete(key []byte) bool {
+	n := t.root
+	for !n.leaf() {
+		n = n.children[childIndex(n.keys, key)]
+	}
+	i := sort.Search(len(n.keys), func(i int) bool { return bytes.Compare(n.keys[i], key) >= 0 })
+	if i >= len(n.keys) || !bytes.Equal(n.keys[i], key) {
+		return false
+	}
+	n.keys = append(n.keys[:i], n.keys[i+1:]...)
+	n.values = append(n.values[:i], n.values[i+1:]...)
+	t.size--
+	return true
+}
+
+// AscendRange calls fn for each key in [start, end) in order; nil start
+// means from the first key, nil end means to the last. fn returning false
+// stops the scan.
+func (t *Tree[V]) AscendRange(start, end []byte, fn func(key []byte, value V) bool) {
+	n := t.root
+	for !n.leaf() {
+		if start == nil {
+			n = n.children[0]
+		} else {
+			n = n.children[childIndex(n.keys, start)]
+		}
+	}
+	i := 0
+	if start != nil {
+		i = sort.Search(len(n.keys), func(i int) bool { return bytes.Compare(n.keys[i], start) >= 0 })
+	}
+	for n != nil {
+		for ; i < len(n.keys); i++ {
+			if end != nil && bytes.Compare(n.keys[i], end) >= 0 {
+				return
+			}
+			if !fn(n.keys[i], n.values[i]) {
+				return
+			}
+		}
+		n = n.next
+		i = 0
+	}
+}
+
+// Min returns the smallest key, or nil if the tree is empty.
+func (t *Tree[V]) Min() []byte {
+	n := t.root
+	for !n.leaf() {
+		n = n.children[0]
+	}
+	// Deletions can leave empty leaves; follow the chain.
+	for n != nil && len(n.keys) == 0 {
+		n = n.next
+	}
+	if n == nil {
+		return nil
+	}
+	return n.keys[0]
+}
+
+// Max returns the largest key, or nil if the tree is empty.
+func (t *Tree[V]) Max() []byte {
+	return maxOf(t.root)
+}
+
+// maxOf finds the largest key under n, tolerating leaves emptied by
+// unbalanced deletions.
+func maxOf[V any](n *node[V]) []byte {
+	if n.leaf() {
+		if len(n.keys) == 0 {
+			return nil
+		}
+		return n.keys[len(n.keys)-1]
+	}
+	for i := len(n.children) - 1; i >= 0; i-- {
+		if k := maxOf(n.children[i]); k != nil {
+			return k
+		}
+	}
+	return nil
+}

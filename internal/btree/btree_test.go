@@ -1,0 +1,278 @@
+package btree
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func key(i int) []byte { return []byte(fmt.Sprintf("k%08d", i)) }
+
+func TestEmpty(t *testing.T) {
+	tr := New[int]()
+	if tr.Len() != 0 {
+		t.Fatal("empty tree has nonzero len")
+	}
+	if _, ok := tr.Get(key(1)); ok {
+		t.Fatal("Get on empty tree found something")
+	}
+	if tr.Min() != nil || tr.Max() != nil {
+		t.Fatal("Min/Max on empty tree")
+	}
+	tr.AscendRange(nil, nil, func([]byte, int) bool {
+		t.Fatal("scan on empty tree yielded")
+		return false
+	})
+}
+
+func TestPutGetSequential(t *testing.T) {
+	tr := New[int]()
+	const n = 10_000
+	for i := 0; i < n; i++ {
+		if !tr.Put(key(i), i) {
+			t.Fatalf("Put(%d) reported existing", i)
+		}
+	}
+	if tr.Len() != n {
+		t.Fatalf("Len = %d, want %d", tr.Len(), n)
+	}
+	for i := 0; i < n; i++ {
+		v, ok := tr.Get(key(i))
+		if !ok || v != i {
+			t.Fatalf("Get(%d) = %d,%v", i, v, ok)
+		}
+	}
+}
+
+func TestPutGetRandomOrder(t *testing.T) {
+	tr := New[int]()
+	perm := rand.New(rand.NewSource(3)).Perm(5000)
+	for _, i := range perm {
+		tr.Put(key(i), i)
+	}
+	for i := 0; i < 5000; i++ {
+		v, ok := tr.Get(key(i))
+		if !ok || v != i {
+			t.Fatalf("Get(%d) failed", i)
+		}
+	}
+}
+
+func TestUpsert(t *testing.T) {
+	tr := New[string]()
+	tr.Put(key(1), "a")
+	if tr.Put(key(1), "b") {
+		t.Fatal("overwrite reported as insert")
+	}
+	if tr.Len() != 1 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	v, _ := tr.Get(key(1))
+	if v != "b" {
+		t.Fatalf("value = %q", v)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	tr := New[int]()
+	for i := 0; i < 1000; i++ {
+		tr.Put(key(i), i)
+	}
+	for i := 0; i < 1000; i += 2 {
+		if !tr.Delete(key(i)) {
+			t.Fatalf("Delete(%d) reported absent", i)
+		}
+	}
+	if tr.Delete(key(0)) {
+		t.Fatal("double delete reported present")
+	}
+	if tr.Len() != 500 {
+		t.Fatalf("Len = %d, want 500", tr.Len())
+	}
+	for i := 0; i < 1000; i++ {
+		_, ok := tr.Get(key(i))
+		if want := i%2 == 1; ok != want {
+			t.Fatalf("Get(%d) = %v, want %v", i, ok, want)
+		}
+	}
+}
+
+func TestAscendRange(t *testing.T) {
+	tr := New[int]()
+	for i := 0; i < 1000; i++ {
+		tr.Put(key(i), i)
+	}
+	var got []int
+	tr.AscendRange(key(100), key(200), func(k []byte, v int) bool {
+		got = append(got, v)
+		return true
+	})
+	if len(got) != 100 {
+		t.Fatalf("range size = %d, want 100", len(got))
+	}
+	for i, v := range got {
+		if v != 100+i {
+			t.Fatalf("range[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestAscendRangeOpenEnds(t *testing.T) {
+	tr := New[int]()
+	for i := 0; i < 300; i++ {
+		tr.Put(key(i), i)
+	}
+	var n int
+	tr.AscendRange(nil, nil, func([]byte, int) bool { n++; return true })
+	if n != 300 {
+		t.Fatalf("full scan = %d", n)
+	}
+	n = 0
+	tr.AscendRange(nil, key(10), func([]byte, int) bool { n++; return true })
+	if n != 10 {
+		t.Fatalf("prefix scan = %d", n)
+	}
+	n = 0
+	tr.AscendRange(key(290), nil, func([]byte, int) bool { n++; return true })
+	if n != 10 {
+		t.Fatalf("suffix scan = %d", n)
+	}
+}
+
+func TestAscendRangeEarlyStop(t *testing.T) {
+	tr := New[int]()
+	for i := 0; i < 100; i++ {
+		tr.Put(key(i), i)
+	}
+	var n int
+	tr.AscendRange(nil, nil, func([]byte, int) bool { n++; return n < 5 })
+	if n != 5 {
+		t.Fatalf("early stop at %d", n)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	tr := New[int]()
+	for i := 100; i < 200; i++ {
+		tr.Put(key(i), i)
+	}
+	if !bytes.Equal(tr.Min(), key(100)) {
+		t.Fatalf("Min = %s", tr.Min())
+	}
+	if !bytes.Equal(tr.Max(), key(199)) {
+		t.Fatalf("Max = %s", tr.Max())
+	}
+	// Deleting the extremes must move them.
+	tr.Delete(key(100))
+	tr.Delete(key(199))
+	if !bytes.Equal(tr.Min(), key(101)) || !bytes.Equal(tr.Max(), key(198)) {
+		t.Fatal("Min/Max wrong after deleting extremes")
+	}
+}
+
+func TestScanOrderAfterMixedOps(t *testing.T) {
+	tr := New[int]()
+	rng := rand.New(rand.NewSource(4))
+	live := map[string]int{}
+	for i := 0; i < 20_000; i++ {
+		k := rng.Intn(3000)
+		if rng.Intn(3) == 0 {
+			tr.Delete(key(k))
+			delete(live, string(key(k)))
+		} else {
+			tr.Put(key(k), k)
+			live[string(key(k))] = k
+		}
+	}
+	if tr.Len() != len(live) {
+		t.Fatalf("Len = %d, oracle %d", tr.Len(), len(live))
+	}
+	var prev []byte
+	count := 0
+	tr.AscendRange(nil, nil, func(k []byte, v int) bool {
+		if prev != nil && bytes.Compare(prev, k) >= 0 {
+			t.Fatal("scan out of order")
+		}
+		if want, ok := live[string(k)]; !ok || want != v {
+			t.Fatalf("scan produced wrong pair %s=%d", k, v)
+		}
+		prev = append(prev[:0], k...)
+		count++
+		return true
+	})
+	if count != len(live) {
+		t.Fatalf("scan saw %d, want %d", count, len(live))
+	}
+}
+
+// Property: tree behaves like a sorted map.
+func TestQuickOracle(t *testing.T) {
+	type op struct {
+		K   uint16
+		V   int
+		Del bool
+	}
+	f := func(ops []op) bool {
+		tr := New[int]()
+		oracle := map[string]int{}
+		for _, o := range ops {
+			k := key(int(o.K))
+			if o.Del {
+				if tr.Delete(k) != (func() bool { _, ok := oracle[string(k)]; return ok })() {
+					return false
+				}
+				delete(oracle, string(k))
+			} else {
+				_, existed := oracle[string(k)]
+				if tr.Put(k, o.V) == existed {
+					return false
+				}
+				oracle[string(k)] = o.V
+			}
+		}
+		if tr.Len() != len(oracle) {
+			return false
+		}
+		keys := make([]string, 0, len(oracle))
+		for k := range oracle {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		i := 0
+		good := true
+		tr.AscendRange(nil, nil, func(k []byte, v int) bool {
+			if i >= len(keys) || string(k) != keys[i] || v != oracle[keys[i]] {
+				good = false
+				return false
+			}
+			i++
+			return true
+		})
+		return good && i == len(keys)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkPut(b *testing.B) {
+	tr := New[int]()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Put(key(i), i)
+	}
+}
+
+func BenchmarkGet(b *testing.B) {
+	tr := New[int]()
+	for i := 0; i < 1_000_000; i++ {
+		tr.Put(key(i), i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Get(key(i % 1_000_000))
+	}
+}

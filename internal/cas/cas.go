@@ -1,0 +1,171 @@
+// Package cas implements the content-addressed store that substitutes for
+// ForkBase's physical storage layer.
+//
+// Every immutable object in the system — index nodes, ledger blocks, value
+// chunks — is stored exactly once, keyed by its content digest. Structural
+// sharing between versions of an index is therefore automatic: when a new
+// ledger block rewrites only the O(log n) nodes on a mutation path, every
+// untouched node is found by digest and costs no additional storage. This
+// is the deduplication mechanism behind Figure 1 of the paper and the
+// "nodes between instances can be shared" property of Section 6.1.
+package cas
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"spitz/internal/hashutil"
+)
+
+// ErrNotFound is returned by Get when no object has the requested digest.
+var ErrNotFound = errors.New("cas: object not found")
+
+// Store is an immutable, deduplicating object store. Implementations must
+// be safe for concurrent use.
+type Store interface {
+	// Put stores data under the given domain, returning its digest. Putting
+	// identical content is idempotent and does not grow the store.
+	Put(domain byte, data []byte) hashutil.Digest
+	// Get returns the object with the given digest, or ErrNotFound. The
+	// returned slice must not be modified.
+	Get(d hashutil.Digest) ([]byte, error)
+	// Has reports whether an object with the given digest exists.
+	Has(d hashutil.Digest) bool
+	// Stats returns storage accounting for the store.
+	Stats() Stats
+}
+
+// Stats describes the physical utilization of a Store.
+type Stats struct {
+	// Objects is the number of distinct objects stored.
+	Objects int
+	// LogicalBytes counts every Put'ed payload, including duplicates; it is
+	// what a store without deduplication would hold.
+	LogicalBytes int64
+	// PhysicalBytes counts each distinct object once; it is what the
+	// deduplicating store actually holds.
+	PhysicalBytes int64
+	// DedupHits is the number of Puts that found their content already
+	// present.
+	DedupHits int64
+}
+
+// SavingsRatio returns LogicalBytes/PhysicalBytes (1.0 = no savings).
+func (s Stats) SavingsRatio() float64 {
+	if s.PhysicalBytes == 0 {
+		return 1
+	}
+	return float64(s.LogicalBytes) / float64(s.PhysicalBytes)
+}
+
+// Memory is an in-memory Store implementation.
+type Memory struct {
+	mu      sync.RWMutex
+	objects map[hashutil.Digest][]byte
+	stats   Stats
+}
+
+// NewMemory returns an empty in-memory store.
+func NewMemory() *Memory {
+	return &Memory{objects: make(map[hashutil.Digest][]byte)}
+}
+
+// Put implements Store.
+func (m *Memory) Put(domain byte, data []byte) hashutil.Digest {
+	d := hashutil.Sum(domain, data)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.stats.LogicalBytes += int64(len(data))
+	if _, ok := m.objects[d]; ok {
+		m.stats.DedupHits++
+		return d
+	}
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	m.objects[d] = cp
+	m.stats.Objects++
+	m.stats.PhysicalBytes += int64(len(data))
+	return d
+}
+
+// Get implements Store.
+func (m *Memory) Get(d hashutil.Digest) ([]byte, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	obj, ok := m.objects[d]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, d.Short())
+	}
+	return obj, nil
+}
+
+// Has implements Store.
+func (m *Memory) Has(d hashutil.Digest) bool {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	_, ok := m.objects[d]
+	return ok
+}
+
+// Stats implements Store.
+func (m *Memory) Stats() Stats {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.stats
+}
+
+// Delete removes an object. It exists for garbage collection of unpinned
+// versions; tamper evidence is unaffected because digests of retained
+// structures still commit to the deleted object's content.
+func (m *Memory) Delete(d hashutil.Digest) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if obj, ok := m.objects[d]; ok {
+		m.stats.Objects--
+		m.stats.PhysicalBytes -= int64(len(obj))
+		delete(m.objects, d)
+	}
+}
+
+// Counting wraps a Store and counts operations; the experiment harness uses
+// it to report I/O amplification.
+type Counting struct {
+	Inner Store
+
+	mu   sync.Mutex
+	puts int64
+	gets int64
+}
+
+// NewCounting wraps inner in an operation counter.
+func NewCounting(inner Store) *Counting { return &Counting{Inner: inner} }
+
+// Put implements Store.
+func (c *Counting) Put(domain byte, data []byte) hashutil.Digest {
+	c.mu.Lock()
+	c.puts++
+	c.mu.Unlock()
+	return c.Inner.Put(domain, data)
+}
+
+// Get implements Store.
+func (c *Counting) Get(d hashutil.Digest) ([]byte, error) {
+	c.mu.Lock()
+	c.gets++
+	c.mu.Unlock()
+	return c.Inner.Get(d)
+}
+
+// Has implements Store.
+func (c *Counting) Has(d hashutil.Digest) bool { return c.Inner.Has(d) }
+
+// Stats implements Store.
+func (c *Counting) Stats() Stats { return c.Inner.Stats() }
+
+// Ops returns the number of Put and Get calls seen so far.
+func (c *Counting) Ops() (puts, gets int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.puts, c.gets
+}

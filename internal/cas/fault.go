@@ -1,0 +1,94 @@
+package cas
+
+import (
+	"sync"
+
+	"spitz/internal/hashutil"
+)
+
+// Fault wraps a Store and injects failures: lost objects (Get errors) and
+// silent corruption (flipped bytes). Structures built over the CAS must
+// turn both into explicit errors or verification failures — never into
+// silently wrong answers. Tests and the failure-injection suite use it;
+// it also documents the storage-fault model the system tolerates.
+type Fault struct {
+	Inner Store
+
+	mu        sync.Mutex
+	lost      map[hashutil.Digest]bool
+	corrupted map[hashutil.Digest]int // byte offset to flip
+}
+
+// NewFault wraps inner.
+func NewFault(inner Store) *Fault {
+	return &Fault{
+		Inner:     inner,
+		lost:      make(map[hashutil.Digest]bool),
+		corrupted: make(map[hashutil.Digest]int),
+	}
+}
+
+// Lose makes Get fail for the given digest, simulating a lost object.
+func (f *Fault) Lose(d hashutil.Digest) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.lost[d] = true
+}
+
+// Corrupt makes Get return the object with the byte at offset flipped,
+// simulating silent media corruption.
+func (f *Fault) Corrupt(d hashutil.Digest, offset int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.corrupted[d] = offset
+}
+
+// Heal removes all injected faults.
+func (f *Fault) Heal() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.lost = make(map[hashutil.Digest]bool)
+	f.corrupted = make(map[hashutil.Digest]int)
+}
+
+// Put implements Store.
+func (f *Fault) Put(domain byte, data []byte) hashutil.Digest {
+	return f.Inner.Put(domain, data)
+}
+
+// Get implements Store, applying injected faults.
+func (f *Fault) Get(d hashutil.Digest) ([]byte, error) {
+	f.mu.Lock()
+	lost := f.lost[d]
+	off, corrupt := f.corrupted[d]
+	f.mu.Unlock()
+	if lost {
+		return nil, ErrNotFound
+	}
+	data, err := f.Inner.Get(d)
+	if err != nil {
+		return nil, err
+	}
+	if corrupt {
+		mutated := append([]byte(nil), data...)
+		if len(mutated) > 0 {
+			mutated[off%len(mutated)] ^= 0xFF
+		}
+		return mutated, nil
+	}
+	return data, nil
+}
+
+// Has implements Store.
+func (f *Fault) Has(d hashutil.Digest) bool {
+	f.mu.Lock()
+	lost := f.lost[d]
+	f.mu.Unlock()
+	if lost {
+		return false
+	}
+	return f.Inner.Has(d)
+}
+
+// Stats implements Store.
+func (f *Fault) Stats() Stats { return f.Inner.Stats() }

@@ -1,0 +1,399 @@
+package cellstore
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"spitz/internal/cas"
+	"spitz/internal/postree"
+)
+
+func emptyStore() Store {
+	return Store{Tree: postree.Empty(cas.NewMemory())}
+}
+
+func mustApply(t *testing.T, s Store, cells []Cell) (Store, []Demoted) {
+	t.Helper()
+	next, demoted, err := s.Apply(cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return next, demoted
+}
+
+func TestKeyEncodeDecodeRoundTrip(t *testing.T) {
+	k := Key{Table: "accounts", Column: "balance", PK: []byte("user-42"), Version: 7,
+		ValueHash: ValueHash(7, []byte("100"), false)}
+	got, err := DecodeKey(EncodeKey(k))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Table != k.Table || got.Column != k.Column || !bytes.Equal(got.PK, k.PK) ||
+		got.Version != k.Version || got.ValueHash != k.ValueHash {
+		t.Fatalf("round trip mismatch: %+v vs %+v", got, k)
+	}
+}
+
+func TestKeyEncodingHandlesZeroBytes(t *testing.T) {
+	k := Key{Table: "t\x00a", Column: "c\x00\x00", PK: []byte{0x00, 0xFF, 0x00}, Version: 1}
+	got, err := DecodeKey(EncodeKey(k))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Table != k.Table || got.Column != k.Column || !bytes.Equal(got.PK, k.PK) {
+		t.Fatal("zero-byte segments corrupted")
+	}
+}
+
+func TestRefOrderingMatchesTupleOrder(t *testing.T) {
+	a := CellPrefix("t", "c", []byte("a"))
+	b := CellPrefix("t", "c", []byte("b"))
+	c := CellPrefix("t", "d", []byte("a"))
+	if !(bytes.Compare(a, b) < 0) {
+		t.Error("pk order broken")
+	}
+	if !(bytes.Compare(b, c) < 0) {
+		t.Error("column order broken")
+	}
+	// A pk that is a prefix of another must still sort before it.
+	p1 := CellPrefix("t", "c", []byte("ab"))
+	p2 := CellPrefix("t", "c", []byte("ab0"))
+	if !(bytes.Compare(p1, p2) < 0) {
+		t.Error("prefix pk order broken")
+	}
+}
+
+func TestDecodeRefRoundTrip(t *testing.T) {
+	ref := CellPrefix("tbl", "col", []byte("pk\x00x"))
+	table, column, pk, err := DecodeRef(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if table != "tbl" || column != "col" || !bytes.Equal(pk, []byte("pk\x00x")) {
+		t.Fatal("ref round trip mismatch")
+	}
+	if _, _, _, err := DecodeRef(ref[:len(ref)-1]); err == nil {
+		t.Error("truncated ref accepted")
+	}
+	if _, _, _, err := DecodeRef(append(ref, 0x07)); err == nil {
+		t.Error("ref with trailing bytes accepted")
+	}
+}
+
+func TestDecodeKeyErrors(t *testing.T) {
+	if _, err := DecodeKey([]byte{0x01, 0x02}); err == nil {
+		t.Error("unterminated key accepted")
+	}
+	if _, err := DecodeKey(nil); err == nil {
+		t.Error("empty key accepted")
+	}
+	k := EncodeKey(Key{Table: "t", Column: "c", PK: []byte("p"), Version: 1})
+	if _, err := DecodeKey(k[:len(k)-3]); err == nil {
+		t.Error("truncated key accepted")
+	}
+}
+
+func TestVersionCodecRoundTrip(t *testing.T) {
+	ver, v, tomb, err := DecodeVersion(EncodeVersion(99, []byte("hello"), false))
+	if err != nil || tomb || ver != 99 || string(v) != "hello" {
+		t.Fatal("live version round trip failed")
+	}
+	ver, v, tomb, err = DecodeVersion(EncodeVersion(7, nil, true))
+	if err != nil || !tomb || ver != 7 || len(v) != 0 {
+		t.Fatal("tombstone round trip failed")
+	}
+	if _, _, _, err := DecodeVersion(nil); err == nil {
+		t.Error("empty version accepted")
+	}
+	if _, _, _, err := DecodeVersion([]byte{0x80, 1}); err == nil {
+		t.Error("bad flags accepted")
+	}
+}
+
+func TestPrefixEnd(t *testing.T) {
+	if got := PrefixEnd([]byte{0x01, 0x02}); !bytes.Equal(got, []byte{0x01, 0x03}) {
+		t.Fatalf("PrefixEnd = %x", got)
+	}
+	if got := PrefixEnd([]byte{0x01, 0xFF}); !bytes.Equal(got, []byte{0x02}) {
+		t.Fatalf("PrefixEnd carry = %x", got)
+	}
+	if got := PrefixEnd([]byte{0xFF, 0xFF}); got != nil {
+		t.Fatalf("PrefixEnd all-FF = %x, want nil", got)
+	}
+}
+
+func TestApplyAndGetHead(t *testing.T) {
+	s := emptyStore()
+	s, demoted := mustApply(t, s, []Cell{
+		{Table: "t", Column: "c", PK: []byte("k1"), Version: 1, Value: []byte("v1")},
+		{Table: "t", Column: "c", PK: []byte("k2"), Version: 1, Value: []byte("w1")},
+	})
+	if len(demoted) != 0 {
+		t.Fatalf("fresh inserts demoted %d versions", len(demoted))
+	}
+	c, ok, err := s.GetHead("t", "c", []byte("k1"))
+	if err != nil || !ok || string(c.Value) != "v1" || c.Version != 1 {
+		t.Fatalf("GetHead = %+v %v %v", c, ok, err)
+	}
+	if _, ok, _ := s.GetHead("t", "c", []byte("k3")); ok {
+		t.Fatal("absent cell found")
+	}
+}
+
+func TestApplyDemotesReplacedHead(t *testing.T) {
+	s := emptyStore()
+	s, _ = mustApply(t, s, []Cell{{Table: "t", Column: "c", PK: []byte("k"), Version: 1, Value: []byte("old")}})
+	s2, demoted := mustApply(t, s, []Cell{{Table: "t", Column: "c", PK: []byte("k"), Version: 5, Value: []byte("new")}})
+	if len(demoted) != 1 || demoted[0].Version != 1 {
+		t.Fatalf("demoted = %+v", demoted)
+	}
+	// The demoted object is loadable and carries the old version.
+	c, err := LoadVersion(s.Tree.Store(), "t", "c", []byte("k"), demoted[0].Object)
+	if err != nil || c.Version != 1 || string(c.Value) != "old" {
+		t.Fatalf("LoadVersion = %+v %v", c, err)
+	}
+	// New head visible in the new snapshot; old snapshot unchanged.
+	c, _, _ = s2.GetHead("t", "c", []byte("k"))
+	if string(c.Value) != "new" {
+		t.Fatal("new head wrong")
+	}
+	c, _, _ = s.GetHead("t", "c", []byte("k"))
+	if string(c.Value) != "old" {
+		t.Fatal("old snapshot mutated")
+	}
+}
+
+func TestApplyMultipleVersionsSameBatch(t *testing.T) {
+	s := emptyStore()
+	s, demoted := mustApply(t, s, []Cell{
+		{Table: "t", Column: "c", PK: []byte("k"), Version: 3, Value: []byte("v3")},
+		{Table: "t", Column: "c", PK: []byte("k"), Version: 1, Value: []byte("v1")},
+		{Table: "t", Column: "c", PK: []byte("k"), Version: 2, Value: []byte("v2")},
+	})
+	c, ok, _ := s.GetHead("t", "c", []byte("k"))
+	if !ok || c.Version != 3 || string(c.Value) != "v3" {
+		t.Fatalf("head = %+v", c)
+	}
+	if len(demoted) != 2 {
+		t.Fatalf("demoted %d, want 2", len(demoted))
+	}
+	versions := map[uint64]bool{}
+	for _, d := range demoted {
+		versions[d.Version] = true
+	}
+	if !versions[1] || !versions[2] {
+		t.Fatalf("demoted versions wrong: %+v", demoted)
+	}
+}
+
+func TestGetLatestRespectsAsOf(t *testing.T) {
+	s := emptyStore()
+	s, _ = mustApply(t, s, []Cell{{Table: "t", Column: "c", PK: []byte("k"), Version: 5, Value: []byte("v")}})
+	if _, ok, _ := s.GetLatest("t", "c", []byte("k"), 4); ok {
+		t.Fatal("head newer than asOf returned")
+	}
+	c, ok, _ := s.GetLatest("t", "c", []byte("k"), 5)
+	if !ok || string(c.Value) != "v" {
+		t.Fatal("head at asOf missing")
+	}
+}
+
+func TestTombstone(t *testing.T) {
+	s := emptyStore()
+	s, _ = mustApply(t, s, []Cell{{Table: "t", Column: "c", PK: []byte("k"), Version: 1, Value: []byte("v")}})
+	s, demoted := mustApply(t, s, []Cell{{Table: "t", Column: "c", PK: []byte("k"), Version: 2, Tombstone: true}})
+	if len(demoted) != 1 {
+		t.Fatal("delete did not demote the old head")
+	}
+	c, ok, err := s.GetHead("t", "c", []byte("k"))
+	if err != nil || !ok || !c.Tombstone {
+		t.Fatal("tombstone head missing")
+	}
+}
+
+func TestRangePK(t *testing.T) {
+	s := emptyStore()
+	var cells []Cell
+	for i := 0; i < 100; i++ {
+		cells = append(cells, Cell{Table: "t", Column: "c",
+			PK: []byte(fmt.Sprintf("pk%03d", i)), Version: 3,
+			Value: []byte(fmt.Sprintf("val%d", i))})
+	}
+	s, _ = mustApply(t, s, cells)
+	s, _ = mustApply(t, s, []Cell{
+		{Table: "t", Column: "c", PK: []byte("pk010"), Version: 4, Tombstone: true},
+		{Table: "t", Column: "c", PK: []byte("pk200"), Version: 9, Value: []byte("future")},
+	})
+
+	got, err := s.RangePK("t", "c", []byte("pk000"), []byte("pk020"), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 19 { // 20 minus the tombstoned pk010
+		t.Fatalf("range returned %d rows, want 19", len(got))
+	}
+	for _, c := range got {
+		if string(c.PK) == "pk010" {
+			t.Fatal("tombstoned row present")
+		}
+	}
+	// A head newer than asOf is skipped.
+	got, _ = s.RangePK("t", "c", []byte("pk200"), nil, 5)
+	if len(got) != 0 {
+		t.Fatal("future row visible")
+	}
+	got, _ = s.RangePK("t", "c", []byte("pk200"), nil, 9)
+	if len(got) != 1 || string(got[0].Value) != "future" {
+		t.Fatal("future row missing at its version")
+	}
+}
+
+func TestProveGetHead(t *testing.T) {
+	s := emptyStore()
+	var cells []Cell
+	for i := 0; i < 500; i++ {
+		cells = append(cells, Cell{Table: "t", Column: "c",
+			PK: []byte(fmt.Sprintf("pk%04d", i)), Version: 2, Value: []byte(fmt.Sprintf("v%d", i))})
+	}
+	s, _ = mustApply(t, s, cells)
+	root := s.Tree.Root()
+
+	cell, ok, p, err := s.ProveGetHead("t", "c", []byte("pk0123"))
+	if err != nil || !ok {
+		t.Fatalf("ProveGetHead: %v %v", ok, err)
+	}
+	if string(cell.Value) != "v123" || cell.Version != 2 {
+		t.Fatalf("cell = %+v", cell)
+	}
+	if err := p.Verify(root); err != nil {
+		t.Fatalf("proof: %v", err)
+	}
+
+	// Absence.
+	_, ok, p, err = s.ProveGetHead("t", "c", []byte("nope"))
+	if err != nil || ok {
+		t.Fatal("absent cell misbehaved")
+	}
+	if err := p.Verify(root); err != nil {
+		t.Fatalf("absence proof: %v", err)
+	}
+}
+
+func TestProveRangePK(t *testing.T) {
+	s := emptyStore()
+	var cells []Cell
+	for i := 0; i < 200; i++ {
+		cells = append(cells, Cell{Table: "t", Column: "c",
+			PK: []byte(fmt.Sprintf("pk%04d", i)), Version: 1,
+			Value: []byte(fmt.Sprintf("val-%04d", i))})
+	}
+	s, _ = mustApply(t, s, cells)
+	got, proof, err := s.ProveRangePK("t", "c", []byte("pk0050"), []byte("pk0060"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 10 {
+		t.Fatalf("range = %d rows", len(got))
+	}
+	if err := proof.Verify(s.Tree.Root()); err != nil {
+		t.Fatalf("range proof: %v", err)
+	}
+	decoded, err := DecodeEntries(proof.Entries)
+	if err != nil || len(decoded) != 10 {
+		t.Fatal("entry decoding failed")
+	}
+}
+
+func TestMultiTableIsolation(t *testing.T) {
+	s := emptyStore()
+	s, _ = mustApply(t, s, []Cell{
+		{Table: "a", Column: "c", PK: []byte("k"), Version: 1, Value: []byte("in-a")},
+		{Table: "b", Column: "c", PK: []byte("k"), Version: 1, Value: []byte("in-b")},
+		{Table: "a", Column: "d", PK: []byte("k"), Version: 1, Value: []byte("in-a-d")},
+	})
+	c, ok, _ := s.GetHead("a", "c", []byte("k"))
+	if !ok || string(c.Value) != "in-a" {
+		t.Fatal("table a read wrong")
+	}
+	c, ok, _ = s.GetHead("b", "c", []byte("k"))
+	if !ok || string(c.Value) != "in-b" {
+		t.Fatal("table b read wrong")
+	}
+	rows, _ := s.RangePK("a", "c", nil, nil, 5)
+	if len(rows) != 1 {
+		t.Fatalf("table a scan saw %d rows", len(rows))
+	}
+}
+
+// Property: ref encoding is order preserving w.r.t. pk order.
+func TestQuickRefOrderPreserving(t *testing.T) {
+	f := func(pk1, pk2 []byte) bool {
+		k1 := CellPrefix("t", "c", pk1)
+		k2 := CellPrefix("t", "c", pk2)
+		cmp := bytes.Compare(pk1, pk2)
+		if cmp == 0 {
+			return bytes.Equal(k1, k2)
+		}
+		return (cmp < 0) == (bytes.Compare(k1, k2) < 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: decode(encode(k)) == k for arbitrary universal keys.
+func TestQuickKeyRoundTrip(t *testing.T) {
+	f := func(table, column string, pk []byte, version uint64, vh [32]byte) bool {
+		k := Key{Table: table, Column: column, PK: pk, Version: version, ValueHash: vh}
+		got, err := DecodeKey(EncodeKey(k))
+		if err != nil {
+			return false
+		}
+		return got.Table == k.Table && got.Column == k.Column &&
+			bytes.Equal(got.PK, k.PK) && got.Version == k.Version && got.ValueHash == k.ValueHash
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: version codec round trips for arbitrary payloads.
+func TestQuickVersionRoundTrip(t *testing.T) {
+	f := func(version uint64, value []byte, tomb bool) bool {
+		v, val, tb, err := DecodeVersion(EncodeVersion(version, value, tomb))
+		return err == nil && v == version && bytes.Equal(val, value) && tb == tomb
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestApplySameVersionDuplicateLastWins(t *testing.T) {
+	s := emptyStore()
+	s, demoted := mustApply(t, s, []Cell{
+		{Table: "t", Column: "c", PK: []byte("k"), Version: 5, Value: []byte("first")},
+		{Table: "t", Column: "c", PK: []byte("k"), Version: 5, Value: []byte("second")},
+	})
+	c, ok, _ := s.GetHead("t", "c", []byte("k"))
+	if !ok || string(c.Value) != "second" {
+		t.Fatalf("head = %q, want the batch's last write", c.Value)
+	}
+	if len(demoted) != 1 || string(mustLoad(t, s, demoted[0]).Value) != "first" {
+		t.Fatal("first write not demoted")
+	}
+}
+
+func mustLoad(t *testing.T, s Store, d Demoted) Cell {
+	t.Helper()
+	table, column, pk, err := DecodeRef(d.Ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := LoadVersion(s.Tree.Store(), table, column, pk, d.Object)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}

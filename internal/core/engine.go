@@ -1,0 +1,495 @@
+// Package core implements the Spitz engine — the paper's primary
+// contribution (Section 5). An Engine is one processor node's view of the
+// system: a request handler surface (the exported methods), an auditor
+// (the ledger interaction: every write updates the ledger, every verified
+// read obtains its proof from it), and a transaction manager (MVCC over
+// the multi-versioned cell store).
+//
+// The write path follows Section 5.1: (1) collect the transaction,
+// (2) the auditor updates the ledger, which records the changes and
+// returns a proof, (3) the processor traverses the B+-tree index and
+// performs the writes to the cell store, (4) results and proof return to
+// the user. In this engine steps 2 and 3 are one atomic ledger commit —
+// that fusion is exactly the "unified index" design the paper credits for
+// Spitz's performance.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"spitz/internal/btree"
+	"spitz/internal/cas"
+	"spitz/internal/cellstore"
+	"spitz/internal/inverted"
+	"spitz/internal/ledger"
+	"spitz/internal/mtree"
+	"spitz/internal/postree"
+	"spitz/internal/txn"
+	"spitz/internal/txn/tso"
+)
+
+// Put is one cell write in a batch.
+type Put struct {
+	Table     string
+	Column    string
+	PK        []byte
+	Value     []byte
+	Tombstone bool
+}
+
+// Options configures an Engine.
+type Options struct {
+	// Store is the content-addressed object store; nil creates a fresh
+	// in-memory store.
+	Store cas.Store
+	// Mode selects the concurrency control scheme for transactions.
+	Mode txn.Mode
+	// Timestamps allocates commit versions; nil uses a local oracle.
+	Timestamps txn.TimestampSource
+	// MaintainInverted keeps the inverted index updated on every commit,
+	// enabling value lookups (LookupEqual etc.) at some write cost.
+	MaintainInverted bool
+}
+
+// Engine is an embedded Spitz database instance. Safe for concurrent use.
+type Engine struct {
+	store  cas.Store
+	ledger *ledger.Ledger
+	ts     txn.TimestampSource
+	mgr    *txn.Manager
+	inv    *inverted.Index
+
+	// routing is the B+-tree query index of Section 5 ("Index"): it maps a
+	// cell reference to the location of its latest version in the cell
+	// store, so point reads go straight to the exact universal key.
+	mu      sync.RWMutex
+	routing *btree.Tree[routeEntry]
+	// schema records the columns observed per table, supporting SELECT *
+	// and whole-row deletes in the query layer.
+	schema map[string]map[string]struct{}
+
+	nextTxnID uint64
+}
+
+type routeEntry struct {
+	version uint64
+}
+
+// New creates an engine.
+func New(opts Options) *Engine {
+	if opts.Store == nil {
+		opts.Store = cas.NewMemory()
+	}
+	if opts.Timestamps == nil {
+		opts.Timestamps = tso.New(0)
+	}
+	e := &Engine{
+		store:   opts.Store,
+		ledger:  ledger.New(opts.Store),
+		ts:      opts.Timestamps,
+		routing: btree.New[routeEntry](),
+		schema:  make(map[string]map[string]struct{}),
+	}
+	if opts.MaintainInverted {
+		e.inv = inverted.New()
+	}
+	e.mgr = txn.NewManager(engineStore{e}, opts.Timestamps, opts.Mode)
+	return e
+}
+
+// Ledger exposes the underlying ledger (the auditor's counterpart) for
+// digest retrieval and consistency proofs.
+func (e *Engine) Ledger() *ledger.Ledger { return e.ledger }
+
+// Store returns the underlying object store (for storage accounting).
+func (e *Engine) Store() cas.Store { return e.store }
+
+// Digest returns the current ledger digest a client should save.
+func (e *Engine) Digest() ledger.Digest { return e.ledger.Digest() }
+
+// ConsistencyProof proves the current digest extends old.
+func (e *Engine) ConsistencyProof(old ledger.Digest) (mtree.ConsistencyProof, error) {
+	return e.ledger.ConsistencyProof(old)
+}
+
+// ---------------------------------------------------------------------------
+// Write path
+
+// Apply commits a batch of writes as one ledger block (group commit) and
+// returns the block header. This is the high-throughput ingest path; use
+// Begin for interactive transactions.
+func (e *Engine) Apply(statement string, puts []Put) (ledger.BlockHeader, error) {
+	version := e.ts.Next()
+	cells := make([]cellstore.Cell, len(puts))
+	for i, p := range puts {
+		cells[i] = cellstore.Cell{Table: p.Table, Column: p.Column, PK: p.PK,
+			Version: version, Value: p.Value, Tombstone: p.Tombstone}
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	id := e.nextTxnID
+	e.nextTxnID++
+	summary := []ledger.TxnSummary{{ID: id, Statement: statement, WriteHash: ledger.WriteSetHash(cells)}}
+	h, err := e.ledger.Commit(version, summary, cells)
+	if err != nil {
+		return ledger.BlockHeader{}, err
+	}
+	e.indexCellsLocked(cells)
+	return h, nil
+}
+
+// indexCellsLocked refreshes the routing index (and inverted index) after
+// a commit. Caller holds e.mu. Versions are monotonic across commits, so
+// within one batch only a same-ref duplicate could route backwards; Put's
+// last-wins behaviour combined with Apply's version ordering keeps the
+// routing entry at the newest version. Superseded inverted postings are
+// filtered lazily at query time (resolvePostings checks that a posting
+// still names the head version).
+func (e *Engine) indexCellsLocked(cells []cellstore.Cell) {
+	for i := range cells {
+		c := &cells[i]
+		cols, ok := e.schema[c.Table]
+		if !ok {
+			cols = make(map[string]struct{})
+			e.schema[c.Table] = cols
+		}
+		cols[c.Column] = struct{}{}
+		ref := cellstore.CellPrefix(c.Table, c.Column, c.PK)
+		prev, had := e.routing.Get(ref)
+		if had && prev.version >= c.Version {
+			continue // already routing to a newer version
+		}
+		e.routing.Put(ref, routeEntry{version: c.Version})
+		if e.inv != nil {
+			e.inv.Add(*c)
+		}
+	}
+}
+
+// Columns returns the sorted set of columns ever written to a table.
+func (e *Engine) Columns(table string) []string {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	cols := e.schema[table]
+	out := make([]string, 0, len(cols))
+	for c := range cols {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Read path
+
+// ErrNotFound is returned by Get when the cell does not exist (never
+// written, or deleted).
+var ErrNotFound = errors.New("core: not found")
+
+// Get returns the latest live value of a cell. The read follows Section
+// 5.1: the B+-tree routing index confirms the cell exists and routes to
+// the cell store, which serves the head version. No proof is generated
+// (see GetVerified).
+func (e *Engine) Get(table, column string, pk []byte) ([]byte, error) {
+	ref := cellstore.CellPrefix(table, column, pk)
+	e.mu.RLock()
+	_, ok := e.routing.Get(ref)
+	e.mu.RUnlock()
+	if !ok {
+		return nil, ErrNotFound
+	}
+	cells, _, live := e.ledger.Latest()
+	if !live {
+		return nil, ErrNotFound
+	}
+	raw, found, err := cells.Tree.Get(ref)
+	if err != nil {
+		return nil, err
+	}
+	if !found {
+		return nil, fmt.Errorf("core: routing index stale for %s.%s", table, column)
+	}
+	_, value, tomb, err := cellstore.DecodeVersion(raw)
+	if err != nil {
+		return nil, err
+	}
+	if tomb {
+		return nil, ErrNotFound
+	}
+	return value, nil
+}
+
+// VerifiedResult carries a query result together with everything a client
+// needs to verify it: the proof and the digest it verifies against.
+type VerifiedResult struct {
+	Cells  []cellstore.Cell
+	Found  bool
+	Proof  ledger.Proof
+	Digest ledger.Digest
+}
+
+// GetVerified returns the latest version of a cell with its unified-index
+// proof (the auditor's step 3 of the read path in Section 5.1).
+func (e *Engine) GetVerified(table, column string, pk []byte) (VerifiedResult, error) {
+	d := e.ledger.Digest()
+	if d.Height == 0 {
+		return VerifiedResult{Digest: d}, nil
+	}
+	cell, ok, p, err := e.ledger.ProveGetLatest(d.Height-1, table, column, pk)
+	if err != nil {
+		return VerifiedResult{}, err
+	}
+	res := VerifiedResult{Found: ok && !cell.Tombstone, Proof: p, Digest: d}
+	if ok {
+		res.Cells = []cellstore.Cell{cell}
+	}
+	return res, nil
+}
+
+// RangePK scans the latest live cells of one column with primary keys in
+// [pkLo, pkHi), without proofs.
+func (e *Engine) RangePK(table, column string, pkLo, pkHi []byte) ([]cellstore.Cell, error) {
+	cells, head, ok := e.ledger.Latest()
+	if !ok {
+		return nil, nil
+	}
+	return cells.RangePK(table, column, pkLo, pkHi, head.Version)
+}
+
+// RangePKVerified scans a primary-key range and returns one proof covering
+// the entire result (Section 6.2.2: "the proofs of the resultant records
+// are returned simultaneously when the resultant records are scanned").
+func (e *Engine) RangePKVerified(table, column string, pkLo, pkHi []byte) (VerifiedResult, error) {
+	d := e.ledger.Digest()
+	if d.Height == 0 {
+		return VerifiedResult{Digest: d}, nil
+	}
+	cells, p, err := e.ledger.ProveRangePK(d.Height-1, table, column, pkLo, pkHi)
+	if err != nil {
+		return VerifiedResult{}, err
+	}
+	return VerifiedResult{Cells: cells, Found: len(cells) > 0, Proof: p, Digest: d}, nil
+}
+
+// History returns every version of a cell, newest first (the trusted data
+// history requirement of Section 1).
+func (e *Engine) History(table, column string, pk []byte) ([]cellstore.Cell, error) {
+	return e.ledger.History(table, column, pk)
+}
+
+// GetAt reads a cell as of a historical block height (time travel over the
+// immutable snapshots).
+func (e *Engine) GetAt(height uint64, table, column string, pk []byte) (cellstore.Cell, bool, error) {
+	snap, err := e.ledger.Snapshot(height)
+	if err != nil {
+		return cellstore.Cell{}, false, err
+	}
+	h, err := e.ledger.Header(height)
+	if err != nil {
+		return cellstore.Cell{}, false, err
+	}
+	return snap.GetLatest(table, column, pk, h.Version)
+}
+
+// ---------------------------------------------------------------------------
+// Analytical reads via the inverted index
+
+// ErrNoInvertedIndex is returned by value lookups when the engine was
+// created without MaintainInverted.
+var ErrNoInvertedIndex = errors.New("core: inverted index not enabled")
+
+// LookupEqual returns the cells of one column whose latest value equals
+// value, located through the inverted index.
+func (e *Engine) LookupEqual(table, column string, value []byte) ([]cellstore.Cell, error) {
+	if e.inv == nil {
+		return nil, ErrNoInvertedIndex
+	}
+	return e.resolvePostings(table, column, e.inv.LookupEqual(table, column, value))
+}
+
+// LookupNumericRange returns cells whose numeric value is in [lo, hi).
+func (e *Engine) LookupNumericRange(table, column string, lo, hi uint64) ([]cellstore.Cell, error) {
+	if e.inv == nil {
+		return nil, ErrNoInvertedIndex
+	}
+	return e.resolvePostings(table, column, e.inv.LookupNumericRange(table, column, lo, hi))
+}
+
+func (e *Engine) resolvePostings(table, column string, ps []inverted.Posting) ([]cellstore.Cell, error) {
+	cells, head, ok := e.ledger.Latest()
+	if !ok {
+		return nil, nil
+	}
+	out := make([]cellstore.Cell, 0, len(ps))
+	for _, p := range ps {
+		c, found, err := cells.GetLatest(table, column, p.PK, head.Version)
+		if err != nil {
+			return nil, err
+		}
+		// Only surface postings that still are the latest version.
+		if found && !c.Tombstone && c.Version == p.Version {
+			out = append(out, c)
+		}
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// Transactions
+
+// Begin starts an interactive MVCC transaction (Section 5.2). Reads and
+// writes address cells via (table, column, pk); Commit routes through the
+// ledger, producing one block.
+func (e *Engine) Begin() *Txn {
+	return &Txn{inner: e.mgr.Begin()}
+}
+
+// TxnStore exposes the engine as a txn.Store keyed by cell references
+// (cellstore.CellPrefix). The 2PC layer uses it to make this engine a
+// shard participant in distributed transactions.
+func (e *Engine) TxnStore() txn.Store { return engineStore{e} }
+
+// TxnStats reports commit/abort counters from the transaction manager.
+func (e *Engine) TxnStats() txn.Stats { return e.mgr.Stats() }
+
+// Txn wraps the storage-level transaction with cell addressing.
+type Txn struct {
+	inner *txn.Txn
+}
+
+// Get reads a cell within the transaction's snapshot.
+func (t *Txn) Get(table, column string, pk []byte) ([]byte, bool, error) {
+	return t.inner.Get(cellstore.CellPrefix(table, column, pk))
+}
+
+// Put stages a cell write.
+func (t *Txn) Put(table, column string, pk, value []byte) error {
+	return t.inner.Put(cellstore.CellPrefix(table, column, pk), value)
+}
+
+// Delete stages a cell deletion (tombstone).
+func (t *Txn) Delete(table, column string, pk []byte) error {
+	return t.inner.Delete(cellstore.CellPrefix(table, column, pk))
+}
+
+// Commit validates and commits, returning the commit version.
+func (t *Txn) Commit() (uint64, error) { return t.inner.Commit() }
+
+// Abort discards the transaction.
+func (t *Txn) Abort() { t.inner.Abort() }
+
+// engineStore adapts the engine to txn.Store: transactional reads and
+// writes flow through the ledger-backed cell store.
+type engineStore struct{ e *Engine }
+
+// ReadLatest implements txn.Store. The key is a cell reference
+// (cellstore.CellPrefix); versions are ledger commit versions. Snapshot
+// reads older than the head resolve through the ledger's version index.
+func (s engineStore) ReadLatest(key []byte, asOf uint64) ([]byte, uint64, bool, error) {
+	table, column, pk, err := cellstore.DecodeRef(key)
+	if err != nil {
+		return nil, 0, false, err
+	}
+	c, found, err := s.e.ledger.GetAsOf(table, column, pk, asOf)
+	if err != nil {
+		return nil, 0, false, err
+	}
+	if !found {
+		return nil, 0, false, nil
+	}
+	if c.Tombstone {
+		return nil, c.Version, false, nil
+	}
+	return c.Value, c.Version, true, nil
+}
+
+// ApplyBatch implements txn.Store: one transaction becomes one ledger
+// block at its commit version.
+func (s engineStore) ApplyBatch(version uint64, writes []txn.Write) error {
+	cells := make([]cellstore.Cell, len(writes))
+	for i, w := range writes {
+		table, column, pk, err := cellstore.DecodeRef(w.Key)
+		if err != nil {
+			return err
+		}
+		cells[i] = cellstore.Cell{Table: table, Column: column, PK: pk,
+			Version: version, Value: w.Value, Tombstone: w.Delete}
+	}
+	s.e.mu.Lock()
+	defer s.e.mu.Unlock()
+	id := s.e.nextTxnID
+	s.e.nextTxnID++
+	summary := []ledger.TxnSummary{{ID: id, Statement: "TXN", WriteHash: ledger.WriteSetHash(cells)}}
+	if _, err := s.e.ledger.Commit(version, summary, cells); err != nil {
+		return err
+	}
+	s.e.indexCellsLocked(cells)
+	return nil
+}
+
+// Compile-time interface check.
+var _ txn.Store = engineStore{}
+
+// WriteSnapshot serializes the database state (see ledger.WriteSnapshot)
+// for restart durability.
+func (e *Engine) WriteSnapshot(w io.Writer) error {
+	return e.ledger.WriteSnapshot(w)
+}
+
+// Restore reconstructs an engine from a snapshot stream. The routing and
+// schema indexes rebuild from the restored cell store, and new commit
+// versions continue above the restored head.
+func Restore(opts Options, r io.Reader) (*Engine, error) {
+	if opts.Store == nil {
+		opts.Store = cas.NewMemory()
+	}
+	l, err := ledger.LoadSnapshot(opts.Store, r)
+	if err != nil {
+		return nil, err
+	}
+	var headVersion uint64
+	if h, ok := l.Head(); ok {
+		headVersion = h.Version
+	}
+	if opts.Timestamps == nil {
+		opts.Timestamps = tso.New(headVersion)
+	}
+	e := &Engine{
+		store:   opts.Store,
+		ledger:  l,
+		ts:      opts.Timestamps,
+		routing: btree.New[routeEntry](),
+		schema:  make(map[string]map[string]struct{}),
+	}
+	if opts.MaintainInverted {
+		e.inv = inverted.New()
+	}
+	e.mgr = txn.NewManager(engineStore{e}, opts.Timestamps, opts.Mode)
+
+	// Rebuild the in-memory indexes from the restored head instance.
+	cells, _, ok := l.Latest()
+	if ok {
+		err := cells.Tree.Scan(nil, nil, func(entry postree.Entry) bool {
+			table, column, pk, err := cellstore.DecodeRef(entry.Key)
+			if err != nil {
+				return false
+			}
+			ver, value, tomb, err := cellstore.DecodeVersion(entry.Value)
+			if err != nil {
+				return false
+			}
+			e.indexCellsLocked([]cellstore.Cell{{Table: table, Column: column,
+				PK: append([]byte(nil), pk...), Version: ver,
+				Value: append([]byte(nil), value...), Tombstone: tomb}})
+			return true
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return e, nil
+}

@@ -1,0 +1,161 @@
+package federated
+
+import (
+	"encoding/binary"
+	"fmt"
+	"testing"
+
+	"spitz/internal/core"
+	"spitz/internal/wire"
+)
+
+// startSource serves a fresh engine over an in-process listener and
+// returns a connected client plus the engine for direct manipulation.
+func startSource(t *testing.T, name string, rows int, base uint64) (*wire.Client, *core.Engine) {
+	t.Helper()
+	eng := core.New(core.Options{})
+	var puts []core.Put
+	for i := 0; i < rows; i++ {
+		v := make([]byte, 8)
+		binary.BigEndian.PutUint64(v, base+uint64(i))
+		puts = append(puts, core.Put{Table: "cases", Column: "count",
+			PK: []byte(fmt.Sprintf("region-%02d", i)), Value: v})
+	}
+	if _, err := eng.Apply("seed "+name, puts); err != nil {
+		t.Fatal(err)
+	}
+	srv := wire.NewServer(eng)
+	ln := wire.NewPipeListener()
+	go srv.Serve(ln)
+	t.Cleanup(func() { srv.Close() })
+	conn, err := ln.DialPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := wire.NewClient(conn)
+	t.Cleanup(func() { cl.Close() })
+	return cl, eng
+}
+
+func TestFederatedRangeAcrossSources(t *testing.T) {
+	c := NewCoordinator()
+	for i, name := range []string{"hospital-a", "hospital-b", "hospital-c"} {
+		cl, _ := startSource(t, name, 10, uint64(100*(i+1)))
+		if err := c.AddSource(name, cl); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(c.Sources()) != 3 {
+		t.Fatal("sources not registered")
+	}
+	results := c.Range("cases", "count", []byte("region-00"), []byte("region-05"))
+	if len(results) != 3 {
+		t.Fatalf("results = %d", len(results))
+	}
+	for _, r := range results {
+		if r.Err != nil {
+			t.Fatalf("%s: %v", r.Source, r.Err)
+		}
+		if len(r.Cells) != 5 {
+			t.Fatalf("%s returned %d cells", r.Source, len(r.Cells))
+		}
+	}
+	merged := MergedCells(results)
+	if len(merged) != 15 {
+		t.Fatalf("merged = %d cells", len(merged))
+	}
+}
+
+func TestAggregateRange(t *testing.T) {
+	c := NewCoordinator()
+	cl1, _ := startSource(t, "a", 4, 10) // values 10,11,12,13
+	cl2, _ := startSource(t, "b", 4, 20) // values 20,21,22,23
+	c.AddSource("a", cl1)
+	c.AddSource("b", cl2)
+	agg := c.AggregateRange("cases", "count", nil, nil)
+	if agg.Rows != 8 {
+		t.Fatalf("rows = %d", agg.Rows)
+	}
+	if !agg.NumericOK || agg.Sum != (10+11+12+13)+(20+21+22+23) {
+		t.Fatalf("sum = %d numericOK=%v", agg.Sum, agg.NumericOK)
+	}
+	if agg.PerSource["a"] != 4 || agg.PerSource["b"] != 4 {
+		t.Fatalf("per source = %v", agg.PerSource)
+	}
+	if len(agg.Failed) != 0 {
+		t.Fatalf("failures = %v", agg.Failed)
+	}
+}
+
+func TestSourceGrowthIsVerified(t *testing.T) {
+	c := NewCoordinator()
+	cl, eng := startSource(t, "a", 3, 1)
+	c.AddSource("a", cl)
+	// First query pins state; then the source commits more data. The next
+	// query must advance the digest with a consistency proof and succeed.
+	if res := c.Range("cases", "count", nil, nil); res[0].Err != nil {
+		t.Fatal(res[0].Err)
+	}
+	if _, err := eng.Apply("more", []core.Put{{Table: "cases", Column: "count",
+		PK: []byte("region-99"), Value: make([]byte, 8)}}); err != nil {
+		t.Fatal(err)
+	}
+	res := c.Range("cases", "count", nil, nil)
+	if res[0].Err != nil {
+		t.Fatalf("after growth: %v", res[0].Err)
+	}
+	if len(res[0].Cells) != 4 {
+		t.Fatalf("cells = %d", len(res[0].Cells))
+	}
+}
+
+func TestCompromisedSourceIsIsolated(t *testing.T) {
+	c := NewCoordinator()
+	clGood, _ := startSource(t, "good", 5, 1)
+	c.AddSource("good", clGood)
+
+	// The "evil" source swaps in a different database after registration —
+	// its new ledger does not extend the pinned digest.
+	evilOld := core.New(core.Options{})
+	evilOld.Apply("seed", []core.Put{{Table: "cases", Column: "count",
+		PK: []byte("region-00"), Value: make([]byte, 8)}})
+	srvOld := wire.NewServer(evilOld)
+	lnOld := wire.NewPipeListener()
+	go srvOld.Serve(lnOld)
+	defer srvOld.Close()
+	connOld, _ := lnOld.DialPipe()
+	clEvil := wire.NewClient(connOld)
+	defer clEvil.Close()
+	if err := c.AddSource("evil", clEvil); err != nil {
+		t.Fatal(err)
+	}
+	// Swap: serve a forked database on the same connection's server.
+	forked := core.New(core.Options{})
+	forked.Apply("forged", []core.Put{{Table: "cases", Column: "count",
+		PK: []byte("region-00"), Value: []byte{9, 9, 9, 9, 9, 9, 9, 9}}})
+	srvOld.Engine = forked
+
+	results := c.Range("cases", "count", nil, nil)
+	var good, evil *SourceResult
+	for i := range results {
+		switch results[i].Source {
+		case "good":
+			good = &results[i]
+		case "evil":
+			evil = &results[i]
+		}
+	}
+	if good.Err != nil {
+		t.Fatalf("good source rejected: %v", good.Err)
+	}
+	if evil.Err == nil {
+		t.Fatal("forked source accepted")
+	}
+	agg := c.AggregateRange("cases", "count", nil, nil)
+	if _, failed := agg.Failed["evil"]; !failed {
+		t.Fatal("aggregate did not isolate the compromised source")
+	}
+	if agg.PerSource["good"] != 5 {
+		t.Fatal("good source contribution lost")
+	}
+}

@@ -1,0 +1,380 @@
+// Package ledger implements Spitz's ledger (Section 5): "a sequence of
+// hashed blocks. Each block tracks the modification of the records, query
+// statements, metadata and the root node of the indexes on the entire
+// dataset. The block and the data can be verified using the Merkle tree
+// structure built on top of the entire ledger."
+//
+// Per Section 6.1, "each block in the ledger stores a historical index
+// instance, naturally composing a version of the ledger, and the nodes
+// between instances can be shared" — here the index instance is the
+// POS-tree root of the whole cell store at that block, and sharing comes
+// from the content-addressed store. The ledger is the unified index:
+// queries traverse the block's POS-tree, and that same traversal produces
+// the integrity proof.
+package ledger
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+
+	"spitz/internal/cas"
+	"spitz/internal/cellstore"
+	"spitz/internal/hashutil"
+	"spitz/internal/mtree"
+	"spitz/internal/postree"
+)
+
+// TxnSummary records one transaction inside a block, binding the statement
+// text and the digest of its write set into the block hash.
+type TxnSummary struct {
+	ID        uint64
+	Statement string
+	WriteHash hashutil.Digest
+}
+
+// BlockHeader is the hashed block metadata.
+type BlockHeader struct {
+	Height    uint64
+	Parent    hashutil.Digest // hash of the previous block (zero for genesis)
+	Version   uint64          // commit version: cells in this block carry it
+	CellRoot  hashutil.Digest // POS-tree root of the entire cell store
+	CellCount uint64
+	TxnCount  uint64
+	BodyHash  hashutil.Digest // digest of the serialized transaction summaries
+}
+
+// Encode serializes the header canonically.
+func (h BlockHeader) Encode() []byte {
+	buf := make([]byte, 0, 8*4+hashutil.DigestSize*3)
+	buf = binary.BigEndian.AppendUint64(buf, h.Height)
+	buf = append(buf, h.Parent[:]...)
+	buf = binary.BigEndian.AppendUint64(buf, h.Version)
+	buf = append(buf, h.CellRoot[:]...)
+	buf = binary.BigEndian.AppendUint64(buf, h.CellCount)
+	buf = binary.BigEndian.AppendUint64(buf, h.TxnCount)
+	buf = append(buf, h.BodyHash[:]...)
+	return buf
+}
+
+// DecodeHeader parses an encoded header.
+func DecodeHeader(data []byte) (BlockHeader, error) {
+	const want = 8*4 + hashutil.DigestSize*3
+	var h BlockHeader
+	if len(data) != want {
+		return h, fmt.Errorf("ledger: header length %d, want %d", len(data), want)
+	}
+	off := 0
+	h.Height = binary.BigEndian.Uint64(data[off:])
+	off += 8
+	copy(h.Parent[:], data[off:])
+	off += hashutil.DigestSize
+	h.Version = binary.BigEndian.Uint64(data[off:])
+	off += 8
+	copy(h.CellRoot[:], data[off:])
+	off += hashutil.DigestSize
+	h.CellCount = binary.BigEndian.Uint64(data[off:])
+	off += 8
+	h.TxnCount = binary.BigEndian.Uint64(data[off:])
+	off += 8
+	copy(h.BodyHash[:], data[off:])
+	return h, nil
+}
+
+// Hash returns the block hash.
+func (h BlockHeader) Hash() hashutil.Digest {
+	return hashutil.Sum(hashutil.DomainBlock, h.Encode())
+}
+
+func encodeBody(txns []TxnSummary) []byte {
+	var buf []byte
+	buf = binary.AppendUvarint(buf, uint64(len(txns)))
+	for _, t := range txns {
+		buf = binary.AppendUvarint(buf, t.ID)
+		buf = binary.AppendUvarint(buf, uint64(len(t.Statement)))
+		buf = append(buf, t.Statement...)
+		buf = append(buf, t.WriteHash[:]...)
+	}
+	return buf
+}
+
+// WriteSetHash digests a transaction's write set for its TxnSummary: the
+// universal keys of the written cell versions, in order, streamed into one
+// hash without materializing each key.
+func WriteSetHash(cells []cellstore.Cell) hashutil.Digest {
+	h := hashutil.NewStream(hashutil.DomainTxn)
+	buf := make([]byte, 0, 128)
+	for _, c := range cells {
+		buf = buf[:0]
+		buf = append(buf, cellstore.EncodeKey(cellstore.UniversalKey(c))...)
+		h.Part(buf)
+	}
+	return h.Sum()
+}
+
+// Digest is what a verifying client stores locally: the ledger height and
+// the root of the Merkle commitment over all block hashes up to it.
+// Section 5.3: "clients can use the digest of the ledger to perform
+// verification locally ... recalculate the digest with the received proof
+// and compare it with the previous digest saved locally."
+type Digest struct {
+	Height uint64
+	Root   hashutil.Digest
+}
+
+// Ledger is the block sequence plus the commitment tree and the live cell
+// store snapshot. Safe for concurrent use; commits are serialized.
+type Ledger struct {
+	mu      sync.RWMutex
+	store   cas.Store
+	headers []BlockHeader
+	commit  mtree.Tree
+	cells   cellstore.Store
+
+	// versions indexes demoted (superseded) cell versions by reference:
+	// the auditor "keeps track of data changes" (Section 5). Ascending by
+	// version; used for historical point lookups between block snapshots.
+	versions map[string][]versionRef
+}
+
+type versionRef struct {
+	version uint64
+	object  hashutil.Digest
+}
+
+// New returns an empty ledger over the given object store.
+func New(store cas.Store) *Ledger {
+	return &Ledger{store: store,
+		cells:    cellstore.Store{Tree: postree.Empty(store)},
+		versions: make(map[string][]versionRef)}
+}
+
+// Height returns the number of committed blocks.
+func (l *Ledger) Height() uint64 {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return uint64(len(l.headers))
+}
+
+// Digest returns the client-verifiable digest of the current ledger.
+func (l *Ledger) Digest() Digest {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return Digest{Height: uint64(len(l.headers)), Root: l.commit.Root()}
+}
+
+// Head returns the latest block header; ok is false when empty.
+func (l *Ledger) Head() (BlockHeader, bool) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	if len(l.headers) == 0 {
+		return BlockHeader{}, false
+	}
+	return l.headers[len(l.headers)-1], true
+}
+
+// Header returns the block header at the given height (0-based).
+func (l *Ledger) Header(height uint64) (BlockHeader, error) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	if height >= uint64(len(l.headers)) {
+		return BlockHeader{}, fmt.Errorf("ledger: height %d beyond head %d", height, len(l.headers))
+	}
+	return l.headers[height], nil
+}
+
+// Snapshot returns a read view of the cell store as of the given block.
+// This is the "historical index instance" stored in each block.
+func (l *Ledger) Snapshot(height uint64) (cellstore.Store, error) {
+	h, err := l.Header(height)
+	if err != nil {
+		return cellstore.Store{}, err
+	}
+	tree, err := postree.Load(l.store, h.CellRoot)
+	if err != nil {
+		return cellstore.Store{}, err
+	}
+	return cellstore.Store{Tree: tree}, nil
+}
+
+// Latest returns the current cell store snapshot and its block header.
+// ok is false when the ledger is empty.
+func (l *Ledger) Latest() (cellstore.Store, BlockHeader, bool) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	if len(l.headers) == 0 {
+		return l.cells, BlockHeader{}, false
+	}
+	return l.cells, l.headers[len(l.headers)-1], true
+}
+
+// Commit appends a block containing the given transactions' cells. Cell
+// versions must lie in (previous block version, version]: a snapshot read
+// at a block's version then sees exactly the cells committed up to that
+// block. Group commit batches several transactions (each with its own
+// commit timestamp) into one block this way. It returns the new header.
+func (l *Ledger) Commit(version uint64, txns []TxnSummary, cells []cellstore.Cell) (BlockHeader, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var prevVersion uint64
+	if len(l.headers) > 0 {
+		prevVersion = l.headers[len(l.headers)-1].Version
+	}
+	if version <= prevVersion {
+		return BlockHeader{}, fmt.Errorf("ledger: version %d not above head version %d", version, prevVersion)
+	}
+	for i := range cells {
+		if cells[i].Version <= prevVersion || cells[i].Version > version {
+			return BlockHeader{}, fmt.Errorf("ledger: cell %d version %d outside block window (%d, %d]",
+				i, cells[i].Version, prevVersion, version)
+		}
+	}
+	next, demoted, err := l.cells.Apply(cells)
+	if err != nil {
+		return BlockHeader{}, err
+	}
+	for _, d := range demoted {
+		l.versions[string(d.Ref)] = append(l.versions[string(d.Ref)],
+			versionRef{version: d.Version, object: d.Object})
+	}
+	body := encodeBody(txns)
+	bodyHash := l.store.Put(hashutil.DomainStmt, body)
+	var parent hashutil.Digest
+	if len(l.headers) > 0 {
+		parent = l.headers[len(l.headers)-1].Hash()
+	}
+	h := BlockHeader{
+		Height:    uint64(len(l.headers)),
+		Parent:    parent,
+		Version:   version,
+		CellRoot:  next.Tree.Root(),
+		CellCount: uint64(next.Tree.Count()),
+		TxnCount:  uint64(len(txns)),
+		BodyHash:  bodyHash,
+	}
+	l.store.Put(hashutil.DomainBlock, h.Encode())
+	l.headers = append(l.headers, h)
+	l.commit.Append(mtree.LeafHash(h.Encode()))
+	l.cells = next
+	return h, nil
+}
+
+// Body returns the transaction summaries of a block.
+func (l *Ledger) Body(height uint64) ([]TxnSummary, error) {
+	h, err := l.Header(height)
+	if err != nil {
+		return nil, err
+	}
+	data, err := l.store.Get(h.BodyHash)
+	if err != nil {
+		return nil, err
+	}
+	return decodeBody(data)
+}
+
+func decodeBody(data []byte) ([]TxnSummary, error) {
+	cnt, k := binary.Uvarint(data)
+	if k <= 0 {
+		return nil, errors.New("ledger: bad body count")
+	}
+	rest := data[k:]
+	out := make([]TxnSummary, 0, cnt)
+	for i := uint64(0); i < cnt; i++ {
+		var t TxnSummary
+		id, k1 := binary.Uvarint(rest)
+		if k1 <= 0 {
+			return nil, errors.New("ledger: bad txn id")
+		}
+		t.ID = id
+		rest = rest[k1:]
+		sl, k2 := binary.Uvarint(rest)
+		if k2 <= 0 || uint64(len(rest)-k2) < sl+hashutil.DigestSize {
+			return nil, errors.New("ledger: bad statement")
+		}
+		t.Statement = string(rest[k2 : k2+int(sl)])
+		rest = rest[k2+int(sl):]
+		copy(t.WriteHash[:], rest[:hashutil.DigestSize])
+		rest = rest[hashutil.DigestSize:]
+		out = append(out, t)
+	}
+	if len(rest) != 0 {
+		return nil, errors.New("ledger: trailing body bytes")
+	}
+	return out, nil
+}
+
+// ConsistencyProof proves that the ledger at the client's saved digest is
+// a prefix of the current ledger (no history rewrite). Clients call this
+// when refreshing their digest.
+func (l *Ledger) ConsistencyProof(old Digest) (mtree.ConsistencyProof, error) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.commit.ConsistencyProof(int(old.Height))
+}
+
+// blockInclusion builds the inclusion proof for the block at height under
+// the current commitment root. Callers hold at least the read lock.
+func (l *Ledger) blockInclusion(height uint64) (mtree.InclusionProof, error) {
+	return l.commit.InclusionProof(int(height))
+}
+
+// GetAsOf returns the newest version of a cell at or before asOf: the head
+// when it qualifies, otherwise the newest demoted version from the
+// auditor's version index. ok is false when the cell did not exist at
+// asOf. Tombstones are returned with ok=true so callers can distinguish
+// deletion from absence.
+func (l *Ledger) GetAsOf(table, column string, pk []byte, asOf uint64) (cellstore.Cell, bool, error) {
+	l.mu.RLock()
+	cells := l.cells
+	refs := l.versions[string(cellstore.CellPrefix(table, column, pk))]
+	l.mu.RUnlock()
+	head, found, err := cells.GetHead(table, column, pk)
+	if err != nil {
+		return cellstore.Cell{}, false, err
+	}
+	if found && head.Version <= asOf {
+		return head, true, nil
+	}
+	// Binary search the demoted versions (ascending) for newest <= asOf.
+	lo, hi := 0, len(refs)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if refs[mid].version <= asOf {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == 0 {
+		return cellstore.Cell{}, false, nil
+	}
+	c, err := cellstore.LoadVersion(l.store, table, column, pk, refs[lo-1].object)
+	if err != nil {
+		return cellstore.Cell{}, false, err
+	}
+	return c, true, nil
+}
+
+// History returns every version of a cell, newest first: the head followed
+// by all demoted versions.
+func (l *Ledger) History(table, column string, pk []byte) ([]cellstore.Cell, error) {
+	l.mu.RLock()
+	cells := l.cells
+	refs := append([]versionRef(nil), l.versions[string(cellstore.CellPrefix(table, column, pk))]...)
+	l.mu.RUnlock()
+	var out []cellstore.Cell
+	if head, found, err := cells.GetHead(table, column, pk); err != nil {
+		return nil, err
+	} else if found {
+		out = append(out, head)
+	}
+	for i := len(refs) - 1; i >= 0; i-- {
+		c, err := cellstore.LoadVersion(l.store, table, column, pk, refs[i].object)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, c)
+	}
+	return out, nil
+}

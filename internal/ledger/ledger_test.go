@@ -1,0 +1,394 @@
+package ledger
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"spitz/internal/cas"
+	"spitz/internal/cellstore"
+	"spitz/internal/hashutil"
+	"spitz/internal/mtree"
+)
+
+func cellsFor(version uint64, n int, tag string) []cellstore.Cell {
+	out := make([]cellstore.Cell, n)
+	for i := range out {
+		out[i] = cellstore.Cell{Table: "t", Column: "c",
+			PK:      []byte(fmt.Sprintf("%s-%04d", tag, i)),
+			Version: version, Value: []byte(fmt.Sprintf("v%d-%d", version, i))}
+	}
+	return out
+}
+
+func commitN(t *testing.T, l *Ledger, blocks int) {
+	t.Helper()
+	for b := 0; b < blocks; b++ {
+		v := uint64(b + 1)
+		txns := []TxnSummary{{ID: v, Statement: fmt.Sprintf("PUT batch %d", b),
+			WriteHash: WriteSetHash(cellsFor(v, 10, fmt.Sprintf("b%d", b)))}}
+		if _, err := l.Commit(v, txns, cellsFor(v, 10, fmt.Sprintf("b%d", b))); err != nil {
+			t.Fatalf("Commit(%d): %v", b, err)
+		}
+	}
+}
+
+func TestEmptyLedger(t *testing.T) {
+	l := New(cas.NewMemory())
+	if l.Height() != 0 {
+		t.Fatal("empty ledger has blocks")
+	}
+	d := l.Digest()
+	if d.Height != 0 {
+		t.Fatal("empty digest nonzero height")
+	}
+	if _, ok := l.Head(); ok {
+		t.Fatal("Head on empty ledger")
+	}
+	if _, err := l.Header(0); err == nil {
+		t.Fatal("Header(0) on empty ledger succeeded")
+	}
+}
+
+func TestCommitChainsBlocks(t *testing.T) {
+	l := New(cas.NewMemory())
+	commitN(t, l, 5)
+	if l.Height() != 5 {
+		t.Fatalf("Height = %d", l.Height())
+	}
+	var prev hashutil.Digest
+	for i := uint64(0); i < 5; i++ {
+		h, err := l.Header(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h.Height != i {
+			t.Fatalf("block %d has height %d", i, h.Height)
+		}
+		if h.Parent != prev {
+			t.Fatalf("block %d parent hash broken", i)
+		}
+		prev = h.Hash()
+	}
+}
+
+func TestCommitRejectsNonMonotonicVersion(t *testing.T) {
+	l := New(cas.NewMemory())
+	if _, err := l.Commit(5, nil, cellsFor(5, 1, "a")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Commit(5, nil, cellsFor(5, 1, "b")); err == nil {
+		t.Fatal("same version accepted twice")
+	}
+	if _, err := l.Commit(4, nil, cellsFor(4, 1, "c")); err == nil {
+		t.Fatal("older version accepted")
+	}
+}
+
+func TestCommitRejectsWrongCellVersion(t *testing.T) {
+	l := New(cas.NewMemory())
+	cells := cellsFor(3, 2, "x")
+	cells[1].Version = 99
+	if _, err := l.Commit(3, nil, cells); err == nil {
+		t.Fatal("cell with mismatched version accepted")
+	}
+}
+
+func TestHeaderEncodeDecode(t *testing.T) {
+	h := BlockHeader{Height: 7, Version: 99, CellCount: 1234, TxnCount: 5}
+	h.Parent = hashutil.Sum(hashutil.DomainBlock, []byte("p"))
+	h.CellRoot = hashutil.Sum(hashutil.DomainPOSLeaf, []byte("r"))
+	h.BodyHash = hashutil.Sum(hashutil.DomainStmt, []byte("b"))
+	got, err := DecodeHeader(h.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != h {
+		t.Fatalf("header round trip mismatch: %+v vs %+v", got, h)
+	}
+	if _, err := DecodeHeader(h.Encode()[:10]); err == nil {
+		t.Fatal("short header accepted")
+	}
+}
+
+func TestBodyRoundTrip(t *testing.T) {
+	l := New(cas.NewMemory())
+	txns := []TxnSummary{
+		{ID: 1, Statement: "INSERT INTO t VALUES (1)", WriteHash: hashutil.Sum(0x01, []byte("a"))},
+		{ID: 2, Statement: "UPDATE t SET c = 2", WriteHash: hashutil.Sum(0x01, []byte("b"))},
+	}
+	if _, err := l.Commit(1, txns, cellsFor(1, 3, "a")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := l.Body(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].Statement != txns[0].Statement || got[1].ID != 2 ||
+		got[1].WriteHash != txns[1].WriteHash {
+		t.Fatalf("body mismatch: %+v", got)
+	}
+}
+
+func TestSnapshotIsolation(t *testing.T) {
+	l := New(cas.NewMemory())
+	l.Commit(1, nil, []cellstore.Cell{{Table: "t", Column: "c", PK: []byte("k"), Version: 1, Value: []byte("old")}})
+	l.Commit(2, nil, []cellstore.Cell{{Table: "t", Column: "c", PK: []byte("k"), Version: 2, Value: []byte("new")}})
+
+	snap0, err := l.Snapshot(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, ok, _ := snap0.GetLatest("t", "c", []byte("k"), 1)
+	if !ok || string(c.Value) != "old" {
+		t.Fatal("historical snapshot does not serve old value")
+	}
+	snap1, _ := l.Snapshot(1)
+	c, _, _ = snap1.GetLatest("t", "c", []byte("k"), 2)
+	if string(c.Value) != "new" {
+		t.Fatal("latest snapshot wrong")
+	}
+}
+
+func TestProveGetLatestVerifies(t *testing.T) {
+	l := New(cas.NewMemory())
+	commitN(t, l, 4)
+	d := l.Digest()
+
+	cell, ok, proof, err := l.ProveGetLatest(3, "t", "c", []byte("b2-0003"))
+	if err != nil || !ok {
+		t.Fatalf("ProveGetLatest: ok=%v err=%v", ok, err)
+	}
+	if string(cell.Value) != "v3-3" {
+		t.Fatalf("cell value = %q", cell.Value)
+	}
+	if err := proof.Verify(d); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	cells, err := proof.Cells()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 1 || string(cells[0].Value) != "v3-3" {
+		t.Fatalf("proof cells = %+v", cells)
+	}
+
+	// Proof against an older block height also verifies.
+	_, ok, proof, err = l.ProveGetLatest(1, "t", "c", []byte("b0-0001"))
+	if err != nil || !ok {
+		t.Fatal("historical read failed")
+	}
+	if err := proof.Verify(d); err != nil {
+		t.Fatalf("historical proof: %v", err)
+	}
+}
+
+func TestProveAbsence(t *testing.T) {
+	l := New(cas.NewMemory())
+	commitN(t, l, 2)
+	_, ok, proof, err := l.ProveGetLatest(1, "t", "c", []byte("never-written"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("absent key found")
+	}
+	if err := proof.Verify(l.Digest()); err != nil {
+		t.Fatalf("absence proof: %v", err)
+	}
+	if cells, _ := proof.Cells(); len(cells) != 0 {
+		t.Fatal("absence proof carries cells")
+	}
+}
+
+func TestProveRangePK(t *testing.T) {
+	l := New(cas.NewMemory())
+	commitN(t, l, 3)
+	cells, proof, err := l.ProveRangePK(2, "t", "c", []byte("b1-0002"), []byte("b1-0007"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 5 {
+		t.Fatalf("range returned %d cells", len(cells))
+	}
+	if err := proof.Verify(l.Digest()); err != nil {
+		t.Fatalf("range proof: %v", err)
+	}
+	decoded, err := proof.Cells()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(decoded) != 5 {
+		t.Fatalf("decoded %d cells", len(decoded))
+	}
+}
+
+func TestProofRejectsTamperedHeader(t *testing.T) {
+	l := New(cas.NewMemory())
+	commitN(t, l, 3)
+	d := l.Digest()
+	_, _, proof, err := l.ProveGetLatest(2, "t", "c", []byte("b1-0001"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	proof.Header.CellCount++
+	if err := proof.Verify(d); err == nil {
+		t.Fatal("tampered header verified")
+	}
+}
+
+func TestProofRejectsWrongDigest(t *testing.T) {
+	l := New(cas.NewMemory())
+	commitN(t, l, 3)
+	_, _, proof, err := l.ProveGetLatest(2, "t", "c", []byte("b1-0001"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := l.Digest()
+	bad.Root[0] ^= 1
+	if err := proof.Verify(bad); err == nil {
+		t.Fatal("proof verified against corrupted digest")
+	}
+	short := l.Digest()
+	short.Height = 1 // digest older than the block's height
+	if err := proof.Verify(short); err == nil {
+		t.Fatal("proof verified against too-old digest")
+	}
+}
+
+func TestProofRejectsCrossBlockReplay(t *testing.T) {
+	// A proof for block 1's state must not verify when its header is
+	// swapped for block 2's.
+	l := New(cas.NewMemory())
+	l.Commit(1, nil, []cellstore.Cell{{Table: "t", Column: "c", PK: []byte("k"), Version: 1, Value: []byte("one")}})
+	l.Commit(2, nil, []cellstore.Cell{{Table: "t", Column: "c", PK: []byte("k"), Version: 2, Value: []byte("two")}})
+	d := l.Digest()
+	_, _, oldProof, err := l.ProveGetLatest(0, "t", "c", []byte("k"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	newHeader, _ := l.Header(1)
+	forged := oldProof
+	forged.Header = newHeader
+	if err := forged.Verify(d); err == nil {
+		t.Fatal("old state verified under new block header")
+	}
+}
+
+func TestProofRejectsTamperedPayload(t *testing.T) {
+	l := New(cas.NewMemory())
+	commitN(t, l, 1)
+	_, _, proof, err := l.ProveGetLatest(0, "t", "c", []byte("b0-0000"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupting the proven value must fail verification: the leaf hash
+	// commits to the head payload.
+	if proof.Point == nil || !proof.Point.Found {
+		t.Fatal("expected a found point proof")
+	}
+	proof.Point.Value = append([]byte(nil), proof.Point.Value...)
+	proof.Point.Value[1] ^= 0xFF
+	if err := proof.Verify(l.Digest()); err == nil {
+		t.Fatal("tampered payload verified")
+	}
+}
+
+func TestConsistencyAcrossGrowth(t *testing.T) {
+	l := New(cas.NewMemory())
+	commitN(t, l, 3)
+	old := l.Digest()
+	commitN2 := func() {
+		v := l.Digest().Height + 1
+		if _, err := l.Commit(uint64(v)*100, nil, cellsFor(uint64(v)*100, 5, "late")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	commitN2()
+	commitN2()
+	cur := l.Digest()
+	cons, err := l.ConsistencyProof(old)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cons.Verify(old.Root, cur.Root); err != nil {
+		t.Fatalf("consistency proof: %v", err)
+	}
+	// A forked history must not verify.
+	forged := old
+	forged.Root[3] ^= 0x40
+	if err := cons.Verify(forged.Root, cur.Root); err == nil {
+		t.Fatal("consistency verified against forged old digest")
+	}
+}
+
+func TestStructuralSharingAcrossBlocks(t *testing.T) {
+	// Consecutive blocks share index nodes: committing a small block on a
+	// large database must grow storage by far less than the database size.
+	store := cas.NewMemory()
+	l := New(store)
+	big := cellsFor(1, 20000, "base")
+	if _, err := l.Commit(1, nil, big); err != nil {
+		t.Fatal(err)
+	}
+	base := store.Stats().PhysicalBytes
+	if _, err := l.Commit(2, nil, cellsFor(2, 10, "delta")); err != nil {
+		t.Fatal(err)
+	}
+	grown := store.Stats().PhysicalBytes - base
+	if grown > base/10 {
+		t.Fatalf("small block grew store by %d of %d; block index instances not shared", grown, base)
+	}
+}
+
+func TestWriteSetHashBindsCells(t *testing.T) {
+	a := WriteSetHash(cellsFor(1, 3, "x"))
+	b := WriteSetHash(cellsFor(1, 3, "x"))
+	if a != b {
+		t.Fatal("WriteSetHash not deterministic")
+	}
+	mod := cellsFor(1, 3, "x")
+	mod[1].Value = []byte("changed")
+	if WriteSetHash(mod) == a {
+		t.Fatal("WriteSetHash ignores values")
+	}
+}
+
+func TestDigestAdvancesPerBlock(t *testing.T) {
+	l := New(cas.NewMemory())
+	var roots []hashutil.Digest
+	for i := 0; i < 4; i++ {
+		if _, err := l.Commit(uint64(i+1), nil, cellsFor(uint64(i+1), 2, fmt.Sprintf("g%d", i))); err != nil {
+			t.Fatal(err)
+		}
+		d := l.Digest()
+		if d.Height != uint64(i+1) {
+			t.Fatalf("digest height = %d", d.Height)
+		}
+		roots = append(roots, d.Root)
+	}
+	for i := 1; i < len(roots); i++ {
+		if roots[i-1] == roots[i] {
+			t.Fatal("digest did not change across blocks")
+		}
+	}
+}
+
+func TestInclusionMatchesMtreeSemantics(t *testing.T) {
+	// The commitment leaves are LeafHash(header.Encode()); verify one
+	// manually.
+	l := New(cas.NewMemory())
+	commitN(t, l, 3)
+	h, _ := l.Header(1)
+	d := l.Digest()
+	_, _, proof, err := l.ProveGetLatest(1, "t", "c", []byte("b0-0000"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(proof.Header.Encode(), h.Encode()) {
+		t.Fatal("proof header is not block 1's header")
+	}
+	if err := proof.Inclusion.Verify(d.Root, mtree.LeafHash(h.Encode())); err != nil {
+		t.Fatalf("manual inclusion check: %v", err)
+	}
+}

@@ -1,0 +1,156 @@
+package ledger
+
+import (
+	"errors"
+
+	"spitz/internal/cellstore"
+	"spitz/internal/mtree"
+	"spitz/internal/postree"
+)
+
+// ErrProofInvalid is returned when a ledger proof fails verification.
+var ErrProofInvalid = errors.New("ledger: proof verification failed")
+
+// Proof is the integrity proof attached to a Spitz query result. It binds
+// the result to a block (via the block's cell-tree root) and the block to
+// the ledger digest the client saved (via the commitment Merkle tree).
+// Exactly one of Point and Range is set, matching the query kind.
+//
+// The cell part is produced by the same index traversal that served the
+// query — Spitz "can store the proofs of the results and the value of the
+// target nodes in a unified index" (Section 6.2.1).
+type Proof struct {
+	Header    BlockHeader
+	Inclusion mtree.InclusionProof
+	Point     *postree.PointProof
+	Range     *postree.RangeProof
+}
+
+// Verify checks the proof against a client-saved ledger digest. It
+// confirms (1) the block is part of the ledger the digest commits to, and
+// (2) the result is exactly what the block's index contains for the query.
+func (p Proof) Verify(d Digest) error {
+	if p.Header.Height >= d.Height {
+		return ErrProofInvalid // block not covered by the digest
+	}
+	if p.Inclusion.TreeSize != int(d.Height) || p.Inclusion.Index != int(p.Header.Height) {
+		return ErrProofInvalid
+	}
+	leaf := mtree.LeafHash(p.Header.Encode())
+	if err := p.Inclusion.Verify(d.Root, leaf); err != nil {
+		return ErrProofInvalid
+	}
+	switch {
+	case p.Point != nil && p.Range == nil:
+		if err := p.Point.Verify(p.Header.CellRoot); err != nil {
+			return ErrProofInvalid
+		}
+	case p.Range != nil && p.Point == nil:
+		if err := p.Range.Verify(p.Header.CellRoot); err != nil {
+			return ErrProofInvalid
+		}
+	default:
+		return ErrProofInvalid // must carry exactly one cell proof
+	}
+	return nil
+}
+
+// Cells decodes the proven cells (including tombstones, so callers can
+// distinguish deletion from absence). Call only after Verify.
+func (p Proof) Cells() ([]cellstore.Cell, error) {
+	switch {
+	case p.Point != nil:
+		if !p.Point.Found {
+			return nil, nil
+		}
+		table, column, pk, err := cellstore.DecodeRef(p.Point.Key)
+		if err != nil {
+			return nil, err
+		}
+		ver, value, tomb, err := cellstore.DecodeVersion(p.Point.Value)
+		if err != nil {
+			return nil, err
+		}
+		return []cellstore.Cell{{Table: table, Column: column, PK: pk,
+			Version: ver, Value: value, Tombstone: tomb}}, nil
+	case p.Range != nil:
+		return cellstore.DecodeEntries(p.Range.Entries)
+	}
+	return nil, ErrProofInvalid
+}
+
+// ProveGetLatest serves a verified point read at the given block height:
+// the cell's head version in that block's snapshot (necessarily at or
+// before the block's version), with the unified proof.
+func (l *Ledger) ProveGetLatest(height uint64, table, column string, pk []byte) (cellstore.Cell, bool, Proof, error) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	h, snap, err := l.snapshotLocked(height)
+	if err != nil {
+		return cellstore.Cell{}, false, Proof{}, err
+	}
+	cell, ok, pointProof, err := snap.ProveGetHead(table, column, pk)
+	if err != nil {
+		return cellstore.Cell{}, false, Proof{}, err
+	}
+	inc, err := l.blockInclusion(height)
+	if err != nil {
+		return cellstore.Cell{}, false, Proof{}, err
+	}
+	return cell, ok, Proof{Header: h, Inclusion: inc, Point: &pointProof}, nil
+}
+
+// ProveRangePK serves a verified primary-key range scan at the given block
+// height with a single unified proof covering the whole result.
+func (l *Ledger) ProveRangePK(height uint64, table, column string, pkLo, pkHi []byte) ([]cellstore.Cell, Proof, error) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	h, snap, err := l.snapshotLocked(height)
+	if err != nil {
+		return nil, Proof{}, err
+	}
+	cells, rangeProof, err := snap.ProveRangePK(table, column, pkLo, pkHi)
+	if err != nil {
+		return nil, Proof{}, err
+	}
+	inc, err := l.blockInclusion(height)
+	if err != nil {
+		return nil, Proof{}, err
+	}
+	return cells, Proof{Header: h, Inclusion: inc, Range: &rangeProof}, nil
+}
+
+// ProveBlock returns a block header with its inclusion proof under the
+// current digest. Clients verifying *writes* use it: after a commit they
+// check that the new block is in the ledger and that its recorded write-set
+// hash matches what they submitted — batch-level write verification
+// (Section 5.3's deferred scheme).
+func (l *Ledger) ProveBlock(height uint64) (BlockHeader, mtree.InclusionProof, error) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	if height >= uint64(len(l.headers)) {
+		return BlockHeader{}, mtree.InclusionProof{}, errors.New("ledger: height beyond head")
+	}
+	inc, err := l.blockInclusion(height)
+	if err != nil {
+		return BlockHeader{}, mtree.InclusionProof{}, err
+	}
+	return l.headers[height], inc, nil
+}
+
+// snapshotLocked resolves a height to its header and cell store view. The
+// latest height reuses the live snapshot without reloading.
+func (l *Ledger) snapshotLocked(height uint64) (BlockHeader, cellstore.Store, error) {
+	if height >= uint64(len(l.headers)) {
+		return BlockHeader{}, cellstore.Store{}, errors.New("ledger: height beyond head")
+	}
+	h := l.headers[height]
+	if height == uint64(len(l.headers))-1 {
+		return h, l.cells, nil
+	}
+	tree, err := postree.Load(l.store, h.CellRoot)
+	if err != nil {
+		return BlockHeader{}, cellstore.Store{}, err
+	}
+	return h, cellstore.Store{Tree: tree}, nil
+}

@@ -1,0 +1,260 @@
+package ledger
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+
+	"spitz/internal/cas"
+	"spitz/internal/cellstore"
+	"spitz/internal/hashutil"
+	"spitz/internal/mtree"
+	"spitz/internal/postree"
+)
+
+// Snapshot persistence: a ledger (headers, version index, and every live
+// content-addressed object) serializes to a stream and reloads into a
+// fresh store. Objects are written with their hash domains and re-inserted
+// through the content-addressed Put on load, so a corrupted snapshot
+// cannot smuggle an object under a digest it does not hash to — the
+// restored database is exactly as verifiable as the original.
+
+const snapshotMagic = "SPITZSNAP1"
+
+// WriteSnapshot serializes the ledger: block headers, the demoted-version
+// index, transaction bodies, every node of the latest cell-store instance,
+// and every chain object. Historical block index instances are *not*
+// exported — after a restore, reads and proofs work at the restored head,
+// and history continues from there (the documented durability trade-off:
+// per-block time travel restarts at the snapshot point).
+func (l *Ledger) WriteSnapshot(w io.Writer) error {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(snapshotMagic); err != nil {
+		return err
+	}
+
+	// Headers.
+	writeUvarint(bw, uint64(len(l.headers)))
+	for _, h := range l.headers {
+		writeBytes(bw, h.Encode())
+	}
+
+	// Version index, sorted for determinism.
+	refs := make([]string, 0, len(l.versions))
+	for ref := range l.versions {
+		refs = append(refs, ref)
+	}
+	sort.Strings(refs)
+	writeUvarint(bw, uint64(len(refs)))
+	for _, ref := range refs {
+		writeBytes(bw, []byte(ref))
+		entries := l.versions[ref]
+		writeUvarint(bw, uint64(len(entries)))
+		for _, e := range entries {
+			writeUvarint(bw, e.version)
+			bw.Write(e.object[:])
+		}
+	}
+
+	// Objects: (domain, body) pairs. Collect transaction bodies, the
+	// latest tree's nodes, and all chain objects.
+	var objErr error
+	emit := func(domain byte, body []byte) bool {
+		if err := bw.WriteByte(1); err != nil {
+			objErr = err
+			return false
+		}
+		if err := bw.WriteByte(domain); err != nil {
+			objErr = err
+			return false
+		}
+		writeBytes(bw, body)
+		return true
+	}
+	for _, h := range l.headers {
+		body, err := l.store.Get(h.BodyHash)
+		if err != nil {
+			return fmt.Errorf("ledger: snapshot body %d: %w", h.Height, err)
+		}
+		if !emit(hashutil.DomainStmt, body) {
+			return objErr
+		}
+	}
+	if err := l.cells.Tree.WalkNodes(func(level int, body []byte) bool {
+		domain := hashutil.DomainPOSLeaf
+		if level > 0 {
+			domain = hashutil.DomainPOSIndex
+		}
+		return emit(domain, body)
+	}); err != nil {
+		return err
+	}
+	if objErr != nil {
+		return objErr
+	}
+	for _, ref := range refs {
+		for _, e := range l.versions[ref] {
+			body, err := l.store.Get(e.object)
+			if err != nil {
+				return fmt.Errorf("ledger: snapshot chain object: %w", err)
+			}
+			if !emit(hashutil.DomainCell, body) {
+				return objErr
+			}
+		}
+	}
+	if err := bw.WriteByte(0); err != nil { // object stream terminator
+		return err
+	}
+	return bw.Flush()
+}
+
+// LoadSnapshot reconstructs a ledger from a snapshot stream into store.
+// Every object is re-inserted through content addressing and the block
+// chain is revalidated, so a tampered snapshot is rejected.
+func LoadSnapshot(store cas.Store, r io.Reader) (*Ledger, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(snapshotMagic))
+	if _, err := io.ReadFull(br, magic); err != nil || string(magic) != snapshotMagic {
+		return nil, errors.New("ledger: not a spitz snapshot")
+	}
+
+	headerCount, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	headers := make([]BlockHeader, 0, headerCount)
+	var parent hashutil.Digest
+	for i := uint64(0); i < headerCount; i++ {
+		raw, err := readBytes(br)
+		if err != nil {
+			return nil, err
+		}
+		h, err := DecodeHeader(raw)
+		if err != nil {
+			return nil, err
+		}
+		if h.Height != i || h.Parent != parent {
+			return nil, errors.New("ledger: snapshot block chain broken")
+		}
+		parent = h.Hash()
+		headers = append(headers, h)
+	}
+
+	refCount, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	versions := make(map[string][]versionRef, refCount)
+	for i := uint64(0); i < refCount; i++ {
+		ref, err := readBytes(br)
+		if err != nil {
+			return nil, err
+		}
+		n, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, err
+		}
+		entries := make([]versionRef, 0, n)
+		var prev uint64
+		for j := uint64(0); j < n; j++ {
+			ver, err := binary.ReadUvarint(br)
+			if err != nil {
+				return nil, err
+			}
+			if ver <= prev && j > 0 {
+				return nil, errors.New("ledger: snapshot version index out of order")
+			}
+			prev = ver
+			var d hashutil.Digest
+			if _, err := io.ReadFull(br, d[:]); err != nil {
+				return nil, err
+			}
+			entries = append(entries, versionRef{version: ver, object: d})
+		}
+		versions[string(ref)] = entries
+	}
+
+	// Objects: re-Put under their domains; content addressing recomputes
+	// and thereby verifies every digest.
+	for {
+		tag, err := br.ReadByte()
+		if err != nil {
+			return nil, err
+		}
+		if tag == 0 {
+			break
+		}
+		domain, err := br.ReadByte()
+		if err != nil {
+			return nil, err
+		}
+		body, err := readBytes(br)
+		if err != nil {
+			return nil, err
+		}
+		store.Put(domain, body)
+	}
+
+	// Revalidate reachability: version-index objects and the latest tree
+	// must resolve in the restored store.
+	l := &Ledger{store: store, headers: headers, versions: versions}
+	for _, h := range headers {
+		l.commit.Append(mtree.LeafHash(h.Encode()))
+		if !store.Has(h.BodyHash) {
+			return nil, errors.New("ledger: snapshot missing block body")
+		}
+	}
+	for _, entries := range versions {
+		for _, e := range entries {
+			if !store.Has(e.object) {
+				return nil, errors.New("ledger: snapshot missing chain object")
+			}
+		}
+	}
+	if len(headers) == 0 {
+		l.cells = cellstore.Store{Tree: postree.Empty(store)}
+		return l, nil
+	}
+	tree, err := postree.Load(store, headers[len(headers)-1].CellRoot)
+	if err != nil {
+		return nil, fmt.Errorf("ledger: snapshot cell tree: %w", err)
+	}
+	// A full count walk also proves every tree node is present.
+	if _, err := tree.LiveBytes(); err != nil {
+		return nil, fmt.Errorf("ledger: snapshot cell tree incomplete: %w", err)
+	}
+	l.cells = cellstore.Store{Tree: tree}
+	return l, nil
+}
+
+func writeUvarint(w *bufio.Writer, v uint64) {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], v)
+	w.Write(buf[:n])
+}
+
+func writeBytes(w *bufio.Writer, b []byte) {
+	writeUvarint(w, uint64(len(b)))
+	w.Write(b)
+}
+
+func readBytes(r *bufio.Reader) ([]byte, error) {
+	n, err := binary.ReadUvarint(r)
+	if err != nil {
+		return nil, err
+	}
+	if n > 1<<30 {
+		return nil, errors.New("ledger: snapshot field too large")
+	}
+	out := make([]byte, n)
+	if _, err := io.ReadFull(r, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,159 @@
+package ledger
+
+import (
+	"bytes"
+	"testing"
+
+	"spitz/internal/cas"
+)
+
+func snapshotRoundTrip(t *testing.T, l *Ledger) *Ledger {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := l.WriteSnapshot(&buf); err != nil {
+		t.Fatalf("WriteSnapshot: %v", err)
+	}
+	restored, err := LoadSnapshot(cas.NewMemory(), &buf)
+	if err != nil {
+		t.Fatalf("LoadSnapshot: %v", err)
+	}
+	return restored
+}
+
+func TestSnapshotRoundTripPreservesState(t *testing.T) {
+	l := New(cas.NewMemory())
+	commitN(t, l, 4)
+	// Overwrite some cells so the version index is nonempty.
+	if _, err := l.Commit(100, nil, cellsFor(100, 10, "b0")); err != nil {
+		t.Fatal(err)
+	}
+	restored := snapshotRoundTrip(t, l)
+
+	if restored.Digest() != l.Digest() {
+		t.Fatalf("digest changed across snapshot: %+v vs %+v", restored.Digest(), l.Digest())
+	}
+	// Reads work.
+	snap, _, ok := restored.Latest()
+	if !ok {
+		t.Fatal("restored ledger empty")
+	}
+	c, found, err := snap.GetHead("t", "c", []byte("b0-0003"))
+	if err != nil || !found || string(c.Value) != "v100-3" {
+		t.Fatalf("restored read = %+v %v %v", c, found, err)
+	}
+	// History (the version index) survives.
+	hist, err := restored.History("t", "c", []byte("b0-0003"))
+	if err != nil || len(hist) != 2 {
+		t.Fatalf("restored history = %d versions, %v", len(hist), err)
+	}
+	// Proofs still verify against digests clients saved before the
+	// snapshot.
+	oldDigest := l.Digest()
+	_, found, p, err := restored.ProveGetLatest(restored.Height()-1, "t", "c", []byte("b0-0003"))
+	if err != nil || !found {
+		t.Fatal("restored proof failed")
+	}
+	if err := p.Verify(oldDigest); err != nil {
+		t.Fatalf("restored proof vs pre-snapshot digest: %v", err)
+	}
+}
+
+func TestSnapshotThenContinueCommitting(t *testing.T) {
+	l := New(cas.NewMemory())
+	commitN(t, l, 2)
+	restored := snapshotRoundTrip(t, l)
+	old := restored.Digest()
+	if _, err := restored.Commit(500, nil, cellsFor(500, 3, "post")); err != nil {
+		t.Fatalf("commit after restore: %v", err)
+	}
+	cons, err := restored.ConsistencyProof(old)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cons.Verify(old.Root, restored.Digest().Root); err != nil {
+		t.Fatalf("post-restore history not consistent: %v", err)
+	}
+}
+
+func TestSnapshotEmptyLedger(t *testing.T) {
+	l := New(cas.NewMemory())
+	restored := snapshotRoundTrip(t, l)
+	if restored.Height() != 0 {
+		t.Fatal("empty ledger restored with blocks")
+	}
+	if _, err := restored.Commit(1, nil, cellsFor(1, 2, "x")); err != nil {
+		t.Fatalf("commit into restored empty ledger: %v", err)
+	}
+}
+
+func TestSnapshotRejectsTampering(t *testing.T) {
+	l := New(cas.NewMemory())
+	commitN(t, l, 3)
+	var buf bytes.Buffer
+	if err := l.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+
+	// Flip one byte in a swept range of positions: every corruption must
+	// be rejected or, at minimum, produce a ledger whose digest differs
+	// (never a silently identical-yet-altered database).
+	for _, off := range []int{len(snapshotMagic) + 3, len(raw) / 2, len(raw) - 10} {
+		mutated := append([]byte(nil), raw...)
+		mutated[off] ^= 0xFF
+		restored, err := LoadSnapshot(cas.NewMemory(), bytes.NewReader(mutated))
+		if err != nil {
+			continue // rejected: good
+		}
+		if restored.Digest() == l.Digest() {
+			// Loaded and digest matches: then the data must match too —
+			// verify a proof end to end to be sure.
+			_, _, p, perr := restored.ProveGetLatest(restored.Height()-1, "t", "c", []byte("b0-0001"))
+			if perr != nil {
+				continue
+			}
+			if err := p.Verify(l.Digest()); err != nil {
+				t.Fatalf("offset %d: tampered snapshot produced digest-matching but unprovable ledger", off)
+			}
+		}
+	}
+}
+
+func TestSnapshotRejectsGarbage(t *testing.T) {
+	if _, err := LoadSnapshot(cas.NewMemory(), bytes.NewReader([]byte("not a snapshot"))); err == nil {
+		t.Fatal("garbage accepted as snapshot")
+	}
+	if _, err := LoadSnapshot(cas.NewMemory(), bytes.NewReader(nil)); err == nil {
+		t.Fatal("empty stream accepted")
+	}
+}
+
+func TestSnapshotMissingObjectDetected(t *testing.T) {
+	// Truncate the object stream: the loader must notice the missing
+	// bodies rather than build a ledger with dangling references.
+	l := New(cas.NewMemory())
+	commitN(t, l, 2)
+	var buf bytes.Buffer
+	if err := l.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	if _, err := LoadSnapshot(cas.NewMemory(), bytes.NewReader(raw[:len(raw)*3/4])); err == nil {
+		t.Fatal("truncated snapshot accepted")
+	}
+}
+
+func TestSnapshotDeterministic(t *testing.T) {
+	l := New(cas.NewMemory())
+	commitN(t, l, 3)
+	var a, b bytes.Buffer
+	if err := l.WriteSnapshot(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.WriteSnapshot(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("snapshot encoding not deterministic")
+	}
+}

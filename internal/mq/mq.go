@@ -1,0 +1,100 @@
+// Package mq implements the global message queue from which Spitz
+// processor nodes consume requests (Section 5: "multiple processor nodes
+// that accept and process requests from a global message queue").
+//
+// It is a bounded, multi-producer multi-consumer queue with close
+// semantics; in a distributed deployment it stands in for an external
+// queueing service, which is why it is its own architectural component
+// rather than a bare channel at the call sites.
+package mq
+
+import (
+	"errors"
+	"sync"
+)
+
+// ErrClosed is returned by Publish after Close.
+var ErrClosed = errors.New("mq: queue closed")
+
+// Queue is a bounded FIFO queue of T. Create with New.
+type Queue[T any] struct {
+	mu     sync.Mutex
+	ch     chan T
+	closed bool
+
+	published int64
+	consumed  int64
+}
+
+// New returns a queue with the given capacity (minimum 1).
+func New[T any](capacity int) *Queue[T] {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Queue[T]{ch: make(chan T, capacity)}
+}
+
+// Publish enqueues m, blocking while the queue is full. It returns
+// ErrClosed if the queue has been closed.
+func (q *Queue[T]) Publish(m T) error {
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return ErrClosed
+	}
+	q.published++
+	q.mu.Unlock()
+	q.ch <- m
+	return nil
+}
+
+// TryPublish enqueues m without blocking; ok is false when the queue is
+// full or closed.
+func (q *Queue[T]) TryPublish(m T) bool {
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return false
+	}
+	select {
+	case q.ch <- m:
+		q.published++
+		q.mu.Unlock()
+		return true
+	default:
+		q.mu.Unlock()
+		return false
+	}
+}
+
+// Consume dequeues the next message, blocking until one is available. ok
+// is false when the queue is closed and drained.
+func (q *Queue[T]) Consume() (T, bool) {
+	m, ok := <-q.ch
+	if ok {
+		q.mu.Lock()
+		q.consumed++
+		q.mu.Unlock()
+	}
+	return m, ok
+}
+
+// Len returns the number of queued messages.
+func (q *Queue[T]) Len() int { return len(q.ch) }
+
+// Close stops future publishes; queued messages can still be consumed.
+func (q *Queue[T]) Close() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if !q.closed {
+		q.closed = true
+		close(q.ch)
+	}
+}
+
+// Stats returns the lifetime publish and consume counts.
+func (q *Queue[T]) Stats() (published, consumed int64) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.published, q.consumed
+}

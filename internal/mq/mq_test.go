@@ -1,0 +1,110 @@
+package mq
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestPublishConsumeFIFO(t *testing.T) {
+	q := New[int](10)
+	for i := 0; i < 5; i++ {
+		if err := q.Publish(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if q.Len() != 5 {
+		t.Fatalf("Len = %d", q.Len())
+	}
+	for i := 0; i < 5; i++ {
+		m, ok := q.Consume()
+		if !ok || m != i {
+			t.Fatalf("Consume = %d,%v want %d", m, ok, i)
+		}
+	}
+}
+
+func TestCloseSemantics(t *testing.T) {
+	q := New[string](4)
+	q.Publish("a")
+	q.Close()
+	if err := q.Publish("b"); err != ErrClosed {
+		t.Fatalf("Publish after close: %v", err)
+	}
+	if q.TryPublish("c") {
+		t.Fatal("TryPublish after close succeeded")
+	}
+	m, ok := q.Consume()
+	if !ok || m != "a" {
+		t.Fatal("queued message lost on close")
+	}
+	if _, ok := q.Consume(); ok {
+		t.Fatal("consume from drained closed queue returned ok")
+	}
+	q.Close() // double close is harmless
+}
+
+func TestTryPublishFull(t *testing.T) {
+	q := New[int](1)
+	if !q.TryPublish(1) {
+		t.Fatal("TryPublish on empty queue failed")
+	}
+	if q.TryPublish(2) {
+		t.Fatal("TryPublish on full queue succeeded")
+	}
+}
+
+func TestMinimumCapacity(t *testing.T) {
+	q := New[int](0)
+	if !q.TryPublish(1) {
+		t.Fatal("queue with clamped capacity rejected publish")
+	}
+}
+
+func TestConcurrentProducersConsumers(t *testing.T) {
+	q := New[int](64)
+	const producers, per = 8, 500
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if err := q.Publish(p*per + i); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(p)
+	}
+	var mu sync.Mutex
+	seen := make(map[int]bool)
+	var cwg sync.WaitGroup
+	for c := 0; c < 4; c++ {
+		cwg.Add(1)
+		go func() {
+			defer cwg.Done()
+			for {
+				m, ok := q.Consume()
+				if !ok {
+					return
+				}
+				mu.Lock()
+				if seen[m] {
+					t.Errorf("duplicate message %d", m)
+				}
+				seen[m] = true
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	q.Close()
+	cwg.Wait()
+	if len(seen) != producers*per {
+		t.Fatalf("consumed %d, want %d", len(seen), producers*per)
+	}
+	pub, con := q.Stats()
+	if pub != int64(producers*per) || con != int64(producers*per) {
+		t.Fatalf("stats = %d/%d", pub, con)
+	}
+}

@@ -1,0 +1,69 @@
+package postree
+
+import (
+	"sync"
+
+	"spitz/internal/hashutil"
+)
+
+// defaultCacheSize bounds the number of cached decoded index nodes. Index
+// nodes are ~1/32 of all nodes (one per leaf), so even a large database's
+// interior fits; leaves are deliberately not cached so that point reads
+// keep paying one storage fetch + decode, as a disk-backed deployment
+// would through its buffer pool.
+const defaultCacheSize = 1 << 16
+
+// nodeCache memoizes decoded *index* nodes by content digest. Content
+// addressing makes the cache trivially coherent: a digest can only ever
+// map to one node, so entries never need invalidation, only eviction.
+// Successor trees created by Apply/BulkLoad share their parent's cache.
+type nodeCache struct {
+	mu  sync.RWMutex
+	m   map[hashutil.Digest]*node
+	cap int
+}
+
+func newNodeCache(capacity int) *nodeCache {
+	return &nodeCache{m: make(map[hashutil.Digest]*node), cap: capacity}
+}
+
+func (c *nodeCache) get(d hashutil.Digest) (*node, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.RLock()
+	n, ok := c.m[d]
+	c.mu.RUnlock()
+	return n, ok
+}
+
+func (c *nodeCache) put(d hashutil.Digest, n *node) {
+	if c == nil || n.level == 0 {
+		return // leaves are not cached
+	}
+	c.mu.Lock()
+	if len(c.m) >= c.cap {
+		// Random eviction: map iteration order is randomized, and for a
+		// pool of immutable interior nodes recency tracking is not worth
+		// the contention of a true LRU.
+		for k := range c.m {
+			delete(c.m, k)
+			break
+		}
+	}
+	c.m[d] = n
+	c.mu.Unlock()
+}
+
+// loadNodeCached is the cache-aware node loader used by traversals.
+func (t *Tree) loadNodeCached(d hashutil.Digest) (*node, error) {
+	if n, ok := t.cache.get(d); ok {
+		return n, nil
+	}
+	n, err := loadNode(t.store, d)
+	if err != nil {
+		return nil, err
+	}
+	t.cache.put(d, n)
+	return n, nil
+}

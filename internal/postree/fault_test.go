@@ -1,0 +1,102 @@
+package postree
+
+import (
+	"testing"
+
+	"spitz/internal/cas"
+	"spitz/internal/hashutil"
+)
+
+// Failure injection: storage faults must surface as errors or verification
+// failures, never as silently wrong query answers.
+
+func buildFaultTree(t *testing.T) (*Tree, *cas.Fault) {
+	t.Helper()
+	fault := cas.NewFault(cas.NewMemory())
+	tr, err := BulkLoad(fault, testEntries(3000, 81))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Re-open so traversals go through the fault wrapper without a cache
+	// primed during the build.
+	re, err := Load(fault, tr.Root())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return re, fault
+}
+
+func TestGetFailsOnLostNode(t *testing.T) {
+	tr, fault := buildFaultTree(t)
+	fault.Lose(tr.Root())
+	if _, _, err := tr.Get([]byte("key-00000001")); err == nil {
+		t.Fatal("Get over lost root succeeded")
+	}
+	fault.Heal()
+	if _, _, err := tr.Get([]byte("key-00000001")); err != nil {
+		t.Fatalf("Get after heal: %v", err)
+	}
+}
+
+func TestGetFailsOnStructurallyCorruptNode(t *testing.T) {
+	// Corruption of structural fields (here the entry-count varint at
+	// offset 1) must produce a decode error. Corruption confined to entry
+	// payloads may still parse — unverified reads do not promise tamper
+	// detection; the verified path does (see TestCorruptProofNeverVerifies).
+	tr, fault := buildFaultTree(t)
+	fault.Corrupt(tr.Root(), 1)
+	if _, _, err := tr.Get([]byte("key-00000001")); err == nil {
+		t.Fatal("Get over structurally corrupt root returned no error")
+	}
+}
+
+func TestScanFailsOnLostLeaf(t *testing.T) {
+	tr, fault := buildFaultTree(t)
+	// Find a leaf digest by walking the proof path of some key.
+	p, err := tr.ProveGet([]byte("key-00000001"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaf := p.Nodes[len(p.Nodes)-1]
+	leafDigest := hashutil.Sum(hashutil.DomainPOSLeaf, leaf)
+	fault.Lose(leafDigest)
+	err = tr.Scan(nil, nil, func(Entry) bool { return true })
+	if err == nil {
+		t.Fatal("full scan over lost leaf succeeded")
+	}
+}
+
+func TestProofGenerationFailsLoudly(t *testing.T) {
+	tr, fault := buildFaultTree(t)
+	fault.Lose(tr.Root())
+	if _, err := tr.ProveGet([]byte("key-00000001")); err == nil {
+		t.Fatal("proof generation over lost root succeeded")
+	}
+	if _, err := tr.ProveScan([]byte("a"), []byte("z")); err == nil {
+		t.Fatal("range proof over lost root succeeded")
+	}
+}
+
+func TestCorruptProofNeverVerifies(t *testing.T) {
+	// Even if a corrupted node body is served into a proof, the client
+	// verifier rejects it: the digest chain breaks.
+	tr, fault := buildFaultTree(t)
+	root := tr.Root()
+	p, err := tr.ProveGet([]byte("key-00000001"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fault.Corrupt(root, 10)
+	// Regenerate the proof with the corrupted root body served.
+	p2, err := tr.ProveGet([]byte("key-00000001"))
+	if err != nil {
+		// Fine: corruption detected during generation.
+		return
+	}
+	if err := p2.Verify(root); err == nil {
+		// Only acceptable if the served bytes were actually unchanged.
+		if string(p2.Nodes[0]) != string(p.Nodes[0]) {
+			t.Fatal("corrupted proof verified against the honest root")
+		}
+	}
+}

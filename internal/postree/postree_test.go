@@ -1,0 +1,377 @@
+package postree
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"spitz/internal/cas"
+)
+
+func testEntries(n int, seed int64) []Entry {
+	rng := rand.New(rand.NewSource(seed))
+	seen := make(map[string]bool, n)
+	out := make([]Entry, 0, n)
+	for len(out) < n {
+		k := fmt.Sprintf("key-%08d", rng.Intn(n*10))
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		v := make([]byte, 20)
+		rng.Read(v)
+		out = append(out, Entry{Key: []byte(k), Value: v})
+	}
+	sort.Slice(out, func(i, j int) bool { return bytes.Compare(out[i].Key, out[j].Key) < 0 })
+	return out
+}
+
+func mustBulk(t *testing.T, entries []Entry) *Tree {
+	t.Helper()
+	tr, err := BulkLoad(cas.NewMemory(), entries)
+	if err != nil {
+		t.Fatalf("BulkLoad: %v", err)
+	}
+	return tr
+}
+
+func TestEmptyTree(t *testing.T) {
+	tr := Empty(cas.NewMemory())
+	if tr.Count() != 0 || !tr.Root().IsZero() {
+		t.Fatal("empty tree not empty")
+	}
+	if _, ok, err := tr.Get([]byte("k")); err != nil || ok {
+		t.Fatalf("Get on empty: ok=%v err=%v", ok, err)
+	}
+	if err := tr.Scan(nil, nil, func(Entry) bool { t.Fatal("scan yielded entry"); return false }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBulkLoadAndGet(t *testing.T) {
+	entries := testEntries(5000, 1)
+	tr := mustBulk(t, entries)
+	if tr.Count() != len(entries) {
+		t.Fatalf("Count = %d, want %d", tr.Count(), len(entries))
+	}
+	for _, e := range entries {
+		v, ok, err := tr.Get(e.Key)
+		if err != nil || !ok {
+			t.Fatalf("Get(%s): ok=%v err=%v", e.Key, ok, err)
+		}
+		if !bytes.Equal(v, e.Value) {
+			t.Fatalf("Get(%s) wrong value", e.Key)
+		}
+	}
+	if _, ok, _ := tr.Get([]byte("absent-key")); ok {
+		t.Fatal("found a key that was never inserted")
+	}
+	if _, ok, _ := tr.Get([]byte("zzzz-beyond-max")); ok {
+		t.Fatal("found key beyond the maximum")
+	}
+}
+
+func TestBulkLoadRejectsUnsorted(t *testing.T) {
+	bad := []Entry{{Key: []byte("b")}, {Key: []byte("a")}}
+	if _, err := BulkLoad(cas.NewMemory(), bad); err == nil {
+		t.Fatal("unsorted input accepted")
+	}
+	dup := []Entry{{Key: []byte("a")}, {Key: []byte("a")}}
+	if _, err := BulkLoad(cas.NewMemory(), dup); err == nil {
+		t.Fatal("duplicate keys accepted")
+	}
+}
+
+// The defining SIRI property: structural invariance. The same logical
+// content must produce the same root digest no matter how it was built.
+func TestHistoryIndependence(t *testing.T) {
+	entries := testEntries(2000, 2)
+
+	bulk := mustBulk(t, entries)
+
+	// One-by-one inserts in sorted order.
+	inc := Empty(cas.NewMemory())
+	var err error
+	for _, e := range entries {
+		if inc, err = inc.Put(e.Key, e.Value); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// One-by-one inserts in random order.
+	shuffled := append([]Entry(nil), entries...)
+	rand.New(rand.NewSource(99)).Shuffle(len(shuffled), func(i, j int) {
+		shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+	})
+	rnd := Empty(cas.NewMemory())
+	for _, e := range shuffled {
+		if rnd, err = rnd.Put(e.Key, e.Value); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Batched random-order inserts.
+	bat := Empty(cas.NewMemory())
+	for i := 0; i < len(shuffled); i += 97 {
+		endIdx := i + 97
+		if endIdx > len(shuffled) {
+			endIdx = len(shuffled)
+		}
+		var edits []Edit
+		for _, e := range shuffled[i:endIdx] {
+			edits = append(edits, Edit{Key: e.Key, Value: e.Value})
+		}
+		if bat, err = bat.Apply(edits); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	if bulk.Root() != inc.Root() {
+		t.Error("bulk vs sorted-incremental roots differ")
+	}
+	if bulk.Root() != rnd.Root() {
+		t.Error("bulk vs random-incremental roots differ")
+	}
+	if bulk.Root() != bat.Root() {
+		t.Error("bulk vs batched roots differ")
+	}
+	if inc.Count() != len(entries) || rnd.Count() != len(entries) || bat.Count() != len(entries) {
+		t.Errorf("counts: inc=%d rnd=%d bat=%d want %d", inc.Count(), rnd.Count(), bat.Count(), len(entries))
+	}
+}
+
+// Deleting what was inserted must return to the exact prior root
+// (insert/delete round trip through arbitrary intermediate states).
+func TestDeleteRestoresRoot(t *testing.T) {
+	entries := testEntries(1500, 3)
+	tr := mustBulk(t, entries)
+	before := tr.Root()
+
+	extra := testEntries(200, 77)
+	cur := tr
+	var err error
+	for _, e := range extra {
+		if _, ok, _ := tr.Get(e.Key); ok {
+			continue // key collision with base set; skip
+		}
+		k := append([]byte("x-"), e.Key...) // guarantee disjoint
+		if cur, err = cur.Put(k, e.Value); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, e := range extra {
+		k := append([]byte("x-"), e.Key...)
+		if cur, err = cur.Delete(k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if cur.Root() != before {
+		t.Fatalf("root after insert+delete cycle %s != original %s", cur.Root().Short(), before.Short())
+	}
+	if cur.Count() != tr.Count() {
+		t.Fatalf("count after cycle = %d, want %d", cur.Count(), tr.Count())
+	}
+}
+
+func TestDeleteAll(t *testing.T) {
+	entries := testEntries(300, 4)
+	tr := mustBulk(t, entries)
+	var edits []Edit
+	for _, e := range entries {
+		edits = append(edits, Edit{Key: e.Key, Delete: true})
+	}
+	got, err := tr.Apply(edits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Root().IsZero() || got.Count() != 0 {
+		t.Fatalf("tree not empty after deleting all: count=%d", got.Count())
+	}
+}
+
+func TestDeleteAbsentIsNoop(t *testing.T) {
+	entries := testEntries(100, 5)
+	tr := mustBulk(t, entries)
+	got, err := tr.Delete([]byte("never-existed"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Root() != tr.Root() {
+		t.Fatal("deleting an absent key changed the root")
+	}
+}
+
+func TestUpsertReplacesValue(t *testing.T) {
+	tr := mustBulk(t, testEntries(100, 6))
+	key := []byte("key-00000001")
+	// Ensure the key exists first (insert if the generator missed it).
+	cur, err := tr.Put(key, []byte("v1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := cur.Count()
+	cur, err = cur.Put(key, []byte("v2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cur.Count() != n {
+		t.Fatalf("upsert changed count: %d -> %d", n, cur.Count())
+	}
+	v, ok, _ := cur.Get(key)
+	if !ok || string(v) != "v2" {
+		t.Fatalf("Get after upsert = %q, %v", v, ok)
+	}
+}
+
+func TestSnapshotsAreImmutable(t *testing.T) {
+	tr := mustBulk(t, testEntries(500, 7))
+	before := tr.Root()
+	if _, err := tr.Put([]byte("new-key"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Root() != before {
+		t.Fatal("Put mutated the receiver")
+	}
+	if _, ok, _ := tr.Get([]byte("new-key")); ok {
+		t.Fatal("old snapshot sees new key")
+	}
+}
+
+func TestStructuralSharing(t *testing.T) {
+	store := cas.NewMemory()
+	entries := testEntries(10_000, 8)
+	tr, err := BulkLoad(store, entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := store.Stats().PhysicalBytes
+	// One insert should rewrite only the O(log n) spine.
+	if _, err := tr.Put([]byte("zzz-one-more"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	grown := store.Stats().PhysicalBytes - base
+	if grown > base/20 {
+		t.Fatalf("single insert grew storage by %d of %d bytes; sharing broken", grown, base)
+	}
+}
+
+func TestScanRange(t *testing.T) {
+	entries := testEntries(3000, 9)
+	tr := mustBulk(t, entries)
+	lo, hi := entries[500].Key, entries[700].Key
+	var got []Entry
+	if err := tr.Scan(lo, hi, func(e Entry) bool {
+		got = append(got, Entry{Key: append([]byte(nil), e.Key...), Value: append([]byte(nil), e.Value...)})
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	want := entries[500:700]
+	if len(got) != len(want) {
+		t.Fatalf("scan returned %d entries, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !bytes.Equal(got[i].Key, want[i].Key) || !bytes.Equal(got[i].Value, want[i].Value) {
+			t.Fatalf("scan entry %d mismatch", i)
+		}
+	}
+}
+
+func TestScanFullAndEarlyStop(t *testing.T) {
+	entries := testEntries(1000, 10)
+	tr := mustBulk(t, entries)
+	var n int
+	if err := tr.Scan(nil, nil, func(Entry) bool { n++; return true }); err != nil {
+		t.Fatal(err)
+	}
+	if n != len(entries) {
+		t.Fatalf("full scan saw %d, want %d", n, len(entries))
+	}
+	n = 0
+	if err := tr.Scan(nil, nil, func(Entry) bool { n++; return n < 10 }); err != nil {
+		t.Fatal(err)
+	}
+	if n != 10 {
+		t.Fatalf("early-stop scan saw %d, want 10", n)
+	}
+}
+
+func TestLoadRoundTrip(t *testing.T) {
+	store := cas.NewMemory()
+	entries := testEntries(2000, 11)
+	tr, err := BulkLoad(store, entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	re, err := Load(store, tr.Root())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Count() != tr.Count() {
+		t.Fatalf("reloaded count %d != %d", re.Count(), tr.Count())
+	}
+	v, ok, err := re.Get(entries[42].Key)
+	if err != nil || !ok || !bytes.Equal(v, entries[42].Value) {
+		t.Fatal("reloaded tree cannot serve reads")
+	}
+	empty, err := Load(store, Empty(store).Root())
+	if err != nil || empty.Count() != 0 {
+		t.Fatal("loading zero digest should give empty tree")
+	}
+}
+
+// Property-based: a POS-tree agrees with a map oracle under random
+// interleaved puts and deletes, and stays history independent.
+func TestQuickOracle(t *testing.T) {
+	type op struct {
+		Key    uint16
+		Val    uint16
+		Delete bool
+	}
+	f := func(ops []op) bool {
+		tr := Empty(cas.NewMemory())
+		oracle := map[string]string{}
+		var err error
+		for _, o := range ops {
+			k := []byte(fmt.Sprintf("k%05d", o.Key))
+			v := []byte(fmt.Sprintf("v%05d", o.Val))
+			if o.Delete {
+				if tr, err = tr.Delete(k); err != nil {
+					return false
+				}
+				delete(oracle, string(k))
+			} else {
+				if tr, err = tr.Put(k, v); err != nil {
+					return false
+				}
+				oracle[string(k)] = string(v)
+			}
+		}
+		if tr.Count() != len(oracle) {
+			return false
+		}
+		for k, v := range oracle {
+			got, ok, err := tr.Get([]byte(k))
+			if err != nil || !ok || string(got) != v {
+				return false
+			}
+		}
+		// Rebuild from the oracle and compare roots (history independence).
+		var entries []Entry
+		for k, v := range oracle {
+			entries = append(entries, Entry{Key: []byte(k), Value: []byte(v)})
+		}
+		sort.Slice(entries, func(i, j int) bool { return bytes.Compare(entries[i].Key, entries[j].Key) < 0 })
+		rebuilt, err := BulkLoad(cas.NewMemory(), entries)
+		if err != nil {
+			return false
+		}
+		return rebuilt.Root() == tr.Root()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,287 @@
+package postree
+
+import (
+	"bytes"
+	"testing"
+
+	"spitz/internal/cas"
+	"spitz/internal/hashutil"
+)
+
+func TestPointProofPresent(t *testing.T) {
+	entries := testEntries(4000, 20)
+	tr := mustBulk(t, entries)
+	root := tr.Root()
+	for _, i := range []int{0, 1, 1999, 3998, 3999} {
+		p, err := tr.ProveGet(entries[i].Key)
+		if err != nil {
+			t.Fatalf("ProveGet: %v", err)
+		}
+		if !p.Found || !bytes.Equal(p.Value, entries[i].Value) {
+			t.Fatalf("proof for %s carries wrong value", entries[i].Key)
+		}
+		if err := p.Verify(root); err != nil {
+			t.Fatalf("Verify(%s): %v", entries[i].Key, err)
+		}
+	}
+}
+
+func TestPointProofAbsent(t *testing.T) {
+	tr := mustBulk(t, testEntries(1000, 21))
+	for _, k := range []string{"", "key-00000000a", "zzzz", "key-99999999x"} {
+		p, err := tr.ProveGet([]byte(k))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Found {
+			t.Fatalf("absent key %q reported found", k)
+		}
+		if err := p.Verify(tr.Root()); err != nil {
+			t.Fatalf("absence proof for %q: %v", k, err)
+		}
+	}
+}
+
+func TestPointProofEmptyTree(t *testing.T) {
+	tr := Empty(cas.NewMemory())
+	p, err := tr.ProveGet([]byte("k"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Verify(tr.Root()); err != nil {
+		t.Fatalf("empty-tree proof: %v", err)
+	}
+	// But a nonempty claim against the zero root must fail.
+	p.Found = true
+	p.Value = []byte("v")
+	if err := p.Verify(tr.Root()); err == nil {
+		t.Fatal("forged presence verified against empty root")
+	}
+}
+
+func TestPointProofDetectsValueTampering(t *testing.T) {
+	entries := testEntries(2000, 22)
+	tr := mustBulk(t, entries)
+	p, err := tr.ProveGet(entries[100].Key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Value = append([]byte(nil), p.Value...)
+	p.Value[0] ^= 0xFF
+	if err := p.Verify(tr.Root()); err == nil {
+		t.Fatal("tampered value verified")
+	}
+}
+
+func TestPointProofDetectsNodeTampering(t *testing.T) {
+	entries := testEntries(2000, 23)
+	tr := mustBulk(t, entries)
+	p, err := tr.ProveGet(entries[100].Key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaf := p.Nodes[len(p.Nodes)-1]
+	forged := append([]byte(nil), leaf...)
+	forged[len(forged)-1] ^= 0x01
+	p.Nodes[len(p.Nodes)-1] = forged
+	if err := p.Verify(tr.Root()); err == nil {
+		t.Fatal("tampered node body verified")
+	}
+}
+
+func TestPointProofDetectsForgedAbsence(t *testing.T) {
+	entries := testEntries(2000, 24)
+	tr := mustBulk(t, entries)
+	p, err := tr.ProveGet(entries[100].Key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Found = false
+	p.Value = nil
+	if err := p.Verify(tr.Root()); err == nil {
+		t.Fatal("forged absence of a present key verified")
+	}
+}
+
+func TestPointProofWrongRoot(t *testing.T) {
+	entries := testEntries(500, 25)
+	tr := mustBulk(t, entries)
+	p, _ := tr.ProveGet(entries[9].Key)
+	bad := tr.Root()
+	bad[7] ^= 0x10
+	if err := p.Verify(bad); err == nil {
+		t.Fatal("proof verified against a different root")
+	}
+}
+
+func TestPointProofStaleSnapshot(t *testing.T) {
+	// A proof generated against snapshot S must not verify against the
+	// digest of a later state S' that changed the proven key.
+	entries := testEntries(1000, 26)
+	tr := mustBulk(t, entries)
+	p, _ := tr.ProveGet(entries[5].Key)
+	newer, err := tr.Put(entries[5].Key, []byte("overwritten value xx"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Verify(newer.Root()); err == nil {
+		t.Fatal("stale proof verified against newer root")
+	}
+	if err := p.Verify(tr.Root()); err != nil {
+		t.Fatalf("proof no longer verifies against its own snapshot: %v", err)
+	}
+}
+
+func TestPointProofTruncatedPath(t *testing.T) {
+	entries := testEntries(5000, 27)
+	tr := mustBulk(t, entries)
+	p, _ := tr.ProveGet(entries[123].Key)
+	if len(p.Nodes) < 2 {
+		t.Skip("tree too shallow to truncate")
+	}
+	p.Nodes = p.Nodes[:len(p.Nodes)-1]
+	if err := p.Verify(tr.Root()); err == nil {
+		t.Fatal("truncated proof verified")
+	}
+}
+
+func TestRangeProofRoundTrip(t *testing.T) {
+	entries := testEntries(4000, 28)
+	tr := mustBulk(t, entries)
+	lo, hi := entries[1000].Key, entries[1200].Key
+	p, err := tr.ProveScan(lo, hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Entries) != 200 {
+		t.Fatalf("range proof carries %d entries, want 200", len(p.Entries))
+	}
+	if err := p.Verify(tr.Root()); err != nil {
+		t.Fatalf("range proof verify: %v", err)
+	}
+}
+
+func TestRangeProofEmptyRange(t *testing.T) {
+	tr := mustBulk(t, testEntries(500, 29))
+	p, err := tr.ProveScan([]byte("zzz-a"), []byte("zzz-b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Entries) != 0 {
+		t.Fatal("empty range returned entries")
+	}
+	if err := p.Verify(tr.Root()); err != nil {
+		t.Fatalf("empty range proof: %v", err)
+	}
+}
+
+func TestRangeProofEmptyTree(t *testing.T) {
+	tr := Empty(cas.NewMemory())
+	p, err := tr.ProveScan([]byte("a"), []byte("z"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Verify(tr.Root()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRangeProofDetectsOmission(t *testing.T) {
+	entries := testEntries(3000, 30)
+	tr := mustBulk(t, entries)
+	p, err := tr.ProveScan(entries[100].Key, entries[160].Key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drop one result entry: completeness violation must be detected.
+	p.Entries = append(p.Entries[:10:10], p.Entries[11:]...)
+	if err := p.Verify(tr.Root()); err == nil {
+		t.Fatal("range proof with omitted entry verified")
+	}
+}
+
+func TestRangeProofDetectsInjection(t *testing.T) {
+	entries := testEntries(3000, 31)
+	tr := mustBulk(t, entries)
+	p, err := tr.ProveScan(entries[100].Key, entries[160].Key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	forged := Entry{Key: append([]byte(nil), p.Entries[0].Key...), Value: []byte("fake")}
+	p.Entries = append([]Entry{forged}, p.Entries...)
+	if err := p.Verify(tr.Root()); err == nil {
+		t.Fatal("range proof with injected entry verified")
+	}
+}
+
+func TestRangeProofDetectsTamperedNode(t *testing.T) {
+	entries := testEntries(3000, 32)
+	tr := mustBulk(t, entries)
+	p, err := tr.ProveScan(entries[100].Key, entries[400].Key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	forged := append([]byte(nil), p.Nodes[1]...)
+	forged[len(forged)-2] ^= 0xFF
+	p.Nodes[1] = forged
+	if err := p.Verify(tr.Root()); err == nil {
+		t.Fatal("range proof with tampered node verified")
+	}
+}
+
+func TestRangeProofWrongRoot(t *testing.T) {
+	entries := testEntries(1000, 33)
+	tr := mustBulk(t, entries)
+	p, _ := tr.ProveScan(entries[10].Key, entries[20].Key)
+	bad := tr.Root()
+	bad[0] ^= 0x01
+	if err := p.Verify(bad); err == nil {
+		t.Fatal("range proof verified against wrong root")
+	}
+}
+
+func TestRangeProofSharesPathNodes(t *testing.T) {
+	// The proof for k consecutive records must be far smaller than k
+	// independent point proofs — the Figure 7 effect.
+	entries := testEntries(20000, 34)
+	tr := mustBulk(t, entries)
+	lo, hi := entries[5000].Key, entries[5200].Key
+	rp, err := tr.ProveScan(lo, hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rpBytes int
+	for _, n := range rp.Nodes {
+		rpBytes += len(n)
+	}
+	var ptBytes int
+	for i := 5000; i < 5200; i++ {
+		pp, err := tr.ProveGet(entries[i].Key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, n := range pp.Nodes {
+			ptBytes += len(n)
+		}
+	}
+	if rpBytes*5 > ptBytes {
+		t.Fatalf("range proof %d bytes vs %d for point proofs; expected >5x amortization", rpBytes, ptBytes)
+	}
+}
+
+func TestProofAgainstDigestType(t *testing.T) {
+	// Root digests commit to content: two trees differing in one value
+	// have different roots.
+	entries := testEntries(100, 35)
+	t1 := mustBulk(t, entries)
+	mod := append([]Entry(nil), entries...)
+	mod[50] = Entry{Key: mod[50].Key, Value: []byte("different value 20bb")}
+	t2 := mustBulk(t, mod)
+	if t1.Root() == t2.Root() {
+		t.Fatal("differing content produced equal roots")
+	}
+	var zero hashutil.Digest
+	if t1.Root() == zero {
+		t.Fatal("nonempty tree has zero root")
+	}
+}

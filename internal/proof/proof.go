@@ -1,0 +1,163 @@
+// Package proof implements the client side of Spitz verification
+// (Section 5.3): clients keep the latest ledger digest locally,
+// recalculate digests from received proofs, and compare. Two timing modes
+// are supported, mirroring Section 3.2's "Online verification vs Deferred
+// verification": online verifies every proof as it arrives; deferred
+// queues proofs and verifies them in batch, "which means the transactions
+// are verified asynchronously in batch" for higher throughput.
+package proof
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"spitz/internal/ledger"
+	"spitz/internal/mtree"
+)
+
+// Errors reported by the verifier.
+var (
+	// ErrTampered means a proof or digest refresh failed: the data, the
+	// history, or the execution was modified.
+	ErrTampered = errors.New("proof: verification failed, tampering detected")
+)
+
+// Verifier tracks a client's trusted ledger digest and checks query proofs
+// against it. Safe for concurrent use.
+type Verifier struct {
+	mu      sync.Mutex
+	digest  ledger.Digest
+	trusted bool // false until the first digest is pinned
+	pending []ledger.Proof
+
+	verified int64
+	deferred int64
+}
+
+// NewVerifier returns a verifier with no pinned digest; the first Advance
+// pins trust-on-first-use, after which every refresh must prove
+// consistency with the pinned history.
+func NewVerifier() *Verifier { return &Verifier{} }
+
+// Digest returns the currently trusted digest (zero before the first
+// Advance).
+func (v *Verifier) Digest() ledger.Digest {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.digest
+}
+
+// Advance moves the trusted digest forward. The consistency proof must
+// show the old digest's ledger is a prefix of the new one; otherwise the
+// server rewrote history and ErrTampered is returned.
+func (v *Verifier) Advance(next ledger.Digest, cons mtree.ConsistencyProof) error {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if !v.trusted {
+		v.digest = next
+		v.trusted = true
+		return nil
+	}
+	if next.Height < v.digest.Height {
+		return fmt.Errorf("%w: digest went backwards (%d -> %d)", ErrTampered, v.digest.Height, next.Height)
+	}
+	if cons.OldSize != int(v.digest.Height) || cons.NewSize != int(next.Height) {
+		return fmt.Errorf("%w: consistency proof sizes %d/%d do not match digests %d/%d",
+			ErrTampered, cons.OldSize, cons.NewSize, v.digest.Height, next.Height)
+	}
+	if err := cons.Verify(v.digest.Root, next.Root); err != nil {
+		return fmt.Errorf("%w: %v", ErrTampered, err)
+	}
+	v.digest = next
+	return nil
+}
+
+// VerifyNow checks a proof immediately against the trusted digest (online
+// verification).
+func (v *Verifier) VerifyNow(p ledger.Proof) error {
+	v.mu.Lock()
+	d := v.digest
+	trusted := v.trusted
+	v.mu.Unlock()
+	if !trusted {
+		return fmt.Errorf("%w: no trusted digest pinned", ErrTampered)
+	}
+	if err := p.Verify(d); err != nil {
+		return fmt.Errorf("%w: %v", ErrTampered, err)
+	}
+	v.mu.Lock()
+	v.verified++
+	v.mu.Unlock()
+	return nil
+}
+
+// VerifyBlock checks that a block header is part of the ledger the
+// trusted digest commits to. Clients use it to verify *writes*: the block
+// exists, and its recorded write-set hash can then be compared against the
+// locally computed one (batch-level write verification, Section 5.3).
+func (v *Verifier) VerifyBlock(header ledger.BlockHeader, inc mtree.InclusionProof) error {
+	v.mu.Lock()
+	d := v.digest
+	trusted := v.trusted
+	v.mu.Unlock()
+	if !trusted {
+		return fmt.Errorf("%w: no trusted digest pinned", ErrTampered)
+	}
+	if header.Height >= d.Height || inc.TreeSize != int(d.Height) || inc.Index != int(header.Height) {
+		return fmt.Errorf("%w: block %d not covered by digest %d", ErrTampered, header.Height, d.Height)
+	}
+	if err := inc.Verify(d.Root, mtree.LeafHash(header.Encode())); err != nil {
+		return fmt.Errorf("%w: %v", ErrTampered, err)
+	}
+	v.mu.Lock()
+	v.verified++
+	v.mu.Unlock()
+	return nil
+}
+
+// Defer queues a proof for later batch verification.
+func (v *Verifier) Defer(p ledger.Proof) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.pending = append(v.pending, p)
+	v.deferred++
+}
+
+// Pending returns the number of queued proofs.
+func (v *Verifier) Pending() int {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return len(v.pending)
+}
+
+// Flush verifies every queued proof against the trusted digest and clears
+// the queue. It returns the number verified; on the first failure it stops
+// and reports which proof failed.
+func (v *Verifier) Flush() (int, error) {
+	v.mu.Lock()
+	batch := v.pending
+	v.pending = nil
+	d := v.digest
+	trusted := v.trusted
+	v.mu.Unlock()
+	if !trusted && len(batch) > 0 {
+		return 0, fmt.Errorf("%w: no trusted digest pinned", ErrTampered)
+	}
+	for i, p := range batch {
+		if err := p.Verify(d); err != nil {
+			return i, fmt.Errorf("%w: deferred proof %d: %v", ErrTampered, i, err)
+		}
+	}
+	v.mu.Lock()
+	v.verified += int64(len(batch))
+	v.mu.Unlock()
+	return len(batch), nil
+}
+
+// Stats reports how many proofs were verified and deferred in total.
+func (v *Verifier) Stats() (verified, deferred int64) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.verified, v.deferred
+}

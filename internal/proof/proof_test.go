@@ -1,0 +1,193 @@
+package proof
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"spitz/internal/cas"
+	"spitz/internal/cellstore"
+	"spitz/internal/ledger"
+	"spitz/internal/mtree"
+)
+
+// testLedger builds a ledger with n blocks of small writes.
+func testLedger(t *testing.T, n int) *ledger.Ledger {
+	t.Helper()
+	l := ledger.New(cas.NewMemory())
+	for i := 0; i < n; i++ {
+		v := uint64(i + 1)
+		cells := []cellstore.Cell{{Table: "t", Column: "c",
+			PK: []byte(fmt.Sprintf("k%03d", i)), Version: v, Value: []byte(fmt.Sprintf("v%d", i))}}
+		if _, err := l.Commit(v, nil, cells); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return l
+}
+
+func TestAdvanceTrustOnFirstUse(t *testing.T) {
+	l := testLedger(t, 3)
+	v := NewVerifier()
+	if err := v.Advance(l.Digest(), mtree.ConsistencyProof{}); err != nil {
+		t.Fatalf("first Advance: %v", err)
+	}
+	if v.Digest() != l.Digest() {
+		t.Fatal("digest not pinned")
+	}
+}
+
+func TestAdvanceWithConsistency(t *testing.T) {
+	l := testLedger(t, 3)
+	v := NewVerifier()
+	old := l.Digest()
+	if err := v.Advance(old, mtree.ConsistencyProof{}); err != nil {
+		t.Fatal(err)
+	}
+	// Grow the ledger and advance with a proper consistency proof.
+	l.Commit(100, nil, []cellstore.Cell{{Table: "t", Column: "c", PK: []byte("x"), Version: 100, Value: []byte("v")}})
+	cons, err := l.ConsistencyProof(old)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Advance(l.Digest(), cons); err != nil {
+		t.Fatalf("Advance: %v", err)
+	}
+}
+
+func TestAdvanceRejectsForkedHistory(t *testing.T) {
+	l := testLedger(t, 3)
+	v := NewVerifier()
+	if err := v.Advance(l.Digest(), mtree.ConsistencyProof{}); err != nil {
+		t.Fatal(err)
+	}
+	// A genuinely divergent history: same heights, different content.
+	l2 := ledger.New(cas.NewMemory())
+	for i := 0; i < 5; i++ {
+		v64 := uint64(i + 1)
+		cells := []cellstore.Cell{{Table: "t", Column: "c",
+			PK: []byte(fmt.Sprintf("k%03d", i)), Version: v64, Value: []byte("FORKED")}}
+		if _, err := l2.Commit(v64, nil, cells); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cons, _ := l2.ConsistencyProof(ledger.Digest{Height: 3})
+	if err := v.Advance(l2.Digest(), cons); !errors.Is(err, ErrTampered) {
+		t.Fatalf("fork accepted: %v", err)
+	}
+}
+
+func TestAdvanceRejectsRollback(t *testing.T) {
+	l := testLedger(t, 5)
+	v := NewVerifier()
+	if err := v.Advance(l.Digest(), mtree.ConsistencyProof{}); err != nil {
+		t.Fatal(err)
+	}
+	short := testLedger(t, 2)
+	if err := v.Advance(short.Digest(), mtree.ConsistencyProof{}); !errors.Is(err, ErrTampered) {
+		t.Fatal("rollback accepted")
+	}
+}
+
+func TestVerifyNow(t *testing.T) {
+	l := testLedger(t, 4)
+	v := NewVerifier()
+	v.Advance(l.Digest(), mtree.ConsistencyProof{})
+	_, ok, p, err := l.ProveGetLatest(3, "t", "c", []byte("k002"))
+	if err != nil || !ok {
+		t.Fatal("read failed")
+	}
+	if err := v.VerifyNow(p); err != nil {
+		t.Fatalf("VerifyNow: %v", err)
+	}
+	verified, _ := v.Stats()
+	if verified != 1 {
+		t.Fatalf("verified = %d", verified)
+	}
+}
+
+func TestVerifyNowWithoutDigest(t *testing.T) {
+	l := testLedger(t, 2)
+	_, _, p, _ := l.ProveGetLatest(1, "t", "c", []byte("k000"))
+	v := NewVerifier()
+	if err := v.VerifyNow(p); !errors.Is(err, ErrTampered) {
+		t.Fatal("verification without pinned digest succeeded")
+	}
+}
+
+func TestVerifyNowDetectsTampering(t *testing.T) {
+	l := testLedger(t, 4)
+	v := NewVerifier()
+	v.Advance(l.Digest(), mtree.ConsistencyProof{})
+	_, _, p, _ := l.ProveGetLatest(3, "t", "c", []byte("k001"))
+	p.Header.Version ^= 1
+	if err := v.VerifyNow(p); !errors.Is(err, ErrTampered) {
+		t.Fatal("tampered proof accepted")
+	}
+}
+
+func TestDeferredBatch(t *testing.T) {
+	l := testLedger(t, 6)
+	v := NewVerifier()
+	v.Advance(l.Digest(), mtree.ConsistencyProof{})
+	for i := 0; i < 5; i++ {
+		_, _, p, err := l.ProveGetLatest(5, "t", "c", []byte(fmt.Sprintf("k%03d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		v.Defer(p)
+	}
+	if v.Pending() != 5 {
+		t.Fatalf("Pending = %d", v.Pending())
+	}
+	n, err := v.Flush()
+	if err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	if n != 5 || v.Pending() != 0 {
+		t.Fatalf("Flush verified %d, pending %d", n, v.Pending())
+	}
+	verified, deferred := v.Stats()
+	if verified != 5 || deferred != 5 {
+		t.Fatalf("stats = %d/%d", verified, deferred)
+	}
+}
+
+func TestDeferredBatchDetectsTampering(t *testing.T) {
+	l := testLedger(t, 4)
+	v := NewVerifier()
+	v.Advance(l.Digest(), mtree.ConsistencyProof{})
+	good1, _, p1, _ := l.ProveGetLatest(3, "t", "c", []byte("k000"))
+	_ = good1
+	_, _, bad, _ := l.ProveGetLatest(3, "t", "c", []byte("k001"))
+	bad.Header.CellCount++
+	_, _, p3, _ := l.ProveGetLatest(3, "t", "c", []byte("k002"))
+	v.Defer(p1)
+	v.Defer(bad)
+	v.Defer(p3)
+	idx, err := v.Flush()
+	if !errors.Is(err, ErrTampered) {
+		t.Fatal("tampered deferred proof accepted")
+	}
+	if idx != 1 {
+		t.Fatalf("failure index = %d, want 1", idx)
+	}
+}
+
+func TestFlushEmptyQueue(t *testing.T) {
+	v := NewVerifier()
+	n, err := v.Flush()
+	if err != nil || n != 0 {
+		t.Fatalf("empty flush = %d, %v", n, err)
+	}
+}
+
+func TestDeferWithoutDigestFailsAtFlush(t *testing.T) {
+	l := testLedger(t, 2)
+	_, _, p, _ := l.ProveGetLatest(1, "t", "c", []byte("k000"))
+	v := NewVerifier()
+	v.Defer(p)
+	if _, err := v.Flush(); !errors.Is(err, ErrTampered) {
+		t.Fatal("flush without digest succeeded")
+	}
+}

@@ -1,0 +1,175 @@
+package query
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"spitz/internal/cellstore"
+	"spitz/internal/core"
+)
+
+// Row is one result row: the primary key plus column values.
+type Row struct {
+	PK      []byte
+	Columns map[string][]byte
+}
+
+// Result is the outcome of Exec.
+type Result struct {
+	// Rows is set for SELECT and HISTORY.
+	Rows []Row
+	// RowsAffected is set for INSERT, UPDATE and DELETE.
+	RowsAffected int
+	// Block is the height of the block a mutation committed into.
+	Block uint64
+}
+
+// Exec parses and executes one statement against the engine. Mutations
+// record the statement text in their ledger block for auditing.
+func Exec(eng *core.Engine, statement string) (Result, error) {
+	st, err := Parse(statement)
+	if err != nil {
+		return Result{}, err
+	}
+	switch s := st.(type) {
+	case Insert:
+		return execInsert(eng, statement, s)
+	case Select:
+		return execSelect(eng, s)
+	case Update:
+		return execUpdate(eng, statement, s)
+	case Delete:
+		return execDelete(eng, statement, s)
+	case History:
+		return execHistory(eng, s)
+	}
+	return Result{}, errors.New("query: unhandled statement")
+}
+
+func execInsert(eng *core.Engine, raw string, s Insert) (Result, error) {
+	pk := []byte(s.Values[0])
+	puts := make([]core.Put, 0, len(s.Columns)-1)
+	for i := 1; i < len(s.Columns); i++ {
+		puts = append(puts, core.Put{Table: s.Table, Column: s.Columns[i],
+			PK: pk, Value: []byte(s.Values[i])})
+	}
+	if len(puts) == 0 {
+		// A row with only a primary key still marks existence.
+		puts = append(puts, core.Put{Table: s.Table, Column: s.Columns[0], PK: pk, Value: pk})
+	}
+	h, err := eng.Apply(raw, puts)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{RowsAffected: 1, Block: h.Height}, nil
+}
+
+func execSelect(eng *core.Engine, s Select) (Result, error) {
+	cols := s.Columns
+	if len(cols) == 0 {
+		cols = eng.Columns(s.Table)
+		if len(cols) == 0 {
+			return Result{}, fmt.Errorf("query: unknown table %q", s.Table)
+		}
+	}
+	if !s.IsRange {
+		row := Row{PK: []byte(s.PK), Columns: map[string][]byte{}}
+		for _, col := range cols {
+			v, err := eng.Get(s.Table, col, []byte(s.PK))
+			if errors.Is(err, core.ErrNotFound) {
+				continue
+			}
+			if err != nil {
+				return Result{}, err
+			}
+			row.Columns[col] = v
+		}
+		if len(row.Columns) == 0 {
+			return Result{}, nil
+		}
+		return Result{Rows: []Row{row}}, nil
+	}
+
+	// Range: scan each column's interval and merge by primary key. The hi
+	// bound is inclusive, matching SQL BETWEEN.
+	rows := map[string]*Row{}
+	hi := cellstore.KeySuccessor([]byte(s.Hi))
+	for _, col := range cols {
+		cells, err := eng.RangePK(s.Table, col, []byte(s.Lo), hi)
+		if err != nil {
+			return Result{}, err
+		}
+		for _, c := range cells {
+			r, ok := rows[string(c.PK)]
+			if !ok {
+				r = &Row{PK: append([]byte(nil), c.PK...), Columns: map[string][]byte{}}
+				rows[string(c.PK)] = r
+			}
+			r.Columns[col] = c.Value
+		}
+	}
+	out := make([]Row, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, *r)
+	}
+	sort.Slice(out, func(i, j int) bool { return string(out[i].PK) < string(out[j].PK) })
+	return Result{Rows: out}, nil
+}
+
+func execUpdate(eng *core.Engine, raw string, s Update) (Result, error) {
+	pk := []byte(s.PK)
+	puts := make([]core.Put, len(s.Columns))
+	for i, col := range s.Columns {
+		puts[i] = core.Put{Table: s.Table, Column: col, PK: pk, Value: []byte(s.Values[i])}
+	}
+	h, err := eng.Apply(raw, puts)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{RowsAffected: 1, Block: h.Height}, nil
+}
+
+func execDelete(eng *core.Engine, raw string, s Delete) (Result, error) {
+	cols := eng.Columns(s.Table)
+	if len(cols) == 0 {
+		return Result{}, fmt.Errorf("query: unknown table %q", s.Table)
+	}
+	pk := []byte(s.PK)
+	var puts []core.Put
+	for _, col := range cols {
+		if _, err := eng.Get(s.Table, col, pk); errors.Is(err, core.ErrNotFound) {
+			continue
+		} else if err != nil {
+			return Result{}, err
+		}
+		puts = append(puts, core.Put{Table: s.Table, Column: col, PK: pk, Tombstone: true})
+	}
+	if len(puts) == 0 {
+		return Result{RowsAffected: 0}, nil
+	}
+	h, err := eng.Apply(raw, puts)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{RowsAffected: 1, Block: h.Height}, nil
+}
+
+func execHistory(eng *core.Engine, s History) (Result, error) {
+	cells, err := eng.History(s.Table, s.Column, []byte(s.PK))
+	if err != nil {
+		return Result{}, err
+	}
+	rows := make([]Row, 0, len(cells))
+	for _, c := range cells {
+		val := c.Value
+		if c.Tombstone {
+			val = nil
+		}
+		rows = append(rows, Row{PK: c.PK, Columns: map[string][]byte{
+			s.Column:   val,
+			"@version": []byte(fmt.Sprintf("%d", c.Version)),
+		}})
+	}
+	return Result{Rows: rows}, nil
+}

@@ -1,0 +1,95 @@
+// Package query implements the two self-serve interfaces the paper claims
+// for Spitz (Section 5.1: "Spitz supports both SQL and a self-defined JSON
+// schema"): a small SQL subset compiled onto the engine's cell operations,
+// and a JSON document layer that maps documents onto columns.
+//
+// The SQL subset covers the verifiable-database workload:
+//
+//	INSERT INTO t (pk, col, ...) VALUES ('k', 'v', ...)
+//	SELECT col, ... | * FROM t WHERE pk = 'k'
+//	SELECT col, ... | * FROM t WHERE pk BETWEEN 'a' AND 'b'
+//	UPDATE t SET col = 'v', ... WHERE pk = 'k'
+//	DELETE FROM t WHERE pk = 'k'
+//	HISTORY t.col WHERE pk = 'k'
+//
+// The first column of INSERT is always the row's primary key. Statements
+// are recorded verbatim in ledger blocks, giving the audit trail the paper
+// describes ("each block tracks ... query statements").
+package query
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokKind classifies lexer tokens.
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokWord
+	tokString
+	tokNumber
+	tokSymbol // ( ) , = . *
+)
+
+type token struct {
+	kind tokKind
+	text string
+	pos  int
+}
+
+// lex splits a statement into tokens. SQL keywords are case insensitive;
+// string literals use single quotes with ” escaping.
+func lex(input string) ([]token, error) {
+	var out []token
+	i := 0
+	for i < len(input) {
+		c := rune(input[i])
+		switch {
+		case unicode.IsSpace(c):
+			i++
+		case c == '\'':
+			start := i
+			i++
+			var sb strings.Builder
+			for {
+				if i >= len(input) {
+					return nil, fmt.Errorf("query: unterminated string at %d", start)
+				}
+				if input[i] == '\'' {
+					if i+1 < len(input) && input[i+1] == '\'' {
+						sb.WriteByte('\'')
+						i += 2
+						continue
+					}
+					i++
+					break
+				}
+				sb.WriteByte(input[i])
+				i++
+			}
+			out = append(out, token{kind: tokString, text: sb.String(), pos: start})
+		case c == '(' || c == ')' || c == ',' || c == '=' || c == '.' || c == '*':
+			out = append(out, token{kind: tokSymbol, text: string(c), pos: i})
+			i++
+		case unicode.IsDigit(c):
+			start := i
+			for i < len(input) && (unicode.IsDigit(rune(input[i])) || input[i] == '.') {
+				i++
+			}
+			out = append(out, token{kind: tokNumber, text: input[start:i], pos: start})
+		case unicode.IsLetter(c) || c == '_':
+			start := i
+			for i < len(input) && (unicode.IsLetter(rune(input[i])) ||
+				unicode.IsDigit(rune(input[i])) || input[i] == '_' || input[i] == '-') {
+				i++
+			}
+			out = append(out, token{kind: tokWord, text: input[start:i], pos: start})
+		default:
+			return nil, fmt.Errorf("query: unexpected character %q at %d", c, i)
+		}
+	}
+	return append(out, token{kind: tokEOF, pos: len(input)}), nil
+}

@@ -1,0 +1,349 @@
+package query
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Statement is a parsed SQL statement.
+type Statement interface{ stmt() }
+
+// Insert writes one row; Columns[0] is the primary key column.
+type Insert struct {
+	Table   string
+	Columns []string
+	Values  []string
+}
+
+// Select reads columns of one row (PK set) or a pk range (Lo/Hi set).
+type Select struct {
+	Table   string
+	Columns []string // empty means *
+	PK      string
+	Lo, Hi  string
+	IsRange bool
+}
+
+// Update overwrites columns of one row.
+type Update struct {
+	Table   string
+	Columns []string
+	Values  []string
+	PK      string
+}
+
+// Delete tombstones every column of one row.
+type Delete struct {
+	Table string
+	PK    string
+}
+
+// History lists all versions of one cell.
+type History struct {
+	Table  string
+	Column string
+	PK     string
+}
+
+func (Insert) stmt()  {}
+func (Select) stmt()  {}
+func (Update) stmt()  {}
+func (Delete) stmt()  {}
+func (History) stmt() {}
+
+// Parse parses one statement.
+func Parse(input string) (Statement, error) {
+	toks, err := lex(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, input: input}
+	var st Statement
+	switch strings.ToUpper(p.peek().text) {
+	case "INSERT":
+		st, err = p.insert()
+	case "SELECT":
+		st, err = p.selectStmt()
+	case "UPDATE":
+		st, err = p.update()
+	case "DELETE":
+		st, err = p.delete()
+	case "HISTORY":
+		st, err = p.history()
+	default:
+		return nil, fmt.Errorf("query: unknown statement %q", p.peek().text)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().kind != tokEOF {
+		return nil, fmt.Errorf("query: trailing input at %d: %q", p.peek().pos, p.peek().text)
+	}
+	return st, nil
+}
+
+type parser struct {
+	toks  []token
+	i     int
+	input string
+}
+
+func (p *parser) peek() token { return p.toks[p.i] }
+
+func (p *parser) next() token {
+	t := p.toks[p.i]
+	if t.kind != tokEOF {
+		p.i++
+	}
+	return t
+}
+
+// keyword consumes a case-insensitive keyword.
+func (p *parser) keyword(kw string) error {
+	t := p.next()
+	if t.kind != tokWord || !strings.EqualFold(t.text, kw) {
+		return fmt.Errorf("query: expected %s at %d, got %q", kw, t.pos, t.text)
+	}
+	return nil
+}
+
+// symbol consumes an exact symbol.
+func (p *parser) symbol(sym string) error {
+	t := p.next()
+	if t.kind != tokSymbol || t.text != sym {
+		return fmt.Errorf("query: expected %q at %d, got %q", sym, t.pos, t.text)
+	}
+	return nil
+}
+
+// ident consumes an identifier.
+func (p *parser) ident() (string, error) {
+	t := p.next()
+	if t.kind != tokWord {
+		return "", fmt.Errorf("query: expected identifier at %d, got %q", t.pos, t.text)
+	}
+	return t.text, nil
+}
+
+// value consumes a string or number literal.
+func (p *parser) value() (string, error) {
+	t := p.next()
+	if t.kind != tokString && t.kind != tokNumber {
+		return "", fmt.Errorf("query: expected literal at %d, got %q", t.pos, t.text)
+	}
+	return t.text, nil
+}
+
+func (p *parser) insert() (Statement, error) {
+	if err := p.keyword("INSERT"); err != nil {
+		return nil, err
+	}
+	if err := p.keyword("INTO"); err != nil {
+		return nil, err
+	}
+	table, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.symbol("("); err != nil {
+		return nil, err
+	}
+	var cols []string
+	for {
+		c, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		cols = append(cols, c)
+		if p.peek().text == "," {
+			p.next()
+			continue
+		}
+		break
+	}
+	if err := p.symbol(")"); err != nil {
+		return nil, err
+	}
+	if err := p.keyword("VALUES"); err != nil {
+		return nil, err
+	}
+	if err := p.symbol("("); err != nil {
+		return nil, err
+	}
+	var vals []string
+	for {
+		v, err := p.value()
+		if err != nil {
+			return nil, err
+		}
+		vals = append(vals, v)
+		if p.peek().text == "," {
+			p.next()
+			continue
+		}
+		break
+	}
+	if err := p.symbol(")"); err != nil {
+		return nil, err
+	}
+	if len(cols) != len(vals) {
+		return nil, fmt.Errorf("query: %d columns but %d values", len(cols), len(vals))
+	}
+	if len(cols) < 1 {
+		return nil, fmt.Errorf("query: INSERT needs at least the primary key column")
+	}
+	return Insert{Table: table, Columns: cols, Values: vals}, nil
+}
+
+func (p *parser) selectStmt() (Statement, error) {
+	if err := p.keyword("SELECT"); err != nil {
+		return nil, err
+	}
+	var cols []string
+	if p.peek().text == "*" {
+		p.next()
+	} else {
+		for {
+			c, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			cols = append(cols, c)
+			if p.peek().text == "," {
+				p.next()
+				continue
+			}
+			break
+		}
+	}
+	if err := p.keyword("FROM"); err != nil {
+		return nil, err
+	}
+	table, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.keyword("WHERE"); err != nil {
+		return nil, err
+	}
+	if err := p.keyword("pk"); err != nil {
+		return nil, err
+	}
+	switch {
+	case p.peek().text == "=":
+		p.next()
+		pk, err := p.value()
+		if err != nil {
+			return nil, err
+		}
+		return Select{Table: table, Columns: cols, PK: pk}, nil
+	case strings.EqualFold(p.peek().text, "BETWEEN"):
+		p.next()
+		lo, err := p.value()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.keyword("AND"); err != nil {
+			return nil, err
+		}
+		hi, err := p.value()
+		if err != nil {
+			return nil, err
+		}
+		return Select{Table: table, Columns: cols, Lo: lo, Hi: hi, IsRange: true}, nil
+	default:
+		return nil, fmt.Errorf("query: expected = or BETWEEN at %d", p.peek().pos)
+	}
+}
+
+func (p *parser) update() (Statement, error) {
+	if err := p.keyword("UPDATE"); err != nil {
+		return nil, err
+	}
+	table, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.keyword("SET"); err != nil {
+		return nil, err
+	}
+	var cols, vals []string
+	for {
+		c, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.symbol("="); err != nil {
+			return nil, err
+		}
+		v, err := p.value()
+		if err != nil {
+			return nil, err
+		}
+		cols = append(cols, c)
+		vals = append(vals, v)
+		if p.peek().text == "," {
+			p.next()
+			continue
+		}
+		break
+	}
+	pk, err := p.wherePK()
+	if err != nil {
+		return nil, err
+	}
+	return Update{Table: table, Columns: cols, Values: vals, PK: pk}, nil
+}
+
+func (p *parser) delete() (Statement, error) {
+	if err := p.keyword("DELETE"); err != nil {
+		return nil, err
+	}
+	if err := p.keyword("FROM"); err != nil {
+		return nil, err
+	}
+	table, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	pk, err := p.wherePK()
+	if err != nil {
+		return nil, err
+	}
+	return Delete{Table: table, PK: pk}, nil
+}
+
+func (p *parser) history() (Statement, error) {
+	if err := p.keyword("HISTORY"); err != nil {
+		return nil, err
+	}
+	table, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.symbol("."); err != nil {
+		return nil, err
+	}
+	col, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	pk, err := p.wherePK()
+	if err != nil {
+		return nil, err
+	}
+	return History{Table: table, Column: col, PK: pk}, nil
+}
+
+func (p *parser) wherePK() (string, error) {
+	if err := p.keyword("WHERE"); err != nil {
+		return "", err
+	}
+	if err := p.keyword("pk"); err != nil {
+		return "", err
+	}
+	if err := p.symbol("="); err != nil {
+		return "", err
+	}
+	return p.value()
+}

@@ -1,0 +1,225 @@
+package query
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"spitz/internal/core"
+)
+
+func newEngine() *core.Engine { return core.New(core.Options{}) }
+
+func mustExec(t *testing.T, eng *core.Engine, stmt string) Result {
+	t.Helper()
+	res, err := Exec(eng, stmt)
+	if err != nil {
+		t.Fatalf("Exec(%q): %v", stmt, err)
+	}
+	return res
+}
+
+func TestInsertSelectPoint(t *testing.T) {
+	eng := newEngine()
+	res := mustExec(t, eng, "INSERT INTO users (pk, name, email) VALUES ('u1', 'alice', 'a@x.com')")
+	if res.RowsAffected != 1 {
+		t.Fatalf("RowsAffected = %d", res.RowsAffected)
+	}
+	res = mustExec(t, eng, "SELECT name, email FROM users WHERE pk = 'u1'")
+	if len(res.Rows) != 1 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	row := res.Rows[0]
+	if string(row.Columns["name"]) != "alice" || string(row.Columns["email"]) != "a@x.com" {
+		t.Fatalf("row = %v", row.Columns)
+	}
+}
+
+func TestSelectStar(t *testing.T) {
+	eng := newEngine()
+	mustExec(t, eng, "INSERT INTO t (pk, a, b) VALUES ('k', '1', '2')")
+	res := mustExec(t, eng, "SELECT * FROM t WHERE pk = 'k'")
+	if len(res.Rows) != 1 || len(res.Rows[0].Columns) != 2 {
+		t.Fatalf("rows = %+v", res.Rows)
+	}
+}
+
+func TestSelectAbsent(t *testing.T) {
+	eng := newEngine()
+	mustExec(t, eng, "INSERT INTO t (pk, a) VALUES ('k', '1')")
+	res := mustExec(t, eng, "SELECT a FROM t WHERE pk = 'missing'")
+	if len(res.Rows) != 0 {
+		t.Fatal("absent row returned")
+	}
+}
+
+func TestSelectRange(t *testing.T) {
+	eng := newEngine()
+	mustExec(t, eng, "INSERT INTO inv (pk, stock) VALUES ('item-a', '10')")
+	mustExec(t, eng, "INSERT INTO inv (pk, stock) VALUES ('item-b', '20')")
+	mustExec(t, eng, "INSERT INTO inv (pk, stock) VALUES ('item-c', '30')")
+	mustExec(t, eng, "INSERT INTO inv (pk, stock) VALUES ('item-z', '99')")
+	res := mustExec(t, eng, "SELECT stock FROM inv WHERE pk BETWEEN 'item-a' AND 'item-c'")
+	if len(res.Rows) != 3 {
+		t.Fatalf("range rows = %d, want 3 (BETWEEN is inclusive)", len(res.Rows))
+	}
+	if string(res.Rows[0].PK) != "item-a" || string(res.Rows[2].PK) != "item-c" {
+		t.Fatalf("range order wrong: %s..%s", res.Rows[0].PK, res.Rows[2].PK)
+	}
+}
+
+func TestUpdateAndHistory(t *testing.T) {
+	eng := newEngine()
+	mustExec(t, eng, "INSERT INTO t (pk, status) VALUES ('o1', 'created')")
+	mustExec(t, eng, "UPDATE t SET status = 'shipped' WHERE pk = 'o1'")
+	res := mustExec(t, eng, "SELECT status FROM t WHERE pk = 'o1'")
+	if string(res.Rows[0].Columns["status"]) != "shipped" {
+		t.Fatal("update not visible")
+	}
+	res = mustExec(t, eng, "HISTORY t.status WHERE pk = 'o1'")
+	if len(res.Rows) != 2 {
+		t.Fatalf("history rows = %d", len(res.Rows))
+	}
+	if string(res.Rows[0].Columns["status"]) != "shipped" ||
+		string(res.Rows[1].Columns["status"]) != "created" {
+		t.Fatal("history order wrong")
+	}
+	if string(res.Rows[0].Columns["@version"]) == "" {
+		t.Fatal("history missing version metadata")
+	}
+}
+
+func TestDelete(t *testing.T) {
+	eng := newEngine()
+	mustExec(t, eng, "INSERT INTO t (pk, a, b) VALUES ('k', '1', '2')")
+	res := mustExec(t, eng, "DELETE FROM t WHERE pk = 'k'")
+	if res.RowsAffected != 1 {
+		t.Fatal("delete affected nothing")
+	}
+	out := mustExec(t, eng, "SELECT * FROM t WHERE pk = 'k'")
+	if len(out.Rows) != 0 {
+		t.Fatal("deleted row still visible")
+	}
+	// Deleting an absent row is a no-op.
+	res = mustExec(t, eng, "DELETE FROM t WHERE pk = 'k'")
+	if res.RowsAffected != 0 {
+		t.Fatal("double delete affected rows")
+	}
+}
+
+func TestStatementRecordedInLedger(t *testing.T) {
+	eng := newEngine()
+	stmt := "INSERT INTO audit (pk, v) VALUES ('k', 'x')"
+	res := mustExec(t, eng, stmt)
+	body, err := eng.Ledger().Body(res.Block)
+	if err != nil || len(body) != 1 {
+		t.Fatal("block body missing")
+	}
+	if body[0].Statement != stmt {
+		t.Fatalf("recorded statement = %q", body[0].Statement)
+	}
+}
+
+func TestStringEscapes(t *testing.T) {
+	eng := newEngine()
+	mustExec(t, eng, "INSERT INTO t (pk, v) VALUES ('it''s', 'a ''quoted'' value')")
+	res := mustExec(t, eng, "SELECT v FROM t WHERE pk = 'it''s'")
+	if string(res.Rows[0].Columns["v"]) != "a 'quoted' value" {
+		t.Fatalf("escaped value = %q", res.Rows[0].Columns["v"])
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"DROP TABLE t",
+		"INSERT INTO t VALUES ('x')",
+		"INSERT INTO t (pk, a) VALUES ('x')",
+		"SELECT FROM t WHERE pk = 'x'",
+		"SELECT a FROM t",
+		"SELECT a FROM t WHERE pk LIKE 'x'",
+		"UPDATE t SET WHERE pk = 'x'",
+		"DELETE FROM t",
+		"INSERT INTO t (pk) VALUES ('unterminated",
+		"SELECT a FROM t WHERE pk = 'x' EXTRA",
+		"HISTORY t WHERE pk = 'x'",
+	}
+	eng := newEngine()
+	for _, stmt := range bad {
+		if _, err := Exec(eng, stmt); err == nil {
+			t.Errorf("statement %q accepted", stmt)
+		}
+	}
+}
+
+func TestNumbersAsLiterals(t *testing.T) {
+	eng := newEngine()
+	mustExec(t, eng, "INSERT INTO t (pk, n) VALUES (42, 3.14)")
+	res := mustExec(t, eng, "SELECT n FROM t WHERE pk = 42")
+	if string(res.Rows[0].Columns["n"]) != "3.14" {
+		t.Fatalf("numeric literal = %q", res.Rows[0].Columns["n"])
+	}
+}
+
+func TestDocumentRoundTrip(t *testing.T) {
+	eng := newEngine()
+	doc := []byte(`{"name":"alice","age":30,"address":{"city":"SIN","zip":"038988"},"tags":["a","b"]}`)
+	if _, err := PutDocument(eng, "people", []byte("p1"), doc); err != nil {
+		t.Fatal(err)
+	}
+	got, found, err := GetDocument(eng, "people", []byte("p1"))
+	if err != nil || !found {
+		t.Fatalf("GetDocument: %v %v", found, err)
+	}
+	var want, have map[string]any
+	json.Unmarshal(doc, &want)
+	json.Unmarshal(got, &have)
+	if !reflect.DeepEqual(want, have) {
+		t.Fatalf("document round trip:\n want %v\n have %v", want, have)
+	}
+}
+
+func TestDocumentFieldsAreCells(t *testing.T) {
+	eng := newEngine()
+	PutDocument(eng, "people", []byte("p1"), []byte(`{"name":"alice","address":{"city":"SIN"}}`))
+	// Nested fields are addressable as dotted columns with full history.
+	v, err := eng.Get("people", "address.city", []byte("p1"))
+	if err != nil || string(v) != `"SIN"` {
+		t.Fatalf("nested field cell = %q, %v", v, err)
+	}
+	PutDocument(eng, "people", []byte("p1"), []byte(`{"name":"alice","address":{"city":"PEK"}}`))
+	hist, err := eng.History("people", "address.city", []byte("p1"))
+	if err != nil || len(hist) != 2 {
+		t.Fatalf("field history = %d versions", len(hist))
+	}
+}
+
+func TestDocumentUpdateMergesFields(t *testing.T) {
+	eng := newEngine()
+	PutDocument(eng, "d", []byte("k"), []byte(`{"a":1,"b":2}`))
+	PutDocument(eng, "d", []byte("k"), []byte(`{"b":3}`))
+	got, _, err := GetDocument(eng, "d", []byte("k"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var have map[string]any
+	json.Unmarshal(got, &have)
+	// Documents are column-mapped: unmentioned fields keep their last
+	// value (cell semantics, not whole-document replacement).
+	if have["a"] != float64(1) || have["b"] != float64(3) {
+		t.Fatalf("merged document = %v", have)
+	}
+}
+
+func TestDocumentErrors(t *testing.T) {
+	eng := newEngine()
+	if _, err := PutDocument(eng, "d", []byte("k"), []byte(`not json`)); err == nil {
+		t.Error("invalid JSON accepted")
+	}
+	if _, err := PutDocument(eng, "d", []byte("k"), []byte(`{}`)); err == nil {
+		t.Error("empty document accepted")
+	}
+	if _, found, err := GetDocument(eng, "d", []byte("missing")); err != nil || found {
+		t.Error("absent document misbehaved")
+	}
+}

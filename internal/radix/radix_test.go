@@ -1,0 +1,252 @@
+package radix
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmpty(t *testing.T) {
+	var tr Tree[int]
+	if tr.Len() != 0 {
+		t.Fatal("nonzero len")
+	}
+	if _, ok := tr.Get([]byte("a")); ok {
+		t.Fatal("found in empty tree")
+	}
+	tr.Walk(func([]byte, int) bool { t.Fatal("walk yielded"); return false })
+}
+
+func TestPutGetBasic(t *testing.T) {
+	var tr Tree[int]
+	keys := []string{"romane", "romanus", "romulus", "rubens", "ruber", "rubicon", "rubicundus", "r", "", "z"}
+	for i, k := range keys {
+		if !tr.Put([]byte(k), i) {
+			t.Fatalf("Put(%q) reported existing", k)
+		}
+	}
+	if tr.Len() != len(keys) {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	for i, k := range keys {
+		v, ok := tr.Get([]byte(k))
+		if !ok || v != i {
+			t.Fatalf("Get(%q) = %d,%v", k, v, ok)
+		}
+	}
+	for _, k := range []string{"rom", "roman", "rubico", "romanesque", "x"} {
+		if _, ok := tr.Get([]byte(k)); ok {
+			t.Fatalf("found absent key %q", k)
+		}
+	}
+}
+
+func TestUpsert(t *testing.T) {
+	var tr Tree[string]
+	tr.Put([]byte("k"), "a")
+	if tr.Put([]byte("k"), "b") {
+		t.Fatal("overwrite reported as insert")
+	}
+	v, _ := tr.Get([]byte("k"))
+	if v != "b" || tr.Len() != 1 {
+		t.Fatal("upsert failed")
+	}
+}
+
+func TestDelete(t *testing.T) {
+	var tr Tree[int]
+	keys := []string{"a", "ab", "abc", "abd", "b", "ba"}
+	for i, k := range keys {
+		tr.Put([]byte(k), i)
+	}
+	if !tr.Delete([]byte("ab")) {
+		t.Fatal("Delete(ab) reported absent")
+	}
+	if tr.Delete([]byte("ab")) {
+		t.Fatal("double delete succeeded")
+	}
+	if tr.Delete([]byte("zzz")) {
+		t.Fatal("deleting absent key succeeded")
+	}
+	if _, ok := tr.Get([]byte("ab")); ok {
+		t.Fatal("deleted key still present")
+	}
+	// Neighbors survive.
+	for _, k := range []string{"a", "abc", "abd", "b", "ba"} {
+		if _, ok := tr.Get([]byte(k)); !ok {
+			t.Fatalf("neighbor %q lost", k)
+		}
+	}
+	if tr.Len() != 5 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+}
+
+func TestWalkOrder(t *testing.T) {
+	var tr Tree[int]
+	keys := []string{"m", "b", "zz", "a", "ab", "z", "ba"}
+	for i, k := range keys {
+		tr.Put([]byte(k), i)
+	}
+	var got []string
+	tr.Walk(func(k []byte, v int) bool {
+		got = append(got, string(k))
+		return true
+	})
+	want := append([]string(nil), keys...)
+	sort.Strings(want)
+	if strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Fatalf("walk order = %v, want %v", got, want)
+	}
+}
+
+func TestWalkPrefix(t *testing.T) {
+	var tr Tree[int]
+	keys := []string{"user:1", "user:10", "user:2", "acct:1", "user", "usurp"}
+	for i, k := range keys {
+		tr.Put([]byte(k), i)
+	}
+	var got []string
+	tr.WalkPrefix([]byte("user:"), func(k []byte, v int) bool {
+		got = append(got, string(k))
+		return true
+	})
+	want := []string{"user:1", "user:10", "user:2"}
+	if strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Fatalf("WalkPrefix = %v, want %v", got, want)
+	}
+
+	got = nil
+	tr.WalkPrefix([]byte("us"), func(k []byte, v int) bool {
+		got = append(got, string(k))
+		return true
+	})
+	want = []string{"user", "user:1", "user:10", "user:2", "usurp"}
+	if strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Fatalf("WalkPrefix(us) = %v, want %v", got, want)
+	}
+
+	got = nil
+	tr.WalkPrefix([]byte("nothing"), func(k []byte, v int) bool {
+		got = append(got, string(k))
+		return true
+	})
+	if len(got) != 0 {
+		t.Fatalf("WalkPrefix(nothing) = %v", got)
+	}
+}
+
+func TestWalkEarlyStop(t *testing.T) {
+	var tr Tree[int]
+	for i := 0; i < 100; i++ {
+		tr.Put([]byte(fmt.Sprintf("k%03d", i)), i)
+	}
+	var n int
+	tr.Walk(func([]byte, int) bool { n++; return n < 5 })
+	if n != 5 {
+		t.Fatalf("early stop at %d", n)
+	}
+}
+
+func TestSharedPrefixCompression(t *testing.T) {
+	// All keys share a long prefix; the tree must not blow up in depth.
+	var tr Tree[int]
+	prefix := strings.Repeat("shared-prefix/", 4)
+	for i := 0; i < 100; i++ {
+		tr.Put([]byte(fmt.Sprintf("%s%03d", prefix, i)), i)
+	}
+	var got int
+	tr.WalkPrefix([]byte(prefix), func([]byte, int) bool { got++; return true })
+	if got != 100 {
+		t.Fatalf("prefix walk saw %d", got)
+	}
+}
+
+// Property: radix tree behaves like a map with sorted iteration.
+func TestQuickOracle(t *testing.T) {
+	type op struct {
+		K   uint16
+		V   int
+		Del bool
+	}
+	f := func(ops []op) bool {
+		var tr Tree[int]
+		oracle := map[string]int{}
+		for _, o := range ops {
+			k := []byte(fmt.Sprintf("%b", o.K)) // binary strings share prefixes heavily
+			if o.Del {
+				_, present := oracle[string(k)]
+				if tr.Delete(k) != present {
+					return false
+				}
+				delete(oracle, string(k))
+			} else {
+				_, present := oracle[string(k)]
+				if tr.Put(k, o.V) == present {
+					return false
+				}
+				oracle[string(k)] = o.V
+			}
+		}
+		if tr.Len() != len(oracle) {
+			return false
+		}
+		keys := make([]string, 0, len(oracle))
+		for k := range oracle {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		i := 0
+		good := true
+		tr.Walk(func(k []byte, v int) bool {
+			if i >= len(keys) || string(k) != keys[i] || v != oracle[keys[i]] {
+				good = false
+				return false
+			}
+			i++
+			return true
+		})
+		return good && i == len(keys)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRandomizedLargeSet(t *testing.T) {
+	var tr Tree[int]
+	rng := rand.New(rand.NewSource(11))
+	oracle := map[string]int{}
+	for i := 0; i < 20000; i++ {
+		k := make([]byte, 1+rng.Intn(12))
+		rng.Read(k)
+		if rng.Intn(4) == 0 {
+			tr.Delete(k)
+			delete(oracle, string(k))
+		} else {
+			tr.Put(append([]byte(nil), k...), i)
+			oracle[string(k)] = i
+		}
+	}
+	if tr.Len() != len(oracle) {
+		t.Fatalf("Len = %d oracle = %d", tr.Len(), len(oracle))
+	}
+	for k, v := range oracle {
+		got, ok := tr.Get([]byte(k))
+		if !ok || got != v {
+			t.Fatalf("Get(%q) = %d,%v want %d", k, got, ok, v)
+		}
+	}
+	var prev []byte
+	tr.Walk(func(k []byte, _ int) bool {
+		if prev != nil && bytes.Compare(prev, k) >= 0 {
+			t.Fatal("walk out of order")
+		}
+		prev = k
+		return true
+	})
+}

@@ -1,0 +1,226 @@
+// Package twopc implements two-phase commit across Spitz processor nodes.
+// Section 5.2: "The solution is to add distributed transactions to each
+// node, and follow the two-phase commit (2PC) protocol to coordinate each
+// transaction so that transactions committed by different nodes can be
+// made serializable."
+//
+// A Coordinator drives Prepare/Commit/Abort over named participants (one
+// per shard); conflicting prepares vote abort, and the coordinator rolls
+// back every prepared participant when any vote fails.
+package twopc
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"spitz/internal/txn"
+)
+
+// ErrAborted is returned when a distributed transaction fails to prepare
+// on every shard and is rolled back.
+var ErrAborted = errors.New("twopc: transaction aborted")
+
+// Participant is one shard's interface in the protocol.
+type Participant interface {
+	// Prepare validates the shard-local reads and locks the write keys.
+	// An error is a vote to abort.
+	Prepare(txnID uint64, reads map[string]uint64, writes []txn.Write) error
+	// Commit applies a prepared transaction at the given version and
+	// releases its locks. Commit must succeed for prepared transactions.
+	Commit(txnID uint64, version uint64) error
+	// Abort releases a prepared (or never-prepared) transaction's locks.
+	Abort(txnID uint64) error
+}
+
+// Coordinator runs 2PC over a set of named shards.
+type Coordinator struct {
+	mu     sync.Mutex
+	shards map[string]Participant
+	ts     txn.TimestampSource
+	nextID uint64
+
+	commits int64
+	aborts  int64
+}
+
+// NewCoordinator returns a coordinator allocating commit versions from ts.
+func NewCoordinator(ts txn.TimestampSource) *Coordinator {
+	return &Coordinator{shards: make(map[string]Participant), ts: ts}
+}
+
+// Register adds a shard.
+func (c *Coordinator) Register(name string, p Participant) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.shards[name] = p
+}
+
+// Stats returns commit and abort counts.
+func (c *Coordinator) Stats() (commits, aborts int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.commits, c.aborts
+}
+
+// Request carries one shard's portion of a distributed transaction.
+type Request struct {
+	Shard  string
+	Reads  map[string]uint64 // key -> version observed during execution
+	Writes []txn.Write
+}
+
+// Execute runs the two phases. On success every shard has committed at the
+// same version, which is returned. On abort, ErrAborted wraps the first
+// failing shard's vote.
+func (c *Coordinator) Execute(reqs []Request) (uint64, error) {
+	c.mu.Lock()
+	c.nextID++
+	id := c.nextID
+	parts := make([]Participant, len(reqs))
+	for i, r := range reqs {
+		p, ok := c.shards[r.Shard]
+		if !ok {
+			c.mu.Unlock()
+			return 0, fmt.Errorf("twopc: unknown shard %q", r.Shard)
+		}
+		parts[i] = p
+	}
+	c.mu.Unlock()
+
+	// Phase 1: prepare all shards in parallel.
+	errs := make([]error, len(reqs))
+	var wg sync.WaitGroup
+	for i := range reqs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = parts[i].Prepare(id, reqs[i].Reads, reqs[i].Writes)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			// Roll back every shard (including non-prepared ones; Abort is
+			// idempotent).
+			for j := range reqs {
+				_ = parts[j].Abort(id)
+			}
+			c.mu.Lock()
+			c.aborts++
+			c.mu.Unlock()
+			return 0, fmt.Errorf("%w: shard %q: %v", ErrAborted, reqs[i].Shard, err)
+		}
+	}
+
+	// Phase 2: commit everywhere at one version.
+	version := c.ts.Next()
+	for i := range reqs {
+		if err := parts[i].Commit(id, version); err != nil {
+			// A prepared participant failing to commit is a broken
+			// invariant; surface it loudly rather than half-committing.
+			return 0, fmt.Errorf("twopc: shard %q failed prepared commit: %v", reqs[i].Shard, err)
+		}
+	}
+	c.mu.Lock()
+	c.commits++
+	c.mu.Unlock()
+	return version, nil
+}
+
+// ShardParticipant is the standard Participant over a txn.Store: OCC
+// validation of reads plus write-key locking between Prepare and
+// Commit/Abort.
+type ShardParticipant struct {
+	mu        sync.Mutex
+	store     txn.Store
+	locks     map[string]uint64 // key -> txn holding the lock
+	prepared  map[uint64][]txn.Write
+	lastWrite map[string]uint64
+}
+
+// NewShardParticipant returns a participant over store.
+func NewShardParticipant(store txn.Store) *ShardParticipant {
+	return &ShardParticipant{
+		store:     store,
+		locks:     make(map[string]uint64),
+		prepared:  make(map[uint64][]txn.Write),
+		lastWrite: make(map[string]uint64),
+	}
+}
+
+// Prepare implements Participant.
+func (s *ShardParticipant) Prepare(txnID uint64, reads map[string]uint64, writes []txn.Write) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.prepared[txnID]; dup {
+		return fmt.Errorf("twopc: txn %d already prepared", txnID)
+	}
+	// Validate reads (OCC backward validation against committed state).
+	for key, seen := range reads {
+		if s.lastWrite[key] != seen {
+			return txn.ErrConflict
+		}
+		if holder, locked := s.locks[key]; locked && holder != txnID {
+			return txn.ErrConflict // read key being written by another txn
+		}
+	}
+	// Lock write keys.
+	acquired := make([]string, 0, len(writes))
+	for _, w := range writes {
+		key := string(w.Key)
+		if holder, locked := s.locks[key]; locked && holder != txnID {
+			for _, k := range acquired {
+				delete(s.locks, k)
+			}
+			return txn.ErrConflict
+		}
+		s.locks[key] = txnID
+		acquired = append(acquired, key)
+	}
+	s.prepared[txnID] = writes
+	return nil
+}
+
+// Commit implements Participant.
+func (s *ShardParticipant) Commit(txnID uint64, version uint64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	writes, ok := s.prepared[txnID]
+	if !ok {
+		return fmt.Errorf("twopc: commit of unprepared txn %d", txnID)
+	}
+	if err := s.store.ApplyBatch(version, writes); err != nil {
+		return err
+	}
+	for _, w := range writes {
+		s.lastWrite[string(w.Key)] = version
+		delete(s.locks, string(w.Key))
+	}
+	delete(s.prepared, txnID)
+	return nil
+}
+
+// Abort implements Participant. It is idempotent and safe to call for
+// transactions that never prepared on this shard.
+func (s *ShardParticipant) Abort(txnID uint64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	writes, ok := s.prepared[txnID]
+	if !ok {
+		return nil
+	}
+	for _, w := range writes {
+		if s.locks[string(w.Key)] == txnID {
+			delete(s.locks, string(w.Key))
+		}
+	}
+	delete(s.prepared, txnID)
+	return nil
+}
+
+// ReadLatest reads through to the underlying store, reporting the version
+// for use in Request.Reads.
+func (s *ShardParticipant) ReadLatest(key []byte, asOf uint64) ([]byte, uint64, bool, error) {
+	return s.store.ReadLatest(key, asOf)
+}

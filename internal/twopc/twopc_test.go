@@ -1,0 +1,214 @@
+package twopc
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"spitz/internal/txn"
+	"spitz/internal/txn/tso"
+)
+
+func setup() (*Coordinator, *ShardParticipant, *ShardParticipant, *txn.MemStore, *txn.MemStore) {
+	ts := tso.New(0)
+	sa, sb := txn.NewMemStore(), txn.NewMemStore()
+	pa, pb := NewShardParticipant(sa), NewShardParticipant(sb)
+	c := NewCoordinator(ts)
+	c.Register("a", pa)
+	c.Register("b", pb)
+	return c, pa, pb, sa, sb
+}
+
+func TestCommitAcrossShards(t *testing.T) {
+	c, _, _, sa, sb := setup()
+	v, err := c.Execute([]Request{
+		{Shard: "a", Writes: []txn.Write{{Key: []byte("x"), Value: []byte("1")}}},
+		{Shard: "b", Writes: []txn.Write{{Key: []byte("y"), Value: []byte("2")}}},
+	})
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	got, ver, ok, _ := sa.ReadLatest([]byte("x"), v)
+	if !ok || string(got) != "1" || ver != v {
+		t.Fatal("shard a write missing")
+	}
+	got, ver, ok, _ = sb.ReadLatest([]byte("y"), v)
+	if !ok || string(got) != "2" || ver != v {
+		t.Fatal("shard b write missing")
+	}
+	commits, aborts := c.Stats()
+	if commits != 1 || aborts != 0 {
+		t.Fatalf("stats = %d/%d", commits, aborts)
+	}
+}
+
+func TestUnknownShard(t *testing.T) {
+	c, _, _, _, _ := setup()
+	if _, err := c.Execute([]Request{{Shard: "nope"}}); err == nil {
+		t.Fatal("unknown shard accepted")
+	}
+}
+
+func TestAbortRollsBackAllShards(t *testing.T) {
+	c, pa, _, sa, sb := setup()
+	// Hold a lock on shard a's key x via a prepared-but-unfinished txn.
+	if err := pa.Prepare(999, nil, []txn.Write{{Key: []byte("x"), Value: []byte("held")}}); err != nil {
+		t.Fatal(err)
+	}
+	_, err := c.Execute([]Request{
+		{Shard: "a", Writes: []txn.Write{{Key: []byte("x"), Value: []byte("1")}}},
+		{Shard: "b", Writes: []txn.Write{{Key: []byte("y"), Value: []byte("2")}}},
+	})
+	if !errors.Is(err, ErrAborted) {
+		t.Fatalf("expected abort, got %v", err)
+	}
+	// Neither shard applied anything.
+	if _, _, ok, _ := sa.ReadLatest([]byte("x"), ^uint64(0)); ok {
+		t.Fatal("aborted write visible on shard a")
+	}
+	if _, _, ok, _ := sb.ReadLatest([]byte("y"), ^uint64(0)); ok {
+		t.Fatal("aborted write visible on shard b")
+	}
+	// Shard b's lock must have been released: a retry succeeds after the
+	// blocker aborts.
+	pa.Abort(999)
+	if _, err := c.Execute([]Request{
+		{Shard: "a", Writes: []txn.Write{{Key: []byte("x"), Value: []byte("1")}}},
+		{Shard: "b", Writes: []txn.Write{{Key: []byte("y"), Value: []byte("2")}}},
+	}); err != nil {
+		t.Fatalf("retry failed: %v", err)
+	}
+}
+
+func TestReadValidationAbort(t *testing.T) {
+	c, pa, _, _, _ := setup()
+	// Commit an initial value so lastWrite is nonzero.
+	if _, err := c.Execute([]Request{{Shard: "a",
+		Writes: []txn.Write{{Key: []byte("x"), Value: []byte("v1")}}}}); err != nil {
+		t.Fatal(err)
+	}
+	// A transaction that read x at version 0 (stale) must abort.
+	_, err := c.Execute([]Request{{Shard: "a",
+		Reads:  map[string]uint64{"x": 0},
+		Writes: []txn.Write{{Key: []byte("z"), Value: []byte("out")}}}})
+	if !errors.Is(err, ErrAborted) {
+		t.Fatalf("stale read committed: %v", err)
+	}
+	// Reading the current version succeeds.
+	_, ver, _, _ := pa.ReadLatest([]byte("x"), ^uint64(0))
+	if _, err := c.Execute([]Request{{Shard: "a",
+		Reads:  map[string]uint64{"x": ver},
+		Writes: []txn.Write{{Key: []byte("z"), Value: []byte("out")}}}}); err != nil {
+		t.Fatalf("fresh read aborted: %v", err)
+	}
+}
+
+func TestLocksReleasedAfterCommit(t *testing.T) {
+	c, _, _, _, _ := setup()
+	for i := 0; i < 5; i++ {
+		if _, err := c.Execute([]Request{{Shard: "a",
+			Writes: []txn.Write{{Key: []byte("same-key"), Value: []byte{byte(i)}}}}}); err != nil {
+			t.Fatalf("iteration %d: %v", i, err)
+		}
+	}
+}
+
+func TestPrepareConflictOnReadLock(t *testing.T) {
+	_, pa, _, _, _ := setup()
+	if err := pa.Prepare(1, nil, []txn.Write{{Key: []byte("k"), Value: []byte("v")}}); err != nil {
+		t.Fatal(err)
+	}
+	// Another txn reading the locked key must vote abort.
+	err := pa.Prepare(2, map[string]uint64{"k": 0}, nil)
+	if !errors.Is(err, txn.ErrConflict) {
+		t.Fatalf("read of locked key prepared: %v", err)
+	}
+	pa.Abort(1)
+}
+
+func TestCommitUnpreparedFails(t *testing.T) {
+	_, pa, _, _, _ := setup()
+	if err := pa.Commit(42, 7); err == nil {
+		t.Fatal("commit of unprepared txn succeeded")
+	}
+	if err := pa.Abort(42); err != nil {
+		t.Fatal("abort of unknown txn should be a no-op")
+	}
+}
+
+// The classic bank-transfer invariant: concurrent transfers between
+// accounts on different shards preserve the total balance.
+func TestMoneyConservation(t *testing.T) {
+	c, pa, pb, _, _ := setup()
+	put := func(shard string, key string, amount uint64) {
+		buf := make([]byte, 8)
+		binary.BigEndian.PutUint64(buf, amount)
+		if _, err := c.Execute([]Request{{Shard: shard,
+			Writes: []txn.Write{{Key: []byte(key), Value: buf}}}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const accounts = 4
+	for i := 0; i < accounts; i++ {
+		put("a", fmt.Sprintf("acct%d", i), 1000)
+		put("b", fmt.Sprintf("acct%d", i), 1000)
+	}
+
+	read := func(p *ShardParticipant, key string) (uint64, uint64) {
+		v, ver, ok, _ := p.ReadLatest([]byte(key), ^uint64(0))
+		if !ok {
+			t.Fatalf("account %s missing", key)
+		}
+		return binary.BigEndian.Uint64(v), ver
+	}
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				src := fmt.Sprintf("acct%d", (g+i)%accounts)
+				dst := fmt.Sprintf("acct%d", (g+i+1)%accounts)
+				// Transfer 1 from shard a's src to shard b's dst.
+				sv, sver := read(pa, src)
+				dv, dver := read(pb, dst)
+				if sv == 0 {
+					continue
+				}
+				sbuf := make([]byte, 8)
+				binary.BigEndian.PutUint64(sbuf, sv-1)
+				dbuf := make([]byte, 8)
+				binary.BigEndian.PutUint64(dbuf, dv+1)
+				_, err := c.Execute([]Request{
+					{Shard: "a", Reads: map[string]uint64{src: sver},
+						Writes: []txn.Write{{Key: []byte(src), Value: sbuf}}},
+					{Shard: "b", Reads: map[string]uint64{dst: dver},
+						Writes: []txn.Write{{Key: []byte(dst), Value: dbuf}}},
+				})
+				if err != nil && !errors.Is(err, ErrAborted) {
+					t.Errorf("unexpected error: %v", err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	var total uint64
+	for i := 0; i < accounts; i++ {
+		va, _ := read(pa, fmt.Sprintf("acct%d", i))
+		vb, _ := read(pb, fmt.Sprintf("acct%d", i))
+		total += va + vb
+	}
+	if total != 8000 {
+		t.Fatalf("total balance = %d, want 8000 (money not conserved)", total)
+	}
+	commits, aborts := c.Stats()
+	t.Logf("transfers: %d commits, %d aborts", commits, aborts)
+	if commits == 0 {
+		t.Fatal("no transfer committed")
+	}
+}

@@ -1,0 +1,135 @@
+package hlc
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestMonotonicWithFrozenWall(t *testing.T) {
+	c := NewWithWall(func() uint64 { return 1000 })
+	var prev Timestamp
+	for i := 0; i < 100_000; i++ {
+		ts := c.Now()
+		if ts <= prev {
+			t.Fatalf("timestamp went backwards: %d then %d", prev, ts)
+		}
+		prev = ts
+	}
+}
+
+func TestPhysicalAdvances(t *testing.T) {
+	wall := uint64(1000)
+	c := NewWithWall(func() uint64 { return wall })
+	a := c.Now()
+	wall = 2000
+	b := c.Now()
+	if b.Physical() != 2000 || b.Logical() != 0 {
+		t.Fatalf("after wall advance: physical=%d logical=%d", b.Physical(), b.Logical())
+	}
+	if b <= a {
+		t.Fatal("not monotonic across wall advance")
+	}
+}
+
+func TestLogicalIncrementsWhenWallStuck(t *testing.T) {
+	c := NewWithWall(func() uint64 { return 5 })
+	a := c.Now()
+	b := c.Now()
+	if a.Physical() != b.Physical() {
+		t.Fatal("physical changed with frozen wall")
+	}
+	if b.Logical() != a.Logical()+1 {
+		t.Fatalf("logical did not increment: %d -> %d", a.Logical(), b.Logical())
+	}
+}
+
+func TestUpdateMergesRemote(t *testing.T) {
+	c := NewWithWall(func() uint64 { return 100 })
+	remote := Make(500, 7) // remote clock far ahead
+	ts := c.Update(remote)
+	if ts <= remote {
+		t.Fatalf("Update result %d not above remote %d", ts, remote)
+	}
+	if ts.Physical() != 500 {
+		t.Fatalf("physical should adopt remote: %d", ts.Physical())
+	}
+	// Subsequent local timestamps stay above the merged point.
+	if next := c.Now(); next <= ts {
+		t.Fatal("Now() after Update went backwards")
+	}
+}
+
+func TestUpdateWithStaleRemote(t *testing.T) {
+	c := NewWithWall(func() uint64 { return 1000 })
+	c.Now()
+	ts := c.Update(Make(10, 3)) // remote far behind
+	if ts.Physical() != 1000 {
+		t.Fatalf("adopted stale remote physical: %d", ts.Physical())
+	}
+}
+
+func TestUpdateEqualPhysical(t *testing.T) {
+	c := NewWithWall(func() uint64 { return 100 })
+	c.Now() // local at (100, 0)
+	ts := c.Update(Make(100, 40))
+	if ts.Physical() != 100 || ts.Logical() != 41 {
+		t.Fatalf("equal-physical merge: %d/%d, want 100/41", ts.Physical(), ts.Logical())
+	}
+}
+
+func TestMakeComponents(t *testing.T) {
+	ts := Make(0xABCDEF, 0x1234)
+	if ts.Physical() != 0xABCDEF || ts.Logical() != 0x1234 {
+		t.Fatal("component round trip failed")
+	}
+}
+
+func TestConcurrentNowIsStrictlyMonotonicPerObserver(t *testing.T) {
+	c := New()
+	var mu sync.Mutex
+	seen := make(map[Timestamp]bool)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			local := make([]Timestamp, 0, 1000)
+			for i := 0; i < 1000; i++ {
+				local = append(local, c.Now())
+			}
+			for i := 1; i < len(local); i++ {
+				if local[i] <= local[i-1] {
+					t.Error("per-goroutine timestamps not increasing")
+					return
+				}
+			}
+			mu.Lock()
+			for _, ts := range local {
+				if seen[ts] {
+					t.Error("duplicate timestamp issued")
+					mu.Unlock()
+					return
+				}
+				seen[ts] = true
+			}
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+}
+
+// Property: Update always returns a timestamp strictly above both the
+// remote timestamp and any previously issued local timestamp.
+func TestQuickUpdateDominates(t *testing.T) {
+	f := func(wall uint16, remotePhys uint16, remoteLog uint16) bool {
+		c := NewWithWall(func() uint64 { return uint64(wall) })
+		local := c.Now()
+		remote := Make(uint64(remotePhys), remoteLog)
+		merged := c.Update(remote)
+		return merged > local && merged > remote
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,59 @@
+package txn
+
+import (
+	"sort"
+	"sync"
+)
+
+// MemStore is an in-memory multi-version Store used by tests and by the
+// concurrency-control ablation benchmarks, where ledger I/O would mask the
+// scheduler's behaviour.
+type MemStore struct {
+	mu       sync.RWMutex
+	versions map[string][]memVersion
+}
+
+type memVersion struct {
+	version uint64
+	value   []byte
+	deleted bool
+}
+
+// NewMemStore returns an empty store.
+func NewMemStore() *MemStore {
+	return &MemStore{versions: make(map[string][]memVersion)}
+}
+
+// ReadLatest implements Store.
+func (s *MemStore) ReadLatest(key []byte, asOf uint64) ([]byte, uint64, bool, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	vs := s.versions[string(key)]
+	i := sort.Search(len(vs), func(i int) bool { return vs[i].version > asOf })
+	if i == 0 {
+		return nil, 0, false, nil
+	}
+	v := vs[i-1]
+	if v.deleted {
+		return nil, v.version, false, nil
+	}
+	return v.value, v.version, true, nil
+}
+
+// ApplyBatch implements Store.
+func (s *MemStore) ApplyBatch(version uint64, writes []Write) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, w := range writes {
+		s.versions[string(w.Key)] = append(s.versions[string(w.Key)],
+			memVersion{version: version, value: w.Value, deleted: w.Delete})
+	}
+	return nil
+}
+
+// VersionCount reports the number of stored versions of a key.
+func (s *MemStore) VersionCount(key []byte) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.versions[string(key)])
+}

@@ -1,0 +1,13 @@
+package txn
+
+import "spitz/internal/txn/hlc"
+
+// ClockSource adapts a hybrid logical clock to the TimestampSource
+// interface, giving each node independent timestamp allocation without a
+// central oracle (Section 5.2).
+type ClockSource struct {
+	Clock *hlc.Clock
+}
+
+// Next implements TimestampSource.
+func (s ClockSource) Next() uint64 { return uint64(s.Clock.Now()) }

@@ -1,0 +1,85 @@
+package wire
+
+import (
+	"errors"
+	"net"
+	"sync"
+)
+
+// Listen opens a loopback TCP listener, falling back to an in-process pipe
+// listener in environments without networking (sandboxes, some CI). The
+// pipe listener preserves the protocol's serialization and scheduling
+// costs, so the non-intrusive experiment remains meaningful either way.
+func Listen() (net.Listener, string) {
+	if ln, err := net.Listen("tcp", "127.0.0.1:0"); err == nil {
+		return ln, "tcp"
+	}
+	return NewPipeListener(), "pipe"
+}
+
+// PipeListener is a net.Listener whose connections are synchronous
+// in-memory pipes created by DialPipe.
+type PipeListener struct {
+	mu     sync.Mutex
+	ch     chan net.Conn
+	closed bool
+}
+
+// NewPipeListener returns an open pipe listener.
+func NewPipeListener() *PipeListener {
+	return &PipeListener{ch: make(chan net.Conn)}
+}
+
+// Accept implements net.Listener.
+func (l *PipeListener) Accept() (net.Conn, error) {
+	conn, ok := <-l.ch
+	if !ok {
+		return nil, errors.New("wire: pipe listener closed")
+	}
+	return conn, nil
+}
+
+// Close implements net.Listener.
+func (l *PipeListener) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if !l.closed {
+		l.closed = true
+		close(l.ch)
+	}
+	return nil
+}
+
+// Addr implements net.Listener.
+func (l *PipeListener) Addr() net.Addr { return pipeAddr{} }
+
+// DialPipe connects a new client conn to the listener.
+func (l *PipeListener) DialPipe() (net.Conn, error) {
+	client, server := net.Pipe()
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil, errors.New("wire: pipe listener closed")
+	}
+	l.mu.Unlock()
+	l.ch <- server
+	return client, nil
+}
+
+type pipeAddr struct{}
+
+func (pipeAddr) Network() string { return "pipe" }
+func (pipeAddr) String() string  { return "pipe" }
+
+// Connect returns a client for a listener created by Listen, regardless of
+// transport.
+func Connect(ln net.Listener) (*Client, error) {
+	if pl, ok := ln.(*PipeListener); ok {
+		conn, err := pl.DialPipe()
+		if err != nil {
+			return nil, err
+		}
+		return NewClient(conn), nil
+	}
+	return Dial(ln.Addr().Network(), ln.Addr().String())
+}

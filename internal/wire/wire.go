@@ -1,0 +1,234 @@
+// Package wire implements the client/server protocol for Spitz services.
+//
+// Requests and responses are gob-encoded over a stream connection. The
+// same protocol serves the standalone Spitz server (cmd/spitz-server) and
+// the two services of the non-intrusive deployment (Figure 3), whose
+// measured overhead in Figure 8 is precisely the cost of crossing this
+// boundary twice per operation instead of zero or one times.
+package wire
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"spitz/internal/cellstore"
+	"spitz/internal/core"
+	"spitz/internal/ledger"
+	"spitz/internal/mtree"
+)
+
+// Op identifies a request type.
+type Op string
+
+// Supported operations.
+const (
+	OpPut         Op = "put"          // batched cell writes
+	OpGet         Op = "get"          // unverified point read
+	OpGetVerified Op = "get-verified" // point read + proof
+	OpRange       Op = "range"        // unverified pk range scan
+	OpRangeVer    Op = "range-verified"
+	OpHistory     Op = "history"
+	OpDigest      Op = "digest"
+	OpConsistency Op = "consistency"
+)
+
+// Put is one write in a request.
+type Put struct {
+	Table     string
+	Column    string
+	PK        []byte
+	Value     []byte
+	Tombstone bool
+}
+
+// Request is the client -> server message.
+type Request struct {
+	Op        Op
+	Table     string
+	Column    string
+	PK        []byte
+	PKHi      []byte
+	Puts      []Put
+	Statement string
+	OldDigest ledger.Digest
+}
+
+// Response is the server -> client message.
+type Response struct {
+	Err         string
+	Found       bool
+	Value       []byte
+	Cells       []cellstore.Cell
+	Proof       *ledger.Proof
+	Digest      ledger.Digest
+	Consistency *mtree.ConsistencyProof
+	Header      ledger.BlockHeader
+}
+
+// Server serves a core.Engine over a listener.
+type Server struct {
+	Engine *core.Engine
+
+	mu     sync.Mutex
+	closed bool
+	ln     net.Listener
+}
+
+// NewServer returns a server over eng.
+func NewServer(eng *core.Engine) *Server { return &Server{Engine: eng} }
+
+// Serve accepts connections until the listener is closed. Each connection
+// handles requests sequentially (clients multiplex by opening more
+// connections).
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		go s.handle(conn)
+	}
+}
+
+// Close stops the server.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
+	if s.ln != nil {
+		return s.ln.Close()
+	}
+	return nil
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer conn.Close()
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+	for {
+		var req Request
+		if err := dec.Decode(&req); err != nil {
+			return // connection closed or corrupt stream
+		}
+		resp := Dispatch(s.Engine, req)
+		if err := enc.Encode(resp); err != nil {
+			return
+		}
+	}
+}
+
+// Dispatch executes one request against an engine. It is shared by the
+// network server and by in-process processor nodes (internal/server).
+func Dispatch(eng *core.Engine, req Request) Response {
+	switch req.Op {
+	case OpPut:
+		puts := make([]core.Put, len(req.Puts))
+		for i, p := range req.Puts {
+			puts[i] = core.Put{Table: p.Table, Column: p.Column, PK: p.PK,
+				Value: p.Value, Tombstone: p.Tombstone}
+		}
+		h, err := eng.Apply(req.Statement, puts)
+		if err != nil {
+			return Response{Err: err.Error()}
+		}
+		return Response{Header: h, Digest: eng.Digest()}
+	case OpGet:
+		v, err := eng.Get(req.Table, req.Column, req.PK)
+		if errors.Is(err, core.ErrNotFound) {
+			return Response{}
+		}
+		if err != nil {
+			return Response{Err: err.Error()}
+		}
+		return Response{Found: true, Value: v}
+	case OpGetVerified:
+		res, err := eng.GetVerified(req.Table, req.Column, req.PK)
+		if err != nil {
+			return Response{Err: err.Error()}
+		}
+		return Response{Found: res.Found, Cells: res.Cells, Proof: &res.Proof, Digest: res.Digest}
+	case OpRange:
+		cells, err := eng.RangePK(req.Table, req.Column, req.PK, req.PKHi)
+		if err != nil {
+			return Response{Err: err.Error()}
+		}
+		return Response{Found: len(cells) > 0, Cells: cells}
+	case OpRangeVer:
+		res, err := eng.RangePKVerified(req.Table, req.Column, req.PK, req.PKHi)
+		if err != nil {
+			return Response{Err: err.Error()}
+		}
+		return Response{Found: res.Found, Cells: res.Cells, Proof: &res.Proof, Digest: res.Digest}
+	case OpHistory:
+		cells, err := eng.History(req.Table, req.Column, req.PK)
+		if err != nil {
+			return Response{Err: err.Error()}
+		}
+		return Response{Found: len(cells) > 0, Cells: cells}
+	case OpDigest:
+		return Response{Digest: eng.Digest()}
+	case OpConsistency:
+		cons, err := eng.ConsistencyProof(req.OldDigest)
+		if err != nil {
+			return Response{Err: err.Error()}
+		}
+		return Response{Consistency: &cons, Digest: eng.Digest()}
+	default:
+		return Response{Err: fmt.Sprintf("wire: unknown op %q", req.Op)}
+	}
+}
+
+// Client is a synchronous protocol client over one connection. Safe for
+// concurrent use (requests serialize on the connection).
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+	enc  *gob.Encoder
+	dec  *gob.Decoder
+}
+
+// Dial connects to a server address on the given network.
+func Dial(network, addr string) (*Client, error) {
+	conn, err := net.Dial(network, addr)
+	if err != nil {
+		return nil, fmt.Errorf("wire: dial: %w", err)
+	}
+	return NewClient(conn), nil
+}
+
+// NewClient wraps an established connection.
+func NewClient(conn net.Conn) *Client {
+	return &Client{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// Do performs one request/response round trip.
+func (c *Client) Do(req Request) (Response, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.enc.Encode(req); err != nil {
+		return Response{}, fmt.Errorf("wire: send: %w", err)
+	}
+	var resp Response
+	if err := c.dec.Decode(&resp); err != nil {
+		return Response{}, fmt.Errorf("wire: receive: %w", err)
+	}
+	if resp.Err != "" {
+		return resp, errors.New(resp.Err)
+	}
+	return resp, nil
+}

@@ -1,0 +1,186 @@
+package wire
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"spitz/internal/core"
+)
+
+// startServer returns a connected client and a cleanup function.
+func startServer(t *testing.T) (*Client, *core.Engine) {
+	t.Helper()
+	eng := core.New(core.Options{})
+	srv := NewServer(eng)
+	ln, transport := Listen()
+	t.Logf("transport: %s", transport)
+	go srv.Serve(ln)
+	t.Cleanup(func() { srv.Close() })
+	cl, err := Connect(ln)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cl.Close() })
+	return cl, eng
+}
+
+func putBatch(n int) []Put {
+	out := make([]Put, n)
+	for i := range out {
+		out[i] = Put{Table: "t", Column: "c", PK: []byte(fmt.Sprintf("pk%04d", i)),
+			Value: []byte(fmt.Sprintf("v%04d", i))}
+	}
+	return out
+}
+
+func TestPutGetOverWire(t *testing.T) {
+	cl, _ := startServer(t)
+	resp, err := cl.Do(Request{Op: OpPut, Statement: "seed", Puts: putBatch(100)})
+	if err != nil {
+		t.Fatalf("put: %v", err)
+	}
+	if resp.Digest.Height != 1 {
+		t.Fatalf("digest height = %d", resp.Digest.Height)
+	}
+	resp, err = cl.Do(Request{Op: OpGet, Table: "t", Column: "c", PK: []byte("pk0042")})
+	if err != nil || !resp.Found || string(resp.Value) != "v0042" {
+		t.Fatalf("get = %+v, %v", resp, err)
+	}
+	resp, err = cl.Do(Request{Op: OpGet, Table: "t", Column: "c", PK: []byte("nope")})
+	if err != nil || resp.Found {
+		t.Fatal("absent key found over wire")
+	}
+}
+
+func TestVerifiedGetOverWire(t *testing.T) {
+	cl, _ := startServer(t)
+	if _, err := cl.Do(Request{Op: OpPut, Statement: "seed", Puts: putBatch(200)}); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := cl.Do(Request{Op: OpGetVerified, Table: "t", Column: "c", PK: []byte("pk0123")})
+	if err != nil || !resp.Found {
+		t.Fatalf("verified get: %v", err)
+	}
+	if resp.Proof == nil {
+		t.Fatal("no proof returned")
+	}
+	if err := resp.Proof.Verify(resp.Digest); err != nil {
+		t.Fatalf("proof survived the wire but fails: %v", err)
+	}
+	cells, err := resp.Proof.Cells()
+	if err != nil || len(cells) != 1 || string(cells[0].Value) != "v0123" {
+		t.Fatal("proof payload wrong after serialization")
+	}
+}
+
+func TestRangeOverWire(t *testing.T) {
+	cl, _ := startServer(t)
+	if _, err := cl.Do(Request{Op: OpPut, Statement: "seed", Puts: putBatch(500)}); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := cl.Do(Request{Op: OpRange, Table: "t", Column: "c",
+		PK: []byte("pk0100"), PKHi: []byte("pk0120")})
+	if err != nil || len(resp.Cells) != 20 {
+		t.Fatalf("range = %d cells, %v", len(resp.Cells), err)
+	}
+	resp, err = cl.Do(Request{Op: OpRangeVer, Table: "t", Column: "c",
+		PK: []byte("pk0100"), PKHi: []byte("pk0120")})
+	if err != nil || len(resp.Cells) != 20 || resp.Proof == nil {
+		t.Fatal("verified range failed")
+	}
+	if err := resp.Proof.Verify(resp.Digest); err != nil {
+		t.Fatalf("range proof over wire: %v", err)
+	}
+}
+
+func TestHistoryAndDigestOps(t *testing.T) {
+	cl, _ := startServer(t)
+	cl.Do(Request{Op: OpPut, Statement: "s1", Puts: putBatch(10)})
+	old, err := cl.Do(Request{Op: OpDigest})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl.Do(Request{Op: OpPut, Statement: "s2", Puts: putBatch(10)})
+	resp, err := cl.Do(Request{Op: OpHistory, Table: "t", Column: "c", PK: []byte("pk0001")})
+	if err != nil || len(resp.Cells) != 2 {
+		t.Fatalf("history = %d cells", len(resp.Cells))
+	}
+	cons, err := cl.Do(Request{Op: OpConsistency, OldDigest: old.Digest})
+	if err != nil || cons.Consistency == nil {
+		t.Fatal("consistency op failed")
+	}
+	if err := cons.Consistency.Verify(old.Digest.Root, cons.Digest.Root); err != nil {
+		t.Fatalf("wire consistency proof: %v", err)
+	}
+}
+
+func TestUnknownOp(t *testing.T) {
+	cl, _ := startServer(t)
+	if _, err := cl.Do(Request{Op: "bogus"}); err == nil {
+		t.Fatal("unknown op accepted")
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	eng := core.New(core.Options{})
+	srv := NewServer(eng)
+	ln, _ := Listen()
+	go srv.Serve(ln)
+	defer srv.Close()
+
+	if cl, err := Connect(ln); err == nil {
+		cl.Do(Request{Op: OpPut, Statement: "seed", Puts: putBatch(100)})
+		cl.Close()
+	} else {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cl, err := Connect(ln)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer cl.Close()
+			for i := 0; i < 50; i++ {
+				resp, err := cl.Do(Request{Op: OpGet, Table: "t", Column: "c",
+					PK: []byte(fmt.Sprintf("pk%04d", i))})
+				if err != nil || !resp.Found {
+					t.Errorf("concurrent get failed: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestPipeListenerDirectly(t *testing.T) {
+	pl := NewPipeListener()
+	eng := core.New(core.Options{})
+	srv := NewServer(eng)
+	go srv.Serve(pl)
+	defer srv.Close()
+	conn, err := pl.DialPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := NewClient(conn)
+	defer cl.Close()
+	if _, err := cl.Do(Request{Op: OpPut, Statement: "s", Puts: putBatch(5)}); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := cl.Do(Request{Op: OpGet, Table: "t", Column: "c", PK: []byte("pk0003")})
+	if err != nil || !resp.Found {
+		t.Fatal("pipe transport get failed")
+	}
+	pl.Close()
+	if _, err := pl.DialPipe(); err == nil {
+		t.Fatal("dial after close succeeded")
+	}
+}

@@ -1,0 +1,273 @@
+// Package spitz is a verifiable database: an immutable, tamper-evident,
+// multi-version transactional store in which every query result can carry
+// an integrity proof verifiable against a compact ledger digest.
+//
+// It is a from-scratch Go implementation of the system described in
+// "Spitz: A Verifiable Database System" (Zhang, Xie, Yue, Zhong;
+// PVLDB 13(12), 2020). The engine unifies the query index and the ledger:
+// the same authenticated index traversal that answers a query produces its
+// proof, which is what makes verified reads, writes and range scans cheap
+// compared with bolting a separate ledger onto an existing database.
+//
+// # Quick start
+//
+//	db := spitz.Open(spitz.Options{})
+//	db.Apply("credit alice", []spitz.Put{
+//		{Table: "accounts", Column: "balance", PK: []byte("alice"), Value: []byte("100")},
+//	})
+//	v, _ := db.Get("accounts", "balance", []byte("alice"))
+//
+//	verifier := spitz.NewVerifier()
+//	res, _ := db.GetVerified("accounts", "balance", []byte("alice"))
+//	_ = verifier.Advance(res.Digest, spitz.ConsistencyProof{}) // pin trust
+//	if err := verifier.VerifyNow(res.Proof); err != nil {
+//		// tampering detected
+//	}
+//
+// See the examples directory for transactional, analytical, and networked
+// usage, and DESIGN.md for the architecture.
+package spitz
+
+import (
+	"io"
+	"net"
+
+	"spitz/internal/cas"
+	"spitz/internal/cellstore"
+	"spitz/internal/core"
+	"spitz/internal/ledger"
+	"spitz/internal/mtree"
+	"spitz/internal/proof"
+	"spitz/internal/query"
+	"spitz/internal/txn"
+	"spitz/internal/wire"
+)
+
+// Re-exported core types. The aliases keep one canonical definition while
+// letting applications depend only on this package.
+type (
+	// Cell is one value of one column of one row at one version.
+	Cell = cellstore.Cell
+	// Put is one cell write in a batch.
+	Put = core.Put
+	// Digest is the compact ledger commitment a client saves locally.
+	Digest = ledger.Digest
+	// Proof is the integrity proof attached to a verified query result.
+	Proof = ledger.Proof
+	// ConsistencyProof shows one digest's ledger is a prefix of another's.
+	ConsistencyProof = mtree.ConsistencyProof
+	// BlockHeader describes one committed ledger block.
+	BlockHeader = ledger.BlockHeader
+	// VerifiedResult carries a result with its proof and digest.
+	VerifiedResult = core.VerifiedResult
+	// Verifier tracks a client's trusted digest and checks proofs.
+	Verifier = proof.Verifier
+	// Txn is an interactive serializable transaction.
+	Txn = core.Txn
+)
+
+// Concurrency control modes for Options.Mode.
+const (
+	// ModeOCC validates read sets at commit (optimistic; the default).
+	ModeOCC = txn.ModeOCC
+	// ModeTO orders transactions by start timestamp.
+	ModeTO = txn.ModeTO
+)
+
+// Sentinel errors.
+var (
+	// ErrNotFound is returned by Get for absent or deleted cells.
+	ErrNotFound = core.ErrNotFound
+	// ErrConflict is returned by Txn.Commit on serialization conflicts.
+	ErrConflict = txn.ErrConflict
+	// ErrTampered is returned by Verifier methods when verification fails.
+	ErrTampered = proof.ErrTampered
+)
+
+// Options configures Open.
+type Options struct {
+	// Mode selects the concurrency control scheme (default ModeOCC).
+	Mode txn.Mode
+	// MaintainInverted enables the inverted index for value lookups
+	// (LookupEqual, LookupNumericRange) at some write cost.
+	MaintainInverted bool
+}
+
+// DB is an embedded Spitz database. Safe for concurrent use.
+type DB struct {
+	eng *core.Engine
+}
+
+// Open creates an in-memory verifiable database.
+func Open(opts Options) *DB {
+	return &DB{eng: core.New(core.Options{
+		Store:            cas.NewMemory(),
+		Mode:             opts.Mode,
+		MaintainInverted: opts.MaintainInverted,
+	})}
+}
+
+// NewVerifier returns a client-side proof verifier with no pinned digest;
+// the first Advance pins trust-on-first-use.
+func NewVerifier() *Verifier { return proof.NewVerifier() }
+
+// Apply commits a batch of writes as one ledger block (group commit) and
+// returns its header. statement is recorded in the block for auditing.
+func (db *DB) Apply(statement string, puts []Put) (BlockHeader, error) {
+	return db.eng.Apply(statement, puts)
+}
+
+// PutRow writes all columns of one row in a single block.
+func (db *DB) PutRow(table string, pk []byte, columns map[string][]byte) (BlockHeader, error) {
+	puts := make([]Put, 0, len(columns))
+	for col, val := range columns {
+		puts = append(puts, Put{Table: table, Column: col, PK: pk, Value: val})
+	}
+	return db.Apply("PUT ROW "+table, puts)
+}
+
+// Get returns the latest live value of a cell, or ErrNotFound.
+func (db *DB) Get(table, column string, pk []byte) ([]byte, error) {
+	return db.eng.Get(table, column, pk)
+}
+
+// GetRow reads the given columns of one row; absent columns are omitted.
+func (db *DB) GetRow(table string, pk []byte, columns []string) (map[string][]byte, error) {
+	out := make(map[string][]byte, len(columns))
+	for _, col := range columns {
+		v, err := db.Get(table, col, pk)
+		if err == ErrNotFound {
+			continue
+		}
+		if err != nil {
+			return nil, err
+		}
+		out[col] = v
+	}
+	return out, nil
+}
+
+// GetVerified returns the latest version of a cell together with its
+// integrity proof and the digest it verifies against.
+func (db *DB) GetVerified(table, column string, pk []byte) (VerifiedResult, error) {
+	return db.eng.GetVerified(table, column, pk)
+}
+
+// RangePK scans the latest live cells of one column with primary keys in
+// [pkLo, pkHi); nil bounds are open.
+func (db *DB) RangePK(table, column string, pkLo, pkHi []byte) ([]Cell, error) {
+	return db.eng.RangePK(table, column, pkLo, pkHi)
+}
+
+// RangePKVerified scans a primary-key range with one proof covering the
+// complete result set.
+func (db *DB) RangePKVerified(table, column string, pkLo, pkHi []byte) (VerifiedResult, error) {
+	return db.eng.RangePKVerified(table, column, pkLo, pkHi)
+}
+
+// History returns every version of a cell, newest first, including
+// tombstones.
+func (db *DB) History(table, column string, pk []byte) ([]Cell, error) {
+	return db.eng.History(table, column, pk)
+}
+
+// GetAt reads a cell as of a historical ledger block (time travel).
+func (db *DB) GetAt(height uint64, table, column string, pk []byte) (Cell, bool, error) {
+	return db.eng.GetAt(height, table, column, pk)
+}
+
+// LookupEqual returns cells of one column whose latest value equals value
+// (requires Options.MaintainInverted).
+func (db *DB) LookupEqual(table, column string, value []byte) ([]Cell, error) {
+	return db.eng.LookupEqual(table, column, value)
+}
+
+// LookupNumericRange returns cells whose 8-byte big-endian numeric value
+// lies in [lo, hi) (requires Options.MaintainInverted).
+func (db *DB) LookupNumericRange(table, column string, lo, hi uint64) ([]Cell, error) {
+	return db.eng.LookupNumericRange(table, column, lo, hi)
+}
+
+// Begin starts an interactive serializable transaction.
+func (db *DB) Begin() *Txn { return db.eng.Begin() }
+
+// Digest returns the current ledger digest; clients save it and verify
+// later proofs (and history consistency) against it.
+func (db *DB) Digest() Digest { return db.eng.Digest() }
+
+// ConsistencyProof proves that the current ledger extends the one
+// committed by old — history was appended to, never rewritten.
+func (db *DB) ConsistencyProof(old Digest) (ConsistencyProof, error) {
+	return db.eng.ConsistencyProof(old)
+}
+
+// Height returns the number of committed ledger blocks.
+func (db *DB) Height() uint64 { return db.eng.Ledger().Height() }
+
+// Block returns the header of the block at the given height.
+func (db *DB) Block(height uint64) (BlockHeader, error) {
+	return db.eng.Ledger().Header(height)
+}
+
+// Serve exposes the database over a listener using the Spitz wire
+// protocol; it blocks until the listener closes. Use Client to connect.
+func (db *DB) Serve(ln net.Listener) error {
+	return wire.NewServer(db.eng).Serve(ln)
+}
+
+// QueryResult is the outcome of Exec: rows for SELECT/HISTORY, an affected
+// count and block height for mutations.
+type QueryResult = query.Result
+
+// QueryRow is one result row.
+type QueryRow = query.Row
+
+// Exec parses and executes one SQL statement (the paper's SQL interface):
+//
+//	INSERT INTO t (pk, col, ...) VALUES ('k', 'v', ...)
+//	SELECT col, ... | * FROM t WHERE pk = 'k' | pk BETWEEN 'a' AND 'b'
+//	UPDATE t SET col = 'v' WHERE pk = 'k'
+//	DELETE FROM t WHERE pk = 'k'
+//	HISTORY t.col WHERE pk = 'k'
+//
+// Mutating statements are recorded verbatim in their ledger block.
+func (db *DB) Exec(statement string) (QueryResult, error) {
+	return query.Exec(db.eng, statement)
+}
+
+// PutDocument stores a JSON document (the paper's self-defined JSON
+// schema): fields map to columns, nested objects to dotted paths, so each
+// field gets cell-level history and verifiability. It returns the block
+// height of the commit.
+func (db *DB) PutDocument(table string, pk []byte, doc []byte) (uint64, error) {
+	return query.PutDocument(db.eng, table, pk, doc)
+}
+
+// GetDocument reassembles the latest version of a document.
+func (db *DB) GetDocument(table string, pk []byte) ([]byte, bool, error) {
+	return query.GetDocument(db.eng, table, pk)
+}
+
+// Columns lists the columns ever written to a table.
+func (db *DB) Columns(table string) []string { return db.eng.Columns(table) }
+
+// WriteSnapshot serializes the database to w for restart durability:
+// block headers, the version index, and every live object. Restore the
+// stream with Restore.
+func (db *DB) WriteSnapshot(w io.Writer) error { return db.eng.WriteSnapshot(w) }
+
+// Restore reconstructs a database from a snapshot written by
+// WriteSnapshot. Every object is re-inserted through content addressing
+// and the block chain revalidated, so tampered snapshots are rejected;
+// clients' saved digests keep verifying against the restored database.
+func Restore(opts Options, r io.Reader) (*DB, error) {
+	eng, err := core.Restore(core.Options{
+		Store:            cas.NewMemory(),
+		Mode:             opts.Mode,
+		MaintainInverted: opts.MaintainInverted,
+	}, r)
+	if err != nil {
+		return nil, err
+	}
+	return &DB{eng: eng}, nil
+}
