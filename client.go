@@ -3,6 +3,7 @@ package spitz
 import (
 	"errors"
 	"fmt"
+	"io"
 
 	"spitz/internal/wire"
 )
@@ -132,6 +133,35 @@ func (cl *Client) History(table, column string, pk []byte) ([]Cell, error) {
 		return nil, err
 	}
 	return resp.Cells, nil
+}
+
+// Snapshot streams a full snapshot of the server's database to w — the
+// operator-facing way to take a checkpoint by hand (spitz-cli snapshot).
+// The stream is WriteSnapshot's format and can be loaded with Restore,
+// ResetFromSnapshot, or Client.Restore.
+func (cl *Client) Snapshot(w io.Writer) error {
+	resp, err := cl.c.Do(wire.Request{Op: wire.OpSnapshot})
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(resp.Value)
+	return err
+}
+
+// Restore replaces the server's entire state with the given snapshot
+// stream (a file written by Snapshot or WriteSnapshot). The server
+// validates the snapshot exactly like a local Restore — a tampered file
+// is rejected. Only in-memory servers accept restores; durable servers
+// own their state. The returned digest is the restored ledger's; any
+// previously saved digests refer to the replaced history and must be
+// discarded, so this client's verifier is reset to trust-on-first-use.
+func (cl *Client) Restore(snapshot []byte) (Digest, error) {
+	resp, err := cl.c.Do(wire.Request{Op: wire.OpRestore, Snapshot: snapshot})
+	if err != nil {
+		return Digest{}, err
+	}
+	cl.verifier = NewVerifier()
+	return resp.Digest, nil
 }
 
 // Digest fetches the server's current ledger digest (unverified; use

@@ -8,6 +8,8 @@
 //	spitz-cli -addr HOST:PORT range TABLE COLUMN LO HI  (verified scan)
 //	spitz-cli -addr HOST:PORT hist  TABLE COLUMN PK
 //	spitz-cli -addr HOST:PORT digest
+//	spitz-cli -addr HOST:PORT snapshot FILE   (save a checkpoint)
+//	spitz-cli -addr HOST:PORT restore  FILE   (load a checkpoint)
 package main
 
 import (
@@ -77,6 +79,23 @@ func main() {
 		d, err := cl.Digest()
 		check(err)
 		fmt.Printf("height=%d root=%s\n", d.Height, d.Root)
+	case "snapshot":
+		need(args, 2)
+		f, err := os.Create(args[1])
+		check(err)
+		check(cl.Snapshot(f))
+		check(f.Sync())
+		check(f.Close())
+		st, err := os.Stat(args[1])
+		check(err)
+		fmt.Printf("snapshot written to %s (%d bytes)\n", args[1], st.Size())
+	case "restore":
+		need(args, 2)
+		snap, err := os.ReadFile(args[1])
+		check(err)
+		d, err := cl.Restore(snap)
+		check(err)
+		fmt.Printf("restored: height=%d root=%s\n", d.Height, d.Root)
 	default:
 		usage()
 	}
@@ -101,6 +120,8 @@ func usage() {
   spitz-cli [-addr HOST:PORT] getv  TABLE COLUMN PK
   spitz-cli [-addr HOST:PORT] range TABLE COLUMN LO HI
   spitz-cli [-addr HOST:PORT] hist  TABLE COLUMN PK
-  spitz-cli [-addr HOST:PORT] digest`)
+  spitz-cli [-addr HOST:PORT] digest
+  spitz-cli [-addr HOST:PORT] snapshot FILE
+  spitz-cli [-addr HOST:PORT] restore  FILE`)
 	os.Exit(2)
 }

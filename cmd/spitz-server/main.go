@@ -4,24 +4,66 @@
 // Usage:
 //
 //	spitz-server [-addr 127.0.0.1:7687] [-inverted]
+//	             [-data-dir DIR] [-sync always|interval|never]
+//	             [-sync-every 50ms] [-checkpoint-interval 1m]
+//	             [-checkpoint-every-blocks 4096]
+//
+// Without -data-dir the database lives in memory and vanishes on exit.
+// With it, every commit is written ahead to a log under DIR before it is
+// acknowledged and the server recovers the full verifiable history after
+// a crash or restart. -sync trades durability for throughput: "always"
+// fsyncs every commit (group commit), "interval" fsyncs on a timer,
+// "never" leaves persistence to the OS.
 //
 // Connect with cmd/spitz-cli or the spitz.Dial client API.
 package main
 
 import (
+	"errors"
 	"flag"
 	"log"
 	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"spitz"
+	"spitz/internal/wal"
 )
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7687", "listen address")
 	inverted := flag.Bool("inverted", false, "maintain the inverted index for value lookups")
+	dataDir := flag.String("data-dir", "", "data directory; empty serves an in-memory database")
+	syncMode := flag.String("sync", "always", "WAL sync policy: always, interval or never")
+	syncEvery := flag.Duration("sync-every", 50*time.Millisecond, "fsync period under -sync interval")
+	ckptInterval := flag.Duration("checkpoint-interval", time.Minute, "background checkpoint period")
+	ckptBlocks := flag.Uint64("checkpoint-every-blocks", 4096, "checkpoint after this many commits")
 	flag.Parse()
 
-	db := spitz.Open(spitz.Options{MaintainInverted: *inverted})
+	opts := spitz.Options{MaintainInverted: *inverted}
+	var db *spitz.DB
+	if *dataDir == "" {
+		db = spitz.Open(opts)
+		log.Printf("spitz-server: serving in-memory database (no -data-dir; state is lost on exit)")
+	} else {
+		policy, err := wal.ParsePolicy(*syncMode)
+		if err != nil {
+			log.Fatalf("spitz-server: %v", err)
+		}
+		opts.Sync = policy
+		opts.SyncEvery = *syncEvery
+		opts.CheckpointInterval = *ckptInterval
+		opts.CheckpointEveryBlocks = *ckptBlocks
+		db, err = spitz.OpenDir(*dataDir, opts)
+		if err != nil {
+			log.Fatalf("spitz-server: open %s: %v", *dataDir, err)
+		}
+		log.Printf("spitz-server: durable database in %s (sync=%s), recovered %d blocks",
+			*dataDir, policy, db.Height())
+	}
+
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		log.Fatalf("spitz-server: listen: %v", err)
@@ -29,7 +71,22 @@ func main() {
 	log.Printf("spitz-server: serving verifiable database on %s", ln.Addr())
 	log.Printf("spitz-server: ledger digest height=%d root=%s",
 		db.Digest().Height, db.Digest().Root.Short())
-	if err := db.Serve(ln); err != nil {
+
+	// A signal closes the listener so Serve returns, then Close flushes
+	// the WAL — acknowledged commits are never lost to a clean shutdown.
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		s := <-sigc
+		log.Printf("spitz-server: %v: shutting down", s)
+		ln.Close()
+	}()
+
+	err = db.Serve(ln)
+	if cerr := db.Close(); cerr != nil {
+		log.Printf("spitz-server: close: %v", cerr)
+	}
+	if err != nil && !errors.Is(err, net.ErrClosed) {
 		log.Fatalf("spitz-server: %v", err)
 	}
 }

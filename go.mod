@@ -1,0 +1,3 @@
+module spitz
+
+go 1.22

@@ -24,6 +24,7 @@ import (
 	"spitz/internal/btree"
 	"spitz/internal/cas"
 	"spitz/internal/cellstore"
+	"spitz/internal/hashutil"
 	"spitz/internal/inverted"
 	"spitz/internal/ledger"
 	"spitz/internal/mtree"
@@ -73,6 +74,46 @@ type Engine struct {
 	schema map[string]map[string]struct{}
 
 	nextTxnID uint64
+
+	// sink, when set, receives every committed block before the commit is
+	// acknowledged (write-ahead logging). sinkErr is sticky: once an
+	// append fails, the failed block exists in memory but not in the log,
+	// so any further commit would leave a permanent gap in the log —
+	// the engine refuses writes instead. Both guarded by mu.
+	sink    CommitSink
+	sinkErr error
+}
+
+// CommitRecord describes one committed block to a CommitSink: everything
+// needed to re-execute the commit deterministically on recovery, plus the
+// block hash the replay must reproduce.
+type CommitRecord struct {
+	Height    uint64
+	TxnID     uint64
+	Version   uint64
+	Statement string
+	Cells     []cellstore.Cell
+	BlockHash hashutil.Digest
+}
+
+// CommitSink is the durability hook on the commit path. Append is called
+// with the engine lock held, immediately after the ledger commit, so sinks
+// observe blocks in exactly ledger order; it must not block on I/O
+// completion. The returned wait function is invoked after the lock is
+// released and blocks until the record is durable — that separation is
+// what lets a write-ahead log group many concurrent commits under one
+// fsync. core deliberately knows nothing about the sink's implementation
+// (internal/durable provides one) so the dependency points outward only.
+type CommitSink interface {
+	Append(rec CommitRecord) (wait func() error, err error)
+}
+
+// SetCommitSink installs the durability sink. Call before serving traffic;
+// blocks committed earlier are not retroactively delivered.
+func (e *Engine) SetCommitSink(s CommitSink) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.sink = s
 }
 
 type routeEntry struct {
@@ -123,22 +164,91 @@ func (e *Engine) ConsistencyProof(old ledger.Digest) (mtree.ConsistencyProof, er
 // returns the block header. This is the high-throughput ingest path; use
 // Begin for interactive transactions.
 func (e *Engine) Apply(statement string, puts []Put) (ledger.BlockHeader, error) {
+	e.mu.Lock()
+	if err := e.sinkErr; err != nil {
+		e.mu.Unlock()
+		return ledger.BlockHeader{}, fmt.Errorf("core: engine read-only after durability failure: %w", err)
+	}
+	// The version is allocated under the engine lock so that concurrent
+	// Apply calls reach the ledger in allocation order — otherwise a
+	// later timestamp could commit first and the earlier one would be
+	// rejected as below the head version.
 	version := e.ts.Next()
 	cells := make([]cellstore.Cell, len(puts))
 	for i, p := range puts {
 		cells[i] = cellstore.Cell{Table: p.Table, Column: p.Column, PK: p.PK,
 			Version: version, Value: p.Value, Tombstone: p.Tombstone}
 	}
-	e.mu.Lock()
-	defer e.mu.Unlock()
 	id := e.nextTxnID
 	e.nextTxnID++
 	summary := []ledger.TxnSummary{{ID: id, Statement: statement, WriteHash: ledger.WriteSetHash(cells)}}
 	h, err := e.ledger.Commit(version, summary, cells)
 	if err != nil {
+		e.mu.Unlock()
 		return ledger.BlockHeader{}, err
 	}
 	e.indexCellsLocked(cells)
+	wait, err := e.logCommitLocked(h, id, version, statement, cells)
+	e.mu.Unlock()
+	if err != nil {
+		return ledger.BlockHeader{}, err
+	}
+	if wait != nil {
+		if err := wait(); err != nil {
+			return ledger.BlockHeader{}, fmt.Errorf("core: commit not durable: %w", err)
+		}
+	}
+	return h, nil
+}
+
+// logCommitLocked hands the freshly committed block to the durability
+// sink. Caller holds e.mu; the returned wait runs after it is released.
+func (e *Engine) logCommitLocked(h ledger.BlockHeader, txnID, version uint64,
+	statement string, cells []cellstore.Cell) (func() error, error) {
+	if e.sink == nil {
+		return nil, nil
+	}
+	wait, err := e.sink.Append(CommitRecord{
+		Height:    h.Height,
+		TxnID:     txnID,
+		Version:   version,
+		Statement: statement,
+		Cells:     cells,
+		BlockHash: h.Hash(),
+	})
+	if err != nil {
+		// The block is in the in-memory ledger but not in the log. A
+		// later logged block would leave a gap recovery cannot bridge,
+		// so poison the commit path: this engine is read-only now.
+		e.sinkErr = err
+		return nil, fmt.Errorf("core: commit not durable: %w", err)
+	}
+	return wait, nil
+}
+
+// ReplayBlock re-commits a block recovered from a durability log. The
+// commit reuses the logged transaction ID, version and statement so the
+// reconstructed block is bit-identical to the original, and fails unless
+// the resulting block hash equals the logged one — recovery is itself
+// verified, a tampered log cannot smuggle in different data. The commit
+// sink is deliberately bypassed: the record being replayed is already in
+// the log.
+func (e *Engine) ReplayBlock(rec CommitRecord) (ledger.BlockHeader, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	summary := []ledger.TxnSummary{{ID: rec.TxnID, Statement: rec.Statement, WriteHash: ledger.WriteSetHash(rec.Cells)}}
+	h, err := e.ledger.Commit(rec.Version, summary, rec.Cells)
+	if err != nil {
+		return ledger.BlockHeader{}, fmt.Errorf("core: replay block %d: %w", rec.Height, err)
+	}
+	if got := h.Hash(); got != rec.BlockHash {
+		return ledger.BlockHeader{}, fmt.Errorf("core: replay block %d: hash %s does not match logged %s",
+			rec.Height, got.Short(), rec.BlockHash.Short())
+	}
+	e.indexCellsLocked(rec.Cells)
+	if rec.TxnID >= e.nextTxnID {
+		e.nextTxnID = rec.TxnID + 1
+	}
 	return h, nil
 }
 
@@ -420,14 +530,29 @@ func (s engineStore) ApplyBatch(version uint64, writes []txn.Write) error {
 			Version: version, Value: w.Value, Tombstone: w.Delete}
 	}
 	s.e.mu.Lock()
-	defer s.e.mu.Unlock()
+	if err := s.e.sinkErr; err != nil {
+		s.e.mu.Unlock()
+		return fmt.Errorf("core: engine read-only after durability failure: %w", err)
+	}
 	id := s.e.nextTxnID
 	s.e.nextTxnID++
 	summary := []ledger.TxnSummary{{ID: id, Statement: "TXN", WriteHash: ledger.WriteSetHash(cells)}}
-	if _, err := s.e.ledger.Commit(version, summary, cells); err != nil {
+	h, err := s.e.ledger.Commit(version, summary, cells)
+	if err != nil {
+		s.e.mu.Unlock()
 		return err
 	}
 	s.e.indexCellsLocked(cells)
+	wait, err := s.e.logCommitLocked(h, id, version, "TXN", cells)
+	s.e.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	if wait != nil {
+		if err := wait(); err != nil {
+			return fmt.Errorf("core: commit not durable: %w", err)
+		}
+	}
 	return nil
 }
 
@@ -469,6 +594,21 @@ func Restore(opts Options, r io.Reader) (*Engine, error) {
 		e.inv = inverted.New()
 	}
 	e.mgr = txn.NewManager(engineStore{e}, opts.Timestamps, opts.Mode)
+
+	// Resume transaction IDs above every ID recorded in the restored
+	// ledger, so post-restore commits never reuse an ID already bound
+	// into the audit history.
+	for height := uint64(0); height < l.Height(); height++ {
+		body, err := l.Body(height)
+		if err != nil {
+			return nil, fmt.Errorf("core: restore block %d body: %w", height, err)
+		}
+		for _, t := range body {
+			if t.ID >= e.nextTxnID {
+				e.nextTxnID = t.ID + 1
+			}
+		}
+	}
 
 	// Rebuild the in-memory indexes from the restored head instance.
 	cells, _, ok := l.Latest()

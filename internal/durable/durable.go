@@ -1,0 +1,406 @@
+// Package durable is the persistence layer of Spitz: it pairs the
+// in-memory verifiable engine (internal/core) with a write-ahead log
+// (internal/wal) and periodic snapshot checkpoints so that the
+// tamper-evident history survives a process crash.
+//
+// A Manager owns one data directory:
+//
+//	<dir>/MANIFEST      points at the newest durable checkpoint
+//	<dir>/wal/          segmented write-ahead log of committed blocks
+//	<dir>/checkpoints/  full engine snapshots (Engine.WriteSnapshot)
+//
+// Every committed block is framed into the WAL — statement, writes and
+// the block hash — before the commit is acknowledged (the Manager is the
+// engine's core.CommitSink). Checkpoints stream the engine snapshot to
+// disk in the background and then prune WAL segments the snapshot made
+// redundant. On open, the newest checkpoint is restored and the WAL tail
+// replayed on top; each replayed block must reproduce its logged hash, so
+// recovery is verified end to end — a tampered log or snapshot is
+// rejected, never silently loaded. See FORMAT.md for the on-disk format.
+package durable
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"spitz/internal/core"
+	"spitz/internal/txn"
+	"spitz/internal/txn/tso"
+	"spitz/internal/wal"
+)
+
+// Options configures a Manager.
+type Options struct {
+	// Mode selects the engine's concurrency control scheme.
+	Mode txn.Mode
+	// MaintainInverted enables the engine's inverted index.
+	MaintainInverted bool
+
+	// Sync selects when commits become durable (default wal.SyncAlways).
+	Sync wal.SyncPolicy
+	// SyncInterval is the background fsync period under wal.SyncInterval.
+	SyncInterval time.Duration
+	// SegmentSize caps WAL segment files (default 64 MiB).
+	SegmentSize int64
+
+	// CheckpointInterval triggers a background checkpoint this often;
+	// CheckpointEveryBlocks triggers one after that many commits. When
+	// both are zero they default to 1 minute and 4096 blocks; a negative
+	// CheckpointInterval disables automatic checkpoints entirely
+	// (Checkpoint can still be called by hand).
+	CheckpointInterval    time.Duration
+	CheckpointEveryBlocks uint64
+}
+
+const (
+	manifestName   = "MANIFEST"
+	manifestMagic  = "spitz-manifest-v1"
+	walDirName     = "wal"
+	ckptDirName    = "checkpoints"
+	ckptNameFormat = "ckpt-%016d.snap"
+)
+
+// Manager ties an engine to its data directory. Obtain the engine with
+// Engine(); all reads and commits go through it as usual — the Manager
+// intercepts commits via the engine's CommitSink.
+type Manager struct {
+	dir  string
+	opts Options
+	eng  *core.Engine
+	log  *wal.Log
+
+	sinceCkpt atomic.Uint64 // commits since the last durable checkpoint
+
+	ckptMu     sync.Mutex // serializes checkpoints
+	ckptHeight uint64     // height covered by the newest durable checkpoint
+
+	closing   chan struct{}
+	loopDone  chan struct{}
+	ckptPoke  chan struct{}
+	closeOnce sync.Once
+	closeErr  error
+}
+
+// Open opens (creating if needed) the database in dir and recovers it:
+// restore the newest checkpoint, replay the WAL tail with per-block hash
+// verification, and resume logging. A torn final WAL record — the
+// signature of a crash mid-append — is truncated; any other damage is a
+// hard error.
+func Open(dir string, opts Options) (*Manager, error) {
+	if opts.CheckpointInterval == 0 && opts.CheckpointEveryBlocks == 0 {
+		opts.CheckpointInterval = time.Minute
+		opts.CheckpointEveryBlocks = 4096
+	}
+	if opts.CheckpointInterval < 0 {
+		// Documented kill switch: no automatic checkpoints of any kind,
+		// including block-count-triggered ones.
+		opts.CheckpointEveryBlocks = 0
+	}
+	for _, d := range []string{dir, filepath.Join(dir, walDirName), filepath.Join(dir, ckptDirName)} {
+		if err := os.MkdirAll(d, 0o755); err != nil {
+			return nil, err
+		}
+	}
+	ckptName, _, haveCkpt, err := readManifest(dir)
+	if err != nil {
+		return nil, err
+	}
+	log, err := wal.Open(filepath.Join(dir, walDirName), wal.Options{
+		Policy:      opts.Sync,
+		Interval:    opts.SyncInterval,
+		SegmentSize: opts.SegmentSize,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Decode the whole WAL tail up front: its length is bounded by the
+	// checkpoint cadence, and knowing the records before building the
+	// engine keeps recovery a single forward pass.
+	var recs []core.CommitRecord
+	if err := log.Replay(func(seq uint64, payload []byte) error {
+		rec, err := decodeRecord(payload)
+		if err != nil {
+			return fmt.Errorf("wal record %d: %w", seq, err)
+		}
+		recs = append(recs, rec)
+		return nil
+	}); err != nil {
+		log.Close()
+		return nil, fmt.Errorf("durable: %w", err)
+	}
+
+	orc := tso.New(0)
+	copts := core.Options{
+		Mode:             opts.Mode,
+		MaintainInverted: opts.MaintainInverted,
+		Timestamps:       orc,
+	}
+	var eng *core.Engine
+	if haveCkpt {
+		path := filepath.Join(dir, ckptDirName, ckptName)
+		f, err := os.Open(path)
+		if err != nil {
+			log.Close()
+			return nil, fmt.Errorf("durable: manifest names missing checkpoint: %w", err)
+		}
+		eng, err = core.Restore(copts, bufio.NewReader(f))
+		f.Close()
+		if err != nil {
+			log.Close()
+			return nil, fmt.Errorf("durable: restore checkpoint %s: %w", ckptName, err)
+		}
+	} else {
+		eng = core.New(copts)
+	}
+	if h, ok := eng.Ledger().Head(); ok {
+		orc.Advance(h.Version)
+	}
+
+	height := eng.Ledger().Height()
+	replayed := 0
+	for _, rec := range recs {
+		if rec.Height < height {
+			continue // already inside the checkpoint
+		}
+		if rec.Height > height {
+			log.Close()
+			return nil, fmt.Errorf("durable: wal gap: next logged block is %d but engine is at height %d",
+				rec.Height, height)
+		}
+		if _, err := eng.ReplayBlock(rec); err != nil {
+			log.Close()
+			return nil, fmt.Errorf("durable: %w", err)
+		}
+		orc.Advance(rec.Version)
+		height++
+		replayed++
+	}
+
+	m := &Manager{
+		dir:      dir,
+		opts:     opts,
+		eng:      eng,
+		log:      log,
+		closing:  make(chan struct{}),
+		loopDone: make(chan struct{}),
+		ckptPoke: make(chan struct{}, 1),
+	}
+	if haveCkpt {
+		// The checkpoint may cover more blocks than its manifest height
+		// (commits racing the snapshot); what matters is it covers at
+		// least everything below the restored height minus the replay.
+		m.ckptHeight = height - uint64(replayed)
+	}
+	m.sinceCkpt.Store(uint64(replayed))
+	eng.SetCommitSink(m)
+	if opts.CheckpointInterval > 0 || opts.CheckpointEveryBlocks > 0 {
+		go m.checkpointLoop()
+	} else {
+		close(m.loopDone)
+	}
+	return m, nil
+}
+
+// Engine returns the recovered engine. All queries and commits go through
+// it; commits are durably logged before they are acknowledged.
+func (m *Manager) Engine() *core.Engine { return m.eng }
+
+// Dir returns the data directory.
+func (m *Manager) Dir() string { return m.dir }
+
+// CheckpointHeight returns the block height covered by the newest durable
+// checkpoint (0 when none has been taken).
+func (m *Manager) CheckpointHeight() uint64 {
+	m.ckptMu.Lock()
+	defer m.ckptMu.Unlock()
+	return m.ckptHeight
+}
+
+// Append implements core.CommitSink: frame the block into the WAL. It is
+// called with the engine lock held, so records land in ledger order; the
+// returned wait blocks (outside the lock) until the record is durable
+// under the configured sync policy.
+func (m *Manager) Append(rec core.CommitRecord) (func() error, error) {
+	_, wait, err := m.log.AppendAsync(encodeRecord(rec))
+	if err != nil {
+		return nil, err
+	}
+	if n := m.sinceCkpt.Add(1); m.opts.CheckpointEveryBlocks > 0 && n >= m.opts.CheckpointEveryBlocks {
+		select {
+		case m.ckptPoke <- struct{}{}:
+		default:
+		}
+	}
+	return wait, nil
+}
+
+func (m *Manager) checkpointLoop() {
+	defer close(m.loopDone)
+	var tick <-chan time.Time
+	if m.opts.CheckpointInterval > 0 {
+		t := time.NewTicker(m.opts.CheckpointInterval)
+		defer t.Stop()
+		tick = t.C
+	}
+	for {
+		select {
+		case <-m.closing:
+			return
+		case <-tick:
+		case <-m.ckptPoke:
+		}
+		// Background failures are deliberately swallowed: the WAL still
+		// holds everything, so durability is not reduced — the next
+		// checkpoint (or a manual one, which reports errors) retries.
+		_ = m.Checkpoint()
+	}
+}
+
+// Checkpoint streams a snapshot of the engine to the checkpoint
+// directory, atomically repoints the MANIFEST at it, deletes the previous
+// checkpoint and prunes WAL segments the new one made redundant. Safe to
+// call at any time, concurrently with commits.
+func (m *Manager) Checkpoint() error {
+	m.ckptMu.Lock()
+	defer m.ckptMu.Unlock()
+	height := m.eng.Ledger().Height()
+	if height == 0 || height == m.ckptHeight {
+		return nil
+	}
+	// Sample the WAL position before the snapshot: every record below
+	// keepSeq was committed before the snapshot began and is therefore
+	// covered by it. Records at or above keepSeq may or may not be —
+	// recovery skips duplicates by height, so keeping them is safe.
+	keepSeq := m.log.NextSeq()
+
+	ckptDir := filepath.Join(m.dir, ckptDirName)
+	name := fmt.Sprintf(ckptNameFormat, height)
+	tmp := filepath.Join(ckptDir, name+".tmp")
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if err := m.eng.WriteSnapshot(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("durable: checkpoint snapshot: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(ckptDir, name)); err != nil {
+		return err
+	}
+	if err := wal.SyncDir(ckptDir); err != nil {
+		return err
+	}
+	if err := writeManifest(m.dir, name, height); err != nil {
+		return err
+	}
+	m.ckptHeight = height
+	m.sinceCkpt.Store(0)
+
+	// The MANIFEST now points at the new checkpoint; everything older is
+	// garbage. Failures below cost only disk space, not correctness.
+	entries, err := os.ReadDir(ckptDir)
+	if err == nil {
+		for _, e := range entries {
+			if e.Name() != name && !e.IsDir() {
+				os.Remove(filepath.Join(ckptDir, e.Name()))
+			}
+		}
+	}
+	return m.log.PruneTo(keepSeq)
+}
+
+// Close flushes and closes the WAL and stops background checkpointing.
+// The engine remains readable but further commits will fail; callers
+// should quiesce writers first.
+func (m *Manager) Close() error {
+	m.closeOnce.Do(func() {
+		close(m.closing)
+		<-m.loopDone
+		m.closeErr = m.log.Close()
+	})
+	return m.closeErr
+}
+
+// readManifest parses <dir>/MANIFEST. ok is false when none exists yet.
+func readManifest(dir string) (ckptName string, height uint64, ok bool, err error) {
+	data, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if os.IsNotExist(err) {
+		return "", 0, false, nil
+	}
+	if err != nil {
+		return "", 0, false, err
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) < 1 || lines[0] != manifestMagic {
+		return "", 0, false, fmt.Errorf("durable: bad manifest magic in %s", dir)
+	}
+	for _, line := range lines[1:] {
+		var key, val string
+		if n, _ := fmt.Sscanf(line, "%s %s", &key, &val); n != 2 {
+			continue
+		}
+		switch key {
+		case "checkpoint":
+			ckptName = val
+		case "height":
+			fmt.Sscanf(val, "%d", &height)
+		}
+	}
+	if ckptName == "" {
+		return "", 0, false, fmt.Errorf("durable: manifest in %s names no checkpoint", dir)
+	}
+	if strings.ContainsAny(ckptName, "/\\") {
+		return "", 0, false, fmt.Errorf("durable: manifest checkpoint name %q escapes directory", ckptName)
+	}
+	return ckptName, height, true, nil
+}
+
+// writeManifest atomically replaces <dir>/MANIFEST (tmp + rename + dir
+// fsync), so a crash leaves either the old or the new manifest, never a
+// torn one.
+func writeManifest(dir, ckptName string, height uint64) error {
+	body := fmt.Sprintf("%s\ncheckpoint %s\nheight %d\n", manifestMagic, ckptName, height)
+	tmp := filepath.Join(dir, manifestName+".tmp")
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.WriteString(body); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, manifestName)); err != nil {
+		return err
+	}
+	return wal.SyncDir(dir)
+}
+
+// Compile-time interface check.
+var _ core.CommitSink = (*Manager)(nil)

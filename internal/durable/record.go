@@ -1,0 +1,136 @@
+package durable
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"spitz/internal/cellstore"
+	"spitz/internal/core"
+	"spitz/internal/hashutil"
+)
+
+// WAL record codec. One record is one committed block — enough to
+// re-execute the commit deterministically on recovery (see FORMAT.md):
+//
+//	height    uvarint
+//	txnID     uvarint
+//	version   uvarint
+//	statement uvarint length || bytes
+//	blockHash 32 bytes
+//	ncells    uvarint
+//	cell      table || column || pk || value (each uvarint length || bytes),
+//	          then one flags byte (bit 0: tombstone)
+
+func encodeRecord(rec core.CommitRecord) []byte {
+	n := 8 * 4
+	n += len(rec.Statement) + hashutil.DigestSize
+	for i := range rec.Cells {
+		c := &rec.Cells[i]
+		n += len(c.Table) + len(c.Column) + len(c.PK) + len(c.Value) + 4*4 + 1
+	}
+	buf := make([]byte, 0, n)
+	buf = binary.AppendUvarint(buf, rec.Height)
+	buf = binary.AppendUvarint(buf, rec.TxnID)
+	buf = binary.AppendUvarint(buf, rec.Version)
+	buf = appendBytes(buf, []byte(rec.Statement))
+	buf = append(buf, rec.BlockHash[:]...)
+	buf = binary.AppendUvarint(buf, uint64(len(rec.Cells)))
+	for i := range rec.Cells {
+		c := &rec.Cells[i]
+		buf = appendBytes(buf, []byte(c.Table))
+		buf = appendBytes(buf, []byte(c.Column))
+		buf = appendBytes(buf, c.PK)
+		buf = appendBytes(buf, c.Value)
+		var flags byte
+		if c.Tombstone {
+			flags |= 1
+		}
+		buf = append(buf, flags)
+	}
+	return buf
+}
+
+func decodeRecord(p []byte) (core.CommitRecord, error) {
+	var rec core.CommitRecord
+	var err error
+	if rec.Height, p, err = takeUvarint(p); err != nil {
+		return rec, fmt.Errorf("durable: record height: %w", err)
+	}
+	if rec.TxnID, p, err = takeUvarint(p); err != nil {
+		return rec, fmt.Errorf("durable: record txn id: %w", err)
+	}
+	if rec.Version, p, err = takeUvarint(p); err != nil {
+		return rec, fmt.Errorf("durable: record version: %w", err)
+	}
+	stmt, p, err := takeBytes(p)
+	if err != nil {
+		return rec, fmt.Errorf("durable: record statement: %w", err)
+	}
+	rec.Statement = string(stmt)
+	if len(p) < hashutil.DigestSize {
+		return rec, errors.New("durable: record truncated at block hash")
+	}
+	copy(rec.BlockHash[:], p)
+	p = p[hashutil.DigestSize:]
+	ncells, p, err := takeUvarint(p)
+	if err != nil {
+		return rec, fmt.Errorf("durable: record cell count: %w", err)
+	}
+	if ncells > uint64(len(p)) { // each cell costs at least one byte
+		return rec, errors.New("durable: record cell count exceeds payload")
+	}
+	rec.Cells = make([]cellstore.Cell, ncells)
+	for i := range rec.Cells {
+		c := &rec.Cells[i]
+		var field []byte
+		if field, p, err = takeBytes(p); err != nil {
+			return rec, fmt.Errorf("durable: cell %d table: %w", i, err)
+		}
+		c.Table = string(field)
+		if field, p, err = takeBytes(p); err != nil {
+			return rec, fmt.Errorf("durable: cell %d column: %w", i, err)
+		}
+		c.Column = string(field)
+		if c.PK, p, err = takeBytes(p); err != nil {
+			return rec, fmt.Errorf("durable: cell %d pk: %w", i, err)
+		}
+		if c.Value, p, err = takeBytes(p); err != nil {
+			return rec, fmt.Errorf("durable: cell %d value: %w", i, err)
+		}
+		if len(p) < 1 {
+			return rec, fmt.Errorf("durable: cell %d truncated at flags", i)
+		}
+		c.Tombstone = p[0]&1 != 0
+		c.Version = rec.Version
+		p = p[1:]
+	}
+	if len(p) != 0 {
+		return rec, errors.New("durable: trailing record bytes")
+	}
+	return rec, nil
+}
+
+func appendBytes(buf, b []byte) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(b)))
+	return append(buf, b...)
+}
+
+func takeUvarint(p []byte) (uint64, []byte, error) {
+	v, n := binary.Uvarint(p)
+	if n <= 0 {
+		return 0, nil, errors.New("bad uvarint")
+	}
+	return v, p[n:], nil
+}
+
+func takeBytes(p []byte) ([]byte, []byte, error) {
+	n, p, err := takeUvarint(p)
+	if err != nil {
+		return nil, nil, err
+	}
+	if n > uint64(len(p)) {
+		return nil, nil, errors.New("length exceeds payload")
+	}
+	return p[:n], p[n:], nil
+}

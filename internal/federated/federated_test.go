@@ -133,7 +133,7 @@ func TestCompromisedSourceIsIsolated(t *testing.T) {
 	forked := core.New(core.Options{})
 	forked.Apply("forged", []core.Put{{Table: "cases", Column: "count",
 		PK: []byte("region-00"), Value: []byte{9, 9, 9, 9, 9, 9, 9, 9}}})
-	srvOld.Engine = forked
+	srvOld.SetEngine(forked)
 
 	results := c.Range("cases", "count", nil, nil)
 	var good, evil *SourceResult

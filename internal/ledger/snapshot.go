@@ -31,29 +31,41 @@ const snapshotMagic = "SPITZSNAP1"
 // and history continues from there (the documented durability trade-off:
 // per-block time travel restarts at the snapshot point).
 func (l *Ledger) WriteSnapshot(w io.Writer) error {
+	// Capture a consistent view under the lock, then stream without it:
+	// the headers and version entries are copied, the cell-store instance
+	// is immutable, and the content-addressed store never mutates an
+	// object in place — so commits proceed while a (potentially huge)
+	// snapshot drains to disk.
 	l.mu.RLock()
-	defer l.mu.RUnlock()
+	headers := append([]BlockHeader(nil), l.headers...)
+	versions := make(map[string][]versionRef, len(l.versions))
+	for ref, entries := range l.versions {
+		versions[ref] = append([]versionRef(nil), entries...)
+	}
+	cells := l.cells
+	l.mu.RUnlock()
+
 	bw := bufio.NewWriter(w)
 	if _, err := bw.WriteString(snapshotMagic); err != nil {
 		return err
 	}
 
 	// Headers.
-	writeUvarint(bw, uint64(len(l.headers)))
-	for _, h := range l.headers {
+	writeUvarint(bw, uint64(len(headers)))
+	for _, h := range headers {
 		writeBytes(bw, h.Encode())
 	}
 
 	// Version index, sorted for determinism.
-	refs := make([]string, 0, len(l.versions))
-	for ref := range l.versions {
+	refs := make([]string, 0, len(versions))
+	for ref := range versions {
 		refs = append(refs, ref)
 	}
 	sort.Strings(refs)
 	writeUvarint(bw, uint64(len(refs)))
 	for _, ref := range refs {
 		writeBytes(bw, []byte(ref))
-		entries := l.versions[ref]
+		entries := versions[ref]
 		writeUvarint(bw, uint64(len(entries)))
 		for _, e := range entries {
 			writeUvarint(bw, e.version)
@@ -76,7 +88,7 @@ func (l *Ledger) WriteSnapshot(w io.Writer) error {
 		writeBytes(bw, body)
 		return true
 	}
-	for _, h := range l.headers {
+	for _, h := range headers {
 		body, err := l.store.Get(h.BodyHash)
 		if err != nil {
 			return fmt.Errorf("ledger: snapshot body %d: %w", h.Height, err)
@@ -85,7 +97,7 @@ func (l *Ledger) WriteSnapshot(w io.Writer) error {
 			return objErr
 		}
 	}
-	if err := l.cells.Tree.WalkNodes(func(level int, body []byte) bool {
+	if err := cells.Tree.WalkNodes(func(level int, body []byte) bool {
 		domain := hashutil.DomainPOSLeaf
 		if level > 0 {
 			domain = hashutil.DomainPOSIndex
@@ -98,7 +110,7 @@ func (l *Ledger) WriteSnapshot(w io.Writer) error {
 		return objErr
 	}
 	for _, ref := range refs {
-		for _, e := range l.versions[ref] {
+		for _, e := range versions[ref] {
 			body, err := l.store.Get(e.object)
 			if err != nil {
 				return fmt.Errorf("ledger: snapshot chain object: %w", err)

@@ -39,3 +39,15 @@ func (o *Oracle) Batch(n uint64) (first uint64) {
 	end := o.last.Add(n)
 	return end - n + 1
 }
+
+// Advance raises the oracle to at least v, so the next timestamp issued
+// is above v. Recovery uses it to move the oracle past timestamps that
+// were already committed before a restart.
+func (o *Oracle) Advance(v uint64) {
+	for {
+		cur := o.last.Load()
+		if cur >= v || o.last.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}

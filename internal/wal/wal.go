@@ -1,0 +1,580 @@
+// Package wal implements a segmented write-ahead log: an append-only
+// sequence of CRC32C-framed records split across rotating segment files.
+// It is the durability primitive under internal/durable — every committed
+// ledger block is framed into the log before the commit is acknowledged,
+// so a crash can lose at most the tail the configured sync policy allows.
+//
+// Concurrency follows the classic group-commit design: appends serialize
+// only for the in-memory frame write; the expensive fsync is performed by
+// one "leader" on behalf of every record appended before it started, so a
+// burst of concurrent commits shares a single disk flush.
+//
+// On open the log scans itself forward and truncates at the first torn or
+// corrupt frame of the final segment (an interrupted write), while
+// corruption in any earlier segment — which cannot be produced by a crash,
+// only by tampering or disk rot — is a hard error.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+)
+
+// SyncPolicy controls when appends become durable.
+type SyncPolicy int
+
+const (
+	// SyncAlways fsyncs before acknowledging every append (group commit:
+	// one fsync covers all appends queued behind the leader).
+	SyncAlways SyncPolicy = iota
+	// SyncInterval flushes to the OS on every append and fsyncs on a
+	// background timer; a crash loses at most one interval of records.
+	SyncInterval
+	// SyncNever flushes to the OS on every append but never fsyncs;
+	// durability is left entirely to the kernel's writeback.
+	SyncNever
+)
+
+// String returns the flag spelling of the policy.
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncAlways:
+		return "always"
+	case SyncInterval:
+		return "interval"
+	case SyncNever:
+		return "never"
+	}
+	return fmt.Sprintf("SyncPolicy(%d)", int(p))
+}
+
+// ParsePolicy parses the flag spelling of a sync policy.
+func ParsePolicy(s string) (SyncPolicy, error) {
+	switch s {
+	case "always":
+		return SyncAlways, nil
+	case "interval":
+		return SyncInterval, nil
+	case "never":
+		return SyncNever, nil
+	}
+	return 0, fmt.Errorf("wal: unknown sync policy %q (want always, interval or never)", s)
+}
+
+// Options configures a Log.
+type Options struct {
+	// Policy selects when appends are made durable (default SyncAlways).
+	Policy SyncPolicy
+	// Interval is the background fsync period for SyncInterval
+	// (default 50ms).
+	Interval time.Duration
+	// SegmentSize rotates to a new segment file once the current one
+	// exceeds this many bytes (default 64 MiB).
+	SegmentSize int64
+}
+
+const (
+	frameHeader       = 8 // uint32 payload length + uint32 CRC32C
+	defaultSegment    = 64 << 20
+	defaultInterval   = 50 * time.Millisecond
+	maxRecordSize     = 1 << 30
+	segmentNameFormat = "%020d.wal"
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// frameCRC covers the length prefix as well as the payload, so a zeroed
+// (preallocated but unwritten) region can never validate as an empty
+// record.
+func frameCRC(length uint32, payload []byte) uint32 {
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], length)
+	c := crc32.Update(0, castagnoli, hdr[:])
+	return crc32.Update(c, castagnoli, payload)
+}
+
+// Sentinel errors.
+var (
+	// ErrClosed is returned by operations on a closed log.
+	ErrClosed = errors.New("wal: log closed")
+	// ErrCorrupt is returned when a non-final segment contains a bad
+	// frame — damage no crash can explain.
+	ErrCorrupt = errors.New("wal: corrupt segment")
+)
+
+type segment struct {
+	start uint64 // sequence number of the segment's first record
+	path  string
+}
+
+// Log is a segmented write-ahead log. Safe for concurrent use.
+type Log struct {
+	dir  string
+	opts Options
+
+	// mu guards all mutable state below.
+	mu       sync.Mutex
+	f        *os.File
+	segments []segment // ordered; last is the active segment
+	segBytes int64     // bytes written to the active segment
+	nextSeq  uint64    // sequence number of the next record
+	appended uint64    // highest sequence number written to the OS
+	synced   uint64    // highest sequence number known durable
+	syncErr  error     // sticky fatal sync error
+	closed   bool
+
+	// syncMu elects the group-commit leader: held across each fsync so
+	// exactly one is in flight, and always acquired before mu.
+	syncMu sync.Mutex
+
+	stop     chan struct{} // closes the interval syncer
+	done     chan struct{}
+	stopOnce sync.Once
+}
+
+// Open opens (creating if needed) the log in dir, scans it forward
+// validating every frame, and truncates a torn tail in the final segment.
+// The next Append continues the sequence after the last intact record.
+func Open(dir string, opts Options) (*Log, error) {
+	if opts.SegmentSize <= 0 {
+		opts.SegmentSize = defaultSegment
+	}
+	if opts.Interval <= 0 {
+		opts.Interval = defaultInterval
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	segs, err := listSegments(dir)
+	if err != nil {
+		return nil, err
+	}
+	l := &Log{dir: dir, opts: opts, nextSeq: 1}
+	if len(segs) > 0 {
+		// Segments before the first were pruned by past checkpoints; the
+		// sequence resumes at whatever the oldest survivor starts with.
+		l.nextSeq = segs[0].start
+	}
+	for i, s := range segs {
+		last := i == len(segs)-1
+		count, goodBytes, err := scanSegment(s.path, last)
+		if err != nil {
+			return nil, err
+		}
+		if last {
+			if err := os.Truncate(s.path, goodBytes); err != nil {
+				return nil, fmt.Errorf("wal: truncate torn tail: %w", err)
+			}
+			l.segBytes = goodBytes
+		}
+		if s.start != l.nextSeq {
+			return nil, fmt.Errorf("%w: segment %s starts at %d, want %d",
+				ErrCorrupt, filepath.Base(s.path), s.start, l.nextSeq)
+		}
+		l.nextSeq += uint64(count)
+	}
+	l.segments = segs
+	l.appended = l.nextSeq - 1
+	l.synced = l.appended
+	if len(segs) == 0 {
+		if err := l.createSegmentLocked(); err != nil {
+			return nil, err
+		}
+	} else {
+		f, err := os.OpenFile(segs[len(segs)-1].path, os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, err
+		}
+		l.f = f
+	}
+	if opts.Policy == SyncInterval {
+		l.stop = make(chan struct{})
+		l.done = make(chan struct{})
+		go l.syncLoop()
+	}
+	return l, nil
+}
+
+func listSegments(dir string) ([]segment, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var segs []segment
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		var start uint64
+		if _, err := fmt.Sscanf(e.Name(), segmentNameFormat, &start); err != nil {
+			continue
+		}
+		segs = append(segs, segment{start: start, path: filepath.Join(dir, e.Name())})
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].start < segs[j].start })
+	return segs, nil
+}
+
+// scanSegment validates path frame by frame. It returns the number of
+// intact records and the byte offset just past the last one. A bad frame
+// is tolerated (scan stops) only when last is true.
+func scanSegment(path string, last bool) (count int, goodBytes int64, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer f.Close()
+	var hdr [frameHeader]byte
+	var payload []byte
+	for {
+		_, err := io.ReadFull(f, hdr[:])
+		if err == io.EOF {
+			return count, goodBytes, nil // clean frame boundary
+		}
+		if err != nil { // short header: torn write
+			if last {
+				return count, goodBytes, nil
+			}
+			return 0, 0, fmt.Errorf("%w: %s: short frame header", ErrCorrupt, filepath.Base(path))
+		}
+		length := binary.LittleEndian.Uint32(hdr[:4])
+		crc := binary.LittleEndian.Uint32(hdr[4:])
+		if length > maxRecordSize {
+			if last {
+				return count, goodBytes, nil
+			}
+			return 0, 0, fmt.Errorf("%w: %s: absurd frame length %d", ErrCorrupt, filepath.Base(path), length)
+		}
+		if uint32(cap(payload)) < length {
+			payload = make([]byte, length)
+		}
+		payload = payload[:length]
+		if _, err := io.ReadFull(f, payload); err != nil {
+			if last {
+				return count, goodBytes, nil
+			}
+			return 0, 0, fmt.Errorf("%w: %s: short frame payload", ErrCorrupt, filepath.Base(path))
+		}
+		if frameCRC(length, payload) != crc {
+			if last {
+				return count, goodBytes, nil
+			}
+			return 0, 0, fmt.Errorf("%w: %s: frame checksum mismatch", ErrCorrupt, filepath.Base(path))
+		}
+		count++
+		goodBytes += int64(frameHeader) + int64(length)
+	}
+}
+
+// Append writes payload as one record and blocks until it is durable
+// under the configured policy. It returns the record's sequence number.
+func (l *Log) Append(payload []byte) (uint64, error) {
+	seq, wait, err := l.AppendAsync(payload)
+	if err != nil {
+		return 0, err
+	}
+	return seq, wait()
+}
+
+// AppendAsync writes payload as one record without waiting for
+// durability. The returned wait function blocks until the record is
+// durable under the configured policy; callers may release their own
+// locks before invoking it so that concurrent commits share one fsync.
+func (l *Log) AppendAsync(payload []byte) (uint64, func() error, error) {
+	if len(payload) > maxRecordSize {
+		return 0, nil, fmt.Errorf("wal: record of %d bytes exceeds limit", len(payload))
+	}
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return 0, nil, ErrClosed
+	}
+	// A prior write or fsync failure may have left a torn frame at the
+	// tail; appending behind it would put acknowledged records where the
+	// next recovery truncates. The error is sticky: the log is done.
+	if err := l.syncErr; err != nil {
+		l.mu.Unlock()
+		return 0, nil, err
+	}
+	if l.segBytes >= l.opts.SegmentSize {
+		l.mu.Unlock()
+		if err := l.rotate(); err != nil {
+			return 0, nil, err
+		}
+		l.mu.Lock()
+		if l.closed {
+			l.mu.Unlock()
+			return 0, nil, ErrClosed
+		}
+	}
+	seq := l.nextSeq
+	var hdr [frameHeader]byte
+	binary.LittleEndian.PutUint32(hdr[:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:], frameCRC(uint32(len(payload)), payload))
+	if _, err := l.f.Write(hdr[:]); err != nil {
+		l.syncErr = err
+		l.mu.Unlock()
+		return 0, nil, err
+	}
+	if _, err := l.f.Write(payload); err != nil {
+		l.syncErr = err
+		l.mu.Unlock()
+		return 0, nil, err
+	}
+	l.nextSeq++
+	l.appended = seq
+	l.segBytes += int64(frameHeader) + int64(len(payload))
+	policy := l.opts.Policy
+	l.mu.Unlock()
+
+	if policy == SyncAlways {
+		return seq, func() error { return l.syncTo(seq) }, nil
+	}
+	// SyncInterval/SyncNever acknowledge immediately, but a background
+	// fsync failure must still reach the commit path: surface the sticky
+	// error instead of silently acknowledging undurable commits forever.
+	return seq, func() error {
+		l.mu.Lock()
+		defer l.mu.Unlock()
+		return l.syncErr
+	}, nil
+}
+
+// syncTo makes every record up to seq durable, electing one fsync leader
+// for all concurrent waiters (group commit).
+func (l *Log) syncTo(seq uint64) error {
+	l.syncMu.Lock()
+	defer l.syncMu.Unlock()
+	l.mu.Lock()
+	if err := l.syncErr; err != nil {
+		l.mu.Unlock()
+		return err
+	}
+	if l.synced >= seq {
+		l.mu.Unlock()
+		return nil // a previous leader's fsync covered this record
+	}
+	target := l.appended
+	f := l.f
+	l.mu.Unlock()
+	err := f.Sync()
+	l.mu.Lock()
+	if err != nil {
+		l.syncErr = err
+	} else if target > l.synced {
+		l.synced = target
+	}
+	l.mu.Unlock()
+	return err
+}
+
+// Sync flushes and fsyncs everything appended so far.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	seq := l.appended
+	closed := l.closed
+	l.mu.Unlock()
+	if closed {
+		return ErrClosed
+	}
+	if seq == 0 {
+		return nil
+	}
+	return l.syncTo(seq)
+}
+
+func (l *Log) syncLoop() {
+	defer close(l.done)
+	t := time.NewTicker(l.opts.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			_ = l.Sync() // sticky error resurfaces on the commit path
+		case <-l.stop:
+			return
+		}
+	}
+}
+
+// rotate seals the active segment (flush, fsync, close) and starts a new
+// one named after the next sequence number. syncMu is taken first so no
+// group-commit leader is fsyncing the file being swapped out.
+func (l *Log) rotate() error {
+	l.syncMu.Lock()
+	defer l.syncMu.Unlock()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	if l.segBytes < l.opts.SegmentSize {
+		return nil // another appender rotated first
+	}
+	if err := l.f.Sync(); err != nil {
+		l.syncErr = err
+		return err
+	}
+	if err := l.f.Close(); err != nil {
+		return err
+	}
+	l.synced = l.appended
+	return l.createSegmentLocked()
+}
+
+// createSegmentLocked opens a fresh segment for nextSeq and fsyncs the
+// directory so the file's existence is itself durable. Caller holds mu.
+func (l *Log) createSegmentLocked() error {
+	path := filepath.Join(l.dir, fmt.Sprintf(segmentNameFormat, l.nextSeq))
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if err := SyncDir(l.dir); err != nil {
+		f.Close()
+		return err
+	}
+	l.f = f
+	l.segments = append(l.segments, segment{start: l.nextSeq, path: path})
+	l.segBytes = 0
+	return nil
+}
+
+// NextSeq returns the sequence number the next Append will receive.
+func (l *Log) NextSeq() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.nextSeq
+}
+
+// Replay streams every record in sequence order to fn. It reads the
+// segment files directly and is intended for recovery, before the first
+// Append; fn returning an error aborts the replay.
+func (l *Log) Replay(fn func(seq uint64, payload []byte) error) error {
+	l.mu.Lock()
+	segs := append([]segment(nil), l.segments...)
+	l.mu.Unlock()
+	for i, s := range segs {
+		if err := replaySegment(s, i == len(segs)-1, fn); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func replaySegment(s segment, last bool, fn func(seq uint64, payload []byte) error) error {
+	f, err := os.Open(s.path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	seq := s.start
+	var hdr [frameHeader]byte
+	for {
+		if _, err := io.ReadFull(f, hdr[:]); err != nil {
+			if err == io.EOF || last {
+				return nil
+			}
+			return fmt.Errorf("%w: %s: short frame header", ErrCorrupt, filepath.Base(s.path))
+		}
+		length := binary.LittleEndian.Uint32(hdr[:4])
+		crc := binary.LittleEndian.Uint32(hdr[4:])
+		if length > maxRecordSize {
+			if last {
+				return nil
+			}
+			return fmt.Errorf("%w: %s: absurd frame length", ErrCorrupt, filepath.Base(s.path))
+		}
+		payload := make([]byte, length)
+		if _, err := io.ReadFull(f, payload); err != nil {
+			if last {
+				return nil
+			}
+			return fmt.Errorf("%w: %s: short frame payload", ErrCorrupt, filepath.Base(s.path))
+		}
+		if frameCRC(length, payload) != crc {
+			if last {
+				return nil
+			}
+			return fmt.Errorf("%w: %s: frame checksum mismatch", ErrCorrupt, filepath.Base(s.path))
+		}
+		if err := fn(seq, payload); err != nil {
+			return err
+		}
+		seq++
+	}
+}
+
+// PruneTo deletes whole segments every record of which has sequence
+// number below keepSeq. The active segment is never deleted. Checkpoint
+// logic calls this after a snapshot makes the prefix redundant.
+func (l *Log) PruneTo(keepSeq uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	kept := l.segments[:0]
+	var firstErr error
+	for i, s := range l.segments {
+		// A segment's records end where the next segment starts; only a
+		// fully superseded, non-active segment may go.
+		if i+1 < len(l.segments) && l.segments[i+1].start <= keepSeq {
+			if err := os.Remove(s.path); err != nil && firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		kept = append(kept, s)
+	}
+	removed := len(l.segments) - len(kept)
+	l.segments = append([]segment(nil), kept...)
+	if firstErr != nil {
+		return firstErr
+	}
+	if removed > 0 {
+		return SyncDir(l.dir)
+	}
+	return nil
+}
+
+// Close flushes, fsyncs and closes the log. Appends after Close return
+// ErrClosed.
+func (l *Log) Close() error {
+	if l.stop != nil {
+		l.stopOnce.Do(func() {
+			close(l.stop)
+			<-l.done
+		})
+	}
+	l.syncMu.Lock()
+	defer l.syncMu.Unlock()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	l.closed = true
+	err := l.f.Sync()
+	if cerr := l.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// SyncDir fsyncs a directory so metadata changes inside it (created,
+// renamed or removed files) are durable. Shared by the log and by
+// internal/durable's checkpoint machinery.
+func SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}

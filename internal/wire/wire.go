@@ -8,6 +8,7 @@
 package wire
 
 import (
+	"bytes"
 	"encoding/gob"
 	"errors"
 	"fmt"
@@ -33,6 +34,8 @@ const (
 	OpHistory     Op = "history"
 	OpDigest      Op = "digest"
 	OpConsistency Op = "consistency"
+	OpSnapshot    Op = "snapshot" // stream a full engine snapshot to the client
+	OpRestore     Op = "restore"  // replace the served state from a snapshot
 )
 
 // Put is one write in a request.
@@ -54,6 +57,7 @@ type Request struct {
 	Puts      []Put
 	Statement string
 	OldDigest ledger.Digest
+	Snapshot  []byte // OpRestore: the snapshot stream to load
 }
 
 // Response is the server -> client message.
@@ -70,15 +74,34 @@ type Response struct {
 
 // Server serves a core.Engine over a listener.
 type Server struct {
-	Engine *core.Engine
+	// Restore, when non-nil, enables OpRestore: it loads a snapshot
+	// stream into a fresh engine which then replaces the served one. nil
+	// (the default) rejects restore requests.
+	Restore func(snapshot []byte) (*core.Engine, error)
 
 	mu     sync.Mutex
+	engine *core.Engine
 	closed bool
 	ln     net.Listener
 }
 
 // NewServer returns a server over eng.
-func NewServer(eng *core.Engine) *Server { return &Server{Engine: eng} }
+func NewServer(eng *core.Engine) *Server { return &Server{engine: eng} }
+
+// Engine returns the currently served engine (it changes on OpRestore).
+func (s *Server) Engine() *core.Engine {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.engine
+}
+
+// SetEngine atomically swaps the served engine. In-flight requests finish
+// against the previous one.
+func (s *Server) SetEngine(eng *core.Engine) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.engine = eng
+}
 
 // Serve accepts connections until the listener is closed. Each connection
 // handles requests sequentially (clients multiplex by opening more
@@ -122,11 +145,32 @@ func (s *Server) handle(conn net.Conn) {
 		if err := dec.Decode(&req); err != nil {
 			return // connection closed or corrupt stream
 		}
-		resp := Dispatch(s.Engine, req)
+		var resp Response
+		if req.Op == OpRestore {
+			resp = s.restore(req)
+		} else {
+			resp = Dispatch(s.Engine(), req)
+		}
 		if err := enc.Encode(resp); err != nil {
 			return
 		}
 	}
+}
+
+// restore handles OpRestore: load the snapshot into a fresh engine and
+// swap it in. In-flight requests finish against the old engine.
+func (s *Server) restore(req Request) Response {
+	if s.Restore == nil {
+		return Response{Err: "wire: this server does not accept restores"}
+	}
+	eng, err := s.Restore(req.Snapshot)
+	if err != nil {
+		return Response{Err: fmt.Sprintf("wire: restore: %v", err)}
+	}
+	s.mu.Lock()
+	s.engine = eng
+	s.mu.Unlock()
+	return Response{Digest: eng.Digest()}
 }
 
 // Dispatch executes one request against an engine. It is shared by the
@@ -185,6 +229,14 @@ func Dispatch(eng *core.Engine, req Request) Response {
 			return Response{Err: err.Error()}
 		}
 		return Response{Consistency: &cons, Digest: eng.Digest()}
+	case OpSnapshot:
+		var buf bytes.Buffer
+		if err := eng.WriteSnapshot(&buf); err != nil {
+			return Response{Err: err.Error()}
+		}
+		return Response{Found: true, Value: buf.Bytes(), Digest: eng.Digest()}
+	case OpRestore:
+		return Response{Err: "wire: restore requires a server, not a bare engine"}
 	default:
 		return Response{Err: fmt.Sprintf("wire: unknown op %q", req.Op)}
 	}

@@ -29,17 +29,23 @@
 package spitz
 
 import (
+	"bytes"
+	"errors"
 	"io"
 	"net"
+	"sync"
+	"time"
 
 	"spitz/internal/cas"
 	"spitz/internal/cellstore"
 	"spitz/internal/core"
+	"spitz/internal/durable"
 	"spitz/internal/ledger"
 	"spitz/internal/mtree"
 	"spitz/internal/proof"
 	"spitz/internal/query"
 	"spitz/internal/txn"
+	"spitz/internal/wal"
 	"spitz/internal/wire"
 )
 
@@ -74,6 +80,21 @@ const (
 	ModeTO = txn.ModeTO
 )
 
+// SyncPolicy controls when durable commits reach the disk (OpenDir).
+type SyncPolicy = wal.SyncPolicy
+
+// Sync policies for Options.Sync.
+const (
+	// SyncAlways fsyncs the write-ahead log before acknowledging every
+	// commit; concurrent commits share one fsync (group commit).
+	SyncAlways = wal.SyncAlways
+	// SyncInterval fsyncs on a background timer; a crash loses at most
+	// the last interval of commits.
+	SyncInterval = wal.SyncInterval
+	// SyncNever hands commits to the OS immediately but never fsyncs.
+	SyncNever = wal.SyncNever
+)
+
 // Sentinel errors.
 var (
 	// ErrNotFound is returned by Get for absent or deleted cells.
@@ -84,27 +105,97 @@ var (
 	ErrTampered = proof.ErrTampered
 )
 
-// Options configures Open.
+// Options configures Open and OpenDir.
 type Options struct {
 	// Mode selects the concurrency control scheme (default ModeOCC).
 	Mode txn.Mode
 	// MaintainInverted enables the inverted index for value lookups
 	// (LookupEqual, LookupNumericRange) at some write cost.
 	MaintainInverted bool
+
+	// The fields below configure durability and apply to OpenDir only;
+	// Open ignores them.
+
+	// Sync selects when commits become durable (default SyncAlways).
+	Sync SyncPolicy
+	// SyncEvery is the background fsync period under SyncInterval
+	// (default 50ms).
+	SyncEvery time.Duration
+	// CheckpointInterval and CheckpointEveryBlocks control background
+	// checkpoints; both zero means 1 minute / 4096 blocks, and a
+	// negative interval disables automatic checkpoints.
+	CheckpointInterval    time.Duration
+	CheckpointEveryBlocks uint64
+	// WALSegmentSize caps write-ahead log segment files (default 64 MiB).
+	WALSegmentSize int64
 }
 
 // DB is an embedded Spitz database. Safe for concurrent use.
 type DB struct {
-	eng *core.Engine
+	mu   sync.RWMutex
+	eng  *core.Engine
+	dur  *durable.Manager
+	opts Options
+	srvs []*wire.Server // live Serve instances, kept in step on engine swaps
 }
 
-// Open creates an in-memory verifiable database.
+// engine returns the current engine (swappable via ResetFromSnapshot).
+func (db *DB) engine() *core.Engine {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.eng
+}
+
+// Open creates an in-memory verifiable database. State is lost when the
+// process exits; use OpenDir for a durable database.
 func Open(opts Options) *DB {
 	return &DB{eng: core.New(core.Options{
 		Store:            cas.NewMemory(),
 		Mode:             opts.Mode,
 		MaintainInverted: opts.MaintainInverted,
-	})}
+	}), opts: opts}
+}
+
+// OpenDir opens (creating if needed) a durable verifiable database in
+// dir. Every commit is written ahead to a log before it is acknowledged,
+// checkpoints stream snapshots in the background, and a crash recovers on
+// the next OpenDir: the newest checkpoint is restored and the log tail
+// replayed with per-block hash verification, so clients' saved digests
+// keep verifying across the restart. Call Close when done.
+func OpenDir(dir string, opts Options) (*DB, error) {
+	m, err := durable.Open(dir, durable.Options{
+		Mode:                  opts.Mode,
+		MaintainInverted:      opts.MaintainInverted,
+		Sync:                  opts.Sync,
+		SyncInterval:          opts.SyncEvery,
+		SegmentSize:           opts.WALSegmentSize,
+		CheckpointInterval:    opts.CheckpointInterval,
+		CheckpointEveryBlocks: opts.CheckpointEveryBlocks,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &DB{eng: m.Engine(), dur: m, opts: opts}, nil
+}
+
+// Close makes all acknowledged commits durable and releases the data
+// directory. It is a no-op for in-memory databases. Commits issued after
+// Close fail.
+func (db *DB) Close() error {
+	if db.dur != nil {
+		return db.dur.Close()
+	}
+	return nil
+}
+
+// Checkpoint forces a durable snapshot now instead of waiting for the
+// background cadence, shrinking both recovery time and the write-ahead
+// log. It is a no-op for in-memory databases.
+func (db *DB) Checkpoint() error {
+	if db.dur != nil {
+		return db.dur.Checkpoint()
+	}
+	return nil
 }
 
 // NewVerifier returns a client-side proof verifier with no pinned digest;
@@ -114,7 +205,7 @@ func NewVerifier() *Verifier { return proof.NewVerifier() }
 // Apply commits a batch of writes as one ledger block (group commit) and
 // returns its header. statement is recorded in the block for auditing.
 func (db *DB) Apply(statement string, puts []Put) (BlockHeader, error) {
-	return db.eng.Apply(statement, puts)
+	return db.engine().Apply(statement, puts)
 }
 
 // PutRow writes all columns of one row in a single block.
@@ -128,7 +219,7 @@ func (db *DB) PutRow(table string, pk []byte, columns map[string][]byte) (BlockH
 
 // Get returns the latest live value of a cell, or ErrNotFound.
 func (db *DB) Get(table, column string, pk []byte) ([]byte, error) {
-	return db.eng.Get(table, column, pk)
+	return db.engine().Get(table, column, pk)
 }
 
 // GetRow reads the given columns of one row; absent columns are omitted.
@@ -150,69 +241,129 @@ func (db *DB) GetRow(table string, pk []byte, columns []string) (map[string][]by
 // GetVerified returns the latest version of a cell together with its
 // integrity proof and the digest it verifies against.
 func (db *DB) GetVerified(table, column string, pk []byte) (VerifiedResult, error) {
-	return db.eng.GetVerified(table, column, pk)
+	return db.engine().GetVerified(table, column, pk)
 }
 
 // RangePK scans the latest live cells of one column with primary keys in
 // [pkLo, pkHi); nil bounds are open.
 func (db *DB) RangePK(table, column string, pkLo, pkHi []byte) ([]Cell, error) {
-	return db.eng.RangePK(table, column, pkLo, pkHi)
+	return db.engine().RangePK(table, column, pkLo, pkHi)
 }
 
 // RangePKVerified scans a primary-key range with one proof covering the
 // complete result set.
 func (db *DB) RangePKVerified(table, column string, pkLo, pkHi []byte) (VerifiedResult, error) {
-	return db.eng.RangePKVerified(table, column, pkLo, pkHi)
+	return db.engine().RangePKVerified(table, column, pkLo, pkHi)
 }
 
 // History returns every version of a cell, newest first, including
 // tombstones.
 func (db *DB) History(table, column string, pk []byte) ([]Cell, error) {
-	return db.eng.History(table, column, pk)
+	return db.engine().History(table, column, pk)
 }
 
 // GetAt reads a cell as of a historical ledger block (time travel).
 func (db *DB) GetAt(height uint64, table, column string, pk []byte) (Cell, bool, error) {
-	return db.eng.GetAt(height, table, column, pk)
+	return db.engine().GetAt(height, table, column, pk)
 }
 
 // LookupEqual returns cells of one column whose latest value equals value
 // (requires Options.MaintainInverted).
 func (db *DB) LookupEqual(table, column string, value []byte) ([]Cell, error) {
-	return db.eng.LookupEqual(table, column, value)
+	return db.engine().LookupEqual(table, column, value)
 }
 
 // LookupNumericRange returns cells whose 8-byte big-endian numeric value
 // lies in [lo, hi) (requires Options.MaintainInverted).
 func (db *DB) LookupNumericRange(table, column string, lo, hi uint64) ([]Cell, error) {
-	return db.eng.LookupNumericRange(table, column, lo, hi)
+	return db.engine().LookupNumericRange(table, column, lo, hi)
 }
 
 // Begin starts an interactive serializable transaction.
-func (db *DB) Begin() *Txn { return db.eng.Begin() }
+func (db *DB) Begin() *Txn { return db.engine().Begin() }
 
 // Digest returns the current ledger digest; clients save it and verify
 // later proofs (and history consistency) against it.
-func (db *DB) Digest() Digest { return db.eng.Digest() }
+func (db *DB) Digest() Digest { return db.engine().Digest() }
 
 // ConsistencyProof proves that the current ledger extends the one
 // committed by old — history was appended to, never rewritten.
 func (db *DB) ConsistencyProof(old Digest) (ConsistencyProof, error) {
-	return db.eng.ConsistencyProof(old)
+	return db.engine().ConsistencyProof(old)
 }
 
 // Height returns the number of committed ledger blocks.
-func (db *DB) Height() uint64 { return db.eng.Ledger().Height() }
+func (db *DB) Height() uint64 { return db.engine().Ledger().Height() }
 
 // Block returns the header of the block at the given height.
 func (db *DB) Block(height uint64) (BlockHeader, error) {
-	return db.eng.Ledger().Header(height)
+	return db.engine().Ledger().Header(height)
 }
 
 // Serve exposes the database over a listener using the Spitz wire
 // protocol; it blocks until the listener closes. Use Client to connect.
+// In-memory databases additionally accept the wire protocol's restore
+// operation (Client.Restore / spitz-cli restore), which replaces the
+// served state from an operator-supplied snapshot; durable databases
+// reject it, because their state must come from their own data directory.
 func (db *DB) Serve(ln net.Listener) error {
-	return wire.NewServer(db.eng).Serve(ln)
+	// Engine read and server registration share one critical section, so
+	// a concurrent ResetFromSnapshot can never slip between them and
+	// leave this listener serving the discarded engine.
+	db.mu.Lock()
+	srv := wire.NewServer(db.eng)
+	if db.dur == nil {
+		srv.Restore = func(snapshot []byte) (*core.Engine, error) {
+			return db.resetFromSnapshot(bytes.NewReader(snapshot))
+		}
+	}
+	db.srvs = append(db.srvs, srv)
+	db.mu.Unlock()
+	defer func() {
+		db.mu.Lock()
+		for i, s := range db.srvs {
+			if s == srv {
+				db.srvs = append(db.srvs[:i], db.srvs[i+1:]...)
+				break
+			}
+		}
+		db.mu.Unlock()
+	}()
+	return srv.Serve(ln)
+}
+
+// ResetFromSnapshot replaces this in-memory database's entire state with
+// the contents of a snapshot stream (WriteSnapshot's output), validating
+// it like Restore does. In-flight operations complete against the old
+// state. Durable databases refuse: their state is owned by the data
+// directory.
+func (db *DB) ResetFromSnapshot(r io.Reader) error {
+	_, err := db.resetFromSnapshot(r)
+	return err
+}
+
+func (db *DB) resetFromSnapshot(r io.Reader) (*core.Engine, error) {
+	if db.dur != nil {
+		return nil, errors.New("spitz: cannot restore a snapshot into a durable database; recover from its data directory instead")
+	}
+	eng, err := core.Restore(core.Options{
+		Store:            cas.NewMemory(),
+		Mode:             db.opts.Mode,
+		MaintainInverted: db.opts.MaintainInverted,
+	}, r)
+	if err != nil {
+		return nil, err
+	}
+	db.mu.Lock()
+	db.eng = eng
+	srvs := append([]*wire.Server(nil), db.srvs...)
+	db.mu.Unlock()
+	// Running servers must follow the swap, or network clients would keep
+	// reading and committing into the discarded engine.
+	for _, s := range srvs {
+		s.SetEngine(eng)
+	}
+	return eng, nil
 }
 
 // QueryResult is the outcome of Exec: rows for SELECT/HISTORY, an affected
@@ -232,7 +383,7 @@ type QueryRow = query.Row
 //
 // Mutating statements are recorded verbatim in their ledger block.
 func (db *DB) Exec(statement string) (QueryResult, error) {
-	return query.Exec(db.eng, statement)
+	return query.Exec(db.engine(), statement)
 }
 
 // PutDocument stores a JSON document (the paper's self-defined JSON
@@ -240,21 +391,21 @@ func (db *DB) Exec(statement string) (QueryResult, error) {
 // field gets cell-level history and verifiability. It returns the block
 // height of the commit.
 func (db *DB) PutDocument(table string, pk []byte, doc []byte) (uint64, error) {
-	return query.PutDocument(db.eng, table, pk, doc)
+	return query.PutDocument(db.engine(), table, pk, doc)
 }
 
 // GetDocument reassembles the latest version of a document.
 func (db *DB) GetDocument(table string, pk []byte) ([]byte, bool, error) {
-	return query.GetDocument(db.eng, table, pk)
+	return query.GetDocument(db.engine(), table, pk)
 }
 
 // Columns lists the columns ever written to a table.
-func (db *DB) Columns(table string) []string { return db.eng.Columns(table) }
+func (db *DB) Columns(table string) []string { return db.engine().Columns(table) }
 
 // WriteSnapshot serializes the database to w for restart durability:
 // block headers, the version index, and every live object. Restore the
 // stream with Restore.
-func (db *DB) WriteSnapshot(w io.Writer) error { return db.eng.WriteSnapshot(w) }
+func (db *DB) WriteSnapshot(w io.Writer) error { return db.engine().WriteSnapshot(w) }
 
 // Restore reconstructs a database from a snapshot written by
 // WriteSnapshot. Every object is re-inserted through content addressing
