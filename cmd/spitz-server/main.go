@@ -3,7 +3,8 @@
 //
 // Usage:
 //
-//	spitz-server [-addr 127.0.0.1:7687] [-inverted]
+//	spitz-server [-addr 127.0.0.1:7687] [-inverted] [-mode occ|to]
+//	             [-max-batch-txns 128] [-max-batch-delay 0s]
 //	             [-data-dir DIR] [-sync always|interval|never]
 //	             [-sync-every 50ms] [-checkpoint-interval 1m]
 //	             [-checkpoint-every-blocks 4096]
@@ -14,6 +15,12 @@
 // a crash or restart. -sync trades durability for throughput: "always"
 // fsyncs every commit (group commit), "interval" fsyncs on a timer,
 // "never" leaves persistence to the OS.
+//
+// -mode selects the concurrency control scheme for transactions: "occ"
+// (optimistic, validate reads at commit — the default) or "to"
+// (timestamp ordering). -max-batch-txns and -max-batch-delay tune the
+// group-commit pipeline that folds concurrent commits into shared ledger
+// blocks.
 //
 // Connect with cmd/spitz-cli or the spitz.Dial client API.
 package main
@@ -35,6 +42,9 @@ import (
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7687", "listen address")
 	inverted := flag.Bool("inverted", false, "maintain the inverted index for value lookups")
+	mode := flag.String("mode", "occ", "concurrency control scheme: occ or to")
+	maxBatchTxns := flag.Int("max-batch-txns", 0, "max transactions folded into one ledger block (0 = default 128)")
+	maxBatchDelay := flag.Duration("max-batch-delay", 0, "how long the commit leader waits to accumulate a batch (0 = no added latency)")
 	dataDir := flag.String("data-dir", "", "data directory; empty serves an in-memory database")
 	syncMode := flag.String("sync", "always", "WAL sync policy: always, interval or never")
 	syncEvery := flag.Duration("sync-every", 50*time.Millisecond, "fsync period under -sync interval")
@@ -42,11 +52,23 @@ func main() {
 	ckptBlocks := flag.Uint64("checkpoint-every-blocks", 4096, "checkpoint after this many commits")
 	flag.Parse()
 
-	opts := spitz.Options{MaintainInverted: *inverted}
+	opts := spitz.Options{
+		MaintainInverted: *inverted,
+		MaxBatchTxns:     *maxBatchTxns,
+		MaxBatchDelay:    *maxBatchDelay,
+	}
+	switch *mode {
+	case "occ":
+		opts.Mode = spitz.ModeOCC
+	case "to":
+		opts.Mode = spitz.ModeTO
+	default:
+		log.Fatalf("spitz-server: unknown -mode %q (want occ or to)", *mode)
+	}
 	var db *spitz.DB
 	if *dataDir == "" {
 		db = spitz.Open(opts)
-		log.Printf("spitz-server: serving in-memory database (no -data-dir; state is lost on exit)")
+		log.Printf("spitz-server: serving in-memory database, %s mode (no -data-dir; state is lost on exit)", *mode)
 	} else {
 		policy, err := wal.ParsePolicy(*syncMode)
 		if err != nil {
@@ -60,8 +82,8 @@ func main() {
 		if err != nil {
 			log.Fatalf("spitz-server: open %s: %v", *dataDir, err)
 		}
-		log.Printf("spitz-server: durable database in %s (sync=%s), recovered %d blocks",
-			*dataDir, policy, db.Height())
+		log.Printf("spitz-server: durable database in %s (sync=%s, %s mode), recovered %d blocks",
+			*dataDir, policy, *mode, db.Height())
 	}
 
 	ln, err := net.Listen("tcp", *addr)

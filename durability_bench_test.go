@@ -2,6 +2,7 @@ package spitz_test
 
 import (
 	"fmt"
+	"runtime"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -9,23 +10,22 @@ import (
 	"spitz"
 )
 
-// BenchmarkDurableCommit measures the cost of commit durability: the
-// in-memory engine as baseline against OpenDir under each WAL sync
-// policy. SyncAlways pays an fsync per commit (amortized by group commit
-// under parallelism — see the /parallel variants), SyncInterval a write
-// syscall plus a timer fsync, SyncNever just the write syscall.
-func BenchmarkDurableCommit(b *testing.B) {
-	var seq atomic.Uint64
-	commit := func(db *spitz.DB) error {
-		i := seq.Add(1)
-		_, err := db.Apply("bench", []spitz.Put{{
-			Table: "t", Column: "c",
-			PK:    []byte(fmt.Sprintf("pk%08d", i)),
-			Value: []byte("value-00000000"),
-		}})
-		return err
-	}
+var benchSeq atomic.Uint64
 
+func benchCommit(db *spitz.DB) error {
+	i := benchSeq.Add(1)
+	_, err := db.Apply("bench", []spitz.Put{{
+		Table: "t", Column: "c",
+		PK:    []byte(fmt.Sprintf("pk%08d", i)),
+		Value: []byte("value-00000000"),
+	}})
+	return err
+}
+
+// benchOpeners returns a constructor per durability configuration: the
+// in-memory engine as baseline against OpenDir under each WAL sync
+// policy.
+func benchOpeners() map[string]func(b *testing.B) *spitz.DB {
 	open := map[string]func(b *testing.B) *spitz.DB{
 		"memory": func(b *testing.B) *spitz.DB { return spitz.Open(spitz.Options{}) },
 	}
@@ -43,21 +43,30 @@ func BenchmarkDurableCommit(b *testing.B) {
 			return db
 		}
 	}
+	return open
+}
 
+// BenchmarkDurableCommit measures the cost of commit durability.
+// SyncAlways pays an fsync per ledger block, SyncInterval a write syscall
+// plus a timer fsync, SyncNever just the write syscall. The parallel
+// variants exercise the group-commit pipeline: concurrent commits fold
+// into shared multi-transaction blocks (one POS-tree apply, one WAL
+// frame, one fsync per block), so throughput scales far beyond the
+// serial numbers — the txns/block metric shows how hard the batcher is
+// working.
+func BenchmarkDurableCommit(b *testing.B) {
+	open := benchOpeners()
 	for _, name := range []string{"memory", "never", "interval", "always"} {
 		b.Run(name, func(b *testing.B) {
 			db := open[name](b)
 			defer db.Close()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if err := commit(db); err != nil {
+				if err := benchCommit(db); err != nil {
 					b.Fatal(err)
 				}
 			}
 		})
-		// The parallel variant shows group commit: many goroutines share
-		// each fsync, so SyncAlways throughput scales far better than the
-		// serial numbers suggest.
 		b.Run(name+"/parallel", func(b *testing.B) {
 			db := open[name](b)
 			defer db.Close()
@@ -65,11 +74,48 @@ func BenchmarkDurableCommit(b *testing.B) {
 			b.ResetTimer()
 			b.RunParallel(func(pb *testing.PB) {
 				for pb.Next() {
-					if err := commit(db); err != nil {
+					if err := benchCommit(db); err != nil {
 						b.Fatal(err)
 					}
 				}
 			})
+			reportBatchStats(b, db)
 		})
+	}
+}
+
+// BenchmarkApplyParallel is the group-commit headline number: many
+// goroutines committing single-cell transactions concurrently, in memory
+// and under SyncAlways durability. Compare against the serial
+// BenchmarkDurableCommit variants to see the batching win; txns/block
+// reports the observed batch size.
+func BenchmarkApplyParallel(b *testing.B) {
+	open := benchOpeners()
+	for _, name := range []string{"memory", "always"} {
+		for _, par := range []int{4, 16} {
+			goroutines := par * runtime.GOMAXPROCS(0) // what SetParallelism actually runs
+			b.Run(fmt.Sprintf("%s/goroutines=%d", name, goroutines), func(b *testing.B) {
+				db := open[name](b)
+				defer db.Close()
+				b.SetParallelism(par)
+				b.ResetTimer()
+				b.RunParallel(func(pb *testing.PB) {
+					for pb.Next() {
+						if err := benchCommit(db); err != nil {
+							b.Fatal(err)
+						}
+					}
+				})
+				reportBatchStats(b, db)
+			})
+		}
+	}
+}
+
+func reportBatchStats(b *testing.B, db *spitz.DB) {
+	b.Helper()
+	st := db.Stats().Batch
+	if st.Blocks > 0 {
+		b.ReportMetric(st.MeanTxns(), "txns/block")
 	}
 }

@@ -1,0 +1,350 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"spitz/internal/cellstore"
+	"spitz/internal/txn"
+)
+
+// TestPipelineMergesQueuedCommits: requests enqueued before any leader
+// runs must be folded into one ledger block with one transaction summary
+// each. The async store hook enqueues without leading, so this is fully
+// deterministic.
+func TestPipelineMergesQueuedCommits(t *testing.T) {
+	e := New(Options{})
+	sink := &failingSink{allow: 100}
+	e.SetCommitSink(sink)
+	as := e.TxnStore().(txn.AsyncStore)
+
+	const n = 5
+	waits := make([]func() error, n)
+	versions := make([]uint64, n)
+	for i := 0; i < n; i++ {
+		key := mustRef(t, "t", "c", fmt.Sprintf("pk%d", i))
+		v, wait, err := as.ApplyBatchAsync([]txn.Write{{Key: key, Value: []byte(fmt.Sprintf("v%d", i))}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		versions[i] = v
+		waits[i] = wait
+	}
+	for i, wait := range waits {
+		if err := wait(); err != nil {
+			t.Fatalf("wait %d: %v", i, err)
+		}
+	}
+
+	if h := e.Ledger().Height(); h != 1 {
+		t.Fatalf("height = %d, want 1 (all txns in one block)", h)
+	}
+	body, err := e.Ledger().Body(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(body) != n {
+		t.Fatalf("block carries %d txn summaries, want %d", len(body), n)
+	}
+	for i := 1; i < n; i++ {
+		if versions[i] <= versions[i-1] {
+			t.Fatalf("versions not increasing: %v", versions)
+		}
+	}
+	head, _ := e.Ledger().Head()
+	if head.Version != versions[n-1] {
+		t.Fatalf("block version %d, want last txn version %d", head.Version, versions[n-1])
+	}
+	// One CommitRecord covers the whole batch.
+	if len(sink.seen) != 1 {
+		t.Fatalf("sink saw %d records, want 1", len(sink.seen))
+	}
+	if len(sink.seen[0].Txns) != n {
+		t.Fatalf("record carries %d txns, want %d", len(sink.seen[0].Txns), n)
+	}
+	for i := 0; i < n; i++ {
+		v, err := e.Get("t", "c", []byte(fmt.Sprintf("pk%d", i)))
+		if err != nil || string(v) != fmt.Sprintf("v%d", i) {
+			t.Fatalf("pk%d = %q, %v", i, v, err)
+		}
+	}
+	st := e.BatchStats()
+	if st.Blocks != 1 || st.Txns != n || st.MaxTxns != n {
+		t.Fatalf("batch stats = %+v", st)
+	}
+	if st.MeanTxns() != n {
+		t.Fatalf("mean txns/block = %v, want %d", st.MeanTxns(), n)
+	}
+}
+
+// TestPendingWritesVisibleToValidationReads: a commit the pipeline has
+// accepted but not yet folded into a block must be observed by
+// engineStore.ReadLatest — OCC validation depends on it.
+func TestPendingWritesVisibleToValidationReads(t *testing.T) {
+	e := New(Options{})
+	as := e.TxnStore().(txn.AsyncStore)
+	key := mustRef(t, "t", "c", "k")
+
+	v, wait, err := as.ApplyBatchAsync([]txn.Write{{Key: key, Value: []byte("queued")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The write is queued, not committed: the ledger is still empty, but
+	// a validation read must see it.
+	if h := e.Ledger().Height(); h != 0 {
+		t.Fatalf("block committed early (height %d)", h)
+	}
+	val, ver, found, err := e.TxnStore().ReadLatest(key, ^uint64(0))
+	if err != nil || !found || string(val) != "queued" || ver != v {
+		t.Fatalf("pending read = %q v%d found=%v err=%v, want queued v%d", val, ver, found, err, v)
+	}
+	// A snapshot read older than the pending version must NOT see it.
+	if _, _, found, _ := e.TxnStore().ReadLatest(key, v-1); found {
+		t.Fatal("pending write visible below its version")
+	}
+	if err := wait(); err != nil {
+		t.Fatal(err)
+	}
+	// After the batch commits, the same read resolves through the ledger.
+	val, ver, found, err = e.TxnStore().ReadLatest(key, ^uint64(0))
+	if err != nil || !found || string(val) != "queued" || ver != v {
+		t.Fatalf("post-commit read = %q v%d found=%v err=%v", val, ver, found, err)
+	}
+}
+
+// TestConcurrentTxnConflictStillDetected: two transactions that both
+// read-modify-write the same key must not both commit, even when their
+// commits race through the pipeline. Run many rounds to give the race
+// detector and the validation path real interleavings.
+func TestConcurrentTxnConflictStillDetected(t *testing.T) {
+	e := New(Options{})
+	if _, err := e.Apply("seed", []Put{{Table: "t", Column: "n", PK: []byte("k"), Value: []byte("0")}}); err != nil {
+		t.Fatal(err)
+	}
+	const rounds, workers = 20, 4
+	for r := 0; r < rounds; r++ {
+		// Every worker stages its read-modify-write against the same
+		// snapshot before any of them commits, so exactly one can win.
+		var staged, done sync.WaitGroup
+		committed := make([]bool, workers)
+		staged.Add(workers)
+		done.Add(workers)
+		for w := 0; w < workers; w++ {
+			w := w
+			go func() {
+				defer done.Done()
+				tx := e.Begin()
+				_, _, err := tx.Get("t", "n", []byte("k"))
+				if err == nil {
+					err = tx.Put("t", "n", []byte("k"), []byte(fmt.Sprintf("r%dw%d", r, w)))
+				}
+				staged.Done()
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				staged.Wait() // barrier: all reads precede all commits
+				_, err = tx.Commit()
+				switch {
+				case err == nil:
+					committed[w] = true
+				case errors.Is(err, txn.ErrConflict):
+				default:
+					t.Errorf("unexpected commit error: %v", err)
+				}
+			}()
+		}
+		done.Wait()
+		won := 0
+		for _, ok := range committed {
+			if ok {
+				won++
+			}
+		}
+		if won != 1 {
+			t.Fatalf("round %d: %d of %d conflicting txns committed, want exactly 1", r, won, workers)
+		}
+	}
+}
+
+// TestFixedVersionCommitBelowPipelineRejected: the 2PC path supplies its
+// own versions; one at or below the pipeline's high-water mark must be
+// refused without poisoning the engine.
+func TestFixedVersionCommitBelowPipelineRejected(t *testing.T) {
+	e := New(Options{})
+	if _, err := e.Apply("seed", []Put{{Table: "t", Column: "c", PK: []byte("k"), Value: []byte("v")}}); err != nil {
+		t.Fatal(err)
+	}
+	head, _ := e.Ledger().Head()
+	store := e.TxnStore()
+	key := mustRef(t, "t", "c", "k2")
+	if err := store.ApplyBatch(head.Version, []txn.Write{{Key: key, Value: []byte("x")}}); err == nil {
+		t.Fatal("stale fixed-version commit accepted")
+	}
+	// The engine is still writable: the bad request never entered a batch.
+	if _, err := e.Apply("after", []Put{{Table: "t", Column: "c", PK: []byte("k3"), Value: []byte("v3")}}); err != nil {
+		t.Fatalf("engine poisoned by rejected fixed-version commit: %v", err)
+	}
+	// And a correct fixed-version commit rides the pipeline.
+	if err := store.ApplyBatch(head.Version+1000, []txn.Write{{Key: key, Value: []byte("x")}}); err != nil {
+		t.Fatalf("fixed-version commit: %v", err)
+	}
+	if v, err := e.Get("t", "c", []byte("k2")); err != nil || string(v) != "x" {
+		t.Fatalf("fixed-version write lost: %q, %v", v, err)
+	}
+}
+
+// TestBatchSizeCap: more queued commits than MaxBatchTxns split into
+// several blocks, in order.
+func TestBatchSizeCap(t *testing.T) {
+	e := New(Options{MaxBatchTxns: 3})
+	as := e.TxnStore().(txn.AsyncStore)
+	const n = 8
+	waits := make([]func() error, n)
+	for i := 0; i < n; i++ {
+		key := mustRef(t, "t", "c", fmt.Sprintf("pk%d", i))
+		_, wait, err := as.ApplyBatchAsync([]txn.Write{{Key: key, Value: []byte("v")}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		waits[i] = wait
+	}
+	for _, wait := range waits {
+		if err := wait(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if h := e.Ledger().Height(); h != 3 { // 3 + 3 + 2
+		t.Fatalf("height = %d, want 3 blocks for 8 txns with cap 3", h)
+	}
+	st := e.BatchStats()
+	if st.Blocks != 3 || st.Txns != n || st.MaxTxns != 3 {
+		t.Fatalf("batch stats = %+v", st)
+	}
+}
+
+func mustRef(t *testing.T, table, column, pk string) []byte {
+	t.Helper()
+	return cellstore.CellPrefix(table, column, []byte(pk))
+}
+
+// TestPendingKeepsAllQueuedVersions: a snapshot read with asOf between
+// two queued versions of one cell must resolve to the older queued
+// version, not fall through to the ledger (regression: the pending index
+// once kept only the newest entry per ref).
+func TestPendingKeepsAllQueuedVersions(t *testing.T) {
+	e := New(Options{})
+	as := e.TxnStore().(txn.AsyncStore)
+	key := mustRef(t, "t", "c", "k")
+	v1, wait1, err := as.ApplyBatchAsync([]txn.Write{{Key: key, Value: []byte("first")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, wait2, err := as.ApplyBatchAsync([]txn.Write{{Key: key, Value: []byte("second")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both versions are queued; a read at v1 must see "first", at v2
+	// "second".
+	val, ver, found, err := e.TxnStore().ReadLatest(key, v1)
+	if err != nil || !found || string(val) != "first" || ver != v1 {
+		t.Fatalf("read at v%d = %q v%d found=%v err=%v, want first v%d", v1, val, ver, found, err, v1)
+	}
+	val, ver, found, err = e.TxnStore().ReadLatest(key, v2)
+	if err != nil || !found || string(val) != "second" || ver != v2 {
+		t.Fatalf("read at v%d = %q v%d found=%v err=%v, want second v%d", v2, val, ver, found, err, v2)
+	}
+	if err := wait1(); err != nil {
+		t.Fatal(err)
+	}
+	if err := wait2(); err != nil {
+		t.Fatal(err)
+	}
+	// Committed: the history holds both versions.
+	hist, err := e.History("t", "c", []byte("k"))
+	if err != nil || len(hist) != 2 {
+		t.Fatalf("history = %d versions, %v", len(hist), err)
+	}
+}
+
+// TestCommitBatchReorderingOverPipeline: CommitBatch's dependency
+// reordering can commit a later-index transaction first; its waits must
+// follow the same order or the first-enqueued transaction's group-commit
+// leadership never runs (regression: index-order waits deadlocked).
+func TestCommitBatchReorderingOverPipeline(t *testing.T) {
+	e := New(Options{})
+	if _, err := e.Apply("seed", []Put{{Table: "t", Column: "c", PK: []byte("k"), Value: []byte("0")}}); err != nil {
+		t.Fatal(err)
+	}
+	m := txn.NewManager(e.TxnStore(), e.ts, txn.ModeOCC)
+	writer := m.Begin()
+	reader := m.Begin()
+	key := mustRef(t, "t", "c", "k")
+	if _, _, err := reader.Get(key); err != nil {
+		t.Fatal(err)
+	}
+	if err := reader.Put(mustRef(t, "t", "c", "other"), []byte("r")); err != nil {
+		t.Fatal(err)
+	}
+	if err := writer.Put(key, []byte("w")); err != nil {
+		t.Fatal(err)
+	}
+	// reader read k, writer writes k: reader must commit first, i.e. the
+	// batch is applied in reverse index order.
+	done := make(chan []txn.BatchResult, 1)
+	go func() { done <- m.CommitBatch([]*txn.Txn{writer, reader}) }()
+	select {
+	case results := <-done:
+		for i, r := range results {
+			if r.Err != nil {
+				t.Fatalf("txn %d: %v", i, r.Err)
+			}
+		}
+		if results[0].Version <= results[1].Version {
+			t.Fatalf("writer not reordered after reader: versions %d, %d",
+				results[0].Version, results[1].Version)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("CommitBatch deadlocked on reordered async commits")
+	}
+}
+
+// TestLeadershipHandoff: with a batch cap of 1 and several queued
+// commits, the first leader commits only its own block and must hand
+// leadership to the next queued request's waiter rather than draining
+// the whole queue (leader starvation) or stalling it (lost leadership).
+func TestLeadershipHandoff(t *testing.T) {
+	e := New(Options{MaxBatchTxns: 1})
+	as := e.TxnStore().(txn.AsyncStore)
+	const n = 4
+	waits := make([]func() error, n)
+	for i := 0; i < n; i++ {
+		key := mustRef(t, "t", "c", fmt.Sprintf("k%d", i))
+		_, wait, err := as.ApplyBatchAsync([]txn.Write{{Key: key, Value: []byte("v")}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		waits[i] = wait
+	}
+	errs := make(chan error, n)
+	for _, wait := range waits {
+		wait := wait
+		go func() { errs <- wait() }()
+	}
+	for i := 0; i < n; i++ {
+		select {
+		case err := <-errs:
+			if err != nil {
+				t.Fatal(err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatal("commit stalled: leadership lost during handoff")
+		}
+	}
+	if h := e.Ledger().Height(); h != n {
+		t.Fatalf("height = %d, want %d single-txn blocks", h, n)
+	}
+}

@@ -12,14 +12,23 @@
 // the user. In this engine steps 2 and 3 are one atomic ledger commit —
 // that fusion is exactly the "unified index" design the paper credits for
 // Spitz's performance.
+//
+// Commits run through a group-commit pipeline: concurrent committers
+// enqueue their write sets and one leader folds everything queued into a
+// single ledger block ("each block tracks the modification of the
+// records, query statements, metadata and the root node of the indexes"
+// — Section 5), so a burst of N transactions costs one POS-tree apply,
+// one commitment-tree append and one durability record instead of N.
 package core
 
 import (
 	"errors"
 	"fmt"
 	"io"
+	"math/bits"
 	"sort"
 	"sync"
+	"time"
 
 	"spitz/internal/btree"
 	"spitz/internal/cas"
@@ -54,7 +63,19 @@ type Options struct {
 	// MaintainInverted keeps the inverted index updated on every commit,
 	// enabling value lookups (LookupEqual etc.) at some write cost.
 	MaintainInverted bool
+
+	// MaxBatchTxns caps how many transactions the group-commit leader
+	// folds into one ledger block (default 128).
+	MaxBatchTxns int
+	// MaxBatchDelay is how long the leader waits for more transactions to
+	// accumulate before cutting a block. Zero (the default) commits
+	// whatever is queued immediately: batching then comes only from
+	// commits that arrive while the previous block is being built, which
+	// adds no latency and self-tunes with load.
+	MaxBatchDelay time.Duration
 }
+
+const defaultMaxBatchTxns = 128
 
 // Engine is an embedded Spitz database instance. Safe for concurrent use.
 type Engine struct {
@@ -63,6 +84,9 @@ type Engine struct {
 	ts     txn.TimestampSource
 	mgr    *txn.Manager
 	inv    *inverted.Index
+
+	maxBatchTxns  int
+	maxBatchDelay time.Duration
 
 	// routing is the B+-tree query index of Section 5 ("Index"): it maps a
 	// cell reference to the location of its latest version in the cell
@@ -75,6 +99,24 @@ type Engine struct {
 
 	nextTxnID uint64
 
+	// Group-commit pipeline state, guarded by mu. queue holds commits
+	// waiting for the leader; leading is true while some goroutine is
+	// draining it. pending indexes the newest enqueued-but-uncommitted
+	// write per cell reference so that transaction validation (which reads
+	// through engineStore.ReadLatest) observes commits the pipeline has
+	// accepted but not yet folded into a block — without it, two
+	// transactions validated back to back could both miss each other's
+	// queued writes and break serializability.
+	queue   []*commitReq
+	leading bool
+	pending map[string][]pendingCell
+	// lastVersion is the highest commit version ever enqueued. Because
+	// versions are assigned (or checked, for externally allocated ones)
+	// under mu at enqueue time, queue order equals version order and every
+	// batch's cells land inside its block's version window.
+	lastVersion uint64
+	bstats      BatchStats
+
 	// sink, when set, receives every committed block before the commit is
 	// acknowledged (write-ahead logging). sinkErr is sticky: once an
 	// append fails, the failed block exists in memory but not in the log,
@@ -84,15 +126,53 @@ type Engine struct {
 	sinkErr error
 }
 
-// CommitRecord describes one committed block to a CommitSink: everything
-// needed to re-execute the commit deterministically on recovery, plus the
-// block hash the replay must reproduce.
-type CommitRecord struct {
-	Height    uint64
-	TxnID     uint64
+// pendingCell is one enqueued-but-uncommitted write, visible to
+// transaction validation reads. Each cell reference keeps every queued
+// version (ascending — versions are allocated in enqueue order under
+// e.mu), not just the newest: a snapshot read with asOf between two
+// queued versions must resolve to the older one, and a single-entry
+// index would fall through to the ledger and miss it.
+type pendingCell struct {
+	version   uint64
+	value     []byte
+	tombstone bool
+}
+
+// commitReq is one transaction riding the group-commit pipeline.
+type commitReq struct {
+	id        uint64
+	version   uint64
+	statement string
+	cells     []cellstore.Cell // stamped with version at enqueue
+
+	lead     bool          // elected leader at enqueue (no leader was active)
+	takeover chan struct{} // closed when a finishing leader hands leadership over
+
+	// Results, valid once done is closed.
+	hdr     ledger.BlockHeader
+	err     error
+	durWait func() error // shared per-batch durability wait; nil without sink
+	done    chan struct{}
+}
+
+// TxnCommit is one transaction inside a CommitRecord: its identity,
+// commit version, audited statement and write set.
+type TxnCommit struct {
+	ID        uint64
 	Version   uint64
 	Statement string
 	Cells     []cellstore.Cell
+}
+
+// CommitRecord describes one committed block to a CommitSink: everything
+// needed to re-execute the commit deterministically on recovery, plus the
+// block hash the replay must reproduce. A block carries one or more
+// transactions (group commit); Version is the block version, the highest
+// transaction version in the batch.
+type CommitRecord struct {
+	Height    uint64
+	Version   uint64
+	Txns      []TxnCommit
 	BlockHash hashutil.Digest
 }
 
@@ -128,12 +208,18 @@ func New(opts Options) *Engine {
 	if opts.Timestamps == nil {
 		opts.Timestamps = tso.New(0)
 	}
+	if opts.MaxBatchTxns <= 0 {
+		opts.MaxBatchTxns = defaultMaxBatchTxns
+	}
 	e := &Engine{
-		store:   opts.Store,
-		ledger:  ledger.New(opts.Store),
-		ts:      opts.Timestamps,
-		routing: btree.New[routeEntry](),
-		schema:  make(map[string]map[string]struct{}),
+		store:         opts.Store,
+		ledger:        ledger.New(opts.Store),
+		ts:            opts.Timestamps,
+		maxBatchTxns:  opts.MaxBatchTxns,
+		maxBatchDelay: opts.MaxBatchDelay,
+		routing:       btree.New[routeEntry](),
+		schema:        make(map[string]map[string]struct{}),
+		pending:       make(map[string][]pendingCell),
 	}
 	if opts.MaintainInverted {
 		e.inv = inverted.New()
@@ -157,77 +243,348 @@ func (e *Engine) ConsistencyProof(old ledger.Digest) (mtree.ConsistencyProof, er
 	return e.ledger.ConsistencyProof(old)
 }
 
-// ---------------------------------------------------------------------------
-// Write path
+// ConsistencyUpdate returns the current digest with the proof that it
+// extends old, captured atomically — the form a client refreshing its
+// pinned digest under concurrent commits needs (Digest followed by
+// ConsistencyProof can straddle a new block).
+func (e *Engine) ConsistencyUpdate(old ledger.Digest) (ledger.Digest, mtree.ConsistencyProof, error) {
+	return e.ledger.ProveConsistency(old)
+}
 
-// Apply commits a batch of writes as one ledger block (group commit) and
-// returns the block header. This is the high-throughput ingest path; use
-// Begin for interactive transactions.
-func (e *Engine) Apply(statement string, puts []Put) (ledger.BlockHeader, error) {
+// ---------------------------------------------------------------------------
+// Write path: the group-commit pipeline
+
+// BatchStats describes the group-commit pipeline's behaviour: how many
+// blocks it cut, how many transactions and cells rode them, and the
+// distribution of transactions per block.
+type BatchStats struct {
+	Blocks  uint64 // ledger blocks committed through the pipeline
+	Txns    uint64 // transactions across those blocks
+	Cells   uint64 // cell writes across those blocks
+	MaxTxns uint64 // largest batch observed
+	// SizeHist counts blocks by transactions per block in power-of-two
+	// buckets: 1, 2, 3–4, 5–8, 9–16, 17–32, 33–64, ≥65.
+	SizeHist [8]uint64
+}
+
+// MeanTxns returns the average number of transactions per block.
+func (s BatchStats) MeanTxns() float64 {
+	if s.Blocks == 0 {
+		return 0
+	}
+	return float64(s.Txns) / float64(s.Blocks)
+}
+
+// SizeBuckets labels SizeHist's buckets, index for index.
+func (BatchStats) SizeBuckets() [8]string {
+	return [8]string{"1", "2", "3-4", "5-8", "9-16", "17-32", "33-64", ">=65"}
+}
+
+// BatchStats returns a snapshot of the pipeline counters.
+func (e *Engine) BatchStats() BatchStats {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.bstats
+}
+
+// errReadOnly wraps the sticky pipeline error for committers.
+func errReadOnly(err error) error {
+	return fmt.Errorf("core: engine read-only after durability failure: %w", err)
+}
+
+// enqueueCommit stamps one transaction's write set with a commit version
+// and queues it for the leader. When haveVersion is true the caller
+// allocated version itself (2PC participants do); it must exceed every
+// version already enqueued, which mirrors the ledger's own window check
+// but fails the one offending transaction instead of a whole batch.
+// The returned request must be passed to waitCommit.
+func (e *Engine) enqueueCommit(statement string, cells []cellstore.Cell, version uint64, haveVersion bool) (*commitReq, error) {
 	e.mu.Lock()
 	if err := e.sinkErr; err != nil {
 		e.mu.Unlock()
-		return ledger.BlockHeader{}, fmt.Errorf("core: engine read-only after durability failure: %w", err)
+		return nil, errReadOnly(err)
 	}
-	// The version is allocated under the engine lock so that concurrent
-	// Apply calls reach the ledger in allocation order — otherwise a
-	// later timestamp could commit first and the earlier one would be
-	// rejected as below the head version.
-	version := e.ts.Next()
+	if !haveVersion {
+		version = e.ts.Next()
+	}
+	if version <= e.lastVersion {
+		e.mu.Unlock()
+		return nil, fmt.Errorf("core: commit version %d not above pipeline version %d", version, e.lastVersion)
+	}
+	e.lastVersion = version
+	for i := range cells {
+		cells[i].Version = version
+	}
+	req := &commitReq{
+		id:        e.nextTxnID,
+		version:   version,
+		statement: statement,
+		cells:     cells,
+		takeover:  make(chan struct{}),
+		done:      make(chan struct{}),
+	}
+	e.nextTxnID++
+	e.queue = append(e.queue, req)
+	for i := range cells {
+		c := &cells[i]
+		ref := string(cellstore.CellPrefix(c.Table, c.Column, c.PK))
+		e.pending[ref] = append(e.pending[ref], pendingCell{version: version, value: c.Value, tombstone: c.Tombstone})
+	}
+	if !e.leading {
+		e.leading = true
+		req.lead = true
+	}
+	e.mu.Unlock()
+	return req, nil
+}
+
+// waitCommit drives a queued request to completion: if this request was
+// elected leader at enqueue — or a finishing leader hands leadership
+// over — it runs the leader loop (committing batches, its own
+// included), then blocks until the request's block is in the ledger and,
+// when a sink is installed, durable. Must be called exactly once per
+// enqueued request, outside any lock ordered before the engine's.
+func (e *Engine) waitCommit(req *commitReq) (ledger.BlockHeader, error) {
+	if req.lead {
+		e.lead(req)
+	} else {
+		select {
+		case <-req.done:
+		case <-req.takeover:
+			e.lead(req)
+		}
+	}
+	<-req.done
+	if req.err != nil {
+		return ledger.BlockHeader{}, req.err
+	}
+	if req.durWait != nil {
+		if err := req.durWait(); err != nil {
+			return ledger.BlockHeader{}, err
+		}
+	}
+	return req.hdr, nil
+}
+
+// lead runs the group-commit leader loop: repeatedly cut a batch of up to
+// MaxBatchTxns queued requests, commit it as one ledger block, and wake
+// the waiters. Once the leader's own request has committed it hands
+// leadership to the oldest queued request's committer instead of leading
+// forever — under sustained load the queue never empties, and a leader
+// that drains until empty would never return from its own commit call.
+// Leadership therefore either passes to a queued request (whose waiter
+// is guaranteed to pick it up in waitCommit) or is released with an
+// empty queue, so every enqueued request is guaranteed a leader.
+func (e *Engine) lead(own *commitReq) {
+	for {
+		if d := e.maxBatchDelay; d > 0 {
+			// Give followers a moment to accumulate, unless a full batch
+			// is already waiting.
+			e.mu.RLock()
+			full := len(e.queue) >= e.maxBatchTxns
+			e.mu.RUnlock()
+			if !full {
+				time.Sleep(d)
+			}
+		}
+		e.mu.Lock()
+		n := len(e.queue)
+		if n == 0 {
+			e.leading = false
+			e.mu.Unlock()
+			return
+		}
+		if n > e.maxBatchTxns {
+			n = e.maxBatchTxns
+		}
+		batch := make([]*commitReq, n)
+		copy(batch, e.queue)
+		rest := copy(e.queue, e.queue[n:])
+		for i := rest; i < len(e.queue); i++ {
+			e.queue[i] = nil
+		}
+		e.queue = e.queue[:rest]
+		poison := e.sinkErr
+		e.mu.Unlock()
+		if poison != nil {
+			// A previous batch poisoned the pipeline while these requests
+			// were queued behind it.
+			e.mu.Lock()
+			for _, r := range batch {
+				r.err = errReadOnly(poison)
+			}
+			e.clearPendingLocked(batch)
+			e.mu.Unlock()
+		} else {
+			e.commitBatch(batch)
+		}
+		for _, r := range batch {
+			close(r.done)
+		}
+		// Hold leadership across the batch's durability wait: the next
+		// batch accumulates while this one's fsync is in flight, which is
+		// what makes blocks grow under load (classic group commit). The
+		// error is ignored here — every waiter surfaces it through its
+		// own durWait call.
+		if w := batch[0].durWait; w != nil {
+			_ = w()
+		}
+		select {
+		case <-own.done:
+			// Our own commit is resolved: hand leadership to the oldest
+			// queued request, or release it if nothing is waiting.
+			e.mu.Lock()
+			if len(e.queue) > 0 {
+				next := e.queue[0]
+				e.mu.Unlock()
+				close(next.takeover)
+				return
+			}
+			e.leading = false
+			e.mu.Unlock()
+			return
+		default:
+			// Own request still queued (beyond MaxBatchTxns); keep leading.
+		}
+	}
+}
+
+// commitBatch folds a batch of requests into one ledger block: one
+// POS-tree apply over the merged write sets, one commitment-tree append,
+// one block whose body carries every transaction's summary, and one
+// CommitRecord to the durability sink. Only the (single) leader calls
+// this, so blocks reach the ledger and the sink in batch order. The
+// ledger commit — the expensive part — deliberately runs outside e.mu so
+// new commits can enqueue while the block is being built; that overlap
+// is where batching comes from under load.
+func (e *Engine) commitBatch(batch []*commitReq) {
+	summaries := make([]ledger.TxnSummary, len(batch))
+	total := 0
+	for _, r := range batch {
+		total += len(r.cells)
+	}
+	cells := make([]cellstore.Cell, 0, total)
+	for i, r := range batch {
+		summaries[i] = ledger.TxnSummary{ID: r.id, Statement: r.statement, WriteHash: ledger.WriteSetHash(r.cells)}
+		cells = append(cells, r.cells...)
+	}
+	h, err := e.ledger.Commit(batch[len(batch)-1].version, summaries, cells)
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if err != nil {
+		// Nothing reached the ledger, but transactions validated against
+		// these requests' pending writes may already be queued behind us —
+		// their reads would be of writes that never committed. Fail stop.
+		err = fmt.Errorf("core: batch commit: %w", err)
+		e.sinkErr = err
+		for _, r := range batch {
+			r.err = err
+		}
+		e.clearPendingLocked(batch)
+		return
+	}
+	e.indexCellsLocked(cells)
+	e.clearPendingLocked(batch)
+
+	e.bstats.Blocks++
+	e.bstats.Txns += uint64(len(batch))
+	e.bstats.Cells += uint64(total)
+	if n := uint64(len(batch)); n > e.bstats.MaxTxns {
+		e.bstats.MaxTxns = n
+	}
+	bucket := bits.Len(uint(len(batch) - 1)) // 1→0, 2→1, 3-4→2, …
+	if bucket > 7 {
+		bucket = 7
+	}
+	e.bstats.SizeHist[bucket]++
+
+	if e.sink != nil {
+		txns := make([]TxnCommit, len(batch))
+		for i, r := range batch {
+			txns[i] = TxnCommit{ID: r.id, Version: r.version, Statement: r.statement, Cells: r.cells}
+		}
+		wait, err := e.sink.Append(CommitRecord{
+			Height:    h.Height,
+			Version:   h.Version,
+			Txns:      txns,
+			BlockHash: h.Hash(),
+		})
+		if err != nil {
+			// The block is in the in-memory ledger but not in the log. A
+			// later logged block would leave a gap recovery cannot bridge,
+			// so poison the commit path: this engine is read-only now.
+			e.sinkErr = err
+			werr := fmt.Errorf("core: commit not durable: %w", err)
+			for _, r := range batch {
+				r.err = werr
+			}
+			return
+		}
+		// The whole batch shares one durability wait (one WAL frame, one
+		// fsync); wrap it so any number of waiters resolve it once.
+		var once sync.Once
+		var werr error
+		shared := func() error {
+			once.Do(func() {
+				if err := wait(); err != nil {
+					werr = fmt.Errorf("core: commit not durable: %w", err)
+				}
+			})
+			return werr
+		}
+		for _, r := range batch {
+			r.durWait = shared
+		}
+	}
+	for _, r := range batch {
+		r.hdr = h
+	}
+}
+
+// clearPendingLocked removes a finished batch's entries from the pending
+// index; entries for versions still queued behind it stay until their
+// own batch finishes.
+func (e *Engine) clearPendingLocked(batch []*commitReq) {
+	for _, r := range batch {
+		for i := range r.cells {
+			c := &r.cells[i]
+			ref := string(cellstore.CellPrefix(c.Table, c.Column, c.PK))
+			list := e.pending[ref]
+			for j := range list {
+				if list[j].version == c.Version {
+					list = append(list[:j], list[j+1:]...)
+					break
+				}
+			}
+			if len(list) == 0 {
+				delete(e.pending, ref)
+			} else {
+				e.pending[ref] = list
+			}
+		}
+	}
+}
+
+// Apply commits a batch of writes as one transaction and returns the
+// header of the ledger block that carried it (which may include other
+// concurrently committed transactions). This is the high-throughput
+// ingest path; use Begin for interactive transactions.
+func (e *Engine) Apply(statement string, puts []Put) (ledger.BlockHeader, error) {
 	cells := make([]cellstore.Cell, len(puts))
 	for i, p := range puts {
 		cells[i] = cellstore.Cell{Table: p.Table, Column: p.Column, PK: p.PK,
-			Version: version, Value: p.Value, Tombstone: p.Tombstone}
+			Value: p.Value, Tombstone: p.Tombstone}
 	}
-	id := e.nextTxnID
-	e.nextTxnID++
-	summary := []ledger.TxnSummary{{ID: id, Statement: statement, WriteHash: ledger.WriteSetHash(cells)}}
-	h, err := e.ledger.Commit(version, summary, cells)
-	if err != nil {
-		e.mu.Unlock()
-		return ledger.BlockHeader{}, err
-	}
-	e.indexCellsLocked(cells)
-	wait, err := e.logCommitLocked(h, id, version, statement, cells)
-	e.mu.Unlock()
+	req, err := e.enqueueCommit(statement, cells, 0, false)
 	if err != nil {
 		return ledger.BlockHeader{}, err
 	}
-	if wait != nil {
-		if err := wait(); err != nil {
-			return ledger.BlockHeader{}, fmt.Errorf("core: commit not durable: %w", err)
-		}
-	}
-	return h, nil
-}
-
-// logCommitLocked hands the freshly committed block to the durability
-// sink. Caller holds e.mu; the returned wait runs after it is released.
-func (e *Engine) logCommitLocked(h ledger.BlockHeader, txnID, version uint64,
-	statement string, cells []cellstore.Cell) (func() error, error) {
-	if e.sink == nil {
-		return nil, nil
-	}
-	wait, err := e.sink.Append(CommitRecord{
-		Height:    h.Height,
-		TxnID:     txnID,
-		Version:   version,
-		Statement: statement,
-		Cells:     cells,
-		BlockHash: h.Hash(),
-	})
-	if err != nil {
-		// The block is in the in-memory ledger but not in the log. A
-		// later logged block would leave a gap recovery cannot bridge,
-		// so poison the commit path: this engine is read-only now.
-		e.sinkErr = err
-		return nil, fmt.Errorf("core: commit not durable: %w", err)
-	}
-	return wait, nil
+	return e.waitCommit(req)
 }
 
 // ReplayBlock re-commits a block recovered from a durability log. The
-// commit reuses the logged transaction ID, version and statement so the
+// commit reuses the logged transaction IDs, versions and statements so the
 // reconstructed block is bit-identical to the original, and fails unless
 // the resulting block hash equals the logged one — recovery is itself
 // verified, a tampered log cannot smuggle in different data. The commit
@@ -236,8 +593,21 @@ func (e *Engine) logCommitLocked(h ledger.BlockHeader, txnID, version uint64,
 func (e *Engine) ReplayBlock(rec CommitRecord) (ledger.BlockHeader, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	summary := []ledger.TxnSummary{{ID: rec.TxnID, Statement: rec.Statement, WriteHash: ledger.WriteSetHash(rec.Cells)}}
-	h, err := e.ledger.Commit(rec.Version, summary, rec.Cells)
+	summaries := make([]ledger.TxnSummary, len(rec.Txns))
+	total := 0
+	for i := range rec.Txns {
+		total += len(rec.Txns[i].Cells)
+	}
+	cells := make([]cellstore.Cell, 0, total)
+	for i := range rec.Txns {
+		t := &rec.Txns[i]
+		for j := range t.Cells {
+			t.Cells[j].Version = t.Version
+		}
+		summaries[i] = ledger.TxnSummary{ID: t.ID, Statement: t.Statement, WriteHash: ledger.WriteSetHash(t.Cells)}
+		cells = append(cells, t.Cells...)
+	}
+	h, err := e.ledger.Commit(rec.Version, summaries, cells)
 	if err != nil {
 		return ledger.BlockHeader{}, fmt.Errorf("core: replay block %d: %w", rec.Height, err)
 	}
@@ -245,9 +615,14 @@ func (e *Engine) ReplayBlock(rec CommitRecord) (ledger.BlockHeader, error) {
 		return ledger.BlockHeader{}, fmt.Errorf("core: replay block %d: hash %s does not match logged %s",
 			rec.Height, got.Short(), rec.BlockHash.Short())
 	}
-	e.indexCellsLocked(rec.Cells)
-	if rec.TxnID >= e.nextTxnID {
-		e.nextTxnID = rec.TxnID + 1
+	e.indexCellsLocked(cells)
+	for i := range rec.Txns {
+		if rec.Txns[i].ID >= e.nextTxnID {
+			e.nextTxnID = rec.Txns[i].ID + 1
+		}
+	}
+	if rec.Version > e.lastVersion {
+		e.lastVersion = rec.Version
 	}
 	return h, nil
 }
@@ -255,10 +630,10 @@ func (e *Engine) ReplayBlock(rec CommitRecord) (ledger.BlockHeader, error) {
 // indexCellsLocked refreshes the routing index (and inverted index) after
 // a commit. Caller holds e.mu. Versions are monotonic across commits, so
 // within one batch only a same-ref duplicate could route backwards; Put's
-// last-wins behaviour combined with Apply's version ordering keeps the
-// routing entry at the newest version. Superseded inverted postings are
-// filtered lazily at query time (resolvePostings checks that a posting
-// still names the head version).
+// last-wins behaviour combined with the pipeline's version ordering keeps
+// the routing entry at the newest version. Superseded inverted postings
+// are filtered lazily at query time (resolvePostings checks that a
+// posting still names the head version).
 func (e *Engine) indexCellsLocked(cells []cellstore.Cell) {
 	for i := range cells {
 		c := &cells[i]
@@ -333,6 +708,28 @@ func (e *Engine) Get(table, column string, pk []byte) ([]byte, error) {
 	return value, nil
 }
 
+// GetRow reads several columns of one row from a single cell-store
+// snapshot, so a concurrent commit can never interleave old and new
+// column values in the result. Absent or deleted columns are omitted.
+func (e *Engine) GetRow(table string, pk []byte, columns []string) (map[string][]byte, error) {
+	out := make(map[string][]byte, len(columns))
+	cells, head, ok := e.ledger.Latest()
+	if !ok {
+		return out, nil
+	}
+	for _, col := range columns {
+		c, found, err := cells.GetLatest(table, col, pk, head.Version)
+		if err != nil {
+			return nil, err
+		}
+		if !found || c.Tombstone {
+			continue
+		}
+		out[col] = c.Value
+	}
+	return out, nil
+}
+
 // VerifiedResult carries a query result together with everything a client
 // needs to verify it: the proof and the digest it verifies against.
 type VerifiedResult struct {
@@ -343,15 +740,16 @@ type VerifiedResult struct {
 }
 
 // GetVerified returns the latest version of a cell with its unified-index
-// proof (the auditor's step 3 of the read path in Section 5.1).
+// proof (the auditor's step 3 of the read path in Section 5.1). The proof
+// and the digest it verifies against are captured atomically, so the
+// result stays self-consistent under concurrent commits.
 func (e *Engine) GetVerified(table, column string, pk []byte) (VerifiedResult, error) {
-	d := e.ledger.Digest()
-	if d.Height == 0 {
-		return VerifiedResult{Digest: d}, nil
-	}
-	cell, ok, p, err := e.ledger.ProveGetLatest(d.Height-1, table, column, pk)
+	cell, ok, p, d, err := e.ledger.ProveGetHead(table, column, pk)
 	if err != nil {
 		return VerifiedResult{}, err
+	}
+	if d.Height == 0 {
+		return VerifiedResult{Digest: d}, nil
 	}
 	res := VerifiedResult{Found: ok && !cell.Tombstone, Proof: p, Digest: d}
 	if ok {
@@ -374,13 +772,12 @@ func (e *Engine) RangePK(table, column string, pkLo, pkHi []byte) ([]cellstore.C
 // the entire result (Section 6.2.2: "the proofs of the resultant records
 // are returned simultaneously when the resultant records are scanned").
 func (e *Engine) RangePKVerified(table, column string, pkLo, pkHi []byte) (VerifiedResult, error) {
-	d := e.ledger.Digest()
-	if d.Height == 0 {
-		return VerifiedResult{Digest: d}, nil
-	}
-	cells, p, err := e.ledger.ProveRangePK(d.Height-1, table, column, pkLo, pkHi)
+	cells, p, d, err := e.ledger.ProveRangePKHead(table, column, pkLo, pkHi)
 	if err != nil {
 		return VerifiedResult{}, err
+	}
+	if d.Height == 0 {
+		return VerifiedResult{Digest: d}, nil
 	}
 	return VerifiedResult{Cells: cells, Found: len(cells) > 0, Proof: p, Digest: d}, nil
 }
@@ -453,7 +850,7 @@ func (e *Engine) resolvePostings(table, column string, ps []inverted.Posting) ([
 
 // Begin starts an interactive MVCC transaction (Section 5.2). Reads and
 // writes address cells via (table, column, pk); Commit routes through the
-// ledger, producing one block.
+// group-commit pipeline, sharing a ledger block with concurrent commits.
 func (e *Engine) Begin() *Txn {
 	return &Txn{inner: e.mgr.Begin()}
 }
@@ -499,7 +896,27 @@ type engineStore struct{ e *Engine }
 // ReadLatest implements txn.Store. The key is a cell reference
 // (cellstore.CellPrefix); versions are ledger commit versions. Snapshot
 // reads older than the head resolve through the ledger's version index.
+// Writes the group-commit pipeline has accepted but not yet folded into a
+// block are served from the pending index, so transaction validation
+// never misses a commit that is already ordered before it.
 func (s engineStore) ReadLatest(key []byte, asOf uint64) ([]byte, uint64, bool, error) {
+	var p pendingCell
+	var pok bool
+	s.e.mu.RLock()
+	list := s.e.pending[string(key)]
+	for i := len(list) - 1; i >= 0; i-- { // ascending by version; newest ≤ asOf wins
+		if list[i].version <= asOf {
+			p, pok = list[i], true
+			break
+		}
+	}
+	s.e.mu.RUnlock()
+	if pok {
+		if p.tombstone {
+			return nil, p.version, false, nil
+		}
+		return p.value, p.version, true, nil
+	}
 	table, column, pk, err := cellstore.DecodeRef(key)
 	if err != nil {
 		return nil, 0, false, err
@@ -517,47 +934,65 @@ func (s engineStore) ReadLatest(key []byte, asOf uint64) ([]byte, uint64, bool, 
 	return c.Value, c.Version, true, nil
 }
 
-// ApplyBatch implements txn.Store: one transaction becomes one ledger
-// block at its commit version.
-func (s engineStore) ApplyBatch(version uint64, writes []txn.Write) error {
+// decodeWrites converts txn writes (keyed by cell reference) into cells;
+// versions are stamped by the pipeline at enqueue.
+func decodeWrites(writes []txn.Write) ([]cellstore.Cell, error) {
 	cells := make([]cellstore.Cell, len(writes))
 	for i, w := range writes {
 		table, column, pk, err := cellstore.DecodeRef(w.Key)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		cells[i] = cellstore.Cell{Table: table, Column: column, PK: pk,
-			Version: version, Value: w.Value, Tombstone: w.Delete}
+			Value: w.Value, Tombstone: w.Delete}
 	}
-	s.e.mu.Lock()
-	if err := s.e.sinkErr; err != nil {
-		s.e.mu.Unlock()
-		return fmt.Errorf("core: engine read-only after durability failure: %w", err)
-	}
-	id := s.e.nextTxnID
-	s.e.nextTxnID++
-	summary := []ledger.TxnSummary{{ID: id, Statement: "TXN", WriteHash: ledger.WriteSetHash(cells)}}
-	h, err := s.e.ledger.Commit(version, summary, cells)
-	if err != nil {
-		s.e.mu.Unlock()
-		return err
-	}
-	s.e.indexCellsLocked(cells)
-	wait, err := s.e.logCommitLocked(h, id, version, "TXN", cells)
-	s.e.mu.Unlock()
-	if err != nil {
-		return err
-	}
-	if wait != nil {
-		if err := wait(); err != nil {
-			return fmt.Errorf("core: commit not durable: %w", err)
-		}
-	}
-	return nil
+	return cells, nil
 }
 
-// Compile-time interface check.
-var _ txn.Store = engineStore{}
+// ApplyBatch implements txn.Store: the transaction rides the group-commit
+// pipeline at a caller-allocated commit version (the 2PC participant path
+// — the coordinator allocates versions from the shared timestamp source).
+// It blocks until the commit is durable.
+func (s engineStore) ApplyBatch(version uint64, writes []txn.Write) error {
+	cells, err := decodeWrites(writes)
+	if err != nil {
+		return err
+	}
+	req, err := s.e.enqueueCommit("TXN", cells, version, true)
+	if err != nil {
+		return err
+	}
+	_, err = s.e.waitCommit(req)
+	return err
+}
+
+// ApplyBatchAsync implements txn.AsyncStore: enqueue the transaction on
+// the group-commit pipeline and return immediately with its commit
+// version and a wait function. The transaction manager calls this under
+// its own lock — the enqueue makes the writes visible to later
+// validations — and invokes the wait after releasing it, so concurrent
+// transaction commits share one ledger block and one fsync instead of
+// serializing the whole commit critical section.
+func (s engineStore) ApplyBatchAsync(writes []txn.Write) (uint64, func() error, error) {
+	cells, err := decodeWrites(writes)
+	if err != nil {
+		return 0, nil, err
+	}
+	req, err := s.e.enqueueCommit("TXN", cells, 0, false)
+	if err != nil {
+		return 0, nil, err
+	}
+	return req.version, func() error {
+		_, err := s.e.waitCommit(req)
+		return err
+	}, nil
+}
+
+// Compile-time interface checks.
+var (
+	_ txn.Store      = engineStore{}
+	_ txn.AsyncStore = engineStore{}
+)
 
 // WriteSnapshot serializes the database state (see ledger.WriteSnapshot)
 // for restart durability.
@@ -583,12 +1018,19 @@ func Restore(opts Options, r io.Reader) (*Engine, error) {
 	if opts.Timestamps == nil {
 		opts.Timestamps = tso.New(headVersion)
 	}
+	if opts.MaxBatchTxns <= 0 {
+		opts.MaxBatchTxns = defaultMaxBatchTxns
+	}
 	e := &Engine{
-		store:   opts.Store,
-		ledger:  l,
-		ts:      opts.Timestamps,
-		routing: btree.New[routeEntry](),
-		schema:  make(map[string]map[string]struct{}),
+		store:         opts.Store,
+		ledger:        l,
+		ts:            opts.Timestamps,
+		maxBatchTxns:  opts.MaxBatchTxns,
+		maxBatchDelay: opts.MaxBatchDelay,
+		routing:       btree.New[routeEntry](),
+		schema:        make(map[string]map[string]struct{}),
+		pending:       make(map[string][]pendingCell),
+		lastVersion:   headVersion,
 	}
 	if opts.MaintainInverted {
 		e.inv = inverted.New()

@@ -90,10 +90,11 @@ func TestReplayBlockRejectsWrongHash(t *testing.T) {
 		t.Fatal(err)
 	}
 	rec := sink.seen[0]
-	tampered := make([]cellstore.Cell, len(rec.Cells))
-	copy(tampered, rec.Cells)
+	rec.Txns = append([]TxnCommit(nil), rec.Txns...)
+	tampered := make([]cellstore.Cell, len(rec.Txns[0].Cells))
+	copy(tampered, rec.Txns[0].Cells)
 	tampered[0].Value = []byte{0xee}
-	rec.Cells = tampered
+	rec.Txns[0].Cells = tampered
 	dst := New(Options{})
 	if _, err := dst.ReplayBlock(rec); err == nil || !strings.Contains(err.Error(), "hash") {
 		t.Fatalf("tampered replay accepted: %v", err)

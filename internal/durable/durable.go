@@ -41,6 +41,10 @@ type Options struct {
 	Mode txn.Mode
 	// MaintainInverted enables the engine's inverted index.
 	MaintainInverted bool
+	// MaxBatchTxns and MaxBatchDelay configure the engine's group-commit
+	// pipeline (see core.Options).
+	MaxBatchTxns  int
+	MaxBatchDelay time.Duration
 
 	// Sync selects when commits become durable (default wal.SyncAlways).
 	Sync wal.SyncPolicy
@@ -141,6 +145,8 @@ func Open(dir string, opts Options) (*Manager, error) {
 		Mode:             opts.Mode,
 		MaintainInverted: opts.MaintainInverted,
 		Timestamps:       orc,
+		MaxBatchTxns:     opts.MaxBatchTxns,
+		MaxBatchDelay:    opts.MaxBatchDelay,
 	}
 	var eng *core.Engine
 	if haveCkpt {

@@ -60,33 +60,96 @@ func checkN(t *testing.T, eng *core.Engine, n int) {
 }
 
 func TestRecordCodecRoundTrip(t *testing.T) {
-	rec := core.CommitRecord{
-		Height: 7, TxnID: 3, Version: 42, Statement: "INSERT INTO t",
-	}
+	rec := core.CommitRecord{Height: 7, Version: 44}
 	rec.BlockHash[0], rec.BlockHash[31] = 0xab, 0xcd
-	for i := 0; i < 3; i++ {
-		rec.Cells = append(rec.Cells, cellstore.Cell{
-			Table: "t", Column: fmt.Sprintf("col%d", i), PK: []byte{byte(i)},
-			Version: 42, Value: []byte(fmt.Sprintf("val%d", i)), Tombstone: i == 2,
-		})
+	for tn := 0; tn < 2; tn++ {
+		tx := core.TxnCommit{ID: uint64(3 + tn), Version: uint64(42 + tn),
+			Statement: fmt.Sprintf("INSERT INTO t%d", tn)}
+		for i := 0; i < 3; i++ {
+			tx.Cells = append(tx.Cells, cellstore.Cell{
+				Table: "t", Column: fmt.Sprintf("col%d", i), PK: []byte{byte(i)},
+				Version: tx.Version, Value: []byte(fmt.Sprintf("val%d", i)), Tombstone: i == 2,
+			})
+		}
+		rec.Txns = append(rec.Txns, tx)
 	}
 	got, err := decodeRecord(encodeRecord(rec))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got.Height != rec.Height || got.TxnID != rec.TxnID || got.Version != rec.Version ||
-		got.Statement != rec.Statement || got.BlockHash != rec.BlockHash || len(got.Cells) != 3 {
+	if got.Height != rec.Height || got.Version != rec.Version ||
+		got.BlockHash != rec.BlockHash || len(got.Txns) != 2 {
 		t.Fatalf("round trip mismatch: %+v vs %+v", got, rec)
 	}
-	for i, c := range got.Cells {
-		want := rec.Cells[i]
-		if c.Table != want.Table || c.Column != want.Column || !bytes.Equal(c.PK, want.PK) ||
-			!bytes.Equal(c.Value, want.Value) || c.Tombstone != want.Tombstone || c.Version != want.Version {
-			t.Fatalf("cell %d mismatch: %+v vs %+v", i, c, want)
+	for tn, tx := range got.Txns {
+		want := rec.Txns[tn]
+		if tx.ID != want.ID || tx.Version != want.Version || tx.Statement != want.Statement ||
+			len(tx.Cells) != len(want.Cells) {
+			t.Fatalf("txn %d mismatch: %+v vs %+v", tn, tx, want)
+		}
+		for i, c := range tx.Cells {
+			wc := want.Cells[i]
+			if c.Table != wc.Table || c.Column != wc.Column || !bytes.Equal(c.PK, wc.PK) ||
+				!bytes.Equal(c.Value, wc.Value) || c.Tombstone != wc.Tombstone || c.Version != wc.Version {
+				t.Fatalf("txn %d cell %d mismatch: %+v vs %+v", tn, i, c, wc)
+			}
 		}
 	}
 	if _, err := decodeRecord(encodeRecord(rec)[:10]); err == nil {
 		t.Fatal("truncated record decoded")
+	}
+}
+
+// encodeRecordV1 reproduces the legacy single-transaction record layout
+// (see FORMAT.md) so the tests can exercise the v1 decode path with
+// bytes identical to what pre-group-commit builds wrote.
+func encodeRecordV1(rec core.CommitRecord) []byte {
+	tx := rec.Txns[0]
+	var buf []byte
+	buf = binary.AppendUvarint(buf, rec.Height)
+	buf = binary.AppendUvarint(buf, tx.ID)
+	buf = binary.AppendUvarint(buf, tx.Version)
+	buf = binary.AppendUvarint(buf, uint64(len(tx.Statement)))
+	buf = append(buf, tx.Statement...)
+	buf = append(buf, rec.BlockHash[:]...)
+	buf = binary.AppendUvarint(buf, uint64(len(tx.Cells)))
+	for i := range tx.Cells {
+		c := &tx.Cells[i]
+		for _, field := range [][]byte{[]byte(c.Table), []byte(c.Column), c.PK, c.Value} {
+			buf = binary.AppendUvarint(buf, uint64(len(field)))
+			buf = append(buf, field...)
+		}
+		var flags byte
+		if c.Tombstone {
+			flags |= 1
+		}
+		buf = append(buf, flags)
+	}
+	return buf
+}
+
+func TestRecordCodecDecodesLegacyV1(t *testing.T) {
+	rec := core.CommitRecord{Height: 9, Version: 21, Txns: []core.TxnCommit{{
+		ID: 4, Version: 21, Statement: "UPDATE t",
+		Cells: []cellstore.Cell{
+			{Table: "t", Column: "c", PK: []byte("pk"), Version: 21, Value: []byte("v")},
+			{Table: "t", Column: "d", PK: []byte("pk"), Version: 21, Tombstone: true},
+		},
+	}}}
+	rec.BlockHash[5] = 0x77
+	got, err := decodeRecord(encodeRecordV1(rec))
+	if err != nil {
+		t.Fatalf("v1 decode: %v", err)
+	}
+	if got.Height != rec.Height || got.Version != rec.Version || got.BlockHash != rec.BlockHash ||
+		len(got.Txns) != 1 {
+		t.Fatalf("v1 round trip mismatch: %+v", got)
+	}
+	tx, want := got.Txns[0], rec.Txns[0]
+	if tx.ID != want.ID || tx.Version != want.Version || tx.Statement != want.Statement ||
+		len(tx.Cells) != 2 || !bytes.Equal(tx.Cells[0].Value, []byte("v")) ||
+		!tx.Cells[1].Tombstone || tx.Cells[0].Version != 21 {
+		t.Fatalf("v1 txn mismatch: %+v vs %+v", tx, want)
 	}
 }
 
@@ -257,7 +320,7 @@ func TestTamperedRecordRejectedByHashCheck(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rec.Cells[0].Value = []byte("tampered")
+	rec.Txns[0].Cells[0].Value = []byte("tampered")
 	forged := encodeRecord(rec)
 	var out []byte
 	for _, f := range frames[:len(frames)-1] {
@@ -504,4 +567,139 @@ func appendFrame(buf, payload []byte) []byte {
 	c = crc32.Update(c, crc32.MakeTable(crc32.Castagnoli), payload)
 	binary.LittleEndian.PutUint32(hdr[4:], c)
 	return append(append(buf, hdr[:]...), payload...)
+}
+
+// captureSink records CommitRecords handed to it (for building legacy
+// WAL contents from real commits).
+type captureSink struct{ seen []core.CommitRecord }
+
+func (s *captureSink) Append(rec core.CommitRecord) (func() error, error) {
+	s.seen = append(s.seen, rec)
+	return func() error { return nil }, nil
+}
+
+// TestMultiTxnBlockRecovery: a block carrying several transactions (group
+// commit) must replay from the WAL to the identical digest after an
+// unclean stop.
+func TestMultiTxnBlockRecovery(t *testing.T) {
+	dir := t.TempDir()
+	m, err := Open(dir, noAutoCkpt(Options{Sync: wal.SyncAlways}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	as, ok := m.Engine().TxnStore().(txn.AsyncStore)
+	if !ok {
+		t.Fatal("engine store is not async")
+	}
+	// Enqueue several commits before any leader runs: they all land in
+	// one ledger block and one WAL record.
+	const n = 4
+	waits := make([]func() error, n)
+	for i := 0; i < n; i++ {
+		key := cellstore.CellPrefix("t", "c", []byte(fmt.Sprintf("k%d", i)))
+		_, wait, err := as.ApplyBatchAsync([]txn.Write{{Key: key, Value: []byte(fmt.Sprintf("v%d", i))}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		waits[i] = wait
+	}
+	for _, wait := range waits {
+		if err := wait(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if h := m.Engine().Ledger().Height(); h != 1 {
+		t.Fatalf("height = %d, want 1 multi-txn block", h)
+	}
+	digest := m.Engine().Digest()
+	// Crash without Close; SyncAlways already made the record durable.
+
+	m2, err := Open(dir, noAutoCkpt(Options{Sync: wal.SyncAlways}))
+	if err != nil {
+		t.Fatalf("recovery: %v", err)
+	}
+	defer m2.Close()
+	if got := m2.Engine().Digest(); got != digest {
+		t.Fatalf("digest after multi-txn recovery = %+v, want %+v", got, digest)
+	}
+	body, err := m2.Engine().Ledger().Body(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(body) != n {
+		t.Fatalf("recovered block carries %d txn summaries, want %d", len(body), n)
+	}
+	for i := 0; i < n; i++ {
+		v, err := m2.Engine().Get("t", "c", []byte(fmt.Sprintf("k%d", i)))
+		if err != nil || string(v) != fmt.Sprintf("v%d", i) {
+			t.Fatalf("k%d = %q, %v", i, v, err)
+		}
+	}
+	// New transaction IDs continue above the recovered block's.
+	if _, err := m2.Engine().Apply("after", []core.Put{{Table: "t", Column: "c", PK: []byte("kx"), Value: []byte("vx")}}); err != nil {
+		t.Fatal(err)
+	}
+	last, err := m2.Engine().Ledger().Body(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if last[0].ID < uint64(n) {
+		t.Fatalf("txn id %d reused after multi-txn recovery", last[0].ID)
+	}
+}
+
+// TestLegacyV1WALReplays: a WAL written by the pre-group-commit format
+// (one transaction per record, no format tag) must still recover, and
+// new commits appended to the same log afterwards (in the v2 format)
+// must coexist with it.
+func TestLegacyV1WALReplays(t *testing.T) {
+	// Build reference commits on a plain engine, capturing the records.
+	src := core.New(core.Options{})
+	sink := &captureSink{}
+	src.SetCommitSink(sink)
+	commitN(t, src, 0, 5)
+	digest := src.Digest()
+
+	// Write them as v1 frames into a fresh data directory's WAL.
+	dir := t.TempDir()
+	log, err := wal.Open(filepath.Join(dir, walDirName), wal.Options{Policy: wal.SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range sink.seen {
+		if len(rec.Txns) != 1 {
+			t.Fatalf("serial commit produced %d txns in one block", len(rec.Txns))
+		}
+		if _, err := log.Append(encodeRecordV1(rec)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := log.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	m, err := Open(dir, noAutoCkpt(Options{Sync: wal.SyncAlways}))
+	if err != nil {
+		t.Fatalf("recovery from v1 log: %v", err)
+	}
+	if got := m.Engine().Digest(); got != digest {
+		t.Fatalf("digest from v1 log = %+v, want %+v", got, digest)
+	}
+	checkN(t, m.Engine(), 5)
+
+	// Append new commits — written in the v2 format — and recover the
+	// now mixed-format log.
+	commitN(t, m.Engine(), 5, 8)
+	digest = m.Engine().Digest()
+	// Crash without Close.
+
+	m2, err := Open(dir, noAutoCkpt(Options{Sync: wal.SyncAlways}))
+	if err != nil {
+		t.Fatalf("recovery from mixed-format log: %v", err)
+	}
+	defer m2.Close()
+	if got := m2.Engine().Digest(); got != digest {
+		t.Fatalf("digest from mixed log = %+v, want %+v", got, digest)
+	}
+	checkN(t, m2.Engine(), 8)
 }

@@ -11,7 +11,31 @@ import (
 )
 
 // WAL record codec. One record is one committed block — enough to
-// re-execute the commit deterministically on recovery (see FORMAT.md):
+// re-execute the commit deterministically on recovery (see FORMAT.md).
+//
+// Two record formats exist on disk. v1 (written before group commit)
+// carries exactly one transaction and starts directly with the block
+// height. v2 carries any number of transactions and starts with a format
+// tag: a uvarint with bit 62 set, a value no v1 height can reach (it
+// would require 2^62 blocks). The decoder dispatches on the first
+// uvarint, so logs written by older versions keep replaying.
+//
+// v2 layout:
+//
+//	tag       uvarint   formatTagBase | 2
+//	height    uvarint
+//	version   uvarint   block version (highest txn version in the batch)
+//	blockHash 32 bytes
+//	ntxns     uvarint
+//	ntxns ×:
+//	  txnID     uvarint
+//	  version   uvarint  this transaction's commit version
+//	  statement uvarint length || bytes
+//	  ncells    uvarint
+//	  ncells ×: table || column || pk || value (each uvarint length ||
+//	            bytes), then one flags byte (bit 0: tombstone)
+//
+// v1 layout (decode only):
 //
 //	height    uvarint
 //	txnID     uvarint
@@ -19,96 +43,185 @@ import (
 //	statement uvarint length || bytes
 //	blockHash 32 bytes
 //	ncells    uvarint
-//	cell      table || column || pk || value (each uvarint length || bytes),
-//	          then one flags byte (bit 0: tombstone)
+//	ncells ×: table || column || pk || value, then one flags byte
+
+const (
+	// formatTagBase marks a versioned record; the low bits carry the
+	// format number. Chosen so that no plausible v1 height collides.
+	formatTagBase  = uint64(1) << 62
+	recordFormatV2 = 2
+)
 
 func encodeRecord(rec core.CommitRecord) []byte {
 	n := 8 * 4
-	n += len(rec.Statement) + hashutil.DigestSize
-	for i := range rec.Cells {
-		c := &rec.Cells[i]
-		n += len(c.Table) + len(c.Column) + len(c.PK) + len(c.Value) + 4*4 + 1
+	n += hashutil.DigestSize
+	for t := range rec.Txns {
+		tx := &rec.Txns[t]
+		n += 8*3 + len(tx.Statement)
+		for i := range tx.Cells {
+			c := &tx.Cells[i]
+			n += len(c.Table) + len(c.Column) + len(c.PK) + len(c.Value) + 4*4 + 1
+		}
 	}
 	buf := make([]byte, 0, n)
+	buf = binary.AppendUvarint(buf, formatTagBase|recordFormatV2)
 	buf = binary.AppendUvarint(buf, rec.Height)
-	buf = binary.AppendUvarint(buf, rec.TxnID)
 	buf = binary.AppendUvarint(buf, rec.Version)
-	buf = appendBytes(buf, []byte(rec.Statement))
 	buf = append(buf, rec.BlockHash[:]...)
-	buf = binary.AppendUvarint(buf, uint64(len(rec.Cells)))
-	for i := range rec.Cells {
-		c := &rec.Cells[i]
-		buf = appendBytes(buf, []byte(c.Table))
-		buf = appendBytes(buf, []byte(c.Column))
-		buf = appendBytes(buf, c.PK)
-		buf = appendBytes(buf, c.Value)
-		var flags byte
-		if c.Tombstone {
-			flags |= 1
+	buf = binary.AppendUvarint(buf, uint64(len(rec.Txns)))
+	for t := range rec.Txns {
+		tx := &rec.Txns[t]
+		buf = binary.AppendUvarint(buf, tx.ID)
+		buf = binary.AppendUvarint(buf, tx.Version)
+		buf = appendBytes(buf, []byte(tx.Statement))
+		buf = binary.AppendUvarint(buf, uint64(len(tx.Cells)))
+		for i := range tx.Cells {
+			c := &tx.Cells[i]
+			buf = appendBytes(buf, []byte(c.Table))
+			buf = appendBytes(buf, []byte(c.Column))
+			buf = appendBytes(buf, c.PK)
+			buf = appendBytes(buf, c.Value)
+			var flags byte
+			if c.Tombstone {
+				flags |= 1
+			}
+			buf = append(buf, flags)
 		}
-		buf = append(buf, flags)
 	}
 	return buf
 }
 
 func decodeRecord(p []byte) (core.CommitRecord, error) {
+	first, rest, err := takeUvarint(p)
+	if err != nil {
+		return core.CommitRecord{}, fmt.Errorf("durable: record prefix: %w", err)
+	}
+	if first < formatTagBase {
+		// Legacy single-transaction record: the first uvarint is the
+		// block height itself.
+		return decodeRecordV1(first, rest)
+	}
+	if format := first &^ formatTagBase; format != recordFormatV2 {
+		return core.CommitRecord{}, fmt.Errorf("durable: unsupported record format %d", format)
+	}
+	return decodeRecordV2(rest)
+}
+
+func decodeRecordV2(p []byte) (core.CommitRecord, error) {
 	var rec core.CommitRecord
 	var err error
 	if rec.Height, p, err = takeUvarint(p); err != nil {
 		return rec, fmt.Errorf("durable: record height: %w", err)
 	}
-	if rec.TxnID, p, err = takeUvarint(p); err != nil {
-		return rec, fmt.Errorf("durable: record txn id: %w", err)
-	}
 	if rec.Version, p, err = takeUvarint(p); err != nil {
 		return rec, fmt.Errorf("durable: record version: %w", err)
 	}
-	stmt, p, err := takeBytes(p)
-	if err != nil {
-		return rec, fmt.Errorf("durable: record statement: %w", err)
-	}
-	rec.Statement = string(stmt)
 	if len(p) < hashutil.DigestSize {
 		return rec, errors.New("durable: record truncated at block hash")
 	}
 	copy(rec.BlockHash[:], p)
 	p = p[hashutil.DigestSize:]
-	ncells, p, err := takeUvarint(p)
+	ntxns, p, err := takeUvarint(p)
 	if err != nil {
-		return rec, fmt.Errorf("durable: record cell count: %w", err)
+		return rec, fmt.Errorf("durable: record txn count: %w", err)
 	}
-	if ncells > uint64(len(p)) { // each cell costs at least one byte
-		return rec, errors.New("durable: record cell count exceeds payload")
+	if ntxns == 0 {
+		return rec, errors.New("durable: record with zero transactions")
 	}
-	rec.Cells = make([]cellstore.Cell, ncells)
-	for i := range rec.Cells {
-		c := &rec.Cells[i]
-		var field []byte
-		if field, p, err = takeBytes(p); err != nil {
-			return rec, fmt.Errorf("durable: cell %d table: %w", i, err)
+	if ntxns > uint64(len(p)) { // each txn costs at least one byte
+		return rec, errors.New("durable: record txn count exceeds payload")
+	}
+	rec.Txns = make([]core.TxnCommit, ntxns)
+	for t := range rec.Txns {
+		tx := &rec.Txns[t]
+		if tx.ID, p, err = takeUvarint(p); err != nil {
+			return rec, fmt.Errorf("durable: txn %d id: %w", t, err)
 		}
-		c.Table = string(field)
-		if field, p, err = takeBytes(p); err != nil {
-			return rec, fmt.Errorf("durable: cell %d column: %w", i, err)
+		if tx.Version, p, err = takeUvarint(p); err != nil {
+			return rec, fmt.Errorf("durable: txn %d version: %w", t, err)
 		}
-		c.Column = string(field)
-		if c.PK, p, err = takeBytes(p); err != nil {
-			return rec, fmt.Errorf("durable: cell %d pk: %w", i, err)
+		stmt, rest, err := takeBytes(p)
+		if err != nil {
+			return rec, fmt.Errorf("durable: txn %d statement: %w", t, err)
 		}
-		if c.Value, p, err = takeBytes(p); err != nil {
-			return rec, fmt.Errorf("durable: cell %d value: %w", i, err)
+		tx.Statement = string(stmt)
+		p = rest
+		if tx.Cells, p, err = decodeCells(p, tx.Version); err != nil {
+			return rec, fmt.Errorf("durable: txn %d: %w", t, err)
 		}
-		if len(p) < 1 {
-			return rec, fmt.Errorf("durable: cell %d truncated at flags", i)
-		}
-		c.Tombstone = p[0]&1 != 0
-		c.Version = rec.Version
-		p = p[1:]
 	}
 	if len(p) != 0 {
 		return rec, errors.New("durable: trailing record bytes")
 	}
 	return rec, nil
+}
+
+// decodeRecordV1 parses the remainder of a legacy record, the height
+// having already been consumed by the dispatcher.
+func decodeRecordV1(height uint64, p []byte) (core.CommitRecord, error) {
+	rec := core.CommitRecord{Height: height, Txns: make([]core.TxnCommit, 1)}
+	tx := &rec.Txns[0]
+	var err error
+	if tx.ID, p, err = takeUvarint(p); err != nil {
+		return rec, fmt.Errorf("durable: record txn id: %w", err)
+	}
+	if tx.Version, p, err = takeUvarint(p); err != nil {
+		return rec, fmt.Errorf("durable: record version: %w", err)
+	}
+	rec.Version = tx.Version
+	stmt, p, err := takeBytes(p)
+	if err != nil {
+		return rec, fmt.Errorf("durable: record statement: %w", err)
+	}
+	tx.Statement = string(stmt)
+	if len(p) < hashutil.DigestSize {
+		return rec, errors.New("durable: record truncated at block hash")
+	}
+	copy(rec.BlockHash[:], p)
+	p = p[hashutil.DigestSize:]
+	if tx.Cells, p, err = decodeCells(p, tx.Version); err != nil {
+		return rec, err
+	}
+	if len(p) != 0 {
+		return rec, errors.New("durable: trailing record bytes")
+	}
+	return rec, nil
+}
+
+func decodeCells(p []byte, version uint64) ([]cellstore.Cell, []byte, error) {
+	ncells, p, err := takeUvarint(p)
+	if err != nil {
+		return nil, nil, fmt.Errorf("durable: record cell count: %w", err)
+	}
+	if ncells > uint64(len(p)) { // each cell costs at least one byte
+		return nil, nil, errors.New("durable: record cell count exceeds payload")
+	}
+	cells := make([]cellstore.Cell, ncells)
+	for i := range cells {
+		c := &cells[i]
+		var field []byte
+		if field, p, err = takeBytes(p); err != nil {
+			return nil, nil, fmt.Errorf("durable: cell %d table: %w", i, err)
+		}
+		c.Table = string(field)
+		if field, p, err = takeBytes(p); err != nil {
+			return nil, nil, fmt.Errorf("durable: cell %d column: %w", i, err)
+		}
+		c.Column = string(field)
+		if c.PK, p, err = takeBytes(p); err != nil {
+			return nil, nil, fmt.Errorf("durable: cell %d pk: %w", i, err)
+		}
+		if c.Value, p, err = takeBytes(p); err != nil {
+			return nil, nil, fmt.Errorf("durable: cell %d value: %w", i, err)
+		}
+		if len(p) < 1 {
+			return nil, nil, fmt.Errorf("durable: cell %d truncated at flags", i)
+		}
+		c.Tombstone = p[0]&1 != 0
+		c.Version = version
+		p = p[1:]
+	}
+	return cells, p, nil
 }
 
 func appendBytes(buf, b []byte) []byte {

@@ -161,6 +161,10 @@ func (l *Ledger) Height() uint64 {
 func (l *Ledger) Digest() Digest {
 	l.mu.RLock()
 	defer l.mu.RUnlock()
+	return l.digestLocked()
+}
+
+func (l *Ledger) digestLocked() Digest {
 	return Digest{Height: uint64(len(l.headers)), Root: l.commit.Root()}
 }
 
@@ -311,6 +315,20 @@ func (l *Ledger) ConsistencyProof(old Digest) (mtree.ConsistencyProof, error) {
 	l.mu.RLock()
 	defer l.mu.RUnlock()
 	return l.commit.ConsistencyProof(int(old.Height))
+}
+
+// ProveConsistency returns the current digest together with the proof
+// that it extends old, captured under one lock acquisition — under
+// concurrent commits, a digest and a consistency proof sampled in two
+// separate calls may straddle a new block and fail to match.
+func (l *Ledger) ProveConsistency(old Digest) (Digest, mtree.ConsistencyProof, error) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	cons, err := l.commit.ConsistencyProof(int(old.Height))
+	if err != nil {
+		return Digest{}, mtree.ConsistencyProof{}, err
+	}
+	return l.digestLocked(), cons, nil
 }
 
 // blockInclusion builds the inclusion proof for the block at height under

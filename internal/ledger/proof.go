@@ -85,19 +85,40 @@ func (p Proof) Cells() ([]cellstore.Cell, error) {
 func (l *Ledger) ProveGetLatest(height uint64, table, column string, pk []byte) (cellstore.Cell, bool, Proof, error) {
 	l.mu.RLock()
 	defer l.mu.RUnlock()
+	cell, ok, p, _, err := l.proveGetLocked(height, table, column, pk)
+	return cell, ok, p, err
+}
+
+// ProveGetHead serves a verified point read at the head block and returns
+// the digest the proof verifies against. Digest and proof are captured
+// under one lock acquisition, so a commit racing the read can never
+// produce a proof that fails against the returned digest. ok is false
+// (with a zero proof) when the ledger is empty.
+func (l *Ledger) ProveGetHead(table, column string, pk []byte) (cellstore.Cell, bool, Proof, Digest, error) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	d := l.digestLocked()
+	if d.Height == 0 {
+		return cellstore.Cell{}, false, Proof{}, d, nil
+	}
+	return l.proveGetLocked(d.Height-1, table, column, pk)
+}
+
+func (l *Ledger) proveGetLocked(height uint64, table, column string, pk []byte) (cellstore.Cell, bool, Proof, Digest, error) {
+	d := l.digestLocked()
 	h, snap, err := l.snapshotLocked(height)
 	if err != nil {
-		return cellstore.Cell{}, false, Proof{}, err
+		return cellstore.Cell{}, false, Proof{}, d, err
 	}
 	cell, ok, pointProof, err := snap.ProveGetHead(table, column, pk)
 	if err != nil {
-		return cellstore.Cell{}, false, Proof{}, err
+		return cellstore.Cell{}, false, Proof{}, d, err
 	}
 	inc, err := l.blockInclusion(height)
 	if err != nil {
-		return cellstore.Cell{}, false, Proof{}, err
+		return cellstore.Cell{}, false, Proof{}, d, err
 	}
-	return cell, ok, Proof{Header: h, Inclusion: inc, Point: &pointProof}, nil
+	return cell, ok, Proof{Header: h, Inclusion: inc, Point: &pointProof}, d, nil
 }
 
 // ProveRangePK serves a verified primary-key range scan at the given block
@@ -105,19 +126,38 @@ func (l *Ledger) ProveGetLatest(height uint64, table, column string, pk []byte) 
 func (l *Ledger) ProveRangePK(height uint64, table, column string, pkLo, pkHi []byte) ([]cellstore.Cell, Proof, error) {
 	l.mu.RLock()
 	defer l.mu.RUnlock()
+	cells, p, _, err := l.proveRangeLocked(height, table, column, pkLo, pkHi)
+	return cells, p, err
+}
+
+// ProveRangePKHead serves a verified range scan at the head block with the
+// digest the proof verifies against, captured atomically (see
+// ProveGetHead).
+func (l *Ledger) ProveRangePKHead(table, column string, pkLo, pkHi []byte) ([]cellstore.Cell, Proof, Digest, error) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	d := l.digestLocked()
+	if d.Height == 0 {
+		return nil, Proof{}, d, nil
+	}
+	return l.proveRangeLocked(d.Height-1, table, column, pkLo, pkHi)
+}
+
+func (l *Ledger) proveRangeLocked(height uint64, table, column string, pkLo, pkHi []byte) ([]cellstore.Cell, Proof, Digest, error) {
+	d := l.digestLocked()
 	h, snap, err := l.snapshotLocked(height)
 	if err != nil {
-		return nil, Proof{}, err
+		return nil, Proof{}, d, err
 	}
 	cells, rangeProof, err := snap.ProveRangePK(table, column, pkLo, pkHi)
 	if err != nil {
-		return nil, Proof{}, err
+		return nil, Proof{}, d, err
 	}
 	inc, err := l.blockInclusion(height)
 	if err != nil {
-		return nil, Proof{}, err
+		return nil, Proof{}, d, err
 	}
-	return cells, Proof{Header: h, Inclusion: inc, Range: &rangeProof}, nil
+	return cells, Proof{Header: h, Inclusion: inc, Range: &rangeProof}, d, nil
 }
 
 // ProveBlock returns a block header with its inclusion proof under the

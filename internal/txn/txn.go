@@ -36,6 +36,19 @@ type Store interface {
 	ApplyBatch(version uint64, writes []Write) error
 }
 
+// AsyncStore is an optional Store extension for stores with a
+// group-commit pipeline. ApplyBatchAsync allocates the commit version
+// itself, enqueues the writes — which must be visible to ReadLatest
+// immediately, so later validations cannot miss them — and returns
+// without waiting for the commit to complete. The manager calls it under
+// its commit lock and invokes wait after releasing it, letting concurrent
+// transactions share one storage commit instead of serializing on it.
+// wait must be called exactly once; its error means the commit did not
+// become durable.
+type AsyncStore interface {
+	ApplyBatchAsync(writes []Write) (version uint64, wait func() error, err error)
+}
+
 // TimestampSource allocates strictly increasing timestamps. tso.Oracle
 // satisfies it directly; hlc clocks adapt trivially.
 type TimestampSource interface {
@@ -187,6 +200,10 @@ func (t *Txn) Abort() {
 
 // Commit validates and applies the transaction, returning its commit
 // version. On ErrConflict the transaction is aborted and may be retried.
+// Validation and the apply (or, for an AsyncStore, the enqueue that
+// orders the transaction) happen under the manager lock; waiting for the
+// store to finish the commit happens outside it, so concurrent commits
+// can share the store's group-commit machinery.
 func (t *Txn) Commit() (uint64, error) {
 	if t.done {
 		return 0, ErrDone
@@ -194,12 +211,22 @@ func (t *Txn) Commit() (uint64, error) {
 	t.done = true
 	m := t.mgr
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	if err := m.validateLocked(t); err != nil {
 		m.stats.Aborts++
+		m.mu.Unlock()
 		return 0, err
 	}
-	return m.applyLocked(t)
+	v, wait, err := m.applyLocked(t)
+	m.mu.Unlock()
+	if err != nil {
+		return 0, err
+	}
+	if wait != nil {
+		if err := wait(); err != nil {
+			return 0, err
+		}
+	}
+	return v, nil
 }
 
 // validateLocked runs the mode's conflict check. Versions are validated
@@ -236,17 +263,31 @@ func (m *Manager) validateLocked(t *Txn) error {
 	return nil
 }
 
-// applyLocked allocates the commit version and applies the write set.
-func (m *Manager) applyLocked(t *Txn) (uint64, error) {
+// applyLocked hands the write set to the store and returns the commit
+// version. With an AsyncStore the store allocates the version and the
+// returned wait (to be invoked outside the manager lock) blocks until
+// the commit is durable; a wait failure means the commit was not
+// acknowledged even though it is counted here — by then the store has
+// fail-stopped and no later commit can succeed either.
+func (m *Manager) applyLocked(t *Txn) (uint64, func() error, error) {
+	if as, ok := m.store.(AsyncStore); ok && len(t.writes) > 0 {
+		commit, wait, err := as.ApplyBatchAsync(t.writes)
+		if err != nil {
+			m.stats.Aborts++
+			return 0, nil, err
+		}
+		m.stats.Commits++
+		return commit, wait, nil
+	}
 	commit := m.ts.Next()
 	if len(t.writes) > 0 {
 		if err := m.store.ApplyBatch(commit, t.writes); err != nil {
 			m.stats.Aborts++
-			return 0, err
+			return 0, nil, err
 		}
 	}
 	m.stats.Commits++
-	return commit, nil
+	return commit, nil, nil
 }
 
 // CommitBatch validates a group of transactions together, reordering them
@@ -257,7 +298,6 @@ func (m *Manager) applyLocked(t *Txn) (uint64, error) {
 func (m *Manager) CommitBatch(txns []*Txn) []BatchResult {
 	results := make([]BatchResult, len(txns))
 	m.mu.Lock()
-	defer m.mu.Unlock()
 
 	// Phase 1: validate against already-committed state.
 	ok := make([]bool, len(txns))
@@ -367,13 +407,31 @@ func (m *Manager) CommitBatch(txns []*Txn) []BatchResult {
 	// earlier member must not invalidate a later member's reads — the
 	// ordering guarantees reads happen "before" conflicting writes in the
 	// equivalent serial schedule, so no further validation is needed.
+	// Async stores only enqueue here (preserving the dependency order);
+	// the durability waits run after the manager lock is released so the
+	// whole batch can share one storage commit.
+	waits := make([]func() error, len(txns))
 	for _, i := range order {
-		v, err := m.applyLocked(txns[i])
+		v, wait, err := m.applyLocked(txns[i])
 		if err != nil {
 			results[i].Err = err
 			continue
 		}
 		results[i].Version = v
+		waits[i] = wait
+	}
+	m.mu.Unlock()
+	// Invoke the waits in enqueue (dependency) order, not index order:
+	// the store's group-commit leadership belongs to the first enqueued
+	// transaction, and a later-enqueued wait invoked first would block on
+	// a commit only the leader's wait can drive.
+	for _, i := range order {
+		if waits[i] == nil {
+			continue
+		}
+		if err := waits[i](); err != nil {
+			results[i] = BatchResult{Err: err}
+		}
 	}
 	return results
 }

@@ -224,11 +224,14 @@ func Dispatch(eng *core.Engine, req Request) Response {
 	case OpDigest:
 		return Response{Digest: eng.Digest()}
 	case OpConsistency:
-		cons, err := eng.ConsistencyProof(req.OldDigest)
+		// Digest and proof must be captured atomically: sampled separately
+		// they can straddle a concurrently committed block, and the client
+		// would see a spurious verification failure.
+		d, cons, err := eng.ConsistencyUpdate(req.OldDigest)
 		if err != nil {
 			return Response{Err: err.Error()}
 		}
-		return Response{Consistency: &cons, Digest: eng.Digest()}
+		return Response{Consistency: &cons, Digest: d}
 	case OpSnapshot:
 		var buf bytes.Buffer
 		if err := eng.WriteSnapshot(&buf); err != nil {

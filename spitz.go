@@ -70,7 +70,22 @@ type (
 	Verifier = proof.Verifier
 	// Txn is an interactive serializable transaction.
 	Txn = core.Txn
+	// BatchStats describes the group-commit pipeline's behaviour.
+	BatchStats = core.BatchStats
+	// TxnStats counts transaction commit and abort outcomes.
+	TxnStats = txn.Stats
 )
+
+// Stats is a point-in-time snapshot of database counters.
+type Stats struct {
+	// Height is the number of committed ledger blocks.
+	Height uint64
+	// Batch reports the group-commit pipeline: blocks cut, transactions
+	// per block, and the batch-size distribution.
+	Batch BatchStats
+	// Txns reports interactive transaction outcomes.
+	Txns TxnStats
+}
 
 // Concurrency control modes for Options.Mode.
 const (
@@ -113,6 +128,15 @@ type Options struct {
 	// (LookupEqual, LookupNumericRange) at some write cost.
 	MaintainInverted bool
 
+	// MaxBatchTxns caps how many concurrent transactions the group-commit
+	// pipeline folds into one ledger block (default 128).
+	MaxBatchTxns int
+	// MaxBatchDelay makes the commit leader wait this long for more
+	// transactions before cutting a block. The zero default adds no
+	// latency: batching then comes only from commits arriving while the
+	// previous block is being built, which self-tunes with load.
+	MaxBatchDelay time.Duration
+
 	// The fields below configure durability and apply to OpenDir only;
 	// Open ignores them.
 
@@ -153,6 +177,8 @@ func Open(opts Options) *DB {
 		Store:            cas.NewMemory(),
 		Mode:             opts.Mode,
 		MaintainInverted: opts.MaintainInverted,
+		MaxBatchTxns:     opts.MaxBatchTxns,
+		MaxBatchDelay:    opts.MaxBatchDelay,
 	}), opts: opts}
 }
 
@@ -166,6 +192,8 @@ func OpenDir(dir string, opts Options) (*DB, error) {
 	m, err := durable.Open(dir, durable.Options{
 		Mode:                  opts.Mode,
 		MaintainInverted:      opts.MaintainInverted,
+		MaxBatchTxns:          opts.MaxBatchTxns,
+		MaxBatchDelay:         opts.MaxBatchDelay,
 		Sync:                  opts.Sync,
 		SyncInterval:          opts.SyncEvery,
 		SegmentSize:           opts.WALSegmentSize,
@@ -223,19 +251,10 @@ func (db *DB) Get(table, column string, pk []byte) ([]byte, error) {
 }
 
 // GetRow reads the given columns of one row; absent columns are omitted.
+// All columns are read from one ledger snapshot, so a concurrent commit
+// never interleaves old and new column values in the result.
 func (db *DB) GetRow(table string, pk []byte, columns []string) (map[string][]byte, error) {
-	out := make(map[string][]byte, len(columns))
-	for _, col := range columns {
-		v, err := db.Get(table, col, pk)
-		if err == ErrNotFound {
-			continue
-		}
-		if err != nil {
-			return nil, err
-		}
-		out[col] = v
-	}
-	return out, nil
+	return db.engine().GetRow(table, pk, columns)
 }
 
 // GetVerified returns the latest version of a cell together with its
@@ -292,8 +311,28 @@ func (db *DB) ConsistencyProof(old Digest) (ConsistencyProof, error) {
 	return db.engine().ConsistencyProof(old)
 }
 
+// ConsistencyUpdate returns the current digest together with the proof
+// that it extends old, captured atomically. Clients refreshing a pinned
+// digest while commits are in flight should use this instead of calling
+// Digest and ConsistencyProof separately, which can straddle a new block
+// and fail to match.
+func (db *DB) ConsistencyUpdate(old Digest) (Digest, ConsistencyProof, error) {
+	return db.engine().ConsistencyUpdate(old)
+}
+
 // Height returns the number of committed ledger blocks.
 func (db *DB) Height() uint64 { return db.engine().Ledger().Height() }
+
+// Stats returns a snapshot of the database's runtime counters: ledger
+// height, group-commit batching behaviour, and transaction outcomes.
+func (db *DB) Stats() Stats {
+	eng := db.engine()
+	return Stats{
+		Height: eng.Ledger().Height(),
+		Batch:  eng.BatchStats(),
+		Txns:   eng.TxnStats(),
+	}
+}
 
 // Block returns the header of the block at the given height.
 func (db *DB) Block(height uint64) (BlockHeader, error) {
