@@ -4,7 +4,9 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync"
 
+	"spitz/internal/server"
 	"spitz/internal/wire"
 )
 
@@ -14,6 +16,7 @@ import (
 type Client struct {
 	c        *wire.Client
 	verifier *Verifier
+	syncMu   sync.Mutex // serializes digest refreshes (see shardLink.syncDigest)
 }
 
 // Dial connects to a Spitz server (e.g. started with DB.Serve or
@@ -33,14 +36,15 @@ func (cl *Client) Close() error { return cl.c.Close() }
 // trusted digest or deferring verification).
 func (cl *Client) Verifier() *Verifier { return cl.verifier }
 
+// link binds the client's connection and verifier into the shared
+// verified-read flows.
+func (cl *Client) link() shardLink {
+	return shardLink{c: cl.c, v: cl.verifier, mu: &cl.syncMu}
+}
+
 // Apply commits a batch of writes and returns the new block header.
 func (cl *Client) Apply(statement string, puts []Put) (BlockHeader, error) {
-	wp := make([]wire.Put, len(puts))
-	for i, p := range puts {
-		wp[i] = wire.Put{Table: p.Table, Column: p.Column, PK: p.PK,
-			Value: p.Value, Tombstone: p.Tombstone}
-	}
-	resp, err := cl.c.Do(wire.Request{Op: wire.OpPut, Statement: statement, Puts: wp})
+	resp, err := cl.c.Do(wire.Request{Op: wire.OpPut, Statement: statement, Puts: encodePuts(puts)})
 	if err != nil {
 		return BlockHeader{}, err
 	}
@@ -64,71 +68,28 @@ func (cl *Client) Get(table, column string, pk []byte) ([]byte, error) {
 // consistency proof when the ledger has grown), and the value is returned
 // only if everything verifies.
 func (cl *Client) GetVerified(table, column string, pk []byte) ([]byte, bool, error) {
-	resp, err := cl.c.Do(wire.Request{Op: wire.OpGetVerified, Table: table, Column: column, PK: pk})
-	if err != nil {
-		return nil, false, err
-	}
-	if resp.Proof == nil {
-		if resp.Found {
-			return nil, false, fmt.Errorf("%w: server omitted proof", ErrTampered)
-		}
-		return nil, false, nil // empty database
-	}
-	if err := cl.syncDigest(resp.Digest); err != nil {
-		return nil, false, err
-	}
-	if err := cl.verifier.VerifyNow(*resp.Proof); err != nil {
-		return nil, false, err
-	}
-	cells, err := resp.Proof.Cells()
-	if err != nil {
-		return nil, false, fmt.Errorf("%w: %v", ErrTampered, err)
-	}
-	if len(cells) == 0 || cells[0].Tombstone {
-		if resp.Found {
-			return nil, false, fmt.Errorf("%w: result contradicts proof", ErrTampered)
-		}
-		return nil, false, nil
-	}
-	return cells[0].Value, true, nil
+	return cl.link().getVerified(table, column, pk)
 }
 
 // RangePKVerified performs a verified range scan, returning the proven
 // cells.
 func (cl *Client) RangePKVerified(table, column string, pkLo, pkHi []byte) ([]Cell, error) {
-	resp, err := cl.c.Do(wire.Request{Op: wire.OpRangeVer, Table: table, Column: column,
-		PK: pkLo, PKHi: pkHi})
-	if err != nil {
-		return nil, err
-	}
-	if resp.Proof == nil {
-		if len(resp.Cells) > 0 {
-			return nil, fmt.Errorf("%w: server omitted proof", ErrTampered)
-		}
-		return nil, nil
-	}
-	if err := cl.syncDigest(resp.Digest); err != nil {
-		return nil, err
-	}
-	if err := cl.verifier.VerifyNow(*resp.Proof); err != nil {
-		return nil, err
-	}
-	cells, err := resp.Proof.Cells()
-	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrTampered, err)
-	}
-	live := cells[:0]
-	for _, c := range cells {
-		if !c.Tombstone {
-			live = append(live, c)
-		}
-	}
-	return live, nil
+	return cl.link().rangeVerified(table, column, pkLo, pkHi)
 }
 
 // History returns all versions of a cell, newest first.
 func (cl *Client) History(table, column string, pk []byte) ([]Cell, error) {
 	resp, err := cl.c.Do(wire.Request{Op: wire.OpHistory, Table: table, Column: column, PK: pk})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Cells, nil
+}
+
+// LookupEqual returns cells of one column whose latest value equals
+// value (the server must maintain the inverted index).
+func (cl *Client) LookupEqual(table, column string, value []byte) ([]Cell, error) {
+	resp, err := cl.c.Do(wire.Request{Op: wire.OpLookupEq, Table: table, Column: column, Value: value})
 	if err != nil {
 		return nil, err
 	}
@@ -181,23 +142,406 @@ func (cl *Client) SyncDigest() error {
 	if err != nil {
 		return err
 	}
-	return cl.syncDigest(d)
+	return cl.link().syncDigest(d)
 }
 
-func (cl *Client) syncDigest(d Digest) error {
-	cur := cl.verifier.Digest()
-	if cur == d {
+func encodePuts(puts []Put) []wire.Put {
+	wp := make([]wire.Put, len(puts))
+	for i, p := range puts {
+		wp[i] = wire.Put{Table: p.Table, Column: p.Column, PK: p.PK,
+			Value: p.Value, Tombstone: p.Tombstone}
+	}
+	return wp
+}
+
+// ---------------------------------------------------------------------------
+// Shared verified-read flows
+
+// shardLink is one (connection, verifier, shard) triple. A plain Client
+// holds one with shard 0 (unsharded); a ShardedClient holds one per
+// shard, so each shard's proofs verify against that shard's own trusted
+// digest.
+type shardLink struct {
+	c     *wire.Client
+	v     *Verifier
+	mu    *sync.Mutex // serializes syncDigest's check-fetch-advance
+	shard int         // wire shard id: 0 unsharded, i+1 for shard i
+}
+
+// syncAndVerify advances the link's trusted digest as needed and checks
+// p, which the server produced against digest d. The whole flow runs
+// under the link's mutex so concurrent verified reads cannot interleave
+// digest refreshes and report tampering the honest server never
+// committed.
+//
+// When the trusted digest has already moved past d (a concurrent read
+// synced a newer state), the proof cannot verify against the trusted
+// digest — but it is still an honest statement about an older ledger
+// state. One atomic server call returns two consistency proofs: trusted
+// digest → current (advancing trust) and d → current (showing d is a
+// genuine prefix of the same history); with both verified, p is checked
+// against d itself. This converges in one round trip under any write
+// churn, where refetch-until-current would livelock.
+func (l shardLink) syncAndVerify(d Digest, p *Proof) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	cur := l.v.Digest()
+	switch {
+	case cur == d:
+		return l.v.VerifyNow(*p)
+	case cur.Height == 0 && cur.Root.IsZero():
+		if err := l.v.Advance(d, ConsistencyProof{}); err != nil {
+			return err
+		}
+		return l.v.VerifyNow(*p)
+	}
+	resp, err := l.c.Do(wire.Request{Op: wire.OpConsistency, OldDigest: cur, OldDigest2: &d,
+		Shard: l.shard})
+	if err != nil {
+		return err
+	}
+	if resp.Consistency == nil || resp.Consistency2 == nil {
+		return errors.New("spitz: server omitted consistency proof")
+	}
+	if err := l.v.Advance(resp.Digest, *resp.Consistency); err != nil {
+		return err
+	}
+	if l.v.Digest() == d {
+		return l.v.VerifyNow(*p)
+	}
+	// Trust is now ahead of d: require the second proof to show d is a
+	// prefix of the same (now trusted) state, then verify against d.
+	cons2 := *resp.Consistency2
+	if cons2.OldSize != int(d.Height) || cons2.NewSize != int(resp.Digest.Height) {
+		return fmt.Errorf("%w: prefix proof sizes %d/%d do not match digests %d/%d",
+			ErrTampered, cons2.OldSize, cons2.NewSize, d.Height, resp.Digest.Height)
+	}
+	if err := cons2.Verify(d.Root, resp.Digest.Root); err != nil {
+		return fmt.Errorf("%w: response digest is not a prefix of the ledger: %v", ErrTampered, err)
+	}
+	return l.v.VerifyAsOf(*p, d)
+}
+
+func (l shardLink) getVerified(table, column string, pk []byte) ([]byte, bool, error) {
+	resp, err := l.c.Do(wire.Request{Op: wire.OpGetVerified, Table: table, Column: column,
+		PK: pk, Shard: l.shard})
+	if err != nil {
+		return nil, false, err
+	}
+	if resp.Proof == nil {
+		if resp.Found {
+			return nil, false, fmt.Errorf("%w: server omitted proof", ErrTampered)
+		}
+		return nil, false, nil // empty database
+	}
+	if err := l.syncAndVerify(resp.Digest, resp.Proof); err != nil {
+		return nil, false, err
+	}
+	cells, err := resp.Proof.Cells()
+	if err != nil {
+		return nil, false, fmt.Errorf("%w: %v", ErrTampered, err)
+	}
+	if len(cells) == 0 || cells[0].Tombstone {
+		if resp.Found {
+			return nil, false, fmt.Errorf("%w: result contradicts proof", ErrTampered)
+		}
+		return nil, false, nil
+	}
+	return cells[0].Value, true, nil
+}
+
+func (l shardLink) rangeVerified(table, column string, pkLo, pkHi []byte) ([]Cell, error) {
+	resp, err := l.c.Do(wire.Request{Op: wire.OpRangeVer, Table: table, Column: column,
+		PK: pkLo, PKHi: pkHi, Shard: l.shard})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Proof == nil {
+		if len(resp.Cells) > 0 {
+			return nil, fmt.Errorf("%w: server omitted proof", ErrTampered)
+		}
+		return nil, nil
+	}
+	if err := l.syncAndVerify(resp.Digest, resp.Proof); err != nil {
+		return nil, err
+	}
+	cells, err := resp.Proof.Cells()
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrTampered, err)
+	}
+	live := cells[:0]
+	for _, c := range cells {
+		if !c.Tombstone {
+			live = append(live, c)
+		}
+	}
+	return live, nil
+}
+
+// syncDigest advances the link's trusted digest to d, fetching and
+// verifying a consistency proof from the link's shard when trust was
+// already pinned. The whole check-fetch-advance runs under the link's
+// mutex: two concurrent verified reads would otherwise both fetch a
+// proof for the same stale digest, and the loser's Advance would report
+// tampering the honest server never committed.
+func (l shardLink) syncDigest(d Digest) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	cur := l.v.Digest()
+	if cur == d || d.Height < cur.Height {
+		// Already there — or a response raced an even newer refresh; the
+		// proof check against the newer trusted digest still stands.
 		return nil
 	}
 	if cur.Height == 0 && cur.Root.IsZero() {
-		return cl.verifier.Advance(d, ConsistencyProof{})
+		return l.v.Advance(d, ConsistencyProof{})
 	}
-	resp, err := cl.c.Do(wire.Request{Op: wire.OpConsistency, OldDigest: cur})
+	resp, err := l.c.Do(wire.Request{Op: wire.OpConsistency, OldDigest: cur, Shard: l.shard})
 	if err != nil {
 		return err
 	}
 	if resp.Consistency == nil {
 		return errors.New("spitz: server omitted consistency proof")
 	}
-	return cl.verifier.Advance(resp.Digest, *resp.Consistency)
+	return l.v.Advance(resp.Digest, *resp.Consistency)
+}
+
+// ---------------------------------------------------------------------------
+// Sharded client
+
+// ShardedClient is a network client for a sharded Spitz deployment
+// served behind one listener (OpenCluster + ClusterDB.Serve, or
+// spitz-server -shards N). At connect time it fetches the shard map;
+// afterwards point operations route directly to the owning shard and
+// range, lookup and digest operations fan out across every shard
+// concurrently. Verification stays client-side and per shard: the client
+// keeps one Verifier per shard, so a proof produced by shard i is only
+// ever checked against shard i's trusted digest.
+//
+// A ShardedClient also works against an unsharded server, which reports
+// a one-shard map. Safe for concurrent use.
+type ShardedClient struct {
+	conns     []*wire.Client // conns[i] carries shard i's traffic; conns[0] also cluster-level ops
+	verifiers []*Verifier
+	syncMus   []sync.Mutex // one per shard, serializing digest refreshes
+}
+
+// DialSharded connects to a sharded Spitz server, fetching the shard map
+// and opening one connection per shard so fan-out requests proceed in
+// parallel.
+func DialSharded(network, addr string) (*ShardedClient, error) {
+	return NewShardedClient(func() (*wire.Client, error) { return wire.Dial(network, addr) })
+}
+
+// NewShardedClient builds a sharded client from a dialling function —
+// the transport-agnostic form DialSharded wraps (tests use it with
+// in-process pipe listeners).
+func NewShardedClient(dial func() (*wire.Client, error)) (*ShardedClient, error) {
+	first, err := dial()
+	if err != nil {
+		return nil, err
+	}
+	resp, err := first.Do(wire.Request{Op: wire.OpShardMap})
+	if err != nil {
+		first.Close()
+		return nil, fmt.Errorf("spitz: shard map: %w", err)
+	}
+	n := resp.ShardCount
+	if n < 1 {
+		first.Close()
+		return nil, fmt.Errorf("spitz: server reported %d shards", n)
+	}
+	sc := &ShardedClient{conns: make([]*wire.Client, n), verifiers: make([]*Verifier, n),
+		syncMus: make([]sync.Mutex, n)}
+	sc.conns[0] = first
+	sc.verifiers[0] = NewVerifier()
+	for i := 1; i < n; i++ {
+		c, err := dial()
+		if err != nil {
+			sc.Close()
+			return nil, err
+		}
+		sc.conns[i] = c
+		sc.verifiers[i] = NewVerifier()
+	}
+	return sc, nil
+}
+
+// Close releases every connection.
+func (sc *ShardedClient) Close() error {
+	var first error
+	for _, c := range sc.conns {
+		if c == nil {
+			continue
+		}
+		if err := c.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Shards returns the cluster's shard count.
+func (sc *ShardedClient) Shards() int { return len(sc.conns) }
+
+// ShardFor reports which shard owns a primary key (the client-side shard
+// map).
+func (sc *ShardedClient) ShardFor(pk []byte) int {
+	return server.ShardIndex(pk, len(sc.conns))
+}
+
+// ShardVerifier exposes shard i's proof verifier.
+func (sc *ShardedClient) ShardVerifier(i int) *Verifier { return sc.verifiers[i] }
+
+func (sc *ShardedClient) linkFor(pk []byte) shardLink { return sc.link(sc.ShardFor(pk)) }
+
+// link builds shard i's (connection, verifier, mutex) triple.
+func (sc *ShardedClient) link(i int) shardLink {
+	return shardLink{c: sc.conns[i], v: sc.verifiers[i], mu: &sc.syncMus[i], shard: i + 1}
+}
+
+// Apply commits a batch of writes atomically: the server groups them by
+// owning shard and commits cross-shard batches with two-phase commit. It
+// returns the cluster commit timestamp.
+func (sc *ShardedClient) Apply(statement string, puts []Put) (uint64, error) {
+	resp, err := sc.conns[0].Do(wire.Request{Op: wire.OpPut, Statement: statement, Puts: encodePuts(puts)})
+	if err != nil {
+		return 0, err
+	}
+	return resp.Header.Version, nil
+}
+
+// Get performs an unverified point read against the owning shard.
+func (sc *ShardedClient) Get(table, column string, pk []byte) ([]byte, error) {
+	l := sc.linkFor(pk)
+	resp, err := l.c.Do(wire.Request{Op: wire.OpGet, Table: table, Column: column, PK: pk, Shard: l.shard})
+	if err != nil {
+		return nil, err
+	}
+	if !resp.Found {
+		return nil, ErrNotFound
+	}
+	return resp.Value, nil
+}
+
+// GetVerified performs a verified point read: the request routes to the
+// owning shard and the proof is checked against that shard's trusted
+// digest.
+func (sc *ShardedClient) GetVerified(table, column string, pk []byte) ([]byte, bool, error) {
+	return sc.linkFor(pk).getVerified(table, column, pk)
+}
+
+// History returns all versions of a cell from its owning shard, newest
+// first.
+func (sc *ShardedClient) History(table, column string, pk []byte) ([]Cell, error) {
+	l := sc.linkFor(pk)
+	resp, err := l.c.Do(wire.Request{Op: wire.OpHistory, Table: table, Column: column, PK: pk, Shard: l.shard})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Cells, nil
+}
+
+// fanOut runs fn for every shard concurrently and merges the per-shard
+// cell lists into pk order (the same merge the server uses, so
+// client-side and server-side scans agree on result order).
+func (sc *ShardedClient) fanOut(fn func(i int) ([]Cell, error)) ([]Cell, error) {
+	parts := make([][]Cell, len(sc.conns))
+	errs := make([]error, len(sc.conns))
+	var wg sync.WaitGroup
+	for i := range sc.conns {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			parts[i], errs[i] = fn(i)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return server.MergeCellsByPK(parts), nil
+}
+
+// RangePK scans a primary-key range across every shard concurrently
+// (unverified), merging the results into one pk-ordered scan.
+func (sc *ShardedClient) RangePK(table, column string, pkLo, pkHi []byte) ([]Cell, error) {
+	return sc.fanOut(func(i int) ([]Cell, error) {
+		resp, err := sc.conns[i].Do(wire.Request{Op: wire.OpRange, Table: table, Column: column,
+			PK: pkLo, PKHi: pkHi, Shard: i + 1})
+		if err != nil {
+			return nil, err
+		}
+		return resp.Cells, nil
+	})
+}
+
+// RangePKVerified scans a primary-key range across every shard
+// concurrently, verifying each shard's proof against that shard's
+// trusted digest before merging.
+func (sc *ShardedClient) RangePKVerified(table, column string, pkLo, pkHi []byte) ([]Cell, error) {
+	return sc.fanOut(func(i int) ([]Cell, error) {
+		return sc.link(i).rangeVerified(table, column, pkLo, pkHi)
+	})
+}
+
+// LookupEqual fans an inverted-index equality lookup out across every
+// shard concurrently (the cluster must maintain the inverted index).
+func (sc *ShardedClient) LookupEqual(table, column string, value []byte) ([]Cell, error) {
+	return sc.fanOut(func(i int) ([]Cell, error) {
+		resp, err := sc.conns[i].Do(wire.Request{Op: wire.OpLookupEq, Table: table, Column: column,
+			Value: value, Shard: i + 1})
+		if err != nil {
+			return nil, err
+		}
+		return resp.Cells, nil
+	})
+}
+
+// ClusterDigest fetches the cluster digest — every shard's ledger digest
+// bound under one combined root — and checks the binding.
+func (sc *ShardedClient) ClusterDigest() (ClusterDigest, error) {
+	resp, err := sc.conns[0].Do(wire.Request{Op: wire.OpClusterDigest})
+	if err != nil {
+		return ClusterDigest{}, err
+	}
+	if resp.Cluster == nil {
+		return ClusterDigest{}, errors.New("spitz: server omitted cluster digest")
+	}
+	if err := resp.Cluster.Check(); err != nil {
+		return ClusterDigest{}, fmt.Errorf("%w: %v", ErrTampered, err)
+	}
+	if len(resp.Cluster.Shards) != len(sc.conns) {
+		return ClusterDigest{}, fmt.Errorf("%w: cluster digest names %d shards, client connected to %d",
+			ErrTampered, len(resp.Cluster.Shards), len(sc.conns))
+	}
+	return *resp.Cluster, nil
+}
+
+// SyncDigests advances every shard's trusted digest to the cluster's
+// current state, verifying a per-shard consistency proof so a rewritten
+// history on any shard is rejected.
+func (sc *ShardedClient) SyncDigests() error {
+	d, err := sc.ClusterDigest()
+	if err != nil {
+		return err
+	}
+	errs := make([]error, len(sc.conns))
+	var wg sync.WaitGroup
+	for i := range sc.conns {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = sc.link(i).syncDigest(d.Shards[i])
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("spitz: shard %d digest sync: %w", i, err)
+		}
+	}
+	return nil
 }

@@ -3,12 +3,17 @@
 //
 // Usage:
 //
-//	spitz-bench [flags] all|fig1|fig6a|fig6b|fig7|fig8|siri|deferred|timestamps|cc
+//	spitz-bench [flags] all|fig1|fig6a|fig6b|fig7|fig8|siri|deferred|timestamps|cc|sharded
 //
 // Flags scale the sweep; the default -max-size runs the paper's full 10k
 // to 1.28M doubling series, which takes a while. Use -max-size 160000 for
 // a quick pass. Results print as aligned tables, one column per series —
 // compare shapes with the paper per EXPERIMENTS.md.
+//
+// The sharded experiment measures the Section 5.2 deployment: aggregate
+// commit throughput of 1/2/4/8-shard clusters (memory and per-shard
+// SyncAlways durability in a temp directory) under -shard-workers
+// concurrent committers, against the 1-shard baseline.
 package main
 
 import (
@@ -26,6 +31,8 @@ func main() {
 	ops := flag.Int("ops", 20_000, "measured operations per size")
 	batch := flag.Int("batch", 1000, "write batch (group commit) size")
 	seed := flag.Int64("seed", 42, "workload seed")
+	shardWorkers := flag.Int("shard-workers", 16, "concurrent committers in the sharded experiment")
+	shardOps := flag.Int("shard-ops", 8000, "measured commits per configuration in the sharded experiment")
 	flag.Parse()
 
 	var sizes []int
@@ -102,6 +109,15 @@ func main() {
 	if run("cc") {
 		ran = true
 		res, err := bench.AblationCC(0, nil)
+		check(err)
+		res.Print(os.Stdout)
+	}
+	if run("sharded") {
+		ran = true
+		dir, err := os.MkdirTemp("", "spitz-sharded-")
+		check(err)
+		defer os.RemoveAll(dir)
+		res, err := bench.Sharded(dir, []int{1, 2, 4, 8}, *shardWorkers, *shardOps)
 		check(err)
 		res.Print(os.Stdout)
 	}

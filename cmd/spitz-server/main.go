@@ -4,7 +4,7 @@
 // Usage:
 //
 //	spitz-server [-addr 127.0.0.1:7687] [-inverted] [-mode occ|to]
-//	             [-max-batch-txns 128] [-max-batch-delay 0s]
+//	             [-shards N] [-max-batch-txns 128] [-max-batch-delay 0s]
 //	             [-data-dir DIR] [-sync always|interval|never]
 //	             [-sync-every 50ms] [-checkpoint-interval 1m]
 //	             [-checkpoint-every-blocks 4096]
@@ -15,6 +15,15 @@
 // a crash or restart. -sync trades durability for throughput: "always"
 // fsyncs every commit (group commit), "interval" fsyncs on a timer,
 // "never" leaves persistence to the OS.
+//
+// -shards N > 1 serves a sharded cluster behind this one listener: the
+// key space partitions across N full engines (each durable under
+// DIR/shard-NNN with -data-dir), cross-shard writes commit with 2PC, and
+// shard-aware clients (spitz.DialSharded) route point operations to
+// owning shards and verify proofs against per-shard digests. Reopening
+// an existing sharded data directory adopts its recorded shard count;
+// pass a conflicting -shards and the server refuses rather than
+// misrouting keys.
 //
 // -mode selects the concurrency control scheme for transactions: "occ"
 // (optimistic, validate reads at commit — the default) or "to"
@@ -43,6 +52,7 @@ func main() {
 	addr := flag.String("addr", "127.0.0.1:7687", "listen address")
 	inverted := flag.Bool("inverted", false, "maintain the inverted index for value lookups")
 	mode := flag.String("mode", "occ", "concurrency control scheme: occ or to")
+	shards := flag.Int("shards", 1, "serve a sharded cluster of this many engines (1 = single engine)")
 	maxBatchTxns := flag.Int("max-batch-txns", 0, "max transactions folded into one ledger block (0 = default 128)")
 	maxBatchDelay := flag.Duration("max-batch-delay", 0, "how long the commit leader waits to accumulate a batch (0 = no added latency)")
 	dataDir := flag.String("data-dir", "", "data directory; empty serves an in-memory database")
@@ -64,6 +74,22 @@ func main() {
 		opts.Mode = spitz.ModeTO
 	default:
 		log.Fatalf("spitz-server: unknown -mode %q (want occ or to)", *mode)
+	}
+	shardsSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "shards" {
+			shardsSet = true
+		}
+	})
+	if !shardsSet && *dataDir != "" && spitz.IsClusterDir(*dataDir) {
+		// An existing sharded data directory is served as a cluster even
+		// without -shards: defaulting to a single engine would silently
+		// ignore every shard's data.
+		*shards = 0 // adopt the recorded shard count
+	}
+	if *shards != 1 {
+		serveCluster(*shards, *dataDir, opts, *syncMode, *syncEvery, *ckptInterval, *ckptBlocks, *addr)
+		return
 	}
 	var db *spitz.DB
 	if *dataDir == "" {
@@ -96,6 +122,66 @@ func main() {
 
 	// A signal closes the listener so Serve returns, then Close flushes
 	// the WAL — acknowledged commits are never lost to a clean shutdown.
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		s := <-sigc
+		log.Printf("spitz-server: %v: shutting down", s)
+		ln.Close()
+	}()
+
+	err = db.Serve(ln)
+	if cerr := db.Close(); cerr != nil {
+		log.Printf("spitz-server: close: %v", cerr)
+	}
+	if err != nil && !errors.Is(err, net.ErrClosed) {
+		log.Fatalf("spitz-server: %v", err)
+	}
+}
+
+// serveCluster runs the sharded deployment: N engines behind one
+// listener, with optional per-shard durability under dataDir/shard-NNN.
+func serveCluster(shards int, dataDir string, opts spitz.Options, syncMode string,
+	syncEvery, ckptInterval time.Duration, ckptBlocks uint64, addr string) {
+	copts := spitz.ClusterOptions{
+		Shards:           shards,
+		Mode:             opts.Mode,
+		MaintainInverted: opts.MaintainInverted,
+		MaxBatchTxns:     opts.MaxBatchTxns,
+		MaxBatchDelay:    opts.MaxBatchDelay,
+	}
+	if dataDir != "" {
+		policy, err := wal.ParsePolicy(syncMode)
+		if err != nil {
+			log.Fatalf("spitz-server: %v", err)
+		}
+		copts.Sync = policy
+		copts.SyncEvery = syncEvery
+		copts.CheckpointInterval = ckptInterval
+		copts.CheckpointEveryBlocks = ckptBlocks
+	}
+	db, err := spitz.OpenCluster(dataDir, copts)
+	if err != nil {
+		log.Fatalf("spitz-server: open cluster: %v", err)
+	}
+	if dataDir == "" {
+		log.Printf("spitz-server: serving %d-shard in-memory cluster (no -data-dir; state is lost on exit)", db.Shards())
+	} else {
+		st := db.ClusterStats()
+		heights := make([]uint64, len(st.Shards))
+		for i, s := range st.Shards {
+			heights[i] = s.Height
+		}
+		log.Printf("spitz-server: durable %d-shard cluster in %s, recovered shard heights %v", db.Shards(), dataDir, heights)
+	}
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		log.Fatalf("spitz-server: listen: %v", err)
+	}
+	d := db.ClusterDigest()
+	log.Printf("spitz-server: serving sharded verifiable database on %s, combined root %s", ln.Addr(), d.Root.Short())
+
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
 	go func() {

@@ -251,6 +251,13 @@ func (e *Engine) ConsistencyUpdate(old ledger.Digest) (ledger.Digest, mtree.Cons
 	return e.ledger.ProveConsistency(old)
 }
 
+// ConsistencyUpdatePair returns the current digest with consistency
+// proofs for two older digests, captured atomically (see
+// ledger.ProveConsistencyPair).
+func (e *Engine) ConsistencyUpdatePair(a, b ledger.Digest) (ledger.Digest, mtree.ConsistencyProof, mtree.ConsistencyProof, error) {
+	return e.ledger.ProveConsistencyPair(a, b)
+}
+
 // ---------------------------------------------------------------------------
 // Write path: the group-commit pipeline
 
@@ -974,11 +981,19 @@ func (s engineStore) ApplyBatch(version uint64, writes []txn.Write) error {
 // transaction commits share one ledger block and one fsync instead of
 // serializing the whole commit critical section.
 func (s engineStore) ApplyBatchAsync(writes []txn.Write) (uint64, func() error, error) {
+	return s.ApplyStatementAsync("TXN", writes)
+}
+
+// ApplyStatementAsync implements txn.StatementStore: like ApplyBatchAsync
+// but recording the audited statement in the transaction's block summary.
+// The 2PC participant uses it so distributed transactions keep their
+// statements in each shard's ledger.
+func (s engineStore) ApplyStatementAsync(statement string, writes []txn.Write) (uint64, func() error, error) {
 	cells, err := decodeWrites(writes)
 	if err != nil {
 		return 0, nil, err
 	}
-	req, err := s.e.enqueueCommit("TXN", cells, 0, false)
+	req, err := s.e.enqueueCommit(statement, cells, 0, false)
 	if err != nil {
 		return 0, nil, err
 	}
@@ -990,8 +1005,9 @@ func (s engineStore) ApplyBatchAsync(writes []txn.Write) (uint64, func() error, 
 
 // Compile-time interface checks.
 var (
-	_ txn.Store      = engineStore{}
-	_ txn.AsyncStore = engineStore{}
+	_ txn.Store          = engineStore{}
+	_ txn.AsyncStore     = engineStore{}
+	_ txn.StatementStore = engineStore{}
 )
 
 // WriteSnapshot serializes the database state (see ledger.WriteSnapshot)

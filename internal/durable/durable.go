@@ -35,10 +35,23 @@ import (
 	"spitz/internal/wal"
 )
 
+// TimestampSource allocates commit versions and can be advanced past
+// versions recovered from disk. tso.Oracle satisfies it (the default);
+// txn.ClockSource satisfies it for clustered deployments where every
+// shard must draw from one hybrid logical clock.
+type TimestampSource interface {
+	txn.TimestampSource
+	Advance(v uint64)
+}
+
 // Options configures a Manager.
 type Options struct {
 	// Mode selects the engine's concurrency control scheme.
 	Mode txn.Mode
+	// Timestamps, when non-nil, allocates the engine's commit versions;
+	// recovery advances it past every replayed version. nil uses a fresh
+	// local oracle.
+	Timestamps TimestampSource
 	// MaintainInverted enables the engine's inverted index.
 	MaintainInverted bool
 	// MaxBatchTxns and MaxBatchDelay configure the engine's group-commit
@@ -69,6 +82,12 @@ const (
 	ckptDirName    = "checkpoints"
 	ckptNameFormat = "ckpt-%016d.snap"
 )
+
+// ClusterMarkerName is the file a sharded cluster (internal/server)
+// writes at the top of its data directory. durable refuses to open such
+// a directory as a single-engine database; the name lives here so the
+// cluster layer and every layout guard agree on one spelling.
+const ClusterMarkerName = "CLUSTER"
 
 // Manager ties an engine to its data directory. Obtain the engine with
 // Engine(); all reads and commits go through it as usual — the Manager
@@ -106,6 +125,12 @@ func Open(dir string, opts Options) (*Manager, error) {
 		// including block-count-triggered ones.
 		opts.CheckpointEveryBlocks = 0
 	}
+	// A sharded cluster directory (internal/server) nests one durable
+	// layout per shard; opening its top level as a single-engine database
+	// would silently ignore every shard's data.
+	if _, err := os.Stat(filepath.Join(dir, ClusterMarkerName)); err == nil {
+		return nil, fmt.Errorf("durable: %s holds a sharded cluster; open it with OpenCluster (or spitz-server -shards)", dir)
+	}
 	for _, d := range []string{dir, filepath.Join(dir, walDirName), filepath.Join(dir, ckptDirName)} {
 		if err := os.MkdirAll(d, 0o755); err != nil {
 			return nil, err
@@ -140,7 +165,10 @@ func Open(dir string, opts Options) (*Manager, error) {
 		return nil, fmt.Errorf("durable: %w", err)
 	}
 
-	orc := tso.New(0)
+	var orc TimestampSource = opts.Timestamps
+	if orc == nil {
+		orc = tso.New(0)
+	}
 	copts := core.Options{
 		Mode:             opts.Mode,
 		MaintainInverted: opts.MaintainInverted,

@@ -41,6 +41,7 @@ const (
 	DomainBTreeNode byte = 0x0d // copy-on-write B+-tree node
 	DomainJournal   byte = 0x0e // baseline journal block body
 	DomainPostings  byte = 0x0f // inverted index posting list
+	DomainCluster   byte = 0x10 // cluster digest vector (per-shard digests)
 )
 
 // Zero is the zero digest, used as "absent".

@@ -1,0 +1,56 @@
+package ledger
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"spitz/internal/hashutil"
+)
+
+// ClusterDigest is the client-verifiable commitment of a sharded
+// deployment (Section 5.2): one ledger Digest per shard plus a combined
+// root binding the whole vector. A client saves the ClusterDigest and
+// verifies each shard's proofs against that shard's entry; the combined
+// root lets it pin the entire cluster state under one hash.
+//
+// Shards advance independently — a ClusterDigest is a vector of
+// per-shard snapshots, each internally consistent, not a cross-shard
+// atomic cut.
+type ClusterDigest struct {
+	Shards []Digest
+	Root   hashutil.Digest
+}
+
+// CombineShardDigests computes the combined root over a shard digest
+// vector: the canonical encoding of every (height, root) pair, in shard
+// order, hashed under the block domain.
+func CombineShardDigests(shards []Digest) hashutil.Digest {
+	h := hashutil.NewStream(hashutil.DomainCluster)
+	buf := make([]byte, 8+8+hashutil.DigestSize)
+	binary.BigEndian.PutUint64(buf, uint64(len(shards)))
+	h.Part(buf[:8])
+	for i, d := range shards {
+		binary.BigEndian.PutUint64(buf, uint64(i))
+		binary.BigEndian.PutUint64(buf[8:], d.Height)
+		copy(buf[16:], d.Root[:])
+		h.Part(buf)
+	}
+	return h.Sum()
+}
+
+// NewClusterDigest builds a ClusterDigest from per-shard digests.
+func NewClusterDigest(shards []Digest) ClusterDigest {
+	out := ClusterDigest{Shards: append([]Digest(nil), shards...)}
+	out.Root = CombineShardDigests(out.Shards)
+	return out
+}
+
+// Check validates the combined root against the shard vector, so a
+// ClusterDigest received over the network cannot misbind its entries.
+func (d ClusterDigest) Check() error {
+	if got := CombineShardDigests(d.Shards); got != d.Root {
+		return fmt.Errorf("ledger: cluster digest root %s does not bind its %d shard digests",
+			d.Root.Short(), len(d.Shards))
+	}
+	return nil
+}

@@ -331,6 +331,28 @@ func (l *Ledger) ProveConsistency(old Digest) (Digest, mtree.ConsistencyProof, e
 	return l.digestLocked(), cons, nil
 }
 
+// ProveConsistencyPair returns the current digest together with
+// consistency proofs for two older digests, all captured under one lock
+// acquisition. Clients use it when a query proof arrived for a digest
+// their trust has already moved past: one proof advances the trusted
+// digest to the current state, the other shows the proof's digest is a
+// genuine prefix of that same state — so the stale-but-honest proof can
+// still be verified instead of being refetched forever under write
+// churn.
+func (l *Ledger) ProveConsistencyPair(a, b Digest) (Digest, mtree.ConsistencyProof, mtree.ConsistencyProof, error) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	consA, err := l.commit.ConsistencyProof(int(a.Height))
+	if err != nil {
+		return Digest{}, mtree.ConsistencyProof{}, mtree.ConsistencyProof{}, err
+	}
+	consB, err := l.commit.ConsistencyProof(int(b.Height))
+	if err != nil {
+		return Digest{}, mtree.ConsistencyProof{}, mtree.ConsistencyProof{}, err
+	}
+	return l.digestLocked(), consA, consB, nil
+}
+
 // blockInclusion builds the inclusion proof for the block at height under
 // the current commitment root. Callers hold at least the read lock.
 func (l *Ledger) blockInclusion(height uint64) (mtree.InclusionProof, error) {

@@ -92,6 +92,34 @@ func (v *Verifier) VerifyNow(p ledger.Proof) error {
 	return nil
 }
 
+// VerifyAsOf checks a proof against an older digest d that the caller
+// has shown — via a verified consistency proof — to be a prefix of the
+// trusted ledger. Under write churn, a query response's proof can be
+// for a digest the client's trust has already moved past; proving the
+// prefix relation and verifying against d keeps the stale-but-honest
+// result usable instead of forcing an endless refetch race. The caller
+// is responsible for the prefix check; this method only refuses digests
+// that could not possibly be prefixes (taller than the trusted ledger).
+func (v *Verifier) VerifyAsOf(p ledger.Proof, d ledger.Digest) error {
+	v.mu.Lock()
+	cur := v.digest
+	trusted := v.trusted
+	v.mu.Unlock()
+	if !trusted {
+		return fmt.Errorf("%w: no trusted digest pinned", ErrTampered)
+	}
+	if d.Height > cur.Height {
+		return fmt.Errorf("%w: digest height %d beyond trusted %d", ErrTampered, d.Height, cur.Height)
+	}
+	if err := p.Verify(d); err != nil {
+		return fmt.Errorf("%w: %v", ErrTampered, err)
+	}
+	v.mu.Lock()
+	v.verified++
+	v.mu.Unlock()
+	return nil
+}
+
 // VerifyBlock checks that a block header is part of the ledger the
 // trusted digest commits to. Clients use it to verify *writes*: the block
 // exists, and its recorded write-set hash can then be compared against the

@@ -4,21 +4,17 @@
 // an auditor, and a transaction manager."
 //
 // A Group runs N processor nodes over a shared storage layer; a Cluster
-// shards data across processor nodes, each owning its own engine, with
-// two-phase commit for cross-shard transactions (Section 5.2).
+// (cluster.go) shards data across processor nodes, each owning its own
+// durable engine and ledger, with two-phase commit for cross-shard
+// transactions (Section 5.2).
 package server
 
 import (
-	"fmt"
-	"hash/fnv"
 	"sync"
+	"sync/atomic"
 
-	"spitz/internal/cellstore"
 	"spitz/internal/core"
 	"spitz/internal/mq"
-	"spitz/internal/twopc"
-	"spitz/internal/txn"
-	"spitz/internal/txn/hlc"
 	"spitz/internal/wire"
 )
 
@@ -35,8 +31,11 @@ type Group struct {
 	eng   *core.Engine
 	wg    sync.WaitGroup
 
-	mu        sync.Mutex
-	processed []int64 // per node
+	// processed counts requests handled per node. Atomics, not a mutex:
+	// the counters sit on every node's hot loop, and serializing all nodes
+	// on one lock just to bump bookkeeping defeats the point of running N
+	// of them.
+	processed []atomic.Int64
 }
 
 // NewGroup starts n processor nodes over eng.
@@ -44,7 +43,7 @@ func NewGroup(eng *core.Engine, n, queueDepth int) *Group {
 	if n < 1 {
 		n = 1
 	}
-	g := &Group{queue: mq.New[Task](queueDepth), eng: eng, processed: make([]int64, n)}
+	g := &Group{queue: mq.New[Task](queueDepth), eng: eng, processed: make([]atomic.Int64, n)}
 	for i := 0; i < n; i++ {
 		g.wg.Add(1)
 		go g.runNode(i)
@@ -63,9 +62,7 @@ func (g *Group) runNode(id int) {
 			return
 		}
 		resp := wire.Dispatch(g.eng, task.Req)
-		g.mu.Lock()
-		g.processed[id]++
-		g.mu.Unlock()
+		g.processed[id].Add(1)
 		task.Reply <- resp
 	}
 }
@@ -88,128 +85,9 @@ func (g *Group) Close() {
 
 // Processed reports how many requests each node handled.
 func (g *Group) Processed() []int64 {
-	g.mu.Lock()
-	defer g.mu.Unlock()
 	out := make([]int64, len(g.processed))
-	copy(out, g.processed)
+	for i := range g.processed {
+		out[i] = g.processed[i].Load()
+	}
 	return out
-}
-
-// ---------------------------------------------------------------------------
-// Sharded cluster
-
-// Cluster shards the key space across processor nodes, each with its own
-// engine (and therefore its own ledger). Cross-shard transactions commit
-// with 2PC; timestamps come from per-node hybrid logical clocks so no
-// global oracle bottleneck exists (Section 5.2).
-type Cluster struct {
-	shards []*core.Engine
-	parts  []*twopc.ShardParticipant
-	coord  *twopc.Coordinator
-	clock  *hlc.Clock
-}
-
-// NewCluster creates a cluster of n shards.
-func NewCluster(n int) *Cluster {
-	if n < 1 {
-		n = 1
-	}
-	clock := hlc.New()
-	c := &Cluster{coord: twopc.NewCoordinator(txn.ClockSource{Clock: clock}), clock: clock}
-	for i := 0; i < n; i++ {
-		eng := core.New(core.Options{Timestamps: txn.ClockSource{Clock: clock}})
-		part := twopc.NewShardParticipant(eng.TxnStore())
-		c.shards = append(c.shards, eng)
-		c.parts = append(c.parts, part)
-		c.coord.Register(shardName(i), part)
-	}
-	return c
-}
-
-func shardName(i int) string { return fmt.Sprintf("shard-%d", i) }
-
-// ShardFor routes a primary key to its shard index.
-func (c *Cluster) ShardFor(pk []byte) int {
-	h := fnv.New32a()
-	h.Write(pk)
-	return int(h.Sum32()) % len(c.shards)
-}
-
-// Shard returns the engine owning shard i (for shard-local queries).
-func (c *Cluster) Shard(i int) *core.Engine { return c.shards[i] }
-
-// Shards returns the number of shards.
-func (c *Cluster) Shards() int { return len(c.shards) }
-
-// Get reads a cell from its owning shard.
-func (c *Cluster) Get(table, column string, pk []byte) ([]byte, error) {
-	return c.shards[c.ShardFor(pk)].Get(table, column, pk)
-}
-
-// Op is one read or write of a cross-shard transaction.
-type Op struct {
-	Table  string
-	Column string
-	PK     []byte
-	Value  []byte // nil with Delete=false means a read
-	Write  bool
-	Delete bool
-}
-
-// Execute runs a distributed transaction: reads execute first (collecting
-// the versions to validate), then all shards prepare and commit via 2PC.
-// It returns the read results keyed by "table/column/pk" and the commit
-// version.
-func (c *Cluster) Execute(ops []Op) (map[string][]byte, uint64, error) {
-	reads := make(map[string][]byte)
-	type shardReq struct {
-		reads  map[string]uint64
-		writes []txn.Write
-	}
-	reqs := make(map[int]*shardReq)
-	shardReqOf := func(i int) *shardReq {
-		r, ok := reqs[i]
-		if !ok {
-			r = &shardReq{reads: make(map[string]uint64)}
-			reqs[i] = r
-		}
-		return r
-	}
-	for _, op := range ops {
-		si := c.ShardFor(op.PK)
-		ref := refKey(op.Table, op.Column, op.PK)
-		r := shardReqOf(si)
-		if op.Write || op.Delete {
-			r.writes = append(r.writes, txn.Write{Key: ref, Value: op.Value, Delete: op.Delete})
-			continue
-		}
-		val, ver, found, err := c.parts[si].ReadLatest(ref, ^uint64(0))
-		if err != nil {
-			return nil, 0, err
-		}
-		r.reads[string(ref)] = ver
-		if found {
-			reads[opKey(op)] = val
-		}
-	}
-	var request []twopc.Request
-	for si, r := range reqs {
-		request = append(request, twopc.Request{Shard: shardName(si), Reads: r.reads, Writes: r.writes})
-	}
-	version, err := c.coord.Execute(request)
-	if err != nil {
-		return nil, 0, err
-	}
-	return reads, version, nil
-}
-
-// Stats returns the coordinator's commit/abort counters.
-func (c *Cluster) Stats() (commits, aborts int64) { return c.coord.Stats() }
-
-func refKey(table, column string, pk []byte) []byte {
-	return cellstore.CellPrefix(table, column, pk)
-}
-
-func opKey(op Op) string {
-	return op.Table + "/" + op.Column + "/" + string(op.PK)
 }

@@ -1,14 +1,11 @@
 package server
 
 import (
-	"encoding/binary"
-	"errors"
 	"fmt"
 	"sync"
 	"testing"
 
 	"spitz/internal/core"
-	"spitz/internal/twopc"
 	"spitz/internal/wire"
 )
 
@@ -84,127 +81,5 @@ func TestGroupSubmitAfterClose(t *testing.T) {
 	g.Close()
 	if _, err := g.Submit(wire.Request{Op: wire.OpDigest}); err == nil {
 		t.Fatal("submit after close succeeded")
-	}
-}
-
-func TestClusterRouting(t *testing.T) {
-	c := NewCluster(4)
-	if c.Shards() != 4 {
-		t.Fatalf("shards = %d", c.Shards())
-	}
-	// Writes land on the owning shard; reads route back to it.
-	for i := 0; i < 40; i++ {
-		pk := []byte(fmt.Sprintf("user%02d", i))
-		_, _, err := c.Execute([]Op{{Table: "t", Column: "c", PK: pk,
-			Value: []byte(fmt.Sprintf("val%02d", i)), Write: true}})
-		if err != nil {
-			t.Fatalf("write %d: %v", i, err)
-		}
-	}
-	for i := 0; i < 40; i++ {
-		pk := []byte(fmt.Sprintf("user%02d", i))
-		v, err := c.Get("t", "c", pk)
-		if err != nil || string(v) != fmt.Sprintf("val%02d", i) {
-			t.Fatalf("read %d: %q %v", i, v, err)
-		}
-	}
-	// Keys spread across shards.
-	seen := map[int]bool{}
-	for i := 0; i < 40; i++ {
-		seen[c.ShardFor([]byte(fmt.Sprintf("user%02d", i)))] = true
-	}
-	if len(seen) < 2 {
-		t.Fatal("all keys routed to one shard")
-	}
-}
-
-func TestClusterCrossShardTransaction(t *testing.T) {
-	c := NewCluster(3)
-	// Find two pks on different shards.
-	var pkA, pkB []byte
-	for i := 0; ; i++ {
-		pk := []byte(fmt.Sprintf("acct%03d", i))
-		if pkA == nil {
-			pkA = pk
-			continue
-		}
-		if c.ShardFor(pk) != c.ShardFor(pkA) {
-			pkB = pk
-			break
-		}
-	}
-	enc := func(v uint64) []byte {
-		b := make([]byte, 8)
-		binary.BigEndian.PutUint64(b, v)
-		return b
-	}
-	// Seed both accounts atomically across shards.
-	if _, _, err := c.Execute([]Op{
-		{Table: "bank", Column: "bal", PK: pkA, Value: enc(100), Write: true},
-		{Table: "bank", Column: "bal", PK: pkB, Value: enc(100), Write: true},
-	}); err != nil {
-		t.Fatal(err)
-	}
-	// Transfer with read validation.
-	reads, _, err := c.Execute([]Op{
-		{Table: "bank", Column: "bal", PK: pkA},
-		{Table: "bank", Column: "bal", PK: pkB},
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
-	a := binary.BigEndian.Uint64(reads["bank/bal/"+string(pkA)])
-	b := binary.BigEndian.Uint64(reads["bank/bal/"+string(pkB)])
-	if _, _, err := c.Execute([]Op{
-		{Table: "bank", Column: "bal", PK: pkA, Value: enc(a - 30), Write: true},
-		{Table: "bank", Column: "bal", PK: pkB, Value: enc(b + 30), Write: true},
-	}); err != nil {
-		t.Fatal(err)
-	}
-	va, _ := c.Get("bank", "bal", pkA)
-	vb, _ := c.Get("bank", "bal", pkB)
-	if binary.BigEndian.Uint64(va) != 70 || binary.BigEndian.Uint64(vb) != 130 {
-		t.Fatalf("balances = %d / %d", binary.BigEndian.Uint64(va), binary.BigEndian.Uint64(vb))
-	}
-	commits, _ := c.Stats()
-	if commits != 3 {
-		t.Fatalf("commits = %d", commits)
-	}
-}
-
-func TestClusterConflictingTransactionsAbort(t *testing.T) {
-	c := NewCluster(2)
-	pk := []byte("hot-key")
-	if _, _, err := c.Execute([]Op{{Table: "t", Column: "c", PK: pk, Value: []byte("v0"), Write: true}}); err != nil {
-		t.Fatal(err)
-	}
-	// A transaction that validated a stale read version must abort: read
-	// first, then write behind its back, then try to commit with the old
-	// version.
-	si := c.ShardFor(pk)
-	ref := refKey("t", "c", pk)
-	_, staleVer, _, _ := c.parts[si].ReadLatest(ref, ^uint64(0))
-	if _, _, err := c.Execute([]Op{{Table: "t", Column: "c", PK: pk, Value: []byte("v1"), Write: true}}); err != nil {
-		t.Fatal(err)
-	}
-	_, err := c.coord.Execute([]twopc.Request{{Shard: shardName(si),
-		Reads: map[string]uint64{string(ref): staleVer}}})
-	if !errors.Is(err, twopc.ErrAborted) {
-		t.Fatalf("stale distributed read committed: %v", err)
-	}
-}
-
-func TestClusterShardsHaveIndependentLedgers(t *testing.T) {
-	c := NewCluster(2)
-	if _, _, err := c.Execute([]Op{{Table: "t", Column: "c", PK: []byte("k1"), Value: []byte("v"), Write: true}}); err != nil {
-		t.Fatal(err)
-	}
-	si := c.ShardFor([]byte("k1"))
-	other := (si + 1) % 2
-	if c.Shard(si).Digest().Height == 0 {
-		t.Fatal("owning shard ledger empty")
-	}
-	if c.Shard(other).Digest().Height != 0 {
-		t.Fatal("non-owning shard ledger advanced")
 	}
 }

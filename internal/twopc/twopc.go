@@ -5,13 +5,18 @@
 // made serializable."
 //
 // A Coordinator drives Prepare/Commit/Abort over named participants (one
-// per shard); conflicting prepares vote abort, and the coordinator rolls
-// back every prepared participant when any vote fails.
+// per shard). Prepare validates the transaction's reads against the
+// shard's store and takes shared locks on read keys and exclusive locks
+// on write keys; any conflict is a vote to abort, and the coordinator
+// rolls back every prepared participant when any vote fails. Locks are
+// never waited on — conflicting prepares abort immediately, so the
+// protocol cannot deadlock.
 package twopc
 
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 
 	"spitz/internal/txn"
@@ -23,11 +28,14 @@ var ErrAborted = errors.New("twopc: transaction aborted")
 
 // Participant is one shard's interface in the protocol.
 type Participant interface {
-	// Prepare validates the shard-local reads and locks the write keys.
-	// An error is a vote to abort.
-	Prepare(txnID uint64, reads map[string]uint64, writes []txn.Write) error
-	// Commit applies a prepared transaction at the given version and
-	// releases its locks. Commit must succeed for prepared transactions.
+	// Prepare validates the shard-local reads and locks the read and
+	// write keys of the transaction's portion. An error is a vote to
+	// abort.
+	Prepare(txnID uint64, req Request) error
+	// Commit applies a prepared transaction and releases its locks.
+	// version is the coordinator's global commit timestamp; stores that
+	// allocate their own versions (txn.AsyncStore) may commit at a local
+	// version instead. Commit must succeed for prepared transactions.
 	Commit(txnID uint64, version uint64) error
 	// Abort releases a prepared (or never-prepared) transaction's locks.
 	Abort(txnID uint64) error
@@ -44,7 +52,8 @@ type Coordinator struct {
 	aborts  int64
 }
 
-// NewCoordinator returns a coordinator allocating commit versions from ts.
+// NewCoordinator returns a coordinator allocating commit timestamps from
+// ts.
 func NewCoordinator(ts txn.TimestampSource) *Coordinator {
 	return &Coordinator{shards: make(map[string]Participant), ts: ts}
 }
@@ -65,14 +74,15 @@ func (c *Coordinator) Stats() (commits, aborts int64) {
 
 // Request carries one shard's portion of a distributed transaction.
 type Request struct {
-	Shard  string
-	Reads  map[string]uint64 // key -> version observed during execution
-	Writes []txn.Write
+	Shard     string
+	Statement string            // audited statement recorded in the shard's ledger
+	Reads     map[string]uint64 // key -> version observed during execution
+	Writes    []txn.Write
 }
 
-// Execute runs the two phases. On success every shard has committed at the
-// same version, which is returned. On abort, ErrAborted wraps the first
-// failing shard's vote.
+// Execute runs the two phases. On success every shard has committed and
+// the coordinator's commit timestamp is returned. On abort, ErrAborted
+// wraps the first failing shard's vote.
 func (c *Coordinator) Execute(reqs []Request) (uint64, error) {
 	c.mu.Lock()
 	c.nextID++
@@ -95,7 +105,7 @@ func (c *Coordinator) Execute(reqs []Request) (uint64, error) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			errs[i] = parts[i].Prepare(id, reqs[i].Reads, reqs[i].Writes)
+			errs[i] = parts[i].Prepare(id, reqs[i])
 		}(i)
 	}
 	wg.Wait()
@@ -113,10 +123,19 @@ func (c *Coordinator) Execute(reqs []Request) (uint64, error) {
 		}
 	}
 
-	// Phase 2: commit everywhere at one version.
+	// Phase 2: commit everywhere, in parallel — each shard's commit may
+	// wait on its own durability (WAL fsync), and those waits overlap.
 	version := c.ts.Next()
 	for i := range reqs {
-		if err := parts[i].Commit(id, version); err != nil {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = parts[i].Commit(id, version)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
 			// A prepared participant failing to commit is a broken
 			// invariant; surface it loudly rather than half-committing.
 			return 0, fmt.Errorf("twopc: shard %q failed prepared commit: %v", reqs[i].Shard, err)
@@ -128,76 +147,164 @@ func (c *Coordinator) Execute(reqs []Request) (uint64, error) {
 	return version, nil
 }
 
-// ShardParticipant is the standard Participant over a txn.Store: OCC
-// validation of reads plus write-key locking between Prepare and
-// Commit/Abort.
+// preparedTxn is one transaction's footprint on a participant between
+// Prepare and Commit/Abort.
+type preparedTxn struct {
+	statement string
+	reads     []string
+	writes    []txn.Write
+}
+
+// ShardParticipant is the standard Participant over a txn.Store: reads
+// are validated against the store itself (so writes reaching the store
+// outside this participant — bulk ingest, recovery — are still
+// detected), read keys take shared locks and write keys exclusive locks
+// between Prepare and Commit/Abort. The locks close the classic 2PC
+// window: between a transaction's validation and its commit, no other
+// distributed transaction can write what it read or read/write what it
+// writes.
 type ShardParticipant struct {
-	mu        sync.Mutex
-	store     txn.Store
-	locks     map[string]uint64 // key -> txn holding the lock
-	prepared  map[uint64][]txn.Write
-	lastWrite map[string]uint64
+	mu       sync.Mutex
+	store    txn.Store
+	locks    map[string]uint64              // write key -> txn holding the exclusive lock
+	readers  map[string]map[uint64]struct{} // read key -> txns holding shared locks
+	prepared map[uint64]*preparedTxn
 }
 
 // NewShardParticipant returns a participant over store.
 func NewShardParticipant(store txn.Store) *ShardParticipant {
 	return &ShardParticipant{
-		store:     store,
-		locks:     make(map[string]uint64),
-		prepared:  make(map[uint64][]txn.Write),
-		lastWrite: make(map[string]uint64),
+		store:    store,
+		locks:    make(map[string]uint64),
+		readers:  make(map[string]map[uint64]struct{}),
+		prepared: make(map[uint64]*preparedTxn),
 	}
 }
 
 // Prepare implements Participant.
-func (s *ShardParticipant) Prepare(txnID uint64, reads map[string]uint64, writes []txn.Write) error {
+func (s *ShardParticipant) Prepare(txnID uint64, req Request) error {
+	reads, writes := req.Reads, req.Writes
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if _, dup := s.prepared[txnID]; dup {
 		return fmt.Errorf("twopc: txn %d already prepared", txnID)
 	}
-	// Validate reads (OCC backward validation against committed state).
-	for key, seen := range reads {
-		if s.lastWrite[key] != seen {
-			return txn.ErrConflict
-		}
+	// Deterministic validation order keeps conflict errors stable.
+	readKeys := make([]string, 0, len(reads))
+	for key := range reads {
+		readKeys = append(readKeys, key)
+	}
+	sort.Strings(readKeys)
+
+	p := &preparedTxn{statement: req.Statement, writes: writes}
+	release := func() {
+		s.releaseLocked(txnID, p)
+	}
+	// Validate reads (OCC backward validation against the store's current
+	// state) and take shared locks so no later-preparing transaction can
+	// overwrite them before we commit.
+	for _, key := range readKeys {
 		if holder, locked := s.locks[key]; locked && holder != txnID {
+			release()
 			return txn.ErrConflict // read key being written by another txn
 		}
+		_, cur, _, err := s.store.ReadLatest([]byte(key), ^uint64(0))
+		if err != nil {
+			release()
+			return err
+		}
+		if cur != reads[key] {
+			release()
+			return txn.ErrConflict
+		}
+		set := s.readers[key]
+		if set == nil {
+			set = make(map[uint64]struct{})
+			s.readers[key] = set
+		}
+		set[txnID] = struct{}{}
+		p.reads = append(p.reads, key)
 	}
-	// Lock write keys.
-	acquired := make([]string, 0, len(writes))
+	// Lock write keys exclusively: conflict with other writers and with
+	// other transactions' shared read locks.
 	for _, w := range writes {
 		key := string(w.Key)
 		if holder, locked := s.locks[key]; locked && holder != txnID {
-			for _, k := range acquired {
-				delete(s.locks, k)
-			}
+			release()
 			return txn.ErrConflict
 		}
+		for reader := range s.readers[key] {
+			if reader != txnID {
+				release()
+				return txn.ErrConflict
+			}
+		}
 		s.locks[key] = txnID
-		acquired = append(acquired, key)
 	}
-	s.prepared[txnID] = writes
+	s.prepared[txnID] = p
 	return nil
 }
 
-// Commit implements Participant.
+// releaseLocked drops every lock a transaction holds. Caller holds s.mu.
+func (s *ShardParticipant) releaseLocked(txnID uint64, p *preparedTxn) {
+	for _, key := range p.reads {
+		if set := s.readers[key]; set != nil {
+			delete(set, txnID)
+			if len(set) == 0 {
+				delete(s.readers, key)
+			}
+		}
+	}
+	for _, w := range p.writes {
+		if s.locks[string(w.Key)] == txnID {
+			delete(s.locks, string(w.Key))
+		}
+	}
+}
+
+// Commit implements Participant. With a plain Store the writes apply at
+// the coordinator's version; with a txn.AsyncStore (the Spitz engine) the
+// store allocates its own commit version at enqueue time — per-shard
+// version ordering then cannot be violated by two coordinators (or a
+// coordinator racing local commits) reaching one shard out of timestamp
+// order, and the enqueue makes the writes visible to later validations
+// before the locks release.
 func (s *ShardParticipant) Commit(txnID uint64, version uint64) error {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	writes, ok := s.prepared[txnID]
+	p, ok := s.prepared[txnID]
 	if !ok {
+		s.mu.Unlock()
 		return fmt.Errorf("twopc: commit of unprepared txn %d", txnID)
 	}
-	if err := s.store.ApplyBatch(version, writes); err != nil {
-		return err
+	if as, isAsync := s.store.(txn.AsyncStore); isAsync && len(p.writes) > 0 {
+		var wait func() error
+		var err error
+		if ss, ok := s.store.(txn.StatementStore); ok && p.statement != "" {
+			_, wait, err = ss.ApplyStatementAsync(p.statement, p.writes)
+		} else {
+			_, wait, err = as.ApplyBatchAsync(p.writes)
+		}
+		if err != nil {
+			s.mu.Unlock()
+			return err
+		}
+		s.releaseLocked(txnID, p)
+		delete(s.prepared, txnID)
+		s.mu.Unlock()
+		// The writes are enqueued and visible; only durability is pending.
+		// Waiting outside the lock lets concurrent commits share the
+		// store's group-commit machinery.
+		return wait()
 	}
-	for _, w := range writes {
-		s.lastWrite[string(w.Key)] = version
-		delete(s.locks, string(w.Key))
+	if len(p.writes) > 0 {
+		if err := s.store.ApplyBatch(version, p.writes); err != nil {
+			s.mu.Unlock()
+			return err
+		}
 	}
+	s.releaseLocked(txnID, p)
 	delete(s.prepared, txnID)
+	s.mu.Unlock()
 	return nil
 }
 
@@ -206,15 +313,11 @@ func (s *ShardParticipant) Commit(txnID uint64, version uint64) error {
 func (s *ShardParticipant) Abort(txnID uint64) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	writes, ok := s.prepared[txnID]
+	p, ok := s.prepared[txnID]
 	if !ok {
 		return nil
 	}
-	for _, w := range writes {
-		if s.locks[string(w.Key)] == txnID {
-			delete(s.locks, string(w.Key))
-		}
-	}
+	s.releaseLocked(txnID, p)
 	delete(s.prepared, txnID)
 	return nil
 }

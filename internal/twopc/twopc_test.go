@@ -54,7 +54,7 @@ func TestUnknownShard(t *testing.T) {
 func TestAbortRollsBackAllShards(t *testing.T) {
 	c, pa, _, sa, sb := setup()
 	// Hold a lock on shard a's key x via a prepared-but-unfinished txn.
-	if err := pa.Prepare(999, nil, []txn.Write{{Key: []byte("x"), Value: []byte("held")}}); err != nil {
+	if err := pa.Prepare(999, Request{Writes: []txn.Write{{Key: []byte("x"), Value: []byte("held")}}}); err != nil {
 		t.Fatal(err)
 	}
 	_, err := c.Execute([]Request{
@@ -117,16 +117,165 @@ func TestLocksReleasedAfterCommit(t *testing.T) {
 
 func TestPrepareConflictOnReadLock(t *testing.T) {
 	_, pa, _, _, _ := setup()
-	if err := pa.Prepare(1, nil, []txn.Write{{Key: []byte("k"), Value: []byte("v")}}); err != nil {
+	if err := pa.Prepare(1, Request{Writes: []txn.Write{{Key: []byte("k"), Value: []byte("v")}}}); err != nil {
 		t.Fatal(err)
 	}
 	// Another txn reading the locked key must vote abort.
-	err := pa.Prepare(2, map[string]uint64{"k": 0}, nil)
+	err := pa.Prepare(2, Request{Reads: map[string]uint64{"k": 0}})
 	if !errors.Is(err, txn.ErrConflict) {
 		t.Fatalf("read of locked key prepared: %v", err)
 	}
 	pa.Abort(1)
 }
+
+// TestWriteConflictsWithReadLock: a transaction that read key k holds a
+// shared lock until it resolves; a second transaction preparing a write
+// of k must vote abort, or the first transaction's validated read could
+// be overwritten before its commit point.
+func TestWriteConflictsWithReadLock(t *testing.T) {
+	c, pa, _, _, _ := setup()
+	if _, err := c.Execute([]Request{{Shard: "a",
+		Writes: []txn.Write{{Key: []byte("k"), Value: []byte("v0")}}}}); err != nil {
+		t.Fatal(err)
+	}
+	_, ver, _, _ := pa.ReadLatest([]byte("k"), ^uint64(0))
+	if err := pa.Prepare(10, Request{Reads: map[string]uint64{"k": ver}}); err != nil {
+		t.Fatalf("reader prepare: %v", err)
+	}
+	err := pa.Prepare(11, Request{Writes: []txn.Write{{Key: []byte("k"), Value: []byte("v1")}}})
+	if !errors.Is(err, txn.ErrConflict) {
+		t.Fatalf("write under shared read lock prepared: %v", err)
+	}
+	// Once the reader resolves, the writer goes through.
+	pa.Abort(10)
+	if err := pa.Prepare(11, Request{Writes: []txn.Write{{Key: []byte("k"), Value: []byte("v1")}}}); err != nil {
+		t.Fatalf("retry after reader resolved: %v", err)
+	}
+	pa.Abort(11)
+}
+
+// TestCoordinatorAbortAfterPartialPrepare: shard a prepares successfully,
+// shard b votes abort on stale-read validation; the coordinator must
+// roll shard a back, releasing its locks and applying nothing.
+func TestCoordinatorAbortAfterPartialPrepare(t *testing.T) {
+	c, _, pb, sa, _ := setup()
+	// Make shard b's read stale.
+	if _, err := c.Execute([]Request{{Shard: "b",
+		Writes: []txn.Write{{Key: []byte("y"), Value: []byte("fresh")}}}}); err != nil {
+		t.Fatal(err)
+	}
+	_, err := c.Execute([]Request{
+		{Shard: "a", Writes: []txn.Write{{Key: []byte("x"), Value: []byte("1")}}},
+		{Shard: "b", Reads: map[string]uint64{"y": 0}, // stale: y was written above
+			Writes: []txn.Write{{Key: []byte("z"), Value: []byte("2")}}},
+	})
+	if !errors.Is(err, ErrAborted) {
+		t.Fatalf("partial prepare committed: %v", err)
+	}
+	if _, _, ok, _ := sa.ReadLatest([]byte("x"), ^uint64(0)); ok {
+		t.Fatal("aborted write applied on prepared shard a")
+	}
+	// Shard a's write lock and shard b's read state released: both retry
+	// paths succeed.
+	_, ver, _, _ := pb.ReadLatest([]byte("y"), ^uint64(0))
+	if _, err := c.Execute([]Request{
+		{Shard: "a", Writes: []txn.Write{{Key: []byte("x"), Value: []byte("1")}}},
+		{Shard: "b", Reads: map[string]uint64{"y": ver},
+			Writes: []txn.Write{{Key: []byte("z"), Value: []byte("2")}}},
+	}); err != nil {
+		t.Fatalf("retry after rollback: %v", err)
+	}
+	_, aborts := c.Stats()
+	if aborts != 1 {
+		t.Fatalf("aborts = %d", aborts)
+	}
+}
+
+// TestConcurrentContendedTransactions is the race-detector stress for the
+// protocol layer itself: many goroutines run read-modify-write
+// transactions that all contend on a small shared key set spanning both
+// shards. Every increment that commits must be present in the final
+// counts.
+func TestConcurrentContendedTransactions(t *testing.T) {
+	c, pa, pb, _, _ := setup()
+	keys := []struct {
+		shard string
+		p     *ShardParticipant
+		key   string
+	}{
+		{"a", pa, "k0"}, {"a", pa, "k1"}, {"b", pb, "k0"}, {"b", pb, "k1"},
+	}
+	for _, k := range keys {
+		if _, err := c.Execute([]Request{{Shard: k.shard,
+			Writes: []txn.Write{{Key: []byte(k.key), Value: enc(0)}}}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var committed int64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 60; i++ {
+				ka := keys[(g+i)%2]   // shard a key
+				kb := keys[2+(g+i)%2] // shard b key
+				av, aver, aok, err := ka.p.ReadLatest([]byte(ka.key), ^uint64(0))
+				if err != nil || !aok {
+					t.Errorf("read: %v", err)
+					return
+				}
+				bv, bver, bok, err := kb.p.ReadLatest([]byte(kb.key), ^uint64(0))
+				if err != nil || !bok {
+					t.Errorf("read: %v", err)
+					return
+				}
+				_, err = c.Execute([]Request{
+					{Shard: ka.shard, Reads: map[string]uint64{ka.key: aver},
+						Writes: []txn.Write{{Key: []byte(ka.key), Value: enc(dec(av) + 1)}}},
+					{Shard: kb.shard, Reads: map[string]uint64{kb.key: bver},
+						Writes: []txn.Write{{Key: []byte(kb.key), Value: enc(dec(bv) + 1)}}},
+				})
+				if err == nil {
+					mu.Lock()
+					committed += 2
+					mu.Unlock()
+				} else if !errors.Is(err, ErrAborted) {
+					t.Errorf("unexpected error: %v", err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	var total int64
+	for _, k := range keys {
+		v, _, ok, _ := k.p.ReadLatest([]byte(k.key), ^uint64(0))
+		if !ok {
+			t.Fatalf("key %s/%s missing", k.shard, k.key)
+		}
+		total += int64(dec(v))
+	}
+	if total != committed {
+		t.Fatalf("increments applied = %d, committed = %d (lost or phantom updates)", total, committed)
+	}
+	commits, aborts := c.Stats()
+	t.Logf("contended stress: %d commits, %d aborts", commits, aborts)
+	if commits == 0 {
+		t.Fatal("nothing committed under contention")
+	}
+}
+
+func enc(v uint64) []byte {
+	b := make([]byte, 8)
+	binary.BigEndian.PutUint64(b, v)
+	return b
+}
+
+func dec(b []byte) uint64 { return binary.BigEndian.Uint64(b) }
 
 func TestCommitUnpreparedFails(t *testing.T) {
 	_, pa, _, _, _ := setup()

@@ -11,3 +11,9 @@ type ClockSource struct {
 
 // Next implements TimestampSource.
 func (s ClockSource) Next() uint64 { return uint64(s.Clock.Now()) }
+
+// Advance merges an externally observed timestamp into the clock so every
+// later Next exceeds it. Recovery uses it to move a node's clock past
+// versions that committed before a restart, exactly as the HLC
+// message-receipt rule moves it past remote timestamps.
+func (s ClockSource) Advance(v uint64) { s.Clock.Update(hlc.Timestamp(v)) }

@@ -49,6 +49,14 @@ type AsyncStore interface {
 	ApplyBatchAsync(writes []Write) (version uint64, wait func() error, err error)
 }
 
+// StatementStore is an optional AsyncStore refinement that records the
+// audited statement text alongside the write set (Spitz blocks carry
+// "the query statements" — Section 5). The 2PC participant prefers it so
+// distributed transactions stay auditable.
+type StatementStore interface {
+	ApplyStatementAsync(statement string, writes []Write) (version uint64, wait func() error, err error)
+}
+
 // TimestampSource allocates strictly increasing timestamps. tso.Oracle
 // satisfies it directly; hlc clocks adapt trivially.
 type TimestampSource interface {

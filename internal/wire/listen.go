@@ -20,50 +20,57 @@ func Listen() (net.Listener, string) {
 // PipeListener is a net.Listener whose connections are synchronous
 // in-memory pipes created by DialPipe.
 type PipeListener struct {
-	mu     sync.Mutex
-	ch     chan net.Conn
-	closed bool
+	ch        chan net.Conn
+	done      chan struct{}
+	closeOnce sync.Once
 }
+
+// errPipeClosed is returned by Accept and DialPipe after Close.
+var errPipeClosed = errors.New("wire: pipe listener closed")
 
 // NewPipeListener returns an open pipe listener.
 func NewPipeListener() *PipeListener {
-	return &PipeListener{ch: make(chan net.Conn)}
+	return &PipeListener{ch: make(chan net.Conn), done: make(chan struct{})}
 }
 
 // Accept implements net.Listener.
 func (l *PipeListener) Accept() (net.Conn, error) {
-	conn, ok := <-l.ch
-	if !ok {
-		return nil, errors.New("wire: pipe listener closed")
+	select {
+	case conn := <-l.ch:
+		return conn, nil
+	case <-l.done:
+		return nil, errPipeClosed
 	}
-	return conn, nil
 }
 
-// Close implements net.Listener.
+// Close implements net.Listener. The conn channel is never closed —
+// shutdown is signalled through done, so an in-flight DialPipe can never
+// panic with a send on a closed channel however Close races it.
 func (l *PipeListener) Close() error {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	if !l.closed {
-		l.closed = true
-		close(l.ch)
-	}
+	l.closeOnce.Do(func() { close(l.done) })
 	return nil
 }
 
 // Addr implements net.Listener.
 func (l *PipeListener) Addr() net.Addr { return pipeAddr{} }
 
-// DialPipe connects a new client conn to the listener.
+// DialPipe connects a new client conn to the listener. It blocks until an
+// Accept takes the server end or the listener closes.
 func (l *PipeListener) DialPipe() (net.Conn, error) {
-	client, server := net.Pipe()
-	l.mu.Lock()
-	if l.closed {
-		l.mu.Unlock()
-		return nil, errors.New("wire: pipe listener closed")
+	select {
+	case <-l.done:
+		return nil, errPipeClosed
+	default:
 	}
-	l.mu.Unlock()
-	l.ch <- server
-	return client, nil
+	client, server := net.Pipe()
+	select {
+	case l.ch <- server:
+		return client, nil
+	case <-l.done:
+		client.Close()
+		server.Close()
+		return nil, errPipeClosed
+	}
 }
 
 type pipeAddr struct{}

@@ -31,11 +31,16 @@ const (
 	OpGetVerified Op = "get-verified" // point read + proof
 	OpRange       Op = "range"        // unverified pk range scan
 	OpRangeVer    Op = "range-verified"
+	OpLookupEq    Op = "lookup-eq" // inverted-index equality lookup
 	OpHistory     Op = "history"
 	OpDigest      Op = "digest"
 	OpConsistency Op = "consistency"
 	OpSnapshot    Op = "snapshot" // stream a full engine snapshot to the client
 	OpRestore     Op = "restore"  // replace the served state from a snapshot
+
+	// Sharded deployments (a Cluster served behind one listener).
+	OpShardMap      Op = "shard-map"      // discover the shard count and routing scheme
+	OpClusterDigest Op = "cluster-digest" // per-shard digest vector + combined root
 )
 
 // Put is one write in a request.
@@ -54,39 +59,69 @@ type Request struct {
 	Column    string
 	PK        []byte
 	PKHi      []byte
+	Value     []byte // OpLookupEq: the value to look up
 	Puts      []Put
 	Statement string
 	OldDigest ledger.Digest
-	Snapshot  []byte // OpRestore: the snapshot stream to load
+	// OldDigest2, when non-nil on OpConsistency, requests a second
+	// consistency proof captured atomically with the first — used by
+	// clients to verify a proof whose digest their trust already moved
+	// past (Response.Consistency2).
+	OldDigest2 *ledger.Digest
+	Snapshot   []byte // OpRestore: the snapshot stream to load
+
+	// Shard targets one shard of a sharded deployment: 0 routes by
+	// primary key (or addresses the whole cluster), i > 0 addresses shard
+	// i-1 directly. Single-engine servers ignore it, so shard-aware
+	// clients interoperate with both.
+	Shard int
 }
 
 // Response is the server -> client message.
 type Response struct {
-	Err         string
-	Found       bool
-	Value       []byte
-	Cells       []cellstore.Cell
-	Proof       *ledger.Proof
-	Digest      ledger.Digest
-	Consistency *mtree.ConsistencyProof
-	Header      ledger.BlockHeader
+	Err          string
+	Found        bool
+	Value        []byte
+	Cells        []cellstore.Cell
+	Proof        *ledger.Proof
+	Digest       ledger.Digest
+	Consistency  *mtree.ConsistencyProof
+	Consistency2 *mtree.ConsistencyProof // OpConsistency with OldDigest2
+	Header       ledger.BlockHeader
+
+	// Sharded deployments.
+	ShardCount int                   // OpShardMap: number of shards behind this listener
+	Shard      int                   // 1-based shard that served a routed request (0 = unsharded)
+	Cluster    *ledger.ClusterDigest // OpClusterDigest
 }
 
-// Server serves a core.Engine over a listener.
+// Handler executes one protocol request. core.Engine-backed servers use
+// Dispatch; sharded deployments implement Handler to route requests
+// across shards behind one listener.
+type Handler interface {
+	Handle(req Request) Response
+}
+
+// Server serves a core.Engine — or any Handler — over a listener.
 type Server struct {
 	// Restore, when non-nil, enables OpRestore: it loads a snapshot
 	// stream into a fresh engine which then replaces the served one. nil
 	// (the default) rejects restore requests.
 	Restore func(snapshot []byte) (*core.Engine, error)
 
-	mu     sync.Mutex
-	engine *core.Engine
-	closed bool
-	ln     net.Listener
+	mu      sync.Mutex
+	engine  *core.Engine
+	handler Handler // when set, requests go here instead of Dispatch(engine, ·)
+	closed  bool
+	ln      net.Listener
 }
 
 // NewServer returns a server over eng.
 func NewServer(eng *core.Engine) *Server { return &Server{engine: eng} }
+
+// NewHandlerServer returns a server whose requests are executed by h
+// (e.g. a sharded cluster served behind one listener).
+func NewHandlerServer(h Handler) *Server { return &Server{handler: h} }
 
 // Engine returns the currently served engine (it changes on OpRestore).
 func (s *Server) Engine() *core.Engine {
@@ -146,9 +181,15 @@ func (s *Server) handle(conn net.Conn) {
 			return // connection closed or corrupt stream
 		}
 		var resp Response
-		if req.Op == OpRestore {
+		s.mu.Lock()
+		h := s.handler
+		s.mu.Unlock()
+		switch {
+		case req.Op == OpRestore && h == nil:
 			resp = s.restore(req)
-		} else {
+		case h != nil:
+			resp = h.Handle(req)
+		default:
 			resp = Dispatch(s.Engine(), req)
 		}
 		if err := enc.Encode(resp); err != nil {
@@ -215,6 +256,12 @@ func Dispatch(eng *core.Engine, req Request) Response {
 			return Response{Err: err.Error()}
 		}
 		return Response{Found: res.Found, Cells: res.Cells, Proof: &res.Proof, Digest: res.Digest}
+	case OpLookupEq:
+		cells, err := eng.LookupEqual(req.Table, req.Column, req.Value)
+		if err != nil {
+			return Response{Err: err.Error()}
+		}
+		return Response{Found: len(cells) > 0, Cells: cells}
 	case OpHistory:
 		cells, err := eng.History(req.Table, req.Column, req.PK)
 		if err != nil {
@@ -223,10 +270,24 @@ func Dispatch(eng *core.Engine, req Request) Response {
 		return Response{Found: len(cells) > 0, Cells: cells}
 	case OpDigest:
 		return Response{Digest: eng.Digest()}
+	case OpShardMap:
+		// A bare engine is a one-shard deployment; shard-aware clients
+		// route everything to shard 0.
+		return Response{ShardCount: 1}
+	case OpClusterDigest:
+		d := ledger.NewClusterDigest([]ledger.Digest{eng.Digest()})
+		return Response{Cluster: &d}
 	case OpConsistency:
 		// Digest and proof must be captured atomically: sampled separately
 		// they can straddle a concurrently committed block, and the client
 		// would see a spurious verification failure.
+		if req.OldDigest2 != nil {
+			d, cons, cons2, err := eng.ConsistencyUpdatePair(req.OldDigest, *req.OldDigest2)
+			if err != nil {
+				return Response{Err: err.Error()}
+			}
+			return Response{Consistency: &cons, Consistency2: &cons2, Digest: d}
+		}
 		d, cons, err := eng.ConsistencyUpdate(req.OldDigest)
 		if err != nil {
 			return Response{Err: err.Error()}

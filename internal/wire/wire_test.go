@@ -184,3 +184,91 @@ func TestPipeListenerDirectly(t *testing.T) {
 		t.Fatal("dial after close succeeded")
 	}
 }
+
+// TestPipeListenerDialCloseRace: DialPipe racing Close must never panic
+// (the old implementation sent on a channel Close had closed) — every
+// dial either connects or reports the listener closed. Run under -race.
+func TestPipeListenerDialCloseRace(t *testing.T) {
+	for trial := 0; trial < 50; trial++ {
+		pl := NewPipeListener()
+		var wg sync.WaitGroup
+		// Acceptors drain whatever connects before the close lands.
+		for a := 0; a < 2; a++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					conn, err := pl.Accept()
+					if err != nil {
+						return
+					}
+					conn.Close()
+				}
+			}()
+		}
+		for d := 0; d < 4; d++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < 20; i++ {
+					conn, err := pl.DialPipe()
+					if err != nil {
+						return // listener closed: the legal outcome
+					}
+					conn.Close()
+				}
+			}()
+		}
+		pl.Close()
+		wg.Wait()
+	}
+}
+
+// TestLookupEqualOverWire covers the inverted-index lookup op.
+func TestLookupEqualOverWire(t *testing.T) {
+	eng := core.New(core.Options{MaintainInverted: true})
+	srv := NewServer(eng)
+	ln, _ := Listen()
+	go srv.Serve(ln)
+	t.Cleanup(func() { srv.Close() })
+	cl, err := Connect(ln)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cl.Close() })
+	puts := []Put{
+		{Table: "t", Column: "tag", PK: []byte("a"), Value: []byte("red")},
+		{Table: "t", Column: "tag", PK: []byte("b"), Value: []byte("blue")},
+		{Table: "t", Column: "tag", PK: []byte("c"), Value: []byte("red")},
+	}
+	if _, err := cl.Do(Request{Op: OpPut, Statement: "s", Puts: puts}); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := cl.Do(Request{Op: OpLookupEq, Table: "t", Column: "tag", Value: []byte("red")})
+	if err != nil || len(resp.Cells) != 2 {
+		t.Fatalf("lookup: %d cells, %v", len(resp.Cells), err)
+	}
+}
+
+// TestShardMapOnBareEngine: a single-engine server answers the sharded
+// discovery ops so shard-aware clients interoperate with it.
+func TestShardMapOnBareEngine(t *testing.T) {
+	cl, eng := startServer(t)
+	resp, err := cl.Do(Request{Op: OpShardMap})
+	if err != nil || resp.ShardCount != 1 {
+		t.Fatalf("shard map: %+v %v", resp, err)
+	}
+	if _, err := cl.Do(Request{Op: OpPut, Statement: "s", Puts: putBatch(1)}); err != nil {
+		t.Fatal(err)
+	}
+	resp, err = cl.Do(Request{Op: OpClusterDigest})
+	if err != nil || resp.Cluster == nil {
+		t.Fatalf("cluster digest: %+v %v", resp, err)
+	}
+	if len(resp.Cluster.Shards) != 1 || resp.Cluster.Shards[0] != eng.Digest() {
+		t.Fatalf("cluster digest mismatch: %+v", resp.Cluster)
+	}
+	if err := resp.Cluster.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
