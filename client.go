@@ -125,6 +125,21 @@ func (cl *Client) Restore(snapshot []byte) (Digest, error) {
 	return resp.Digest, nil
 }
 
+// Stats fetches the server's observability counters: per-shard heights,
+// group-commit totals, WAL durable height and retained span, attached
+// replication followers with their lag, and — on a replica — its
+// replication status.
+func (cl *Client) Stats() (ServerStats, error) {
+	resp, err := cl.c.Do(wire.Request{Op: wire.OpStats})
+	if err != nil {
+		return ServerStats{}, err
+	}
+	if resp.Stats == nil {
+		return ServerStats{}, errors.New("spitz: server omitted stats")
+	}
+	return *resp.Stats, nil
+}
+
 // Digest fetches the server's current ledger digest (unverified; use
 // SyncDigest to advance trust safely).
 func (cl *Client) Digest() (Digest, error) {
@@ -160,12 +175,46 @@ func encodePuts(puts []Put) []wire.Put {
 // shardLink is one (connection, verifier, shard) triple. A plain Client
 // holds one with shard 0 (unsharded); a ShardedClient holds one per
 // shard, so each shard's proofs verify against that shard's own trusted
-// digest.
+// digest; a ReplicatedClient points c at a replica and syncC at the
+// primary, so data comes from the replica but trust only ever advances
+// against the primary's digest.
 type shardLink struct {
 	c     *wire.Client
 	v     *Verifier
 	mu    *sync.Mutex // serializes syncDigest's check-fetch-advance
 	shard int         // wire shard id: 0 unsharded, i+1 for shard i
+
+	// syncC, when non-nil, serves the consistency-proof traffic instead
+	// of c: the digest authority the verifier trusts (the primary of a
+	// replicated deployment).
+	syncC *wire.Client
+	// maxLag, when non-zero, bounds how many blocks behind the trusted
+	// digest a served result may be before ErrStale is returned.
+	maxLag uint64
+}
+
+// errPrimarySync marks a failure of the digest-authority round trip
+// (the primary of a replicated deployment): the replica that served the
+// data is not at fault, so failover logic must not blame it.
+var errPrimarySync = errors.New("spitz: digest authority unreachable")
+
+// syncConn returns the connection trust advances against.
+func (l shardLink) syncConn() *wire.Client {
+	if l.syncC != nil {
+		return l.syncC
+	}
+	return l.c
+}
+
+// checkLag enforces the link's staleness bound: d is the digest the
+// result was served at, cur the trusted digest it was proven a prefix
+// of.
+func (l shardLink) checkLag(d, cur Digest) error {
+	if l.maxLag > 0 && cur.Height > d.Height && cur.Height-d.Height > l.maxLag {
+		return fmt.Errorf("%w: result is %d blocks behind the trusted digest (max %d)",
+			ErrStale, cur.Height-d.Height, l.maxLag)
+	}
+	return nil
 }
 
 // syncAndVerify advances the link's trusted digest as needed and checks
@@ -186,18 +235,45 @@ func (l shardLink) syncAndVerify(d Digest, p *Proof) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	cur := l.v.Digest()
-	switch {
-	case cur == d:
-		return l.v.VerifyNow(*p)
-	case cur.Height == 0 && cur.Root.IsZero():
-		if err := l.v.Advance(d, ConsistencyProof{}); err != nil {
-			return err
-		}
+	if cur == d {
 		return l.v.VerifyNow(*p)
 	}
-	resp, err := l.c.Do(wire.Request{Op: wire.OpConsistency, OldDigest: cur, OldDigest2: &d,
+	if cur.Height == 0 && cur.Root.IsZero() {
+		if l.syncC == nil {
+			if err := l.v.Advance(d, ConsistencyProof{}); err != nil {
+				return err
+			}
+			return l.v.VerifyNow(*p)
+		}
+		// Trust bootstraps from the digest authority, never from the
+		// replica being read: pin the primary's digest (trust on first
+		// use, exactly as a direct client would) and fall through to
+		// prove d is a prefix of it.
+		dresp, err := l.syncC.Do(wire.Request{Op: wire.OpDigest, Shard: l.shard})
+		if err != nil {
+			return fmt.Errorf("%w: %v", errPrimarySync, err)
+		}
+		if err := l.v.Advance(dresp.Digest, ConsistencyProof{}); err != nil {
+			return err
+		}
+		cur = l.v.Digest()
+		if cur == d {
+			return l.v.VerifyNow(*p)
+		}
+	}
+	resp, err := l.syncConn().Do(wire.Request{Op: wire.OpConsistency, OldDigest: cur, OldDigest2: &d,
 		Shard: l.shard})
 	if err != nil {
+		if l.syncC != nil {
+			if errors.Is(err, wire.ErrTransport) {
+				return fmt.Errorf("%w: %v", errPrimarySync, err)
+			}
+			// The digest authority itself refused to produce a prefix
+			// proof over the replica's digest (e.g. the replica claims a
+			// taller ledger than the primary has): the replica's chain is
+			// not part of the primary's history.
+			return fmt.Errorf("%w: %v", ErrTampered, err)
+		}
 		return err
 	}
 	if resp.Consistency == nil || resp.Consistency2 == nil {
@@ -211,6 +287,11 @@ func (l shardLink) syncAndVerify(d Digest, p *Proof) error {
 	}
 	// Trust is now ahead of d: require the second proof to show d is a
 	// prefix of the same (now trusted) state, then verify against d.
+	// For a replica-served result this is exactly the replication trust
+	// argument: the proof came from the replica's digest d, and the
+	// digest authority (syncConn — the primary) has just proven d to be
+	// a prefix of the trusted history, so a tampering replica is caught
+	// here and a lagging one is served as verifiably stale data.
 	cons2 := *resp.Consistency2
 	if cons2.OldSize != int(d.Height) || cons2.NewSize != int(resp.Digest.Height) {
 		return fmt.Errorf("%w: prefix proof sizes %d/%d do not match digests %d/%d",
@@ -219,6 +300,9 @@ func (l shardLink) syncAndVerify(d Digest, p *Proof) error {
 	if err := cons2.Verify(d.Root, resp.Digest.Root); err != nil {
 		return fmt.Errorf("%w: response digest is not a prefix of the ledger: %v", ErrTampered, err)
 	}
+	if err := l.checkLag(d, resp.Digest); err != nil {
+		return err
+	}
 	return l.v.VerifyAsOf(*p, d)
 }
 
@@ -226,6 +310,9 @@ func (l shardLink) getVerified(table, column string, pk []byte) ([]byte, bool, e
 	resp, err := l.c.Do(wire.Request{Op: wire.OpGetVerified, Table: table, Column: column,
 		PK: pk, Shard: l.shard})
 	if err != nil {
+		return nil, false, err
+	}
+	if err := l.checkEmptyReplica(resp.Digest); err != nil {
 		return nil, false, err
 	}
 	if resp.Proof == nil {
@@ -250,10 +337,23 @@ func (l shardLink) getVerified(table, column string, pk []byte) ([]byte, bool, e
 	return cells[0].Value, true, nil
 }
 
+// checkEmptyReplica flags a replica that has no history yet — a fresh
+// follower mid-bootstrap. That is the extreme form of staleness, not
+// tampering: callers fail over to the primary instead of alarming.
+func (l shardLink) checkEmptyReplica(d Digest) error {
+	if l.syncC != nil && d.Height == 0 {
+		return fmt.Errorf("%w: replica has no history yet (still bootstrapping)", ErrStale)
+	}
+	return nil
+}
+
 func (l shardLink) rangeVerified(table, column string, pkLo, pkHi []byte) ([]Cell, error) {
 	resp, err := l.c.Do(wire.Request{Op: wire.OpRangeVer, Table: table, Column: column,
 		PK: pkLo, PKHi: pkHi, Shard: l.shard})
 	if err != nil {
+		return nil, err
+	}
+	if err := l.checkEmptyReplica(resp.Digest); err != nil {
 		return nil, err
 	}
 	if resp.Proof == nil {
@@ -296,7 +396,7 @@ func (l shardLink) syncDigest(d Digest) error {
 	if cur.Height == 0 && cur.Root.IsZero() {
 		return l.v.Advance(d, ConsistencyProof{})
 	}
-	resp, err := l.c.Do(wire.Request{Op: wire.OpConsistency, OldDigest: cur, Shard: l.shard})
+	resp, err := l.syncConn().Do(wire.Request{Op: wire.OpConsistency, OldDigest: cur, Shard: l.shard})
 	if err != nil {
 		return err
 	}
@@ -498,6 +598,43 @@ func (sc *ShardedClient) LookupEqual(table, column string, value []byte) ([]Cell
 		}
 		return resp.Cells, nil
 	})
+}
+
+// ShardDigest fetches shard i's current ledger digest (unverified).
+func (sc *ShardedClient) ShardDigest(i int) (Digest, error) {
+	resp, err := sc.conns[i].Do(wire.Request{Op: wire.OpDigest, Shard: i + 1})
+	if err != nil {
+		return Digest{}, err
+	}
+	return resp.Digest, nil
+}
+
+// VerifyShardPrefix proves that old is a prefix of shard i's current
+// ledger: it fetches the current digest together with a consistency
+// proof over old (captured atomically) and checks the proof. It returns
+// the current digest without touching the client's trusted digests —
+// the operator-facing form of the replication trust check (spitz-cli
+// digest check).
+func (sc *ShardedClient) VerifyShardPrefix(i int, old Digest) (Digest, error) {
+	if old.Height == 0 && old.Root.IsZero() {
+		return sc.ShardDigest(i) // the empty ledger is a prefix of everything
+	}
+	resp, err := sc.conns[i].Do(wire.Request{Op: wire.OpConsistency, OldDigest: old, Shard: i + 1})
+	if err != nil {
+		return Digest{}, err
+	}
+	if resp.Consistency == nil {
+		return Digest{}, errors.New("spitz: server omitted consistency proof")
+	}
+	cons := *resp.Consistency
+	if cons.OldSize != int(old.Height) || cons.NewSize != int(resp.Digest.Height) {
+		return Digest{}, fmt.Errorf("%w: consistency proof sizes %d/%d do not match digests %d/%d",
+			ErrTampered, cons.OldSize, cons.NewSize, old.Height, resp.Digest.Height)
+	}
+	if err := cons.Verify(old.Root, resp.Digest.Root); err != nil {
+		return Digest{}, fmt.Errorf("%w: %v", ErrTampered, err)
+	}
+	return resp.Digest, nil
 }
 
 // ClusterDigest fetches the cluster digest — every shard's ledger digest

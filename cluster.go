@@ -1,11 +1,14 @@
 package spitz
 
 import (
+	"errors"
+	"fmt"
 	"net"
 	"time"
 
 	"spitz/internal/core"
 	"spitz/internal/ledger"
+	"spitz/internal/repl"
 	"spitz/internal/server"
 	"spitz/internal/txn"
 	"spitz/internal/wire"
@@ -66,6 +69,9 @@ type ClusterOptions struct {
 // Safe for concurrent use.
 type ClusterDB struct {
 	c *server.Cluster
+	// srcs are the per-shard replication sources (nil for memory-only
+	// clusters, which have no write-ahead log to ship).
+	srcs []*repl.Source
 }
 
 // IsClusterDir reports whether dir holds a sharded cluster's data
@@ -96,7 +102,15 @@ func OpenCluster(dir string, opts ClusterOptions) (*ClusterDB, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &ClusterDB{c: c}, nil
+	db := &ClusterDB{c: c}
+	if dir != "" {
+		// Every durable shard can have replication followers.
+		db.srcs = make([]*repl.Source, c.Shards())
+		for i := 0; i < c.Shards(); i++ {
+			db.srcs[i] = repl.NewSource(c.Durable(i))
+		}
+	}
+	return db, nil
 }
 
 // Close makes all acknowledged commits durable and releases every
@@ -200,7 +214,43 @@ func (db *ClusterDB) Engine(i int) *core.Engine { return db.c.Engine(i) }
 // Serve exposes the whole cluster over one listener using the Spitz wire
 // protocol; it blocks until the listener closes. Connect with
 // DialSharded (shard-aware, verified reads) or a plain Dial client
-// (unverified operations, server-side routing).
+// (unverified operations, server-side routing). Durable clusters also
+// serve per-shard replication streams, so each shard can have followers
+// (DialReplica mirrors the whole cluster, shard by shard).
 func (db *ClusterDB) Serve(ln net.Listener) error {
-	return wire.NewHandlerServer(db.c).Serve(ln)
+	srv := wire.NewHandlerServer(db.c)
+	srv.Stats = db.wireStats
+	srv.Repl = func(shard int) (wire.ReplStreamer, error) {
+		if db.srcs == nil {
+			return nil, errors.New("spitz: a memory-only cluster has no write-ahead log to replicate; open it with a data directory")
+		}
+		if shard == 0 {
+			if len(db.srcs) == 1 {
+				return db.srcs[0], nil
+			}
+			return nil, fmt.Errorf("spitz: replication streams are per-shard in a %d-shard cluster; set the shard", len(db.srcs))
+		}
+		if shard > len(db.srcs) {
+			return nil, fmt.Errorf("spitz: shard %d beyond cluster of %d", shard-1, len(db.srcs))
+		}
+		return db.srcs[shard-1], nil
+	}
+	return srv.Serve(ln)
+}
+
+// wireStats converts ClusterStats (plus WAL and follower accounting)
+// into the wire observability payload.
+func (db *ClusterDB) wireStats() wire.Stats {
+	st := db.c.Stats()
+	out := wire.Stats{Shards: make([]wire.ShardStats, len(st.Shards))}
+	for i, s := range st.Shards {
+		sh := wire.ShardStats{Height: s.Height, Blocks: s.Batch.Blocks, Txns: s.Batch.Txns}
+		if db.srcs != nil {
+			ws := db.srcs[i].WALStats()
+			sh.WAL = &ws
+			sh.Followers = db.srcs[i].Followers()
+		}
+		out.Shards[i] = sh
+	}
+	return out
 }

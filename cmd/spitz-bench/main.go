@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	spitz-bench [flags] all|fig1|fig6a|fig6b|fig7|fig8|siri|deferred|timestamps|cc|sharded
+//	spitz-bench [flags] all|fig1|fig6a|fig6b|fig7|fig8|siri|deferred|timestamps|cc|sharded|replica|replica-smoke
 //
 // Flags scale the sweep; the default -max-size runs the paper's full 10k
 // to 1.28M doubling series, which takes a while. Use -max-size 160000 for
@@ -14,6 +14,15 @@
 // commit throughput of 1/2/4/8-shard clusters (memory and per-shard
 // SyncAlways durability in a temp directory) under -shard-workers
 // concurrent committers, against the 1-shard baseline.
+//
+// The replica experiment measures log-shipping read scale-out: verified
+// point-read throughput through spitz.DialReplicated-style clients
+// against a served primary with 0 (baseline), 1 and 2 attached read
+// replicas. replica-smoke runs the availability workload (primary + two
+// followers under write load, one follower killed and replaced, verified
+// reads passing throughout) and exits non-zero on any failure; CI runs
+// it. replica and replica-smoke are excluded from "all" — they start
+// servers and replicas, which dominates short runs.
 package main
 
 import (
@@ -33,6 +42,9 @@ func main() {
 	seed := flag.Int64("seed", 42, "workload seed")
 	shardWorkers := flag.Int("shard-workers", 16, "concurrent committers in the sharded experiment")
 	shardOps := flag.Int("shard-ops", 8000, "measured commits per configuration in the sharded experiment")
+	replicaReaders := flag.Int("replica-readers", 16, "concurrent readers in the replica experiment")
+	replicaOps := flag.Int("replica-ops", 20000, "measured verified reads per configuration in the replica experiment")
+	replicaKeys := flag.Int("replica-keys", 1000, "loaded keys in the replica experiment")
 	flag.Parse()
 
 	var sizes []int
@@ -120,6 +132,23 @@ func main() {
 		res, err := bench.Sharded(dir, []int{1, 2, 4, 8}, *shardWorkers, *shardOps)
 		check(err)
 		res.Print(os.Stdout)
+	}
+	if which == "replica" {
+		ran = true
+		dir, err := os.MkdirTemp("", "spitz-replica-")
+		check(err)
+		defer os.RemoveAll(dir)
+		res, err := bench.Replica(dir, []int{0, 1, 2}, *replicaReaders, *replicaOps, *replicaKeys)
+		check(err)
+		res.Print(os.Stdout)
+	}
+	if which == "replica-smoke" {
+		ran = true
+		dir, err := os.MkdirTemp("", "spitz-replica-smoke-")
+		check(err)
+		defer os.RemoveAll(dir)
+		check(bench.ReplicaSmoke(dir))
+		fmt.Println("replica smoke: primary + 2 followers, follower kill/replace, verified reads passed throughout")
 	}
 	if !ran {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", which)

@@ -7,18 +7,31 @@
 //	spitz-cli -addr HOST:PORT getv  TABLE COLUMN PK     (verified read)
 //	spitz-cli -addr HOST:PORT range TABLE COLUMN LO HI  (verified scan)
 //	spitz-cli -addr HOST:PORT hist  TABLE COLUMN PK
-//	spitz-cli -addr HOST:PORT digest
+//	spitz-cli -addr HOST:PORT digest              (print the current digest)
+//	spitz-cli -addr HOST:PORT digest save  FILE   (save it for later audits)
+//	spitz-cli -addr HOST:PORT digest check FILE   (verify a saved digest is
+//	                                               a consistent prefix)
+//	spitz-cli -addr HOST:PORT stats               (WAL span, follower lag)
 //	spitz-cli -addr HOST:PORT snapshot FILE   (save a checkpoint)
 //	spitz-cli -addr HOST:PORT restore  FILE   (load a checkpoint)
+//
+// digest works against single-engine servers, sharded clusters and
+// replicas alike: it prints (and saves) one digest per shard. check
+// fetches a consistency proof per shard and verifies the saved digest is
+// a prefix of the server's current ledger — the operator-facing form of
+// the proof a replicated client runs before trusting a replica.
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"strings"
 
 	"spitz"
+	"spitz/internal/hashutil"
 )
 
 func main() {
@@ -76,9 +89,12 @@ func main() {
 			}
 		}
 	case "digest":
-		d, err := cl.Digest()
+		cl.Close()
+		digestCmd(*addr, args[1:])
+	case "stats":
+		st, err := cl.Stats()
 		check(err)
-		fmt.Printf("height=%d root=%s\n", d.Height, d.Root)
+		printStats(st)
 	case "snapshot":
 		need(args, 2)
 		f, err := os.Create(args[1])
@@ -101,6 +117,140 @@ func main() {
 	}
 }
 
+// digestCmd implements the digest subcommands over a shard-aware client,
+// so one code path covers single-engine servers, clusters and replicas.
+func digestCmd(addr string, args []string) {
+	sc, err := spitz.DialSharded("tcp", addr)
+	if err != nil {
+		log.Fatalf("spitz-cli: %v", err)
+	}
+	defer sc.Close()
+	current := func() []spitz.Digest {
+		ds := make([]spitz.Digest, sc.Shards())
+		for i := range ds {
+			d, err := sc.ShardDigest(i)
+			check(err)
+			ds[i] = d
+		}
+		return ds
+	}
+	switch {
+	case len(args) == 0:
+		printDigests(sc, current())
+	case args[0] == "save" && len(args) == 2:
+		ds := current()
+		f, err := os.Create(args[1])
+		check(err)
+		fmt.Fprintln(f, digestFileMagic)
+		for i, d := range ds {
+			fmt.Fprintf(f, "shard %d height %d root %s\n", i, d.Height, d.Root)
+		}
+		check(f.Sync())
+		check(f.Close())
+		printDigests(sc, ds)
+		fmt.Printf("saved to %s\n", args[1])
+	case args[0] == "check" && len(args) == 2:
+		saved, err := readDigestFile(args[1])
+		check(err)
+		if len(saved) != sc.Shards() {
+			log.Fatalf("spitz-cli: %s holds %d shard digests, server has %d shards", args[1], len(saved), sc.Shards())
+		}
+		for i, old := range saved {
+			cur, err := sc.VerifyShardPrefix(i, old)
+			if err != nil {
+				log.Fatalf("spitz-cli: shard %d: saved digest is NOT a prefix of the server's ledger: %v", i, err)
+			}
+			fmt.Printf("shard %d: OK — saved height %d is a verified prefix of current height %d (root %s)\n",
+				i, old.Height, cur.Height, cur.Root.Short())
+		}
+	default:
+		usage()
+	}
+}
+
+const digestFileMagic = "spitz-digest-v1"
+
+func readDigestFile(path string) ([]spitz.Digest, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	if !sc.Scan() || strings.TrimSpace(sc.Text()) != digestFileMagic {
+		return nil, fmt.Errorf("%s is not a spitz digest file", path)
+	}
+	var out []spitz.Digest
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var shard int
+		var height uint64
+		var root string
+		if _, err := fmt.Sscanf(line, "shard %d height %d root %s", &shard, &height, &root); err != nil {
+			return nil, fmt.Errorf("bad digest line %q: %v", line, err)
+		}
+		if shard != len(out) {
+			return nil, fmt.Errorf("digest file shards out of order at %q", line)
+		}
+		h, err := hashutil.Parse(root)
+		if err != nil {
+			return nil, fmt.Errorf("bad root in %q: %v", line, err)
+		}
+		out = append(out, spitz.Digest{Height: height, Root: h})
+	}
+	return out, sc.Err()
+}
+
+func printDigests(sc *spitz.ShardedClient, ds []spitz.Digest) {
+	for i, d := range ds {
+		if len(ds) == 1 {
+			fmt.Printf("height=%d root=%s\n", d.Height, d.Root)
+			return
+		}
+		fmt.Printf("shard %d: height=%d root=%s\n", i, d.Height, d.Root)
+	}
+	if cd, err := sc.ClusterDigest(); err == nil {
+		fmt.Printf("combined root: %s\n", cd.Root)
+	}
+}
+
+func printStats(st spitz.ServerStats) {
+	for i, sh := range st.Shards {
+		prefix := ""
+		if len(st.Shards) > 1 {
+			prefix = fmt.Sprintf("shard %d: ", i)
+		}
+		fmt.Printf("%sheight=%d blocks=%d txns=%d\n", prefix, sh.Height, sh.Blocks, sh.Txns)
+		if sh.WAL != nil {
+			fmt.Printf("%swal: durable-height=%d logged-height=%d retained=[%d..%d) segments=%d bytes=%d\n",
+				prefix, sh.WAL.DurableHeight, sh.WAL.LoggedHeight,
+				sh.WAL.OldestRetainedHeight, sh.WAL.LoggedHeight, sh.WAL.Segments, sh.WAL.RetainedBytes)
+		}
+		for _, f := range sh.Followers {
+			fmt.Printf("%sfollower %s: start=%d sent=%d acked=%d lag=%d blocks / %d bytes (%d bytes shipped)\n",
+				prefix, f.Remote, f.StartHeight, f.SentHeight, f.AckedHeight, f.LagBlocks, f.LagBytes, f.SentBytes)
+		}
+		if len(sh.Followers) == 0 && sh.WAL != nil {
+			fmt.Printf("%sno followers attached\n", prefix)
+		}
+		if r := sh.Replica; r != nil {
+			state := "disconnected"
+			if r.Connected {
+				state = "connected"
+			}
+			fmt.Printf("%sreplica: %s height=%d applied=%d blocks / %d bytes snapshots=%d",
+				prefix, state, r.Height, r.AppliedBlocks, r.AppliedBytes, r.SnapshotLoads)
+			if r.LastError != "" {
+				fmt.Printf(" last-error=%q", r.LastError)
+			}
+			fmt.Println()
+		}
+	}
+}
+
 func need(args []string, n int) {
 	if len(args) < n {
 		usage()
@@ -120,7 +270,8 @@ func usage() {
   spitz-cli [-addr HOST:PORT] getv  TABLE COLUMN PK
   spitz-cli [-addr HOST:PORT] range TABLE COLUMN LO HI
   spitz-cli [-addr HOST:PORT] hist  TABLE COLUMN PK
-  spitz-cli [-addr HOST:PORT] digest
+  spitz-cli [-addr HOST:PORT] digest [save FILE | check FILE]
+  spitz-cli [-addr HOST:PORT] stats
   spitz-cli [-addr HOST:PORT] snapshot FILE
   spitz-cli [-addr HOST:PORT] restore  FILE`)
 	os.Exit(2)

@@ -31,6 +31,16 @@
 // group-commit pipeline that folds concurrent commits into shared ledger
 // blocks.
 //
+// -replicate-from HOST:PORT runs this server as a read replica of the
+// given primary instead of owning data itself: it streams the primary's
+// write-ahead log (every shard of it, for sharded primaries), applies
+// each block through the verified-replay path — a corrupt or lying
+// primary is detected at apply time — and serves verified reads, scans,
+// history and consistency proofs against its own digest. Replicas are
+// strictly read-only and reconnect automatically; the primary must run
+// with -data-dir (replication ships the log). Clients bound to the
+// primary's digest connect with spitz.DialReplicated.
+//
 // Connect with cmd/spitz-cli or the spitz.Dial client API.
 package main
 
@@ -56,6 +66,7 @@ func main() {
 	maxBatchTxns := flag.Int("max-batch-txns", 0, "max transactions folded into one ledger block (0 = default 128)")
 	maxBatchDelay := flag.Duration("max-batch-delay", 0, "how long the commit leader waits to accumulate a batch (0 = no added latency)")
 	dataDir := flag.String("data-dir", "", "data directory; empty serves an in-memory database")
+	replicateFrom := flag.String("replicate-from", "", "run as a read replica of the primary at this address")
 	syncMode := flag.String("sync", "always", "WAL sync policy: always, interval or never")
 	syncEvery := flag.Duration("sync-every", 50*time.Millisecond, "fsync period under -sync interval")
 	ckptInterval := flag.Duration("checkpoint-interval", time.Minute, "background checkpoint period")
@@ -74,6 +85,13 @@ func main() {
 		opts.Mode = spitz.ModeTO
 	default:
 		log.Fatalf("spitz-server: unknown -mode %q (want occ or to)", *mode)
+	}
+	if *replicateFrom != "" {
+		if *dataDir != "" {
+			log.Fatalf("spitz-server: -replicate-from and -data-dir are mutually exclusive (a replica's state comes from its primary)")
+		}
+		serveReplica(*replicateFrom, *addr, *inverted)
+		return
 	}
 	shardsSet := false
 	flag.Visit(func(f *flag.Flag) {
@@ -133,6 +151,41 @@ func main() {
 	err = db.Serve(ln)
 	if cerr := db.Close(); cerr != nil {
 		log.Printf("spitz-server: close: %v", cerr)
+	}
+	if err != nil && !errors.Is(err, net.ErrClosed) {
+		log.Fatalf("spitz-server: %v", err)
+	}
+}
+
+// serveReplica runs this server as a read-only replica: stream the
+// primary's log (all shards), verified-replay every block, serve reads.
+func serveReplica(primary, addr string, inverted bool) {
+	rep, err := spitz.DialReplica("tcp", primary, spitz.ReplicaOptions{
+		MaintainInverted: inverted,
+		Logf:             log.Printf,
+	})
+	if err != nil {
+		log.Fatalf("spitz-server: replica of %s: %v", primary, err)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		log.Fatalf("spitz-server: listen: %v", err)
+	}
+	log.Printf("spitz-server: serving read replica of %s (%d shard(s)) on %s", primary, rep.Shards(), ln.Addr())
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		s := <-sigc
+		log.Printf("spitz-server: %v: shutting down", s)
+		ln.Close()
+	}()
+
+	err = rep.Serve(ln)
+	rep.Close()
+	for i, st := range rep.Status() {
+		log.Printf("spitz-server: replica shard %d stopped at height %d (%d blocks applied, %d snapshot loads)",
+			i, st.Height, st.AppliedBlocks, st.SnapshotLoads)
 	}
 	if err != nil && !errors.Is(err, net.ErrClosed) {
 		log.Fatalf("spitz-server: %v", err)

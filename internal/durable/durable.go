@@ -98,6 +98,12 @@ type Manager struct {
 	eng  *core.Engine
 	log  *wal.Log
 
+	// seqOff maps ledger heights to WAL sequence numbers: every record is
+	// exactly one block, appended in ledger order, so seq(h) = h + seqOff
+	// for the log's whole lineage. Computed once at open (modular uint64
+	// arithmetic keeps it valid even for logs that postdate checkpoints).
+	seqOff uint64
+
 	sinceCkpt atomic.Uint64 // commits since the last durable checkpoint
 
 	ckptMu     sync.Mutex // serializes checkpoints
@@ -154,7 +160,7 @@ func Open(dir string, opts Options) (*Manager, error) {
 	// engine keeps recovery a single forward pass.
 	var recs []core.CommitRecord
 	if err := log.Replay(func(seq uint64, payload []byte) error {
-		rec, err := decodeRecord(payload)
+		rec, err := DecodeRecord(payload)
 		if err != nil {
 			return fmt.Errorf("wal record %d: %w", seq, err)
 		}
@@ -222,6 +228,7 @@ func Open(dir string, opts Options) (*Manager, error) {
 		opts:     opts,
 		eng:      eng,
 		log:      log,
+		seqOff:   log.NextSeq() - height,
 		closing:  make(chan struct{}),
 		loopDone: make(chan struct{}),
 		ckptPoke: make(chan struct{}, 1),
@@ -249,6 +256,48 @@ func (m *Manager) Engine() *core.Engine { return m.eng }
 // Dir returns the data directory.
 func (m *Manager) Dir() string { return m.dir }
 
+// Log exposes the underlying write-ahead log. Replication reads committed
+// frames from it (internal/repl); everything else should go through the
+// engine.
+func (m *Manager) Log() *wal.Log { return m.log }
+
+// SeqForHeight returns the WAL sequence number of the block at height h.
+func (m *Manager) SeqForHeight(h uint64) uint64 { return h + m.seqOff }
+
+// HeightForSeq returns the ledger height of the block in WAL record s.
+func (m *Manager) HeightForSeq(s uint64) uint64 { return s - m.seqOff }
+
+// WALStats summarizes the write-ahead log for observability: how much of
+// the ledger is durable and what span of it the retained log still holds
+// (everything older lives only in checkpoints).
+type WALStats struct {
+	// DurableHeight is the number of leading ledger blocks known durable
+	// (fsynced) in the log.
+	DurableHeight uint64
+	// LoggedHeight is the number of blocks written to the log (they may
+	// still be awaiting an fsync under the weaker sync policies).
+	LoggedHeight uint64
+	// OldestRetainedHeight is the height of the first block still present
+	// in the retained log; replication followers at or above it resume
+	// from the log, older ones need a snapshot.
+	OldestRetainedHeight uint64
+	// Segments and RetainedBytes size the retained log on disk.
+	Segments      int
+	RetainedBytes int64
+}
+
+// WALStats returns a point-in-time summary of the write-ahead log.
+func (m *Manager) WALStats() WALStats {
+	info := m.log.Info()
+	return WALStats{
+		DurableHeight:        m.HeightForSeq(info.SyncedSeq + 1),
+		LoggedHeight:         m.HeightForSeq(info.AppendedSeq + 1),
+		OldestRetainedHeight: m.HeightForSeq(info.OldestSeq),
+		Segments:             info.Segments,
+		RetainedBytes:        info.RetainedBytes,
+	}
+}
+
 // CheckpointHeight returns the block height covered by the newest durable
 // checkpoint (0 when none has been taken).
 func (m *Manager) CheckpointHeight() uint64 {
@@ -262,7 +311,7 @@ func (m *Manager) CheckpointHeight() uint64 {
 // returned wait blocks (outside the lock) until the record is durable
 // under the configured sync policy.
 func (m *Manager) Append(rec core.CommitRecord) (func() error, error) {
-	_, wait, err := m.log.AppendAsync(encodeRecord(rec))
+	_, wait, err := m.log.AppendAsync(EncodeRecord(rec))
 	if err != nil {
 		return nil, err
 	}

@@ -73,7 +73,7 @@ func TestRecordCodecRoundTrip(t *testing.T) {
 		}
 		rec.Txns = append(rec.Txns, tx)
 	}
-	got, err := decodeRecord(encodeRecord(rec))
+	got, err := DecodeRecord(EncodeRecord(rec))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,7 +95,7 @@ func TestRecordCodecRoundTrip(t *testing.T) {
 			}
 		}
 	}
-	if _, err := decodeRecord(encodeRecord(rec)[:10]); err == nil {
+	if _, err := DecodeRecord(EncodeRecord(rec)[:10]); err == nil {
 		t.Fatal("truncated record decoded")
 	}
 }
@@ -137,7 +137,7 @@ func TestRecordCodecDecodesLegacyV1(t *testing.T) {
 		},
 	}}}
 	rec.BlockHash[5] = 0x77
-	got, err := decodeRecord(encodeRecordV1(rec))
+	got, err := DecodeRecord(encodeRecordV1(rec))
 	if err != nil {
 		t.Fatalf("v1 decode: %v", err)
 	}
@@ -316,12 +316,12 @@ func TestTamperedRecordRejectedByHashCheck(t *testing.T) {
 	}
 	frames := splitFrames(t, data)
 	last := frames[len(frames)-1]
-	rec, err := decodeRecord(last)
+	rec, err := DecodeRecord(last)
 	if err != nil {
 		t.Fatal(err)
 	}
 	rec.Txns[0].Cells[0].Value = []byte("tampered")
-	forged := encodeRecord(rec)
+	forged := EncodeRecord(rec)
 	var out []byte
 	for _, f := range frames[:len(frames)-1] {
 		out = appendFrame(out, f)

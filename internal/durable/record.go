@@ -52,7 +52,10 @@ const (
 	recordFormatV2 = 2
 )
 
-func encodeRecord(rec core.CommitRecord) []byte {
+// EncodeRecord frames one committed block in the current (v2) record
+// format. Replication ships these frames verbatim, so primary and
+// replica logs stay bit-compatible.
+func EncodeRecord(rec core.CommitRecord) []byte {
 	n := 8 * 4
 	n += hashutil.DigestSize
 	for t := range rec.Txns {
@@ -91,7 +94,10 @@ func encodeRecord(rec core.CommitRecord) []byte {
 	return buf
 }
 
-func decodeRecord(p []byte) (core.CommitRecord, error) {
+// DecodeRecord parses a WAL record of either on-disk format (v1 or v2).
+// Recovery and replica replay share it, so a follower can apply any
+// frame its primary could.
+func DecodeRecord(p []byte) (core.CommitRecord, error) {
 	first, rest, err := takeUvarint(p)
 	if err != nil {
 		return core.CommitRecord{}, fmt.Errorf("durable: record prefix: %w", err)

@@ -222,6 +222,10 @@ func (c *Cluster) Shards() int { return len(c.shards) }
 // per-shard verified reads.
 func (c *Cluster) Engine(i int) *core.Engine { return c.shards[i].eng }
 
+// Durable returns shard i's durability manager, or nil for memory-only
+// clusters. The replication layer builds per-shard sources from it.
+func (c *Cluster) Durable(i int) *durable.Manager { return c.shards[i].dur }
+
 // Close stops background work and releases every shard's data
 // directory. Memory-only clusters release nothing.
 func (c *Cluster) Close() error {

@@ -1,0 +1,288 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func followAll(t *testing.T, r *Reader, n int) []string {
+	t.Helper()
+	var out []string
+	for i := 0; i < n; i++ {
+		seq, payload, err := r.Next(nil)
+		if err != nil {
+			t.Fatalf("Next %d: %v", i, err)
+		}
+		out = append(out, fmt.Sprintf("%d:%s", seq, payload))
+	}
+	return out
+}
+
+// TestFollowTail: a follower drains the existing log, blocks at the tail,
+// and wakes when new records are appended.
+func TestFollowTail(t *testing.T) {
+	l, err := Open(t.TempDir(), Options{Policy: SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	for i := 0; i < 5; i++ {
+		if _, err := l.Append([]byte(fmt.Sprintf("rec%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r, err := l.Follow(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	got := followAll(t, r, 5)
+	if got[0] != "1:rec0" || got[4] != "5:rec4" {
+		t.Fatalf("unexpected records: %v", got)
+	}
+
+	// Blocked at the tail: an append must wake the reader.
+	done := make(chan string, 1)
+	go func() {
+		seq, payload, err := r.Next(nil)
+		if err != nil {
+			done <- err.Error()
+			return
+		}
+		done <- fmt.Sprintf("%d:%s", seq, payload)
+	}()
+	select {
+	case v := <-done:
+		t.Fatalf("reader returned %q before any append", v)
+	case <-time.After(20 * time.Millisecond):
+	}
+	if _, err := l.Append([]byte("tail")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case v := <-done:
+		if v != "6:tail" {
+			t.Fatalf("got %q, want 6:tail", v)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("reader never woke after append")
+	}
+}
+
+// TestFollowAcrossRotation: a follower attached before a segment rotation
+// keeps reading seamlessly into the new segment (the satellite edge case).
+func TestFollowAcrossRotation(t *testing.T) {
+	l, err := Open(t.TempDir(), Options{Policy: SyncAlways, SegmentSize: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	r, err := l.Follow(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	const n = 20 // tiny segments: rotates every few records
+	for i := 0; i < n; i++ {
+		if _, err := l.Append([]byte(fmt.Sprintf("record-%02d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if segs := l.Info().Segments; segs < 3 {
+		t.Fatalf("expected several segments, got %d", segs)
+	}
+	got := followAll(t, r, n)
+	for i, v := range got {
+		if want := fmt.Sprintf("%d:record-%02d", i+1, i); v != want {
+			t.Fatalf("record %d: got %q, want %q", i, v, want)
+		}
+	}
+}
+
+// TestFollowResumeAtSegmentBoundary: resuming exactly at a segment's
+// first record, and at the not-yet-written next sequence number, both
+// work (the satellite edge case).
+func TestFollowResumeAtSegmentBoundary(t *testing.T) {
+	l, err := Open(t.TempDir(), Options{Policy: SyncAlways, SegmentSize: 48})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	for i := 0; i < 12; i++ {
+		if _, err := l.Append([]byte(fmt.Sprintf("record-%02d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.mu.Lock()
+	if len(l.segments) < 2 {
+		l.mu.Unlock()
+		t.Fatal("want at least two segments")
+	}
+	boundary := l.segments[1].start
+	l.mu.Unlock()
+
+	r, err := l.Follow(boundary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, payload, err := r.Next(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != boundary || string(payload) != fmt.Sprintf("record-%02d", boundary-1) {
+		t.Fatalf("boundary resume got %d:%s", seq, payload)
+	}
+	r.Close()
+
+	// Resume at NextSeq: nothing to read until the next append.
+	next := l.NextSeq()
+	r2, err := l.Follow(next)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Close()
+	go l.Append([]byte("future"))
+	seq, payload, err = r2.Next(nil)
+	if err != nil || seq != next || string(payload) != "future" {
+		t.Fatalf("future resume got %d:%s, %v", seq, payload, err)
+	}
+
+	// Resuming beyond NextSeq is a caller bug, not a wait.
+	if _, err := l.Follow(l.NextSeq() + 10); err == nil {
+		t.Fatal("Follow beyond NextSeq must fail")
+	}
+}
+
+// TestFollowRetentionHold: an attached follower pins segments against
+// PruneTo; closing it releases them. Pruned history then yields
+// ErrPruned for late followers.
+func TestFollowRetentionHold(t *testing.T) {
+	l, err := Open(t.TempDir(), Options{Policy: SyncAlways, SegmentSize: 48})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	for i := 0; i < 12; i++ {
+		if _, err := l.Append([]byte(fmt.Sprintf("record-%02d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r, err := l.Follow(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keep := l.NextSeq()
+	if err := l.PruneTo(keep); err != nil {
+		t.Fatal(err)
+	}
+	if got := l.OldestSeq(); got != 1 {
+		t.Fatalf("prune ignored the follower hold: oldest = %d, want 1", got)
+	}
+	// The follower still reads everything from the beginning.
+	if got := followAll(t, r, 12); got[0] != "1:record-00" {
+		t.Fatalf("held records unreadable: %v", got)
+	}
+	r.Close()
+	if err := l.PruneTo(keep); err != nil {
+		t.Fatal(err)
+	}
+	if got := l.OldestSeq(); got == 1 {
+		t.Fatal("prune after reader close removed nothing")
+	}
+	if _, err := l.Follow(1); !errors.Is(err, ErrPruned) {
+		t.Fatalf("Follow into pruned history: err = %v, want ErrPruned", err)
+	}
+}
+
+// TestFollowTornTailTruncation: the primary crashes with a torn final
+// frame while a follower is mid-stream; on reopen the tail is truncated
+// and a follower resuming from its last delivered record sees the
+// truncated sequence, never the torn frame (the satellite edge case).
+func TestFollowTornTailTruncation(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{Policy: SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := l.Append([]byte(fmt.Sprintf("rec%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r, err := l.Follow(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	followAll(t, r, 3) // mid-stream: 3 of 5 delivered
+	r.Close()
+	// Crash: abandon the log (no Close) and tear the final frame the way
+	// an interrupted write would.
+	segs, err := filepath.Glob(filepath.Join(dir, "*.wal"))
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("no segments: %v", err)
+	}
+	seg := segs[len(segs)-1]
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(seg, data[:len(data)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, err := Open(dir, Options{Policy: SyncNever})
+	if err != nil {
+		t.Fatalf("reopen over torn tail: %v", err)
+	}
+	defer l2.Close()
+	if got := l2.NextSeq(); got != 5 {
+		t.Fatalf("NextSeq after truncation = %d, want 5 (record 5 torn)", got)
+	}
+	// The follower resumes from record 4: it gets the surviving record,
+	// then the replacement written at the truncated position.
+	r2, err := l2.Follow(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Close()
+	if got := followAll(t, r2, 1); got[0] != "4:rec3" {
+		t.Fatalf("resume after truncation: %v", got)
+	}
+	if _, err := l2.Append([]byte("replacement")); err != nil {
+		t.Fatal(err)
+	}
+	if got := followAll(t, r2, 1); got[0] != "5:replacement" {
+		t.Fatalf("record at truncated position: %v", got)
+	}
+}
+
+// TestFollowStopAndClose: stop channels and closes unblock a waiting
+// reader with the right sentinels.
+func TestFollowStopAndClose(t *testing.T) {
+	l, err := Open(t.TempDir(), Options{Policy: SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	r, err := l.Follow(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	errc := make(chan error, 1)
+	go func() { _, _, err := r.Next(stop); errc <- err }()
+	close(stop)
+	if err := <-errc; !errors.Is(err, ErrStopped) {
+		t.Fatalf("stopped Next: %v, want ErrStopped", err)
+	}
+	go func() { _, _, err := r.Next(nil); errc <- err }()
+	time.Sleep(5 * time.Millisecond)
+	r.Close()
+	if err := <-errc; !errors.Is(err, ErrClosed) {
+		t.Fatalf("closed Next: %v, want ErrClosed", err)
+	}
+}

@@ -108,6 +108,12 @@ var (
 	// ErrCorrupt is returned when a non-final segment contains a bad
 	// frame — damage no crash can explain.
 	ErrCorrupt = errors.New("wal: corrupt segment")
+	// ErrPruned is returned by Follow when the requested sequence number
+	// was pruned before the reader attached; the caller must bootstrap
+	// from a snapshot instead of the log.
+	ErrPruned = errors.New("wal: records pruned")
+	// ErrStopped is returned by Reader.Next when its stop channel closes.
+	ErrStopped = errors.New("wal: follow stopped")
 )
 
 type segment struct {
@@ -135,6 +141,14 @@ type Log struct {
 	// exactly one is in flight, and always acquired before mu.
 	syncMu sync.Mutex
 
+	// readers are the attached followers (Follow). Each one's next
+	// undelivered sequence number is a floor below which PruneTo will not
+	// delete segments, so an attached follower can never lose its place.
+	readers map[*Reader]struct{}
+	// tailc is closed and replaced whenever the shippable frontier
+	// advances; blocked readers wait on it.
+	tailc chan struct{}
+
 	stop     chan struct{} // closes the interval syncer
 	done     chan struct{}
 	stopOnce sync.Once
@@ -157,7 +171,8 @@ func Open(dir string, opts Options) (*Log, error) {
 	if err != nil {
 		return nil, err
 	}
-	l := &Log{dir: dir, opts: opts, nextSeq: 1}
+	l := &Log{dir: dir, opts: opts, nextSeq: 1,
+		readers: make(map[*Reader]struct{}), tailc: make(chan struct{})}
 	if len(segs) > 0 {
 		// Segments before the first were pruned by past checkpoints; the
 		// sequence resumes at whatever the oldest survivor starts with.
@@ -333,6 +348,7 @@ func (l *Log) AppendAsync(payload []byte) (uint64, func() error, error) {
 	l.appended = seq
 	l.segBytes += int64(frameHeader) + int64(len(payload))
 	policy := l.opts.Policy
+	l.broadcastLocked()
 	l.mu.Unlock()
 
 	if policy == SyncAlways {
@@ -371,6 +387,7 @@ func (l *Log) syncTo(seq uint64) error {
 		l.syncErr = err
 	} else if target > l.synced {
 		l.synced = target
+		l.broadcastLocked()
 	}
 	l.mu.Unlock()
 	return err
@@ -427,7 +444,27 @@ func (l *Log) rotate() error {
 		return err
 	}
 	l.synced = l.appended
+	l.broadcastLocked()
 	return l.createSegmentLocked()
+}
+
+// broadcastLocked wakes every follower blocked at the tail. Caller holds
+// mu.
+func (l *Log) broadcastLocked() {
+	close(l.tailc)
+	l.tailc = make(chan struct{})
+}
+
+// shippableLocked is the highest sequence number followers may be given:
+// under SyncAlways only durable records ship (a follower can never hold a
+// record the primary may lose in a crash); under the weaker policies —
+// where acknowledged commits can be lost anyway — appended records ship
+// immediately. Caller holds mu.
+func (l *Log) shippableLocked() uint64 {
+	if l.opts.Policy == SyncAlways {
+		return l.synced
+	}
+	return l.appended
 }
 
 // createSegmentLocked opens a fresh segment for nextSeq and fsyncs the
@@ -519,6 +556,14 @@ func replaySegment(s segment, last bool, fn func(seq uint64, payload []byte) err
 func (l *Log) PruneTo(keepSeq uint64) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	// Attached followers hold the log: never prune a record a reader has
+	// yet to deliver, or a mid-stream follower would be forced back to a
+	// full snapshot transfer.
+	for r := range l.readers {
+		if r.next < keepSeq {
+			keepSeq = r.next
+		}
+	}
 	kept := l.segments[:0]
 	var firstErr error
 	for i, s := range l.segments {
@@ -560,11 +605,247 @@ func (l *Log) Close() error {
 		return ErrClosed
 	}
 	l.closed = true
+	l.broadcastLocked() // wake followers so they observe the close
 	err := l.f.Sync()
 	if cerr := l.f.Close(); err == nil {
 		err = cerr
 	}
 	return err
+}
+
+// ---------------------------------------------------------------------------
+// Followers: tail-follow readers with retention holds (replication).
+
+// Info is a point-in-time summary of the log's retained span.
+type Info struct {
+	OldestSeq     uint64 // sequence number of the oldest retained record
+	NextSeq       uint64 // sequence number the next Append will receive
+	AppendedSeq   uint64 // highest sequence number written to the OS
+	SyncedSeq     uint64 // highest sequence number known durable
+	Segments      int    // retained segment files
+	RetainedBytes int64  // bytes across retained segment files
+}
+
+// Info returns the log's retained span and durability frontier.
+func (l *Log) Info() Info {
+	l.mu.Lock()
+	info := Info{
+		OldestSeq:   l.segments[0].start,
+		NextSeq:     l.nextSeq,
+		AppendedSeq: l.appended,
+		SyncedSeq:   l.synced,
+		Segments:    len(l.segments),
+	}
+	segs := append([]segment(nil), l.segments...)
+	l.mu.Unlock()
+	for _, s := range segs {
+		if st, err := os.Stat(s.path); err == nil {
+			info.RetainedBytes += st.Size()
+		}
+	}
+	return info
+}
+
+// OldestSeq returns the sequence number of the oldest retained record
+// (== NextSeq when the retained log is empty).
+func (l *Log) OldestSeq() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.segments[0].start
+}
+
+// Follow returns a Reader that yields records in sequence order starting
+// at from, blocking at the shippable frontier until more arrive. While
+// the reader is open, PruneTo retains every record from the reader's
+// position onward. Records pruned before Follow is called are gone for
+// good: Follow reports ErrPruned and the caller must bootstrap from a
+// snapshot. from may be at most NextSeq (following the future tail).
+func (l *Log) Follow(from uint64) (*Reader, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil, ErrClosed
+	}
+	if oldest := l.segments[0].start; from < oldest {
+		return nil, fmt.Errorf("%w: follow from %d, oldest retained is %d", ErrPruned, from, oldest)
+	}
+	if from > l.nextSeq {
+		return nil, fmt.Errorf("wal: follow from %d beyond next sequence %d", from, l.nextSeq)
+	}
+	r := &Reader{l: l, next: from, closed: make(chan struct{})}
+	l.readers[r] = struct{}{}
+	return r, nil
+}
+
+// Reader follows the log from a given sequence number (see Log.Follow).
+// Next must be called from one goroutine at a time; Close may race it.
+type Reader struct {
+	l *Log
+	// next is the next sequence number to deliver. Guarded by l.mu: it is
+	// the reader's prune floor, read by PruneTo.
+	next uint64
+	// fmu guards the file position (f, segStart) against a Close racing
+	// Next mid-read.
+	fmu       sync.Mutex
+	segStart  uint64 // start seq of the segment f reads from
+	f         *os.File
+	closed    chan struct{}
+	closeOnce sync.Once
+}
+
+// Next returns the next record once it is shippable under the log's sync
+// policy (durable under SyncAlways, appended otherwise), blocking until
+// then. Closing stop returns ErrStopped; closing the reader or the log
+// returns ErrClosed. A nil stop never fires.
+func (r *Reader) Next(stop <-chan struct{}) (seq uint64, payload []byte, err error) {
+	l := r.l
+	for {
+		l.mu.Lock()
+		select {
+		case <-r.closed:
+			l.mu.Unlock()
+			return 0, nil, ErrClosed
+		default:
+		}
+		if l.closed {
+			l.mu.Unlock()
+			return 0, nil, ErrClosed
+		}
+		next := r.next
+		if next <= l.shippableLocked() {
+			// Locate the segment holding next: the last one starting at or
+			// below it.
+			idx := sort.Search(len(l.segments), func(i int) bool { return l.segments[i].start > next }) - 1
+			seg := l.segments[idx]
+			l.mu.Unlock()
+			r.fmu.Lock()
+			select {
+			case <-r.closed:
+				// A Close that won the race already released the file;
+				// repositioning here would leak a fresh descriptor.
+				r.fmu.Unlock()
+				return 0, nil, ErrClosed
+			default:
+			}
+			if r.f == nil || seg.start != r.segStart {
+				if err := r.position(seg); err != nil {
+					r.fmu.Unlock()
+					return 0, nil, err
+				}
+			}
+			payload, err := readFrame(r.f)
+			r.fmu.Unlock()
+			if err != nil {
+				select {
+				case <-r.closed:
+					return 0, nil, ErrClosed
+				default:
+				}
+				// Frames at or below the shippable frontier are fully
+				// written and validated on the write path; failing to read
+				// one back is damage, not a race.
+				return 0, nil, fmt.Errorf("%w: %s: %v", ErrCorrupt, filepath.Base(seg.path), err)
+			}
+			l.mu.Lock()
+			r.next = next + 1
+			l.mu.Unlock()
+			return next, payload, nil
+		}
+		ch := l.tailc
+		l.mu.Unlock()
+		select {
+		case <-ch:
+		case <-r.closed:
+			return 0, nil, ErrClosed
+		case <-stop:
+			return 0, nil, ErrStopped
+		}
+	}
+}
+
+// position opens the segment and skips forward to the reader's next
+// record (needed when attaching mid-segment or crossing a rotation).
+// Caller holds r.fmu.
+func (r *Reader) position(seg segment) error {
+	if r.f != nil {
+		r.f.Close()
+		r.f = nil
+	}
+	f, err := os.Open(seg.path)
+	if err != nil {
+		return err
+	}
+	for skip := r.next - seg.start; skip > 0; skip-- {
+		if _, err := readFrame(f); err != nil {
+			f.Close()
+			return fmt.Errorf("%w: %s: skipping to %d: %v", ErrCorrupt, filepath.Base(seg.path), r.next, err)
+		}
+	}
+	r.f = f
+	r.segStart = seg.start
+	return nil
+}
+
+// SkipTo advances the reader so the next delivered record has sequence
+// number at least seq (a no-op when already past it), releasing the
+// retention hold on everything below. Callers use it when a snapshot
+// hand-off makes the log prefix redundant. Must not race Next; intended
+// before streaming starts.
+func (r *Reader) SkipTo(seq uint64) {
+	r.l.mu.Lock()
+	moved := seq > r.next
+	if moved {
+		r.next = seq
+	}
+	r.l.mu.Unlock()
+	if moved {
+		r.fmu.Lock()
+		if r.f != nil {
+			// Drop the position so the next read re-locates its segment.
+			r.f.Close()
+			r.f = nil
+			r.segStart = 0
+		}
+		r.fmu.Unlock()
+	}
+}
+
+// Close detaches the reader, releasing its retention hold.
+func (r *Reader) Close() error {
+	r.closeOnce.Do(func() {
+		close(r.closed)
+		r.l.mu.Lock()
+		delete(r.l.readers, r)
+		r.l.mu.Unlock()
+		r.fmu.Lock()
+		if r.f != nil {
+			r.f.Close()
+			r.f = nil
+		}
+		r.fmu.Unlock()
+	})
+	return nil
+}
+
+// readFrame reads and validates one frame at f's current offset.
+func readFrame(f *os.File) ([]byte, error) {
+	var hdr [frameHeader]byte
+	if _, err := io.ReadFull(f, hdr[:]); err != nil {
+		return nil, err
+	}
+	length := binary.LittleEndian.Uint32(hdr[:4])
+	crc := binary.LittleEndian.Uint32(hdr[4:])
+	if length > maxRecordSize {
+		return nil, errors.New("absurd frame length")
+	}
+	payload := make([]byte, length)
+	if _, err := io.ReadFull(f, payload); err != nil {
+		return nil, err
+	}
+	if frameCRC(length, payload) != crc {
+		return nil, errors.New("frame checksum mismatch")
+	}
+	return payload, nil
 }
 
 // SyncDir fsyncs a directory so metadata changes inside it (created,

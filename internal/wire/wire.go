@@ -41,6 +41,11 @@ const (
 	// Sharded deployments (a Cluster served behind one listener).
 	OpShardMap      Op = "shard-map"      // discover the shard count and routing scheme
 	OpClusterDigest Op = "cluster-digest" // per-shard digest vector + combined root
+
+	// Observability and replication.
+	OpStats      Op = "stats"       // WAL span, follower lag, batching counters
+	OpReplStream Op = "repl-stream" // subscribe to the committed-block stream
+	OpReplAck    Op = "repl-ack"    // follower -> primary progress report (stream only)
 )
 
 // Put is one write in a request.
@@ -75,6 +80,11 @@ type Request struct {
 	// i-1 directly. Single-engine servers ignore it, so shard-aware
 	// clients interoperate with both.
 	Shard int
+
+	// Height carries the ledger height of replication requests: the
+	// height to stream from (OpReplStream) or the follower's height after
+	// applying a block (OpReplAck).
+	Height uint64
 }
 
 // Response is the server -> client message.
@@ -93,6 +103,103 @@ type Response struct {
 	ShardCount int                   // OpShardMap: number of shards behind this listener
 	Shard      int                   // 1-based shard that served a routed request (0 = unsharded)
 	Cluster    *ledger.ClusterDigest // OpClusterDigest
+
+	// Replication stream messages (OpReplStream). Found distinguishes a
+	// snapshot hand-off (Value = snapshot stream, Height = its block
+	// count) from a block frame (Value = WAL frame, Height = the block's
+	// index).
+	Height uint64
+
+	// Stats is the OpStats payload.
+	Stats *Stats
+}
+
+// ---------------------------------------------------------------------------
+// Observability (OpStats)
+
+// Stats is the server-side observability payload: one entry per shard
+// (single-engine servers report one), plus per-shard replica status when
+// the serving node is itself a replica.
+type Stats struct {
+	Shards []ShardStats
+}
+
+// ShardStats describes one shard of the serving deployment.
+type ShardStats struct {
+	Height uint64 // committed ledger blocks
+	Blocks uint64 // ledger blocks cut by the group-commit pipeline
+	Txns   uint64 // transactions folded into those blocks
+
+	// WAL is nil for in-memory shards.
+	WAL *WALStats
+	// Followers lists the replication followers currently attached.
+	Followers []FollowerStats
+	// Replica is set when this shard is a read replica mirroring a
+	// primary.
+	Replica *ReplicaStats
+}
+
+// WALStats mirrors durable.WALStats over the wire.
+type WALStats struct {
+	DurableHeight        uint64
+	LoggedHeight         uint64
+	OldestRetainedHeight uint64
+	Segments             int
+	RetainedBytes        int64
+}
+
+// FollowerStats describes one attached replication follower.
+type FollowerStats struct {
+	Remote      string // follower's transport address
+	StartHeight uint64 // height the stream began at
+	SentHeight  uint64 // blocks shipped to the follower
+	AckedHeight uint64 // blocks the follower confirmed applying
+	SentBytes   uint64 // snapshot + frame bytes shipped
+	LagBlocks   uint64 // primary height minus acked height
+	LagBytes    uint64 // shipped-but-unacknowledged bytes
+}
+
+// ReplicaStats describes a replica shard's view of its primary.
+type ReplicaStats struct {
+	Height        uint64
+	Connected     bool
+	LastError     string
+	AppliedBlocks uint64
+	AppliedBytes  uint64
+	SnapshotLoads uint64
+}
+
+// ---------------------------------------------------------------------------
+// Replication streaming (OpReplStream)
+
+// ReplStreamer is a replication source: it attaches followers to a
+// shard's committed-block stream. internal/repl implements it; servers
+// expose it through Server.Repl.
+type ReplStreamer interface {
+	// Attach subscribes a follower whose ledger is fromHeight blocks
+	// tall. The feed starts with a snapshot hand-off when the follower is
+	// behind the retained log (or impossibly ahead of it), then yields
+	// block frames in height order.
+	Attach(remote string, fromHeight uint64) (ReplFeed, error)
+}
+
+// ReplFeed is one attached follower's view of the stream.
+type ReplFeed interface {
+	// Next blocks until the next event, stop closes (ErrStopped-like
+	// error), or the feed fails.
+	Next(stop <-chan struct{}) (ReplEvent, error)
+	// Ack records that the follower's ledger is now height blocks tall.
+	Ack(height uint64)
+	// Close detaches the follower, releasing its log retention hold.
+	Close()
+}
+
+// ReplEvent is one stream message: a snapshot hand-off or a block frame.
+type ReplEvent struct {
+	IsSnapshot bool
+	Height     uint64 // snapshot: block count; frame: the block's index
+	Snapshot   []byte
+	Frame      []byte
 }
 
 // Handler executes one protocol request. core.Engine-backed servers use
@@ -109,19 +216,36 @@ type Server struct {
 	// (the default) rejects restore requests.
 	Restore func(snapshot []byte) (*core.Engine, error)
 
+	// Repl, when non-nil, serves replication streams (OpReplStream): it
+	// returns the replication source for a wire shard id (0 or 1 both
+	// address a single-engine server; i > 0 addresses shard i-1 of a
+	// cluster). Set before Serve.
+	Repl func(shard int) (ReplStreamer, error)
+
+	// Stats, when non-nil, answers OpStats with deployment-wide counters
+	// (WAL span, attached followers); without it OpStats falls back to
+	// the handler or the engine's basic counters. Set before Serve.
+	Stats func() Stats
+
 	mu      sync.Mutex
 	engine  *core.Engine
 	handler Handler // when set, requests go here instead of Dispatch(engine, ·)
 	closed  bool
 	ln      net.Listener
+	stopc   chan struct{}         // closed when the server stops (aborts streams)
+	conns   map[net.Conn]struct{} // live connections, closed on shutdown
 }
 
 // NewServer returns a server over eng.
-func NewServer(eng *core.Engine) *Server { return &Server{engine: eng} }
+func NewServer(eng *core.Engine) *Server {
+	return &Server{engine: eng, stopc: make(chan struct{}), conns: make(map[net.Conn]struct{})}
+}
 
 // NewHandlerServer returns a server whose requests are executed by h
 // (e.g. a sharded cluster served behind one listener).
-func NewHandlerServer(h Handler) *Server { return &Server{handler: h} }
+func NewHandlerServer(h Handler) *Server {
+	return &Server{handler: h, stopc: make(chan struct{}), conns: make(map[net.Conn]struct{})}
+}
 
 // Engine returns the currently served engine (it changes on OpRestore).
 func (s *Server) Engine() *core.Engine {
@@ -138,13 +262,16 @@ func (s *Server) SetEngine(eng *core.Engine) {
 	s.engine = eng
 }
 
-// Serve accepts connections until the listener is closed. Each connection
-// handles requests sequentially (clients multiplex by opening more
-// connections).
+// Serve accepts connections until the listener is closed; on return the
+// server is fully stopped — live connections (including replication
+// streams) are closed, so a stopped server never keeps serving stale
+// state in the background. Each connection handles requests sequentially
+// (clients multiplex by opening more connections).
 func (s *Server) Serve(ln net.Listener) error {
 	s.mu.Lock()
 	s.ln = ln
 	s.mu.Unlock()
+	defer s.shutdown()
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
@@ -156,6 +283,14 @@ func (s *Server) Serve(ln net.Listener) error {
 			}
 			return err
 		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return nil
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
 		go s.handle(conn)
 	}
 }
@@ -163,16 +298,41 @@ func (s *Server) Serve(ln net.Listener) error {
 // Close stops the server.
 func (s *Server) Close() error {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	s.closed = true
-	if s.ln != nil {
-		return s.ln.Close()
+	ln := s.ln
+	s.mu.Unlock()
+	if ln != nil {
+		return ln.Close()
 	}
 	return nil
 }
 
+// shutdown aborts in-flight streams and closes every live connection.
+func (s *Server) shutdown() {
+	s.mu.Lock()
+	s.closed = true
+	select {
+	case <-s.stopc:
+	default:
+		close(s.stopc)
+	}
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	for _, c := range conns {
+		c.Close()
+	}
+}
+
 func (s *Server) handle(conn net.Conn) {
-	defer conn.Close()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
 	dec := gob.NewDecoder(conn)
 	enc := gob.NewEncoder(conn)
 	for {
@@ -180,17 +340,95 @@ func (s *Server) handle(conn net.Conn) {
 		if err := dec.Decode(&req); err != nil {
 			return // connection closed or corrupt stream
 		}
+		if req.Op == OpReplStream {
+			// The connection is dedicated to the stream from here on.
+			s.streamRepl(conn, enc, dec, req)
+			return
+		}
 		var resp Response
 		s.mu.Lock()
 		h := s.handler
 		s.mu.Unlock()
 		switch {
+		case req.Op == OpStats && s.Stats != nil:
+			st := s.Stats()
+			resp = Response{Stats: &st}
 		case req.Op == OpRestore && h == nil:
 			resp = s.restore(req)
 		case h != nil:
 			resp = h.Handle(req)
 		default:
 			resp = Dispatch(s.Engine(), req)
+		}
+		if err := enc.Encode(resp); err != nil {
+			return
+		}
+	}
+}
+
+// streamRepl serves one replication stream: block frames flow out,
+// follower acks flow back in on the same connection. It returns when the
+// follower disconnects, the server stops, or the feed fails.
+func (s *Server) streamRepl(conn net.Conn, enc *gob.Encoder, dec *gob.Decoder, req Request) {
+	if s.Repl == nil {
+		enc.Encode(Response{Err: "wire: this server does not serve replication streams"})
+		return
+	}
+	str, err := s.Repl(req.Shard)
+	if err != nil {
+		enc.Encode(Response{Err: err.Error()})
+		return
+	}
+	remote := "?"
+	if addr := conn.RemoteAddr(); addr != nil {
+		remote = addr.String()
+	}
+	feed, err := str.Attach(remote, req.Height)
+	if err != nil {
+		enc.Encode(Response{Err: err.Error()})
+		return
+	}
+	defer feed.Close()
+
+	// The ack reader doubles as connection-failure detection: when the
+	// follower goes away its decode fails and the stream stops.
+	connDone := make(chan struct{})
+	go func() {
+		defer close(connDone)
+		for {
+			var ack Request
+			if err := dec.Decode(&ack); err != nil {
+				return
+			}
+			if ack.Op == OpReplAck {
+				feed.Ack(ack.Height)
+			}
+		}
+	}()
+	stop := make(chan struct{})
+	streamDone := make(chan struct{})
+	defer close(streamDone)
+	go func() {
+		defer close(stop)
+		select {
+		case <-connDone:
+		case <-s.stopc:
+		case <-streamDone:
+		}
+	}()
+
+	for {
+		ev, err := feed.Next(stop)
+		if err != nil {
+			enc.Encode(Response{Err: err.Error()})
+			return
+		}
+		resp := Response{Height: ev.Height}
+		if ev.IsSnapshot {
+			resp.Found = true
+			resp.Value = ev.Snapshot
+		} else {
+			resp.Value = ev.Frame
 		}
 		if err := enc.Encode(resp); err != nil {
 			return
@@ -277,6 +515,9 @@ func Dispatch(eng *core.Engine, req Request) Response {
 	case OpClusterDigest:
 		d := ledger.NewClusterDigest([]ledger.Digest{eng.Digest()})
 		return Response{Cluster: &d}
+	case OpStats:
+		st := EngineStats(eng)
+		return Response{Stats: &st}
 	case OpConsistency:
 		// Digest and proof must be captured atomically: sampled separately
 		// they can straddle a concurrently committed block, and the client
@@ -306,6 +547,17 @@ func Dispatch(eng *core.Engine, req Request) Response {
 	}
 }
 
+// EngineStats summarizes one bare engine for OpStats; servers with a
+// wider view (durability, followers) install a Stats hook instead.
+func EngineStats(eng *core.Engine) Stats {
+	b := eng.BatchStats()
+	return Stats{Shards: []ShardStats{{
+		Height: eng.Ledger().Height(),
+		Blocks: b.Blocks,
+		Txns:   b.Txns,
+	}}}
+}
+
 // Client is a synchronous protocol client over one connection. Safe for
 // concurrent use (requests serialize on the connection).
 type Client struct {
@@ -332,19 +584,62 @@ func NewClient(conn net.Conn) *Client {
 // Close closes the connection.
 func (c *Client) Close() error { return c.conn.Close() }
 
+// ErrTransport marks connection-level failures (as opposed to errors the
+// server reported). Clients with fallback targets — a replicated client
+// failing over between replicas — retry on it and surface anything else.
+var ErrTransport = errors.New("wire: transport failed")
+
 // Do performs one request/response round trip.
 func (c *Client) Do(req Request) (Response, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if err := c.enc.Encode(req); err != nil {
-		return Response{}, fmt.Errorf("wire: send: %w", err)
+		return Response{}, fmt.Errorf("%w: send: %v", ErrTransport, err)
 	}
 	var resp Response
 	if err := c.dec.Decode(&resp); err != nil {
-		return Response{}, fmt.Errorf("wire: receive: %w", err)
+		return Response{}, fmt.Errorf("%w: receive: %v", ErrTransport, err)
 	}
 	if resp.Err != "" {
 		return resp, errors.New(resp.Err)
 	}
 	return resp, nil
+}
+
+// StreamBlocks subscribes to a shard's committed-block stream from the
+// given height and drives the callbacks until the stream ends. Both
+// callbacks return the follower's resulting ledger height, which is
+// acknowledged back to the primary (its follower lag accounting).
+// The connection is dedicated to the stream for the duration; use a
+// separate Client for queries.
+func (c *Client) StreamBlocks(shard int, from uint64,
+	onSnapshot func(snapshot []byte, height uint64) (uint64, error),
+	onBlock func(height uint64, frame []byte) (uint64, error)) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.enc.Encode(Request{Op: OpReplStream, Shard: shard, Height: from}); err != nil {
+		return fmt.Errorf("%w: send: %v", ErrTransport, err)
+	}
+	for {
+		var resp Response
+		if err := c.dec.Decode(&resp); err != nil {
+			return fmt.Errorf("%w: receive: %v", ErrTransport, err)
+		}
+		if resp.Err != "" {
+			return errors.New(resp.Err)
+		}
+		var height uint64
+		var err error
+		if resp.Found {
+			height, err = onSnapshot(resp.Value, resp.Height)
+		} else {
+			height, err = onBlock(resp.Height, resp.Value)
+		}
+		if err != nil {
+			return err
+		}
+		if err := c.enc.Encode(Request{Op: OpReplAck, Height: height}); err != nil {
+			return fmt.Errorf("%w: ack: %v", ErrTransport, err)
+		}
+	}
 }

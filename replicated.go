@@ -1,0 +1,281 @@
+package spitz
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"spitz/internal/wire"
+)
+
+// ReplicatedOptions configures DialReplicated.
+type ReplicatedOptions struct {
+	// MaxLag, when non-zero, bounds how many blocks behind the trusted
+	// primary digest a replica-served result may be: a verifiably honest
+	// but older result is rejected with ErrStale (and the read retried on
+	// the primary) instead of silently served. Zero accepts any verified
+	// prefix, however stale.
+	MaxLag uint64
+}
+
+// ReplicatedClient distributes reads across a set of untrusted read
+// replicas and routes writes (and all trust decisions) to the primary.
+//
+// Every verified read is checked with the client's single verifier,
+// whose trusted digest only ever advances against the primary: a proof
+// served by a replica at digest d is accepted only after the primary
+// proves — with an ordinary consistency proof — that d is a prefix of
+// the trusted history. A tampering replica is therefore detected exactly
+// like a tampering server, and a lagging replica serves verifiably stale
+// data, bounded by MaxLag. Replicas that are down — at connect time or
+// later — are skipped (reads fail over to the remaining replicas, then
+// the primary); they are not redialled — reconnect by building a new
+// client.
+//
+// Safe for concurrent use.
+type ReplicatedClient struct {
+	primary  *wire.Client
+	verifier *Verifier
+	syncMu   sync.Mutex // serializes digest refreshes across all links
+	maxLag   uint64
+
+	mu       sync.Mutex
+	replicas []*replicaConn
+	rr       int // round-robin cursor
+}
+
+type replicaConn struct {
+	c    *wire.Client
+	down bool
+}
+
+// DialReplicated connects to a primary Spitz server and any number of
+// read replicas of it (spitz-server -replicate-from). The primary must
+// be a single-engine deployment; for sharded ones connect a DialSharded
+// client to the replica set directly.
+func DialReplicated(network, primaryAddr string, replicaAddrs []string, opts ReplicatedOptions) (*ReplicatedClient, error) {
+	dials := make([]func() (*wire.Client, error), len(replicaAddrs))
+	for i, addr := range replicaAddrs {
+		addr := addr
+		dials[i] = func() (*wire.Client, error) { return wire.Dial(network, addr) }
+	}
+	return NewReplicatedClient(func() (*wire.Client, error) { return wire.Dial(network, primaryAddr) }, dials, opts)
+}
+
+// NewReplicatedClient builds a replicated client from dialling functions
+// — the transport-agnostic form DialReplicated wraps (tests and
+// benchmarks use it with in-process pipe listeners). Trust is pinned to
+// the primary's digest at connect time, so even the very first
+// replica-served read must prove its digest is a prefix of the
+// primary's history.
+func NewReplicatedClient(dialPrimary func() (*wire.Client, error),
+	dialReplicas []func() (*wire.Client, error), opts ReplicatedOptions) (*ReplicatedClient, error) {
+	primary, err := dialPrimary()
+	if err != nil {
+		return nil, err
+	}
+	rc := &ReplicatedClient{primary: primary, verifier: NewVerifier(), maxLag: opts.MaxLag}
+	resp, err := primary.Do(wire.Request{Op: wire.OpShardMap})
+	if err != nil {
+		primary.Close()
+		return nil, fmt.Errorf("spitz: shard map: %w", err)
+	}
+	if resp.ShardCount > 1 {
+		primary.Close()
+		return nil, fmt.Errorf("spitz: DialReplicated serves single-engine primaries; the server reports %d shards (use DialSharded against the replica set)", resp.ShardCount)
+	}
+	// Pin trust to the primary before the first replica read. (A primary
+	// still at height 0 leaves the verifier unpinned; the first verified
+	// read then bootstraps trust from the primary, never the replica.)
+	dresp, err := primary.Do(wire.Request{Op: wire.OpDigest})
+	if err != nil {
+		primary.Close()
+		return nil, err
+	}
+	if dresp.Digest.Height > 0 {
+		if err := rc.verifier.Advance(dresp.Digest, ConsistencyProof{}); err != nil {
+			primary.Close()
+			return nil, err
+		}
+	}
+	for _, dial := range dialReplicas {
+		c, err := dial()
+		if err != nil {
+			// A replica that is down at connect time is exactly what the
+			// failover machinery exists for: run on the survivors.
+			continue
+		}
+		rc.replicas = append(rc.replicas, &replicaConn{c: c})
+	}
+	return rc, nil
+}
+
+// Close releases every connection.
+func (rc *ReplicatedClient) Close() error {
+	err := rc.primary.Close()
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	for _, r := range rc.replicas {
+		if cerr := r.c.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// Verifier exposes the client's proof verifier; its digest is the
+// primary-anchored trust every replica read is checked against.
+func (rc *ReplicatedClient) Verifier() *Verifier { return rc.verifier }
+
+// Replicas returns how many replicas are still considered healthy.
+func (rc *ReplicatedClient) Replicas() int {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	n := 0
+	for _, r := range rc.replicas {
+		if !r.down {
+			n++
+		}
+	}
+	return n
+}
+
+// primaryLink reads from the primary itself (write path, or read
+// fallback when every replica is down or too stale).
+func (rc *ReplicatedClient) primaryLink() shardLink {
+	return shardLink{c: rc.primary, v: rc.verifier, mu: &rc.syncMu}
+}
+
+// replicaLink reads from a replica, with trust anchored at the primary.
+func (rc *ReplicatedClient) replicaLink(r *replicaConn) shardLink {
+	return shardLink{c: r.c, v: rc.verifier, mu: &rc.syncMu, syncC: rc.primary, maxLag: rc.maxLag}
+}
+
+// nextReplicas snapshots the healthy replicas in round-robin order.
+func (rc *ReplicatedClient) nextReplicas() []*replicaConn {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	out := make([]*replicaConn, 0, len(rc.replicas))
+	for i := 0; i < len(rc.replicas); i++ {
+		r := rc.replicas[(rc.rr+i)%len(rc.replicas)]
+		if !r.down {
+			out = append(out, r)
+		}
+	}
+	rc.rr++
+	return out
+}
+
+func (rc *ReplicatedClient) markDown(r *replicaConn) {
+	rc.mu.Lock()
+	r.down = true
+	rc.mu.Unlock()
+}
+
+// doRead runs fn against replicas in round-robin order, failing over on
+// transport errors and falling back to the primary when no replica can
+// serve (all down, none configured, or the result was too stale).
+func (rc *ReplicatedClient) doRead(fn func(l shardLink) error) error {
+	for _, r := range rc.nextReplicas() {
+		err := fn(rc.replicaLink(r))
+		switch {
+		case err == nil:
+			return nil
+		case errors.Is(err, errPrimarySync):
+			// The digest authority failed, not the replica that served
+			// the data: blaming the replica would mark the whole fleet
+			// down over a primary outage.
+			return err
+		case errors.Is(err, wire.ErrTransport):
+			rc.markDown(r) // dead replica: fail over
+		case errors.Is(err, ErrStale):
+			return fn(rc.primaryLink()) // verifiably honest but too old
+		default:
+			return err
+		}
+	}
+	return fn(rc.primaryLink())
+}
+
+// Apply commits a batch of writes on the primary and returns the new
+// block header.
+func (rc *ReplicatedClient) Apply(statement string, puts []Put) (BlockHeader, error) {
+	resp, err := rc.primary.Do(wire.Request{Op: wire.OpPut, Statement: statement, Puts: encodePuts(puts)})
+	if err != nil {
+		return BlockHeader{}, err
+	}
+	return resp.Header, nil
+}
+
+// Get performs an unverified point read on a replica (primary fallback).
+func (rc *ReplicatedClient) Get(table, column string, pk []byte) ([]byte, error) {
+	var value []byte
+	err := rc.doRead(func(l shardLink) error {
+		resp, err := l.c.Do(wire.Request{Op: wire.OpGet, Table: table, Column: column, PK: pk})
+		if err != nil {
+			return err
+		}
+		if !resp.Found {
+			return ErrNotFound
+		}
+		value = resp.Value
+		return nil
+	})
+	return value, err
+}
+
+// GetVerified performs a verified point read on a replica: the proof is
+// checked against the replica's digest only after that digest is proven
+// — against the primary — to be a prefix of the trusted history.
+func (rc *ReplicatedClient) GetVerified(table, column string, pk []byte) ([]byte, bool, error) {
+	var value []byte
+	var found bool
+	err := rc.doRead(func(l shardLink) error {
+		v, ok, err := l.getVerified(table, column, pk)
+		if err != nil {
+			return err
+		}
+		value, found = v, ok
+		return nil
+	})
+	return value, found, err
+}
+
+// RangePKVerified performs a verified range scan on a replica, with the
+// same primary-anchored trust as GetVerified.
+func (rc *ReplicatedClient) RangePKVerified(table, column string, pkLo, pkHi []byte) ([]Cell, error) {
+	var cells []Cell
+	err := rc.doRead(func(l shardLink) error {
+		cs, err := l.rangeVerified(table, column, pkLo, pkHi)
+		if err != nil {
+			return err
+		}
+		cells = cs
+		return nil
+	})
+	return cells, err
+}
+
+// History returns all versions of a cell, newest first, from a replica.
+func (rc *ReplicatedClient) History(table, column string, pk []byte) ([]Cell, error) {
+	var cells []Cell
+	err := rc.doRead(func(l shardLink) error {
+		resp, err := l.c.Do(wire.Request{Op: wire.OpHistory, Table: table, Column: column, PK: pk})
+		if err != nil {
+			return err
+		}
+		cells = resp.Cells
+		return nil
+	})
+	return cells, err
+}
+
+// SyncDigest advances the client's trusted digest to the primary's
+// current one, verifying a consistency proof.
+func (rc *ReplicatedClient) SyncDigest() error {
+	resp, err := rc.primary.Do(wire.Request{Op: wire.OpDigest})
+	if err != nil {
+		return err
+	}
+	return rc.primaryLink().syncDigest(resp.Digest)
+}

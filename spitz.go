@@ -31,6 +31,7 @@ package spitz
 import (
 	"bytes"
 	"errors"
+	"fmt"
 	"io"
 	"net"
 	"sync"
@@ -44,6 +45,7 @@ import (
 	"spitz/internal/mtree"
 	"spitz/internal/proof"
 	"spitz/internal/query"
+	"spitz/internal/repl"
 	"spitz/internal/txn"
 	"spitz/internal/wal"
 	"spitz/internal/wire"
@@ -74,6 +76,18 @@ type (
 	BatchStats = core.BatchStats
 	// TxnStats counts transaction commit and abort outcomes.
 	TxnStats = txn.Stats
+	// WALStats summarizes the write-ahead log: durable height and the
+	// retained segment span (what a late replication follower can still
+	// resume from).
+	WALStats = durable.WALStats
+	// FollowerStats describes one attached replication follower: acked
+	// height and lag in blocks and bytes.
+	FollowerStats = wire.FollowerStats
+	// ServerStats is the wire-level observability payload a running
+	// server reports (Client.Stats, spitz-cli stats).
+	ServerStats = wire.Stats
+	// ReplicaStatus is a read replica's replication state.
+	ReplicaStatus = repl.Status
 )
 
 // Stats is a point-in-time snapshot of database counters.
@@ -85,6 +99,12 @@ type Stats struct {
 	Batch BatchStats
 	// Txns reports interactive transaction outcomes.
 	Txns TxnStats
+	// WAL reports the write-ahead log's durable height and retained
+	// segment span; nil for in-memory databases.
+	WAL *WALStats
+	// Followers lists the replication followers currently streaming this
+	// database's log (populated while the database is served).
+	Followers []FollowerStats
 }
 
 // Concurrency control modes for Options.Mode.
@@ -118,6 +138,10 @@ var (
 	ErrConflict = txn.ErrConflict
 	// ErrTampered is returned by Verifier methods when verification fails.
 	ErrTampered = proof.ErrTampered
+	// ErrStale is returned by a ReplicatedClient when a replica-served
+	// result is verifiably honest but further behind the trusted digest
+	// than ReplicatedOptions.MaxLag allows.
+	ErrStale = errors.New("spitz: result verifiably stale beyond the configured bound")
 )
 
 // Options configures Open and OpenDir.
@@ -159,6 +183,7 @@ type DB struct {
 	mu   sync.RWMutex
 	eng  *core.Engine
 	dur  *durable.Manager
+	src  *repl.Source // replication source over dur's WAL; nil in memory
 	opts Options
 	srvs []*wire.Server // live Serve instances, kept in step on engine swaps
 }
@@ -203,7 +228,7 @@ func OpenDir(dir string, opts Options) (*DB, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &DB{eng: m.Engine(), dur: m, opts: opts}, nil
+	return &DB{eng: m.Engine(), dur: m, src: repl.NewSource(m), opts: opts}, nil
 }
 
 // Close makes all acknowledged commits durable and releases the data
@@ -324,14 +349,22 @@ func (db *DB) ConsistencyUpdate(old Digest) (Digest, ConsistencyProof, error) {
 func (db *DB) Height() uint64 { return db.engine().Ledger().Height() }
 
 // Stats returns a snapshot of the database's runtime counters: ledger
-// height, group-commit batching behaviour, and transaction outcomes.
+// height, group-commit batching behaviour, transaction outcomes, and —
+// for durable databases — the write-ahead log's durable height and
+// retained span plus every attached replication follower's progress.
 func (db *DB) Stats() Stats {
 	eng := db.engine()
-	return Stats{
+	s := Stats{
 		Height: eng.Ledger().Height(),
 		Batch:  eng.BatchStats(),
 		Txns:   eng.TxnStats(),
 	}
+	if db.dur != nil {
+		ws := db.dur.WALStats()
+		s.WAL = &ws
+		s.Followers = db.src.Followers()
+	}
+	return s
 }
 
 // Block returns the header of the block at the given height.
@@ -356,6 +389,16 @@ func (db *DB) Serve(ln net.Listener) error {
 			return db.resetFromSnapshot(bytes.NewReader(snapshot))
 		}
 	}
+	srv.Stats = db.wireStats
+	srv.Repl = func(shard int) (wire.ReplStreamer, error) {
+		if shard > 1 {
+			return nil, fmt.Errorf("spitz: shard %d beyond single-engine server", shard-1)
+		}
+		if db.src == nil {
+			return nil, errors.New("spitz: an in-memory server has no write-ahead log to replicate; open it with OpenDir")
+		}
+		return db.src, nil
+	}
 	db.srvs = append(db.srvs, srv)
 	db.mu.Unlock()
 	defer func() {
@@ -369,6 +412,22 @@ func (db *DB) Serve(ln net.Listener) error {
 		db.mu.Unlock()
 	}()
 	return srv.Serve(ln)
+}
+
+// wireStats converts Stats into the wire observability payload.
+func (db *DB) wireStats() wire.Stats {
+	st := db.Stats()
+	sh := wire.ShardStats{
+		Height:    st.Height,
+		Blocks:    st.Batch.Blocks,
+		Txns:      st.Batch.Txns,
+		Followers: st.Followers,
+	}
+	if db.src != nil {
+		w := db.src.WALStats()
+		sh.WAL = &w
+	}
+	return wire.Stats{Shards: []wire.ShardStats{sh}}
 }
 
 // ResetFromSnapshot replaces this in-memory database's entire state with
