@@ -1,0 +1,623 @@
+package spitz
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"spitz/internal/cellstore"
+	"spitz/internal/hashutil"
+	"spitz/internal/ledger"
+	"spitz/internal/wire"
+)
+
+// AuditMode configures deferred verification (Client.StartAudit,
+// ShardedClient.StartAudit, ReplicatedClient.StartAudit): verified reads
+// are accepted optimistically — the server does no proof work on the hot
+// path and the client does no verification — and a background auditor
+// batch-verifies the accumulated receipts, one aggregated multi-proof
+// round trip per digest. Tampering is therefore detected within the
+// receipt horizon (MaxPending receipts or MaxDelay of age, whichever
+// comes first) instead of per read, trading detection latency — never
+// detection itself — for throughput: nothing is ever counted verified
+// until its batch proof checks, exactly as in eager mode.
+type AuditMode struct {
+	// MaxPending is the receipt horizon by count: a flush starts as soon
+	// as this many receipts are pending (default 128).
+	MaxPending int
+	// MaxDelay is the receipt horizon by age: receipts are audited at
+	// most this long after the read (default 100ms).
+	MaxDelay time.Duration
+	// Buffer is the Errors channel capacity (default 16). The auditor
+	// never blocks on a full channel; Err always retains the first
+	// failure.
+	Buffer int
+}
+
+func (m AuditMode) withDefaults() AuditMode {
+	if m.MaxPending <= 0 {
+		m.MaxPending = 128
+	}
+	if m.MaxDelay <= 0 {
+		m.MaxDelay = 100 * time.Millisecond
+	}
+	if m.Buffer <= 0 {
+		m.Buffer = 16
+	}
+	return m
+}
+
+// auditHolder is the per-client AuditMode attachment point, embedded by
+// Client, ShardedClient and ReplicatedClient so the start-once guard,
+// the accessor and the close ordering live in exactly one place.
+type auditHolder struct {
+	audMu sync.Mutex
+	aud   *Auditor
+}
+
+// startAudit attaches an auditor (once) whose flushes resolve links
+// through the owner-provided function.
+func (h *auditHolder) startAudit(mode AuditMode, link func(shard int) shardLink) (*Auditor, error) {
+	h.audMu.Lock()
+	defer h.audMu.Unlock()
+	if h.aud != nil {
+		return nil, errors.New("spitz: audit already started")
+	}
+	h.aud = newAuditor(mode, link)
+	return h.aud, nil
+}
+
+// auditor returns the active auditor, or nil in eager mode.
+func (h *auditHolder) auditor() *Auditor {
+	h.audMu.Lock()
+	defer h.audMu.Unlock()
+	return h.aud
+}
+
+// closeAudit closes the auditor if one is attached and returns its
+// final-flush error. Owners call it first in Close, before tearing down
+// connections, and surface the error only when nothing else failed.
+func (h *auditHolder) closeAudit() error {
+	if a := h.auditor(); a != nil {
+		return a.Close()
+	}
+	return nil
+}
+
+// auditReceipt is one optimistically accepted read awaiting its batch
+// proof: what was asked, what the server answered (as a hash), and the
+// digest the answer claimed to be read at.
+type auditReceipt struct {
+	shard  int // client-side shard index (0 for unsharded clients)
+	digest Digest
+	query  ledger.BatchQuery
+	found  bool
+	hash   hashutil.Digest
+}
+
+// AuditStats counts an auditor's work.
+type AuditStats struct {
+	Receipts uint64 // reads accepted optimistically
+	Audited  uint64 // receipts whose batch proof has verified
+	Batches  uint64 // ProveBatch round trips
+}
+
+// Auditor is the background verifier behind a client's AuditMode. Every
+// optimistic read enqueues a receipt; the auditor groups receipts by the
+// digest they were accepted at and verifies each group with one
+// aggregated proof round trip. Any mismatch — a flipped value, an
+// invented digest, a forged proof — surfaces as ErrTampered on the
+// Errors channel, and the first tampering poisons the client: further
+// optimistic reads fail immediately rather than keep accepting data from
+// a server already caught lying.
+type Auditor struct {
+	mode AuditMode
+	link func(shard int) shardLink
+
+	errs chan error
+
+	mu         sync.Mutex
+	pending    []auditReceipt
+	sticky     error
+	stats      AuditStats
+	closed     bool
+	errsClosed bool
+
+	kick chan struct{}
+	stop chan struct{}
+	done chan struct{}
+
+	flushMu sync.Mutex // serializes background, Flush and Close flushes
+}
+
+func newAuditor(mode AuditMode, link func(shard int) shardLink) *Auditor {
+	a := &Auditor{
+		mode: mode.withDefaults(),
+		link: link,
+		kick: make(chan struct{}, 1),
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	a.errs = make(chan error, a.mode.Buffer)
+	go a.run()
+	return a
+}
+
+// Errors is the per-client audit channel: every audit failure —
+// ErrTampered on any mismatch, transport errors when a flush could not
+// reach the server — is delivered here (dropped if the channel is full;
+// Err retains the first failure regardless).
+func (a *Auditor) Errors() <-chan error { return a.errs }
+
+// Err returns the first audit failure, or nil.
+func (a *Auditor) Err() error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.sticky
+}
+
+// Pending returns the number of receipts not yet audited.
+func (a *Auditor) Pending() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.pending)
+}
+
+// Stats returns a snapshot of the auditor's counters.
+func (a *Auditor) Stats() AuditStats {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.stats
+}
+
+// Flush audits every pending receipt now and returns the first failure
+// (also delivered on Errors). Callers that need a hard verification
+// barrier — end of a batch job, process shutdown — call this instead of
+// waiting out the horizon.
+func (a *Auditor) Flush() error { return a.flush() }
+
+// Close stops the auditor after a final flush and closes the Errors
+// channel. The final flush's error is returned: receipts that could not
+// be verified are a failure, never a silent pass.
+func (a *Auditor) Close() error {
+	a.mu.Lock()
+	if a.closed {
+		a.mu.Unlock()
+		return a.Err()
+	}
+	a.closed = true
+	a.mu.Unlock()
+	close(a.stop)
+	<-a.done
+	err := a.flush()
+	a.mu.Lock()
+	a.errsClosed = true
+	close(a.errs) // under a.mu, mutually exclusive with report's send
+	a.mu.Unlock()
+	return err
+}
+
+// poisoned fails optimistic reads once tampering has been detected.
+func (a *Auditor) poisoned() error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.sticky != nil && errors.Is(a.sticky, ErrTampered) {
+		return a.sticky
+	}
+	return nil
+}
+
+// errAuditClosed fails an optimistic read whose receipt can no longer
+// be audited: after Close, accepting the value would mean verification
+// silently never happens.
+var errAuditClosed = errors.New("spitz: auditor closed; optimistic read cannot be audited")
+
+// add enqueues a receipt, kicking a flush when the horizon is reached.
+// It reports false once the auditor is closed — the read racing Close
+// must fail loudly instead of leaving a receipt nothing will ever
+// verify.
+func (a *Auditor) add(r auditReceipt) bool {
+	a.mu.Lock()
+	if a.closed {
+		a.mu.Unlock()
+		return false
+	}
+	a.pending = append(a.pending, r)
+	a.stats.Receipts++
+	n := len(a.pending)
+	a.mu.Unlock()
+	if n >= a.mode.MaxPending {
+		select {
+		case a.kick <- struct{}{}:
+		default:
+		}
+	}
+	return true
+}
+
+// run is the background audit loop: flush on horizon kicks and on the
+// MaxDelay ticker, so no receipt outlives its horizon unaudited.
+func (a *Auditor) run() {
+	defer close(a.done)
+	t := time.NewTicker(a.mode.MaxDelay)
+	defer t.Stop()
+	for {
+		select {
+		case <-a.stop:
+			return
+		case <-a.kick:
+		case <-t.C:
+		}
+		a.flush()
+	}
+}
+
+// report records a failure (first one sticks) and delivers it on the
+// audit channel without ever blocking the auditor.
+func (a *Auditor) report(err error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.sticky == nil {
+		a.sticky = err
+	}
+	if a.errsClosed {
+		return // Err() retains the failure; the channel is gone
+	}
+	// The non-blocking send happens under a.mu — the same lock Close
+	// holds while closing the channel — so a late report can never race
+	// the close into a send-on-closed-channel panic.
+	select {
+	case a.errs <- err:
+	default:
+	}
+}
+
+// flush audits everything pending: receipts group by (shard, digest) and
+// each group is verified with one ProveBatch round trip. Receipts whose
+// round trip failed at the transport level are requeued (unverified is
+// not verified — they must eventually pass or fail); every failure is
+// reported.
+func (a *Auditor) flush() error {
+	a.flushMu.Lock()
+	defer a.flushMu.Unlock()
+	a.mu.Lock()
+	batch := a.pending
+	a.pending = nil
+	a.mu.Unlock()
+	if len(batch) == 0 {
+		return nil
+	}
+	type groupKey struct {
+		shard  int
+		digest Digest
+	}
+	groups := make(map[groupKey][]auditReceipt)
+	var order []groupKey
+	for _, r := range batch {
+		k := groupKey{shard: r.shard, digest: r.digest}
+		if _, ok := groups[k]; !ok {
+			order = append(order, k)
+		}
+		groups[k] = append(groups[k], r)
+	}
+	var firstErr error
+	for _, k := range order {
+		rs := groups[k]
+		err := a.link(k.shard).auditBatch(k.digest, rs)
+		if err == nil {
+			a.mu.Lock()
+			a.stats.Audited += uint64(len(rs))
+			a.stats.Batches++
+			a.mu.Unlock()
+			continue
+		}
+		if errors.Is(err, wire.ErrTransport) || errors.Is(err, errPrimarySync) {
+			// The server was unreachable: these receipts are unverified,
+			// not disproven. Keep them for the next flush so they can
+			// never silently pass.
+			a.mu.Lock()
+			a.pending = append(a.pending, rs...)
+			a.mu.Unlock()
+		}
+		a.report(err)
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// ---------------------------------------------------------------------------
+// Receipt hashing
+
+// auditValueHash commits a point read's answer into its receipt.
+func auditValueHash(value []byte) hashutil.Digest {
+	return hashutil.Sum(hashutil.DomainValue, value)
+}
+
+// auditCellsHash commits a range read's full result set into its
+// receipt: every live cell's universal key (which itself commits to the
+// version and the value) in scan order.
+func auditCellsHash(cells []Cell) hashutil.Digest {
+	h := hashutil.NewStream(hashutil.DomainValue)
+	for _, c := range cells {
+		h.Part(cellstore.EncodeKey(cellstore.UniversalKey(c)))
+	}
+	return h.Sum()
+}
+
+// ---------------------------------------------------------------------------
+// Optimistic read paths (shardLink)
+
+// getOptimistic is AuditMode's point read: an attested (proof-free) read
+// whose digest-bound receipt is enqueued for batch audit.
+func (l shardLink) getOptimistic(a *Auditor, shard int, table, column string, pk []byte) ([]byte, bool, error) {
+	if err := a.poisoned(); err != nil {
+		return nil, false, err
+	}
+	resp, err := l.c.Do(wire.Request{Op: wire.OpGet, Table: table, Column: column,
+		PK: pk, Shard: l.shard})
+	if err != nil {
+		return nil, false, err
+	}
+	if err := l.checkEmptyReplica(resp.Digest); err != nil {
+		return nil, false, err
+	}
+	if resp.Digest.Height == 0 {
+		if err := l.checkEmptyClaim(); err != nil {
+			return nil, false, err
+		}
+		// True bootstrap: an empty ledger with no trust pinned yet —
+		// the same (documented) gap as the eager path, which also
+		// accepts an unproven not-found from an empty database.
+		return nil, false, nil
+	}
+	if err := l.checkOptimisticLag(resp.Digest); err != nil {
+		return nil, false, err
+	}
+	var value []byte
+	if resp.Found {
+		value = resp.Value
+	}
+	l.v.NoteDeferred(1)
+	if !a.add(auditReceipt{
+		shard:  shard,
+		digest: resp.Digest,
+		query:  ledger.BatchQuery{Table: table, Column: column, PK: pk},
+		found:  resp.Found,
+		hash:   auditValueHash(value),
+	}) {
+		return nil, false, errAuditClosed
+	}
+	return value, resp.Found, nil
+}
+
+// checkEmptyClaim rejects a claimed-empty ledger once the client
+// already trusts a non-empty one: without it, a lying server could make
+// any key or range appear absent with no receipt ever enqueued — an
+// absence the audit would never examine.
+func (l shardLink) checkEmptyClaim() error {
+	if cur := l.v.Digest(); cur.Height > 0 {
+		return fmt.Errorf("%w: server claims an empty ledger but trusted height is %d",
+			ErrTampered, cur.Height)
+	}
+	return nil
+}
+
+// rangeOptimistic is AuditMode's range scan: the attested result set is
+// returned immediately and its receipt audited in batch.
+func (l shardLink) rangeOptimistic(a *Auditor, shard int, table, column string, pkLo, pkHi []byte) ([]Cell, error) {
+	if err := a.poisoned(); err != nil {
+		return nil, err
+	}
+	resp, err := l.c.Do(wire.Request{Op: wire.OpRange, Table: table, Column: column,
+		PK: pkLo, PKHi: pkHi, Shard: l.shard})
+	if err != nil {
+		return nil, err
+	}
+	if err := l.checkEmptyReplica(resp.Digest); err != nil {
+		return nil, err
+	}
+	if resp.Digest.Height == 0 {
+		if err := l.checkEmptyClaim(); err != nil {
+			return nil, err
+		}
+		return nil, nil
+	}
+	if err := l.checkOptimisticLag(resp.Digest); err != nil {
+		return nil, err
+	}
+	l.v.NoteDeferred(1)
+	if !a.add(auditReceipt{
+		shard:  shard,
+		digest: resp.Digest,
+		query:  ledger.BatchQuery{Table: table, Column: column, PK: pkLo, PKHi: pkHi, Range: true},
+		found:  len(resp.Cells) > 0,
+		hash:   auditCellsHash(resp.Cells),
+	}) {
+		return nil, errAuditClosed
+	}
+	return resp.Cells, nil
+}
+
+// checkOptimisticLag applies the link's staleness bound using only local
+// state (the trusted digest), keeping the fast path free of round trips.
+func (l shardLink) checkOptimisticLag(d Digest) error {
+	if l.maxLag == 0 {
+		return nil
+	}
+	cur := l.v.Digest()
+	return l.checkLag(d, cur)
+}
+
+// ---------------------------------------------------------------------------
+// The audit round trip
+
+// auditBatch verifies one digest group of receipts with a single
+// ProveBatch round trip against the link's digest authority: trust is
+// advanced to the authority's current digest, the receipts' digest is
+// proven a prefix of that same history, the aggregated proof is checked
+// against the trusted digest, and finally every receipt is compared
+// against the proven state. Nothing in the group counts as verified
+// unless all of it passes.
+func (l shardLink) auditBatch(at Digest, rs []auditReceipt) error {
+	// Receipts for the same query at the same digest need only one proof
+	// entry: dedup before the round trip (hot keys repeat inside a
+	// horizon), keeping a receipt -> query mapping for the comparison.
+	uniq := make(map[string]int, len(rs))
+	var queries []ledger.BatchQuery
+	qidx := make([]int, len(rs))
+	for i, r := range rs {
+		k := auditQueryKey(r.query)
+		j, ok := uniq[k]
+		if !ok {
+			j = len(queries)
+			queries = append(queries, r.query)
+			uniq[k] = j
+		}
+		qidx[i] = j
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	cur := l.v.Digest()
+	resp, err := l.syncConn().Do(wire.Request{Op: wire.OpProveBatch,
+		OldDigest: cur, OldDigest2: &at, Audits: queries, Shard: l.shard})
+	if err != nil {
+		if errors.Is(err, wire.ErrTransport) {
+			if l.syncC != nil {
+				return fmt.Errorf("%w: %v", errPrimarySync, err)
+			}
+			return err
+		}
+		// The server itself refused to prove reads it (or its replica)
+		// served — e.g. the receipts' digest is taller than its history.
+		// That is an integrity failure, not an operational one.
+		return fmt.Errorf("%w: audit refused: %v", ErrTampered, err)
+	}
+	if resp.Consistency == nil || resp.Consistency2 == nil || resp.BatchProof == nil {
+		return fmt.Errorf("%w: server omitted audit proof", ErrTampered)
+	}
+	if err := l.v.Advance(resp.Digest, *resp.Consistency); err != nil {
+		return err
+	}
+	// The digest the reads were accepted at must be a genuine prefix of
+	// the (now trusted) history — a server that invented a digest at read
+	// time is caught here before any value comparison.
+	cons2 := *resp.Consistency2
+	if cons2.OldSize != int(at.Height) || cons2.NewSize != int(resp.Digest.Height) {
+		return fmt.Errorf("%w: prefix proof sizes %d/%d do not match digests %d/%d",
+			ErrTampered, cons2.OldSize, cons2.NewSize, at.Height, resp.Digest.Height)
+	}
+	if err := cons2.Verify(at.Root, resp.Digest.Root); err != nil {
+		return fmt.Errorf("%w: receipts' digest is not a prefix of the ledger: %v", ErrTampered, err)
+	}
+	// The proof must be anchored at the block the receipts were read at
+	// (the head block of digest `at`). Without this, a server that lied
+	// at read time could commit the forged values afterwards and prove
+	// the receipts against that *later* block — self-consistent
+	// inclusion, honest prefix proof, matching values — and the lie
+	// would survive the audit.
+	if resp.BatchProof.Header.Height != at.Height-1 {
+		return fmt.Errorf("%w: audit proof is for block %d, receipts were read at block %d",
+			ErrTampered, resp.BatchProof.Header.Height, at.Height-1)
+	}
+	if err := l.v.VerifyBatchNow(*resp.BatchProof, len(rs)); err != nil {
+		return err
+	}
+	if err := matchReceipts(rs, qidx, queries, resp.BatchProof); err != nil {
+		return err
+	}
+	return nil
+}
+
+// auditQueryKey canonicalizes a query for deduplication. Segment
+// encoding via CellPrefix keeps it injective.
+func auditQueryKey(q ledger.BatchQuery) string {
+	k := string(cellstore.CellPrefix(q.Table, q.Column, q.PK))
+	if !q.Range {
+		return "p" + k
+	}
+	if q.PKHi == nil {
+		return "r" + k + "open" // nil bound: scan to the end of the column
+	}
+	return "r" + k + "hi" + string(q.PKHi)
+}
+
+// auditAnswer is the proven outcome of one unique query.
+type auditAnswer struct {
+	found bool
+	hash  hashutil.Digest
+}
+
+// matchReceipts compares each receipt against the (already verified)
+// aggregated proof. The proof binds the values to the ledger; this step
+// binds them to what the client was actually told at read time. Every
+// receipt is checked — two reads of one key inside a horizon must both
+// match the single proven value, so a server that answered them
+// differently is caught even though the proof entry is shared.
+func matchReceipts(rs []auditReceipt, qidx []int, queries []ledger.BatchQuery, bp *ledger.BatchProof) error {
+	answers := make([]auditAnswer, len(queries))
+	pi, ri := 0, 0
+	for qi, q := range queries {
+		if q.Range {
+			if ri >= len(bp.Ranges) {
+				return fmt.Errorf("%w: audit proof omitted a range", ErrTampered)
+			}
+			rp := bp.Ranges[ri]
+			ri++
+			wantStart, wantEnd := cellstore.RefRange(q.Table, q.Column, q.PK, q.PKHi)
+			if !bytes.Equal(rp.Start, wantStart) || !bytes.Equal(rp.End, wantEnd) {
+				return fmt.Errorf("%w: audit proof covers a different range", ErrTampered)
+			}
+			cells, err := cellstore.DecodeEntries(rp.Entries)
+			if err != nil {
+				return fmt.Errorf("%w: %v", ErrTampered, err)
+			}
+			live := cells[:0]
+			for _, c := range cells {
+				if !c.Tombstone {
+					live = append(live, c)
+				}
+			}
+			answers[qi] = auditAnswer{found: len(live) > 0, hash: auditCellsHash(live)}
+			continue
+		}
+		if bp.Points == nil || pi >= len(bp.Points.Keys) {
+			return fmt.Errorf("%w: audit proof omitted a key", ErrTampered)
+		}
+		ref := cellstore.CellPrefix(q.Table, q.Column, q.PK)
+		if !bytes.Equal(bp.Points.Keys[pi], ref) {
+			return fmt.Errorf("%w: audit proof proves a different key", ErrTampered)
+		}
+		var value []byte
+		live := false
+		if bp.Points.Found[pi] {
+			_, v, tomb, err := cellstore.DecodeVersion(bp.Points.Values[pi])
+			if err != nil {
+				return fmt.Errorf("%w: %v", ErrTampered, err)
+			}
+			if !tomb {
+				live = true
+				value = v
+			}
+		}
+		pi++
+		answers[qi] = auditAnswer{found: live, hash: auditValueHash(value)}
+	}
+	if bp.Points != nil && pi != len(bp.Points.Keys) {
+		return fmt.Errorf("%w: audit proof carries extra keys", ErrTampered)
+	}
+	if ri != len(bp.Ranges) {
+		return fmt.Errorf("%w: audit proof carries extra ranges", ErrTampered)
+	}
+	for i, r := range rs {
+		a := answers[qidx[i]]
+		if a.found != r.found || a.hash != r.hash {
+			return fmt.Errorf("%w: read of %s.%s does not match its audited receipt",
+				ErrTampered, r.query.Table, r.query.Column)
+		}
+	}
+	return nil
+}

@@ -122,6 +122,7 @@ func BenchmarkFig1StorageDedup(b *testing.B) {
 func BenchmarkFig6aRead(b *testing.B) {
 	fixtures(b)
 	b.Run("ImmutableKVS", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, ok, _ := fixKVS.Get(fixReads[i%len(fixReads)]); !ok {
 				b.Fatal("missing key")
@@ -129,6 +130,7 @@ func BenchmarkFig6aRead(b *testing.B) {
 		}
 	})
 	b.Run("Spitz", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := fixSpitz.Get("bench", "v", fixReads[i%len(fixReads)]); err != nil {
 				b.Fatal(err)
@@ -136,6 +138,7 @@ func BenchmarkFig6aRead(b *testing.B) {
 		}
 	})
 	b.Run("SpitzVerify", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			res, err := fixSpitz.GetVerified("bench", "v", fixReads[i%len(fixReads)])
 			if err != nil || !res.Found {
@@ -147,6 +150,7 @@ func BenchmarkFig6aRead(b *testing.B) {
 		}
 	})
 	b.Run("Baseline", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, ok, _ := fixBase.Get(fixReads[i%len(fixReads)]); !ok {
 				b.Fatal("missing key")
@@ -154,6 +158,7 @@ func BenchmarkFig6aRead(b *testing.B) {
 		}
 	})
 	b.Run("BaselineVerify", func(b *testing.B) {
+		b.ReportAllocs()
 		d := fixBase.Digest()
 		for i := 0; i < b.N; i++ {
 			rec, ok, p, err := fixBase.VerifiedGet(fixReads[i%len(fixReads)])
@@ -255,6 +260,7 @@ func BenchmarkFig7Range(b *testing.B) {
 	ranges := workload.Ranges(keys, 0.001, 4096, 45)
 
 	b.Run("Spitz", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			r := ranges[i%len(ranges)]
 			cells, err := fixSpitz.RangePK("bench", "v", r.Lo, r.Hi)
@@ -264,6 +270,7 @@ func BenchmarkFig7Range(b *testing.B) {
 		}
 	})
 	b.Run("SpitzVerify", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			r := ranges[i%len(ranges)]
 			res, err := fixSpitz.RangePKVerified("bench", "v", r.Lo, r.Hi)
@@ -276,6 +283,7 @@ func BenchmarkFig7Range(b *testing.B) {
 		}
 	})
 	b.Run("Baseline", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			r := ranges[i%len(ranges)]
 			n := 0
@@ -286,6 +294,7 @@ func BenchmarkFig7Range(b *testing.B) {
 		}
 	})
 	b.Run("BaselineVerify", func(b *testing.B) {
+		b.ReportAllocs()
 		d := fixBase.Digest()
 		for i := 0; i < b.N; i++ {
 			r := ranges[i%len(ranges)]
@@ -355,6 +364,7 @@ func BenchmarkFig8NonIntrusive(b *testing.B) {
 	}
 
 	b.Run("Read", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, found, err := sys.Read(reads[i%len(reads)]); err != nil || !found {
 				b.Fatal("read failed")
@@ -362,6 +372,7 @@ func BenchmarkFig8NonIntrusive(b *testing.B) {
 		}
 	})
 	b.Run("ReadVerified", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, found, err := sys.ReadVerified(reads[i%len(reads)]); err != nil || !found {
 				b.Fatalf("verified read failed: %v", err)
@@ -450,6 +461,7 @@ func BenchmarkAblationSIRI(b *testing.B) {
 func BenchmarkAblationDeferred(b *testing.B) {
 	fixtures(b)
 	b.Run("Online", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			res, err := fixSpitz.GetVerified("bench", "v", fixReads[i%len(fixReads)])
 			if err != nil {
@@ -461,6 +473,7 @@ func BenchmarkAblationDeferred(b *testing.B) {
 		}
 	})
 	b.Run("DeferredBatch100", func(b *testing.B) {
+		b.ReportAllocs()
 		v := proof.NewVerifier()
 		if err := v.Advance(fixSpitz.Digest(), spitz.ConsistencyProof{}); err != nil {
 			b.Fatal(err)

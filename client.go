@@ -1,11 +1,13 @@
 package spitz
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"io"
 	"sync"
 
+	"spitz/internal/cellstore"
 	"spitz/internal/server"
 	"spitz/internal/wire"
 )
@@ -17,6 +19,7 @@ type Client struct {
 	c        *wire.Client
 	verifier *Verifier
 	syncMu   sync.Mutex // serializes digest refreshes (see shardLink.syncDigest)
+	auditHolder
 }
 
 // Dial connects to a Spitz server (e.g. started with DB.Serve or
@@ -26,11 +29,34 @@ func Dial(network, addr string) (*Client, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Client{c: c, verifier: NewVerifier()}, nil
+	return NewClient(c), nil
 }
 
-// Close releases the connection.
-func (cl *Client) Close() error { return cl.c.Close() }
+// NewClient wraps an established wire connection (wire.Connect over a
+// listener, wire.Dial, or an in-process pipe) — the transport-agnostic
+// form Dial wraps.
+func NewClient(c *wire.Client) *Client {
+	return &Client{c: c, verifier: NewVerifier()}
+}
+
+// Close releases the connection. If AuditMode is active the auditor is
+// closed first; its final flush error (unverified receipts are a
+// failure) is returned.
+func (cl *Client) Close() error {
+	auditErr := cl.closeAudit()
+	if err := cl.c.Close(); err != nil {
+		return err
+	}
+	return auditErr
+}
+
+// StartAudit switches the client into deferred verification: verified
+// reads are accepted optimistically and batch-audited in the background
+// (see AuditMode). The returned Auditor owns the audit channel and the
+// flush barrier. Audit can be started once per client.
+func (cl *Client) StartAudit(mode AuditMode) (*Auditor, error) {
+	return cl.startAudit(mode, func(int) shardLink { return cl.link() })
+}
 
 // Verifier exposes the client's proof verifier (for inspecting the
 // trusted digest or deferring verification).
@@ -66,14 +92,22 @@ func (cl *Client) Get(table, column string, pk []byte) ([]byte, error) {
 // GetVerified performs a verified point read: the proof is fetched,
 // checked against the client's trusted digest (advancing it with a
 // consistency proof when the ledger has grown), and the value is returned
-// only if everything verifies.
+// only if everything verifies. Under AuditMode (StartAudit) the read is
+// instead accepted optimistically and verified in batch before the
+// receipt horizon; tampering then surfaces on the audit channel.
 func (cl *Client) GetVerified(table, column string, pk []byte) ([]byte, bool, error) {
+	if a := cl.auditor(); a != nil {
+		return cl.link().getOptimistic(a, 0, table, column, pk)
+	}
 	return cl.link().getVerified(table, column, pk)
 }
 
 // RangePKVerified performs a verified range scan, returning the proven
-// cells.
+// cells (optimistically under AuditMode, see GetVerified).
 func (cl *Client) RangePKVerified(table, column string, pkLo, pkHi []byte) ([]Cell, error) {
+	if a := cl.auditor(); a != nil {
+		return cl.link().rangeOptimistic(a, 0, table, column, pkLo, pkHi)
+	}
 	return cl.link().rangeVerified(table, column, pkLo, pkHi)
 }
 
@@ -324,6 +358,12 @@ func (l shardLink) getVerified(table, column string, pk []byte) ([]byte, bool, e
 	if err := l.syncAndVerify(resp.Digest, resp.Proof); err != nil {
 		return nil, false, err
 	}
+	// The proof must answer the question that was asked: a valid proof
+	// for some other key would otherwise smuggle in that key's value.
+	if resp.Proof.Point == nil ||
+		!bytes.Equal(resp.Proof.Point.Key, cellstore.CellPrefix(table, column, pk)) {
+		return nil, false, fmt.Errorf("%w: proof answers a different key", ErrTampered)
+	}
 	cells, err := resp.Proof.Cells()
 	if err != nil {
 		return nil, false, fmt.Errorf("%w: %v", ErrTampered, err)
@@ -364,6 +404,13 @@ func (l shardLink) rangeVerified(table, column string, pkLo, pkHi []byte) ([]Cel
 	}
 	if err := l.syncAndVerify(resp.Digest, resp.Proof); err != nil {
 		return nil, err
+	}
+	// The proof must cover exactly the requested range: a valid proof of
+	// a narrower range would otherwise silently omit rows.
+	wantStart, wantEnd := cellstore.RefRange(table, column, pkLo, pkHi)
+	if resp.Proof.Range == nil ||
+		!bytes.Equal(resp.Proof.Range.Start, wantStart) || !bytes.Equal(resp.Proof.Range.End, wantEnd) {
+		return nil, fmt.Errorf("%w: proof covers a different range", ErrTampered)
 	}
 	cells, err := resp.Proof.Cells()
 	if err != nil {
@@ -424,6 +471,7 @@ type ShardedClient struct {
 	conns     []*wire.Client // conns[i] carries shard i's traffic; conns[0] also cluster-level ops
 	verifiers []*Verifier
 	syncMus   []sync.Mutex // one per shard, serializing digest refreshes
+	auditHolder
 }
 
 // DialSharded connects to a sharded Spitz server, fetching the shard map
@@ -467,8 +515,11 @@ func NewShardedClient(dial func() (*wire.Client, error)) (*ShardedClient, error)
 	return sc, nil
 }
 
-// Close releases every connection.
+// Close releases every connection (closing the auditor first when
+// AuditMode is active; its final flush error is returned if nothing else
+// fails).
 func (sc *ShardedClient) Close() error {
+	auditErr := sc.closeAudit()
 	var first error
 	for _, c := range sc.conns {
 		if c == nil {
@@ -478,7 +529,18 @@ func (sc *ShardedClient) Close() error {
 			first = err
 		}
 	}
-	return first
+	if first != nil {
+		return first
+	}
+	return auditErr
+}
+
+// StartAudit switches the sharded client into deferred verification (see
+// AuditMode): receipts carry their owning shard and are audited against
+// that shard's own trusted digest, one batch round trip per (shard,
+// digest) group.
+func (sc *ShardedClient) StartAudit(mode AuditMode) (*Auditor, error) {
+	return sc.startAudit(mode, sc.link)
 }
 
 // Shards returns the cluster's shard count.
@@ -526,9 +588,13 @@ func (sc *ShardedClient) Get(table, column string, pk []byte) ([]byte, error) {
 
 // GetVerified performs a verified point read: the request routes to the
 // owning shard and the proof is checked against that shard's trusted
-// digest.
+// digest (optimistically under AuditMode, see Client.GetVerified).
 func (sc *ShardedClient) GetVerified(table, column string, pk []byte) ([]byte, bool, error) {
-	return sc.linkFor(pk).getVerified(table, column, pk)
+	si := sc.ShardFor(pk)
+	if a := sc.auditor(); a != nil {
+		return sc.link(si).getOptimistic(a, si, table, column, pk)
+	}
+	return sc.link(si).getVerified(table, column, pk)
 }
 
 // History returns all versions of a cell from its owning shard, newest
@@ -580,8 +646,14 @@ func (sc *ShardedClient) RangePK(table, column string, pkLo, pkHi []byte) ([]Cel
 
 // RangePKVerified scans a primary-key range across every shard
 // concurrently, verifying each shard's proof against that shard's
-// trusted digest before merging.
+// trusted digest before merging (optimistically under AuditMode, with
+// one receipt per shard).
 func (sc *ShardedClient) RangePKVerified(table, column string, pkLo, pkHi []byte) ([]Cell, error) {
+	if a := sc.auditor(); a != nil {
+		return sc.fanOut(func(i int) ([]Cell, error) {
+			return sc.link(i).rangeOptimistic(a, i, table, column, pkLo, pkHi)
+		})
+	}
 	return sc.fanOut(func(i int) ([]Cell, error) {
 		return sc.link(i).rangeVerified(table, column, pkLo, pkHi)
 	})

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	spitz-bench [flags] all|fig1|fig6a|fig6b|fig7|fig8|siri|deferred|timestamps|cc|sharded|replica|replica-smoke
+//	spitz-bench [flags] all|fig1|fig6a|fig6b|fig7|fig8|siri|deferred|timestamps|cc|sharded|replica|replica-smoke|verify-audit
 //
 // Flags scale the sweep; the default -max-size runs the paper's full 10k
 // to 1.28M doubling series, which takes a while. Use -max-size 160000 for
@@ -21,8 +21,12 @@
 // replicas. replica-smoke runs the availability workload (primary + two
 // followers under write load, one follower killed and replaced, verified
 // reads passing throughout) and exits non-zero on any failure; CI runs
-// it. replica and replica-smoke are excluded from "all" — they start
-// servers and replicas, which dominates short runs.
+// it. verify-audit runs the deferred-verification smoke: an AuditMode
+// client against a live server under write churn, every receipt
+// batch-verified, then a tamper probe whose corrupted batch proof must
+// trip ErrTampered. replica, replica-smoke and verify-audit are excluded
+// from "all" — they start servers and replicas, which dominates short
+// runs.
 package main
 
 import (
@@ -149,6 +153,11 @@ func main() {
 		defer os.RemoveAll(dir)
 		check(bench.ReplicaSmoke(dir))
 		fmt.Println("replica smoke: primary + 2 followers, follower kill/replace, verified reads passed throughout")
+	}
+	if which == "verify-audit" {
+		ran = true
+		check(bench.VerifyAuditSmoke())
+		fmt.Println("verify-audit smoke: AuditMode reads batch-verified under write churn; tamper probe tripped ErrTampered")
 	}
 	if !ran {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", which)

@@ -70,9 +70,15 @@ func (f *replicaFarm) dialPrimary() func() (*wire.Client, error) {
 	return func() (*wire.Client, error) { return wire.Connect(ln) }
 }
 
-func (f *replicaFarm) dialReplicas() []func() (*wire.Client, error) {
-	out := make([]func() (*wire.Client, error), len(f.rlns))
-	for i, ln := range f.rlns {
+// dialReplicas returns dial functions for the first n serving replicas
+// (all of them when n < 0), so one farm serves every configuration of a
+// sweep instead of being rebuilt — and reloaded — per replica count.
+func (f *replicaFarm) dialReplicas(n int) []func() (*wire.Client, error) {
+	if n < 0 || n > len(f.rlns) {
+		n = len(f.rlns)
+	}
+	out := make([]func() (*wire.Client, error), n)
+	for i, ln := range f.rlns[:n] {
 		ln := ln
 		out[i] = func() (*wire.Client, error) { return wire.Connect(ln) }
 	}
@@ -111,13 +117,23 @@ func Replica(baseDir string, replicaCounts []int, readers, ops, keys int) (Resul
 		YLabel: fmt.Sprintf("verified reads/s, %d concurrent readers, %d keys", readers, keys),
 	}
 	series := Series{Name: "verified point reads"}
+	// One farm — loaded once — serves every configuration: setup
+	// (dialing, loading, replica catch-up) stays out of the measured
+	// runs, and smaller configurations simply use a prefix of the
+	// replica fleet (the extras idle; no writes flow while measuring).
+	maxN := 0
 	for _, n := range replicaCounts {
-		farm, err := startReplicaFarm(filepath.Join(baseDir, fmt.Sprintf("farm-%d", n)), n, keys)
-		if err != nil {
-			return Result{}, err
+		if n > maxN {
+			maxN = n
 		}
-		tput, err := replicaRun(farm, readers, ops, keys)
-		farm.stop()
+	}
+	farm, err := startReplicaFarm(filepath.Join(baseDir, "farm"), maxN, keys)
+	if err != nil {
+		return Result{}, err
+	}
+	defer farm.stop()
+	for _, n := range replicaCounts {
+		tput, err := replicaRun(farm, n, readers, ops, keys)
 		if err != nil {
 			return Result{}, err
 		}
@@ -127,7 +143,7 @@ func Replica(baseDir string, replicaCounts []int, readers, ops, keys int) (Resul
 	return res, nil
 }
 
-func replicaRun(farm *replicaFarm, readers, ops, keys int) (float64, error) {
+func replicaRun(farm *replicaFarm, replicas, readers, ops, keys int) (float64, error) {
 	if readers < 1 {
 		readers = 1
 	}
@@ -139,8 +155,9 @@ func replicaRun(farm *replicaFarm, readers, ops, keys int) (float64, error) {
 	for i := range clients {
 		// One client (and therefore one connection set) per reader keeps
 		// the measurement about server capacity, not client-side
-		// connection serialization.
-		rc, err := spitz.NewReplicatedClient(farm.dialPrimary(), farm.dialReplicas(), spitz.ReplicatedOptions{})
+		// connection serialization; every connection is dialled here,
+		// before the timed loop below.
+		rc, err := spitz.NewReplicatedClient(farm.dialPrimary(), farm.dialReplicas(replicas), spitz.ReplicatedOptions{})
 		if err != nil {
 			return 0, err
 		}
@@ -232,7 +249,7 @@ func ReplicaSmoke(baseDir string) error {
 		return nil
 	}
 
-	rc, err := spitz.NewReplicatedClient(farm.dialPrimary(), farm.dialReplicas(), spitz.ReplicatedOptions{})
+	rc, err := spitz.NewReplicatedClient(farm.dialPrimary(), farm.dialReplicas(-1), spitz.ReplicatedOptions{})
 	if err != nil {
 		return err
 	}
@@ -266,7 +283,7 @@ func ReplicaSmoke(baseDir string) error {
 	go rep.Serve(rln)
 	farm.replicas[0] = rep
 	farm.rlns[0] = rln
-	rc2, err := spitz.NewReplicatedClient(farm.dialPrimary(), farm.dialReplicas(), spitz.ReplicatedOptions{})
+	rc2, err := spitz.NewReplicatedClient(farm.dialPrimary(), farm.dialReplicas(-1), spitz.ReplicatedOptions{})
 	if err != nil {
 		return err
 	}

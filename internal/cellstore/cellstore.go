@@ -341,7 +341,7 @@ func (s Store) GetLatest(table, column string, pk []byte, asOf uint64) (Cell, bo
 // in [pkLo, pkHi) and whose version is at or before asOf. Tombstoned rows
 // and rows newer than asOf are omitted.
 func (s Store) RangePK(table, column string, pkLo, pkHi []byte, asOf uint64) ([]Cell, error) {
-	start, end := refRange(table, column, pkLo, pkHi)
+	start, end := RefRange(table, column, pkLo, pkHi)
 	var out []Cell
 	err := s.Tree.Scan(start, end, func(e postree.Entry) bool {
 		_, _, pk, err := DecodeRef(e.Key)
@@ -362,7 +362,11 @@ func (s Store) RangePK(table, column string, pkLo, pkHi []byte, asOf uint64) ([]
 	return out, err
 }
 
-func refRange(table, column string, pkLo, pkHi []byte) (start, end []byte) {
+// RefRange returns the tree-key bounds of a pk range scan over one
+// column: the [start, end) pair a RangeProof over [pkLo, pkHi) must carry.
+// Audit clients use it to check a proven range is the range they asked
+// for, not a narrower substitute.
+func RefRange(table, column string, pkLo, pkHi []byte) (start, end []byte) {
 	start = appendSegment(ColumnPrefix(table, column), pkLo)
 	if pkHi != nil {
 		end = appendSegment(ColumnPrefix(table, column), pkHi)
@@ -396,7 +400,7 @@ func (s Store) ProveGetHead(table, column string, pk []byte) (Cell, bool, postre
 // proof's completeness guarantee is what lets a verified analytical query
 // cost a single traversal (Figure 7).
 func (s Store) ProveRangePK(table, column string, pkLo, pkHi []byte) ([]Cell, postree.RangeProof, error) {
-	start, end := refRange(table, column, pkLo, pkHi)
+	start, end := RefRange(table, column, pkLo, pkHi)
 	proof, err := s.Tree.ProveScan(start, end)
 	if err != nil {
 		return nil, postree.RangeProof{}, err

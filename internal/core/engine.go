@@ -765,6 +765,28 @@ func (e *Engine) GetVerified(table, column string, pk []byte) (VerifiedResult, e
 	return res, nil
 }
 
+// GetAttested serves the optimistic half of a deferred-audit point read:
+// the head version of a cell plus the digest it was read at, captured
+// atomically, with no proof work at all. Clients in AuditMode record a
+// receipt and batch-verify it later through ProveBatch.
+func (e *Engine) GetAttested(table, column string, pk []byte) (cellstore.Cell, bool, ledger.Digest, error) {
+	return e.ledger.GetHeadAttested(table, column, pk)
+}
+
+// RangePKAttested is the range form of GetAttested: live head cells in
+// [pkLo, pkHi) plus the digest they were read at, atomically, proof-free.
+func (e *Engine) RangePKAttested(table, column string, pkLo, pkHi []byte) ([]cellstore.Cell, ledger.Digest, error) {
+	return e.ledger.RangePKHeadAttested(table, column, pkLo, pkHi)
+}
+
+// ProveBatch serves one deferred-verification flush (see
+// ledger.ProveBatch): every receipt taken at digest `at` is proven with
+// one aggregated proof, bound to the current digest together with the
+// consistency proofs that advance the client's trust.
+func (e *Engine) ProveBatch(trusted, at ledger.Digest, queries []ledger.BatchQuery) (ledger.BatchRes, error) {
+	return e.ledger.ProveBatch(trusted, at, queries)
+}
+
 // RangePK scans the latest live cells of one column with primary keys in
 // [pkLo, pkHi), without proofs.
 func (e *Engine) RangePK(table, column string, pkLo, pkHi []byte) ([]cellstore.Cell, error) {

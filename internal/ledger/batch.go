@@ -1,0 +1,139 @@
+package ledger
+
+import (
+	"fmt"
+
+	"spitz/internal/cellstore"
+	"spitz/internal/mtree"
+	"spitz/internal/postree"
+)
+
+// BatchQuery is one deferred-audit receipt being proven: a point read
+// (Range false) or a primary-key range scan (Range true) of one column.
+type BatchQuery struct {
+	Table  string
+	Column string
+	PK     []byte
+	PKHi   []byte
+	Range  bool
+}
+
+// BatchProof proves a batch of reads against one ledger block with a
+// single block binding: one header, one inclusion proof, one aggregated
+// multi-key point proof (shared sibling nodes instead of N independent
+// paths) and one range proof per range query. It is the server half of
+// deferred verification: a client flushes all receipts taken at one
+// digest through one of these.
+type BatchProof struct {
+	Header    BlockHeader
+	Inclusion mtree.InclusionProof
+	// Points covers every point query, in request order among point
+	// queries; nil when the batch had none.
+	Points *postree.BatchProof
+	// Ranges covers every range query, in request order among range
+	// queries.
+	Ranges []postree.RangeProof
+}
+
+// Verify checks the batch proof against a client-saved ledger digest,
+// exactly as Proof.Verify does for a single read: the block must be part
+// of the ledger the digest commits to, and every aggregated cell proof
+// must hash to the block's cell-tree root. Verification is all-or-nothing
+// — a single corrupt shared node rejects the whole batch, so no covered
+// receipt can be silently accepted.
+func (p BatchProof) Verify(d Digest) error {
+	if p.Header.Height >= d.Height {
+		return ErrProofInvalid // block not covered by the digest
+	}
+	if p.Inclusion.TreeSize != int(d.Height) || p.Inclusion.Index != int(p.Header.Height) {
+		return ErrProofInvalid
+	}
+	leaf := mtree.LeafHash(p.Header.Encode())
+	if err := p.Inclusion.Verify(d.Root, leaf); err != nil {
+		return ErrProofInvalid
+	}
+	if p.Points != nil {
+		if err := p.Points.Verify(p.Header.CellRoot); err != nil {
+			return ErrProofInvalid
+		}
+	}
+	for i := range p.Ranges {
+		if err := p.Ranges[i].Verify(p.Header.CellRoot); err != nil {
+			return ErrProofInvalid
+		}
+	}
+	return nil
+}
+
+// BatchRes is everything a ProveBatch round trip returns, captured under
+// one lock acquisition: the current digest, consistency proofs advancing
+// the client's trusted digest and showing the receipts' digest is a
+// genuine prefix of the same history, and the batch proof itself.
+type BatchRes struct {
+	Digest      Digest
+	ConsTrusted mtree.ConsistencyProof // trusted -> current
+	ConsAt      mtree.ConsistencyProof // receipt digest -> current
+	Proof       BatchProof
+}
+
+// ProveBatch serves one deferred-verification flush: it proves every
+// query in the batch at the block the digest `at` committed as head
+// (height at.Height-1), bound to the current ledger state. `trusted` is
+// the client's trusted digest (its height may be zero for a fresh
+// client); the returned ConsTrusted lets the client advance trust to the
+// returned digest, and ConsAt proves `at` — the digest the optimistic
+// reads were accepted at — is a prefix of that same history, so a server
+// that invented `at` at read time is caught here even before any value
+// comparison.
+func (l *Ledger) ProveBatch(trusted, at Digest, queries []BatchQuery) (BatchRes, error) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	var res BatchRes
+	res.Digest = l.digestLocked()
+	if at.Height == 0 || at.Height > res.Digest.Height {
+		return BatchRes{}, fmt.Errorf("ledger: batch digest height %d outside ledger of height %d",
+			at.Height, res.Digest.Height)
+	}
+	var err error
+	if res.ConsTrusted, err = l.commit.ConsistencyProof(int(trusted.Height)); err != nil {
+		return BatchRes{}, err
+	}
+	if res.ConsAt, err = l.commit.ConsistencyProof(int(at.Height)); err != nil {
+		return BatchRes{}, err
+	}
+	height := at.Height - 1
+	h, snap, err := l.snapshotLocked(height)
+	if err != nil {
+		return BatchRes{}, err
+	}
+	var pointKeys [][]byte
+	for _, q := range queries {
+		if !q.Range {
+			pointKeys = append(pointKeys, cellstore.CellPrefix(q.Table, q.Column, q.PK))
+		}
+	}
+	if len(pointKeys) > 0 {
+		bp, err := snap.Tree.ProveGetBatch(pointKeys)
+		if err != nil {
+			return BatchRes{}, err
+		}
+		res.Proof.Points = &bp
+	}
+	for _, q := range queries {
+		if !q.Range {
+			continue
+		}
+		_, rp, err := snap.ProveRangePK(q.Table, q.Column, q.PK, q.PKHi)
+		if err != nil {
+			return BatchRes{}, err
+		}
+		res.Proof.Ranges = append(res.Proof.Ranges, rp)
+	}
+	inc, err := l.blockInclusion(height)
+	if err != nil {
+		return BatchRes{}, err
+	}
+	res.Proof.Header = h
+	res.Proof.Inclusion = inc
+	return res, nil
+}

@@ -1,0 +1,78 @@
+package ledger
+
+import (
+	"sync"
+
+	"spitz/internal/cellstore"
+	"spitz/internal/mtree"
+	"spitz/internal/postree"
+)
+
+// proofCacheSize bounds the number of memoized head proofs. Entries are
+// whole verified-read responses (point proof + block inclusion), so even
+// a few thousand cover any realistic hot set.
+const proofCacheSize = 8192
+
+// proofCache memoizes fully assembled head point proofs keyed by
+// (digest, cell reference): a verified read repeated at the same ledger
+// height reuses the entire proof instead of re-walking the POS-tree and
+// the commitment tree. The cache holds exactly one generation — the
+// current head digest — and is invalidated wholesale on commit, so a
+// proof can never be served against a digest it was not built for
+// (entries additionally record the digest they were built under, and
+// lookups compare it, making a stale hit structurally impossible).
+type proofCache struct {
+	mu     sync.Mutex
+	digest Digest // the head digest every entry was built for
+	m      map[string]cachedRead
+}
+
+// cachedRead is one memoized head point read with its unified proof.
+type cachedRead struct {
+	cell  cellstore.Cell
+	ok    bool
+	point postree.PointProof
+	inc   mtree.InclusionProof
+	hdr   BlockHeader
+}
+
+// get returns the cached read for ref, valid only when the cache
+// generation matches the digest captured by the caller inside the
+// ledger's read-locked critical section.
+func (c *proofCache) get(d Digest, ref string) (cachedRead, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.m == nil || c.digest != d {
+		return cachedRead{}, false
+	}
+	e, ok := c.m[ref]
+	return e, ok
+}
+
+// put stores a read built under digest d, resetting the generation if the
+// cache was built for an older digest.
+func (c *proofCache) put(d Digest, ref string, e cachedRead) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.m == nil || c.digest != d {
+		c.m = make(map[string]cachedRead)
+		c.digest = d
+	}
+	if len(c.m) >= proofCacheSize {
+		for k := range c.m {
+			delete(c.m, k)
+			break
+		}
+	}
+	c.m[ref] = e
+}
+
+// invalidate drops every entry. Commit calls it while holding the
+// ledger's write lock, so no read-locked prover can observe the old
+// generation after the head moves.
+func (c *proofCache) invalidate() {
+	c.mu.Lock()
+	c.m = nil
+	c.digest = Digest{}
+	c.mu.Unlock()
+}

@@ -136,6 +136,10 @@ type Ledger struct {
 	// the auditor "keeps track of data changes" (Section 5). Ascending by
 	// version; used for historical point lookups between block snapshots.
 	versions map[string][]versionRef
+
+	// pcache memoizes head point proofs for the current digest; Commit
+	// invalidates it (see proofCache).
+	pcache proofCache
 }
 
 type versionRef struct {
@@ -261,6 +265,10 @@ func (l *Ledger) Commit(version uint64, txns []TxnSummary, cells []cellstore.Cel
 	l.headers = append(l.headers, h)
 	l.commit.Append(mtree.LeafHash(h.Encode()))
 	l.cells = next
+	// The head moved: every memoized proof was built for the previous
+	// digest. Invalidation happens under the write lock, so no concurrent
+	// prover can serve a stale entry against the new digest.
+	l.pcache.invalidate()
 	return h, nil
 }
 

@@ -106,6 +106,18 @@ func (l *Ledger) ProveGetHead(table, column string, pk []byte) (cellstore.Cell, 
 
 func (l *Ledger) proveGetLocked(height uint64, table, column string, pk []byte) (cellstore.Cell, bool, Proof, Digest, error) {
 	d := l.digestLocked()
+	head := d.Height > 0 && height == d.Height-1
+	var ref string
+	if head {
+		// Head reads memoize the complete proof per (digest, cell): the
+		// digest was captured inside this read-locked section, so a hit
+		// is guaranteed to have been built for exactly this head.
+		ref = string(cellstore.CellPrefix(table, column, pk))
+		if e, ok := l.pcache.get(d, ref); ok {
+			pp := e.point
+			return e.cell, e.ok, Proof{Header: e.hdr, Inclusion: e.inc, Point: &pp}, d, nil
+		}
+	}
 	h, snap, err := l.snapshotLocked(height)
 	if err != nil {
 		return cellstore.Cell{}, false, Proof{}, d, err
@@ -117,6 +129,9 @@ func (l *Ledger) proveGetLocked(height uint64, table, column string, pk []byte) 
 	inc, err := l.blockInclusion(height)
 	if err != nil {
 		return cellstore.Cell{}, false, Proof{}, d, err
+	}
+	if head {
+		l.pcache.put(d, ref, cachedRead{cell: cell, ok: ok, point: pointProof, inc: inc, hdr: h})
 	}
 	return cell, ok, Proof{Header: h, Inclusion: inc, Point: &pointProof}, d, nil
 }
@@ -188,9 +203,43 @@ func (l *Ledger) snapshotLocked(height uint64) (BlockHeader, cellstore.Store, er
 	if height == uint64(len(l.headers))-1 {
 		return h, l.cells, nil
 	}
-	tree, err := postree.Load(l.store, h.CellRoot)
+	// Historical instances share the live tree's node cache, so proofs at
+	// older heights reuse interior fragments across reads.
+	tree, err := l.cells.Tree.At(h.CellRoot)
 	if err != nil {
 		return BlockHeader{}, cellstore.Store{}, err
 	}
 	return h, cellstore.Store{Tree: tree}, nil
+}
+
+// GetHeadAttested serves the optimistic fast path of a deferred-audit
+// read: the cell's head version together with the digest it was read at,
+// captured under one lock acquisition — and nothing else. No proof is
+// constructed; the client enqueues a receipt and later verifies a whole
+// batch of them against this digest with one ProveBatch round trip.
+// ok is false when the cell is absent (the digest still attests the
+// ledger state the absence was observed at).
+func (l *Ledger) GetHeadAttested(table, column string, pk []byte) (cellstore.Cell, bool, Digest, error) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	d := l.digestLocked()
+	if d.Height == 0 {
+		return cellstore.Cell{}, false, d, nil
+	}
+	c, ok, err := l.cells.GetHead(table, column, pk)
+	return c, ok, d, err
+}
+
+// RangePKHeadAttested is the range form of GetHeadAttested: the live head
+// cells in [pkLo, pkHi) plus the digest they were read at, atomically,
+// without a proof.
+func (l *Ledger) RangePKHeadAttested(table, column string, pkLo, pkHi []byte) ([]cellstore.Cell, Digest, error) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	d := l.digestLocked()
+	if d.Height == 0 {
+		return nil, d, nil
+	}
+	cells, err := l.cells.RangePK(table, column, pkLo, pkHi, l.headers[len(l.headers)-1].Version)
+	return cells, d, err
 }

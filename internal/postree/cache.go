@@ -13,31 +13,43 @@ import (
 // would through its buffer pool.
 const defaultCacheSize = 1 << 16
 
-// nodeCache memoizes decoded *index* nodes by content digest. Content
-// addressing makes the cache trivially coherent: a digest can only ever
-// map to one node, so entries never need invalidation, only eviction.
-// Successor trees created by Apply/BulkLoad share their parent's cache.
+// nodeCache memoizes decoded *index* nodes — together with their
+// serialized bodies, which proof construction embeds verbatim — by
+// content digest. Content addressing makes the cache trivially coherent:
+// a digest can only ever map to one node, so entries never need
+// invalidation, only eviction. Successor trees created by Apply/BulkLoad
+// share their parent's cache, and so do the proof builders: repeated and
+// range-overlapping proofs at any height reuse every interior fragment
+// already fetched.
 type nodeCache struct {
 	mu  sync.RWMutex
-	m   map[hashutil.Digest]*node
+	m   map[hashutil.Digest]cachedNode
 	cap int
 }
 
-func newNodeCache(capacity int) *nodeCache {
-	return &nodeCache{m: make(map[hashutil.Digest]*node), cap: capacity}
+// cachedNode pairs a decoded node with the body it was decoded from, so
+// traversals get the node and proof assembly gets the body from one
+// lookup.
+type cachedNode struct {
+	n    *node
+	body []byte
 }
 
-func (c *nodeCache) get(d hashutil.Digest) (*node, bool) {
+func newNodeCache(capacity int) *nodeCache {
+	return &nodeCache{m: make(map[hashutil.Digest]cachedNode), cap: capacity}
+}
+
+func (c *nodeCache) get(d hashutil.Digest) (cachedNode, bool) {
 	if c == nil {
-		return nil, false
+		return cachedNode{}, false
 	}
 	c.mu.RLock()
-	n, ok := c.m[d]
+	e, ok := c.m[d]
 	c.mu.RUnlock()
-	return n, ok
+	return e, ok
 }
 
-func (c *nodeCache) put(d hashutil.Digest, n *node) {
+func (c *nodeCache) put(d hashutil.Digest, n *node, body []byte) {
 	if c == nil || n.level == 0 {
 		return // leaves are not cached
 	}
@@ -51,19 +63,42 @@ func (c *nodeCache) put(d hashutil.Digest, n *node) {
 			break
 		}
 	}
-	c.m[d] = n
+	c.m[d] = cachedNode{n: n, body: body}
 	c.mu.Unlock()
 }
 
 // loadNodeCached is the cache-aware node loader used by traversals.
 func (t *Tree) loadNodeCached(d hashutil.Digest) (*node, error) {
-	if n, ok := t.cache.get(d); ok {
-		return n, nil
+	if e, ok := t.cache.get(d); ok {
+		return e.n, nil
 	}
-	n, err := loadNode(t.store, d)
+	body, err := t.store.Get(d)
 	if err != nil {
 		return nil, err
 	}
-	t.cache.put(d, n)
+	n, err := decodeNode(body)
+	if err != nil {
+		return nil, err
+	}
+	t.cache.put(d, n, body)
 	return n, nil
+}
+
+// loadProofNode is the cache-aware loader for proof construction, which
+// needs the serialized body (embedded in the proof) as well as the
+// decoded node (to continue the traversal).
+func (t *Tree) loadProofNode(d hashutil.Digest) ([]byte, *node, error) {
+	if e, ok := t.cache.get(d); ok {
+		return e.body, e.n, nil
+	}
+	body, err := t.store.Get(d)
+	if err != nil {
+		return nil, nil, err
+	}
+	n, err := decodeNode(body)
+	if err != nil {
+		return nil, nil, err
+	}
+	t.cache.put(d, n, body)
+	return body, n, nil
 }

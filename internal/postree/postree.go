@@ -94,6 +94,29 @@ func Load(store cas.Store, root hashutil.Digest) (*Tree, error) {
 	return &Tree{store: store, cache: newNodeCache(defaultCacheSize), root: root, level: n.level, count: count}, nil
 }
 
+// At reopens the (usually historical) snapshot rooted at root, sharing
+// this tree's store and node cache — so proofs built at older heights
+// reuse every interior fragment the live tree (or an earlier historical
+// read) already fetched. An all-zero digest yields the empty tree.
+func (t *Tree) At(root hashutil.Digest) (*Tree, error) {
+	if root.IsZero() {
+		return &Tree{store: t.store, cache: t.cache}, nil
+	}
+	n, err := t.loadNodeCached(root)
+	if err != nil {
+		return nil, err
+	}
+	count := 0
+	if n.level == 0 {
+		count = len(n.entries)
+	} else {
+		for _, e := range n.entries {
+			count += int(childCount(e))
+		}
+	}
+	return &Tree{store: t.store, cache: t.cache, root: root, level: n.level, count: count}, nil
+}
+
 // Root returns the root digest; it is zero for an empty tree.
 func (t *Tree) Root() hashutil.Digest { return t.root }
 

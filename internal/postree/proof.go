@@ -42,15 +42,11 @@ func (t *Tree) ProveGet(key []byte) (PointProof, error) {
 	}
 	d := t.root
 	for {
-		body, err := t.store.Get(d)
+		body, n, err := t.loadProofNode(d)
 		if err != nil {
 			return PointProof{}, fmt.Errorf("postree: prove get: %w", err)
 		}
 		p.Nodes = append(p.Nodes, body)
-		n, err := decodeNode(body)
-		if err != nil {
-			return PointProof{}, err
-		}
 		i := sort.Search(len(n.entries), func(i int) bool {
 			return bytes.Compare(n.entries[i].Key, key) >= 0
 		})
@@ -143,15 +139,11 @@ func (t *Tree) ProveScan(start, end []byte) (RangeProof, error) {
 }
 
 func (t *Tree) proveScanNode(d hashutil.Digest, p *RangeProof) error {
-	body, err := t.store.Get(d)
+	body, n, err := t.loadProofNode(d)
 	if err != nil {
 		return fmt.Errorf("postree: prove scan: %w", err)
 	}
 	p.Nodes = append(p.Nodes, body)
-	n, err := decodeNode(body)
-	if err != nil {
-		return err
-	}
 	if n.level == 0 {
 		for _, e := range n.entries {
 			if bytes.Compare(e.Key, p.Start) < 0 {

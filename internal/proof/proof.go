@@ -144,6 +144,34 @@ func (v *Verifier) VerifyBlock(header ledger.BlockHeader, inc mtree.InclusionPro
 	return nil
 }
 
+// VerifyBatchNow checks an aggregated multi-key batch proof against the
+// trusted digest (the server half of a deferred-audit flush), counting
+// every covered read as verified.
+func (v *Verifier) VerifyBatchNow(p ledger.BatchProof, reads int) error {
+	v.mu.Lock()
+	d := v.digest
+	trusted := v.trusted
+	v.mu.Unlock()
+	if !trusted {
+		return fmt.Errorf("%w: no trusted digest pinned", ErrTampered)
+	}
+	if err := p.Verify(d); err != nil {
+		return fmt.Errorf("%w: %v", ErrTampered, err)
+	}
+	v.mu.Lock()
+	v.verified += int64(reads)
+	v.mu.Unlock()
+	return nil
+}
+
+// NoteDeferred records n reads accepted optimistically (deferred-audit
+// receipts) so Stats reflects the deferred volume.
+func (v *Verifier) NoteDeferred(n int) {
+	v.mu.Lock()
+	v.deferred += int64(n)
+	v.mu.Unlock()
+}
+
 // Defer queues a proof for later batch verification.
 func (v *Verifier) Defer(p ledger.Proof) {
 	v.mu.Lock()

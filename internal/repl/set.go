@@ -131,8 +131,8 @@ func (s *Set) Handle(req wire.Request) wire.Response {
 		return wire.Response{Found: len(cells) > 0, Cells: cells}
 	case wire.OpRangeVer:
 		return wire.Response{Err: "wire: verified range scans across a cluster must target one shard at a time (set Shard)"}
-	case wire.OpDigest, wire.OpConsistency:
-		return wire.Response{Err: "wire: digests are per-shard in a replica set; set Shard, use " +
+	case wire.OpDigest, wire.OpConsistency, wire.OpProveBatch:
+		return wire.Response{Err: "wire: digests and audit proofs are per-shard in a replica set; set Shard, use " +
 			string(wire.OpClusterDigest) + ", or connect with a sharded client (DialSharded)"}
 	case wire.OpSnapshot:
 		return wire.Response{Err: "wire: snapshots are per-shard in a replica set; set Shard"}

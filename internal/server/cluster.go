@@ -675,8 +675,8 @@ func (c *Cluster) Handle(req wire.Request) wire.Response {
 		return wire.Response{Found: len(cells) > 0, Cells: cells}
 	case wire.OpRangeVer:
 		return wire.Response{Err: "wire: verified range scans across a cluster must target one shard at a time (set Shard)"}
-	case wire.OpDigest, wire.OpConsistency:
-		return wire.Response{Err: "wire: digests are per-shard in a cluster; set Shard, use " +
+	case wire.OpDigest, wire.OpConsistency, wire.OpProveBatch:
+		return wire.Response{Err: "wire: digests and audit proofs are per-shard in a cluster; set Shard, use " +
 			string(wire.OpClusterDigest) + ", or connect with a sharded client (DialSharded) for ongoing verified reads"}
 	case wire.OpSnapshot:
 		return wire.Response{Err: "wire: snapshots are per-shard in a cluster; set Shard"}

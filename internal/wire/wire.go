@@ -35,8 +35,9 @@ const (
 	OpHistory     Op = "history"
 	OpDigest      Op = "digest"
 	OpConsistency Op = "consistency"
-	OpSnapshot    Op = "snapshot" // stream a full engine snapshot to the client
-	OpRestore     Op = "restore"  // replace the served state from a snapshot
+	OpProveBatch  Op = "prove-batch" // aggregated proof for a batch of audit receipts
+	OpSnapshot    Op = "snapshot"    // stream a full engine snapshot to the client
+	OpRestore     Op = "restore"     // replace the served state from a snapshot
 
 	// Sharded deployments (a Cluster served behind one listener).
 	OpShardMap      Op = "shard-map"      // discover the shard count and routing scheme
@@ -71,9 +72,14 @@ type Request struct {
 	// OldDigest2, when non-nil on OpConsistency, requests a second
 	// consistency proof captured atomically with the first — used by
 	// clients to verify a proof whose digest their trust already moved
-	// past (Response.Consistency2).
+	// past (Response.Consistency2). On OpProveBatch it is required: the
+	// digest the audited reads were accepted at (the batch is proven at
+	// its head block, and Consistency2 shows it prefixes the ledger).
 	OldDigest2 *ledger.Digest
-	Snapshot   []byte // OpRestore: the snapshot stream to load
+	// Audits is the OpProveBatch receipt batch: the point and range reads
+	// to prove at OldDigest2's head block.
+	Audits   []ledger.BatchQuery
+	Snapshot []byte // OpRestore: the snapshot stream to load
 
 	// Shard targets one shard of a sharded deployment: 0 routes by
 	// primary key (or addresses the whole cluster), i > 0 addresses shard
@@ -94,9 +100,10 @@ type Response struct {
 	Value        []byte
 	Cells        []cellstore.Cell
 	Proof        *ledger.Proof
+	BatchProof   *ledger.BatchProof // OpProveBatch: the aggregated proof
 	Digest       ledger.Digest
 	Consistency  *mtree.ConsistencyProof
-	Consistency2 *mtree.ConsistencyProof // OpConsistency with OldDigest2
+	Consistency2 *mtree.ConsistencyProof // OpConsistency/OpProveBatch with OldDigest2
 	Header       ledger.BlockHeader
 
 	// Sharded deployments.
@@ -207,6 +214,19 @@ type ReplEvent struct {
 // across shards behind one listener.
 type Handler interface {
 	Handle(req Request) Response
+}
+
+// HandlerFunc adapts a function to Handler (as http.HandlerFunc does).
+type HandlerFunc func(Request) Response
+
+// Handle implements Handler.
+func (f HandlerFunc) Handle(req Request) Response { return f(req) }
+
+// EngineHandler returns a Handler dispatching to one engine — the
+// building block for wrapping a served engine (e.g. with a fault
+// injector in tamper-detection tests).
+func EngineHandler(eng *core.Engine) Handler {
+	return HandlerFunc(func(req Request) Response { return Dispatch(eng, req) })
 }
 
 // Server serves a core.Engine — or any Handler — over a listener.
@@ -468,14 +488,17 @@ func Dispatch(eng *core.Engine, req Request) Response {
 		}
 		return Response{Header: h, Digest: eng.Digest()}
 	case OpGet:
-		v, err := eng.Get(req.Table, req.Column, req.PK)
-		if errors.Is(err, core.ErrNotFound) {
-			return Response{}
-		}
+		// Value and digest are captured atomically so an AuditMode client
+		// can enqueue a receipt whose digest truly covers the value it
+		// read; plain clients simply ignore the digest.
+		cell, ok, d, err := eng.GetAttested(req.Table, req.Column, req.PK)
 		if err != nil {
 			return Response{Err: err.Error()}
 		}
-		return Response{Found: true, Value: v}
+		if !ok || cell.Tombstone {
+			return Response{Digest: d}
+		}
+		return Response{Found: true, Value: cell.Value, Digest: d}
 	case OpGetVerified:
 		res, err := eng.GetVerified(req.Table, req.Column, req.PK)
 		if err != nil {
@@ -483,11 +506,11 @@ func Dispatch(eng *core.Engine, req Request) Response {
 		}
 		return Response{Found: res.Found, Cells: res.Cells, Proof: &res.Proof, Digest: res.Digest}
 	case OpRange:
-		cells, err := eng.RangePK(req.Table, req.Column, req.PK, req.PKHi)
+		cells, d, err := eng.RangePKAttested(req.Table, req.Column, req.PK, req.PKHi)
 		if err != nil {
 			return Response{Err: err.Error()}
 		}
-		return Response{Found: len(cells) > 0, Cells: cells}
+		return Response{Found: len(cells) > 0, Cells: cells, Digest: d}
 	case OpRangeVer:
 		res, err := eng.RangePKVerified(req.Table, req.Column, req.PK, req.PKHi)
 		if err != nil {
@@ -534,6 +557,16 @@ func Dispatch(eng *core.Engine, req Request) Response {
 			return Response{Err: err.Error()}
 		}
 		return Response{Consistency: &cons, Digest: d}
+	case OpProveBatch:
+		if req.OldDigest2 == nil {
+			return Response{Err: "wire: prove-batch requires the receipt digest (OldDigest2)"}
+		}
+		res, err := eng.ProveBatch(req.OldDigest, *req.OldDigest2, req.Audits)
+		if err != nil {
+			return Response{Err: err.Error()}
+		}
+		return Response{Digest: res.Digest, Consistency: &res.ConsTrusted,
+			Consistency2: &res.ConsAt, BatchProof: &res.Proof}
 	case OpSnapshot:
 		var buf bytes.Buffer
 		if err := eng.WriteSnapshot(&buf); err != nil {

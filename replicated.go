@@ -39,6 +39,8 @@ type ReplicatedClient struct {
 	syncMu   sync.Mutex // serializes digest refreshes across all links
 	maxLag   uint64
 
+	auditHolder
+
 	mu       sync.Mutex
 	replicas []*replicaConn
 	rr       int // round-robin cursor
@@ -110,8 +112,11 @@ func NewReplicatedClient(dialPrimary func() (*wire.Client, error),
 	return rc, nil
 }
 
-// Close releases every connection.
+// Close releases every connection (closing the auditor first when
+// AuditMode is active; its final flush error is returned if nothing else
+// fails).
 func (rc *ReplicatedClient) Close() error {
+	auditErr := rc.closeAudit()
 	err := rc.primary.Close()
 	rc.mu.Lock()
 	defer rc.mu.Unlock()
@@ -120,7 +125,20 @@ func (rc *ReplicatedClient) Close() error {
 			err = cerr
 		}
 	}
-	return err
+	if err != nil {
+		return err
+	}
+	return auditErr
+}
+
+// StartAudit switches the replicated client into deferred verification
+// (see AuditMode). Optimistic reads keep round-robining over the
+// replicas; the batch audits run against the primary — the digest
+// authority — so a tampering replica is caught exactly as in eager mode:
+// its digest fails the primary's prefix proof, or its values fail the
+// primary's batch proof.
+func (rc *ReplicatedClient) StartAudit(mode AuditMode) (*Auditor, error) {
+	return rc.startAudit(mode, func(int) shardLink { return rc.primaryLink() })
 }
 
 // Verifier exposes the client's proof verifier; its digest is the
@@ -226,17 +244,21 @@ func (rc *ReplicatedClient) Get(table, column string, pk []byte) ([]byte, error)
 
 // GetVerified performs a verified point read on a replica: the proof is
 // checked against the replica's digest only after that digest is proven
-// — against the primary — to be a prefix of the trusted history.
+// — against the primary — to be a prefix of the trusted history. Under
+// AuditMode the read is accepted optimistically and the whole chain
+// (prefix proof + value proof) is checked in batch against the primary.
 func (rc *ReplicatedClient) GetVerified(table, column string, pk []byte) ([]byte, bool, error) {
+	aud := rc.auditor()
 	var value []byte
 	var found bool
 	err := rc.doRead(func(l shardLink) error {
-		v, ok, err := l.getVerified(table, column, pk)
-		if err != nil {
-			return err
+		var err error
+		if aud != nil {
+			value, found, err = l.getOptimistic(aud, 0, table, column, pk)
+		} else {
+			value, found, err = l.getVerified(table, column, pk)
 		}
-		value, found = v, ok
-		return nil
+		return err
 	})
 	return value, found, err
 }
@@ -244,14 +266,16 @@ func (rc *ReplicatedClient) GetVerified(table, column string, pk []byte) ([]byte
 // RangePKVerified performs a verified range scan on a replica, with the
 // same primary-anchored trust as GetVerified.
 func (rc *ReplicatedClient) RangePKVerified(table, column string, pkLo, pkHi []byte) ([]Cell, error) {
+	aud := rc.auditor()
 	var cells []Cell
 	err := rc.doRead(func(l shardLink) error {
-		cs, err := l.rangeVerified(table, column, pkLo, pkHi)
-		if err != nil {
-			return err
+		var err error
+		if aud != nil {
+			cells, err = l.rangeOptimistic(aud, 0, table, column, pkLo, pkHi)
+		} else {
+			cells, err = l.rangeVerified(table, column, pkLo, pkHi)
 		}
-		cells = cs
-		return nil
+		return err
 	})
 	return cells, err
 }

@@ -64,6 +64,10 @@ type (
 	Proof = ledger.Proof
 	// ConsistencyProof shows one digest's ledger is a prefix of another's.
 	ConsistencyProof = mtree.ConsistencyProof
+	// BatchProof is the aggregated multi-read proof a deferred-audit
+	// flush verifies (AuditMode): one block binding plus shared sibling
+	// nodes for every covered receipt.
+	BatchProof = ledger.BatchProof
 	// BlockHeader describes one committed ledger block.
 	BlockHeader = ledger.BlockHeader
 	// VerifiedResult carries a result with its proof and digest.
