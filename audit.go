@@ -10,7 +10,24 @@ import (
 	"spitz/internal/cellstore"
 	"spitz/internal/hashutil"
 	"spitz/internal/ledger"
+	"spitz/internal/obs"
 	"spitz/internal/wire"
+)
+
+// Client-side auditor metrics, aggregated across every auditor in the
+// process. Pending is a gauge of receipts awaiting their batch proof;
+// the RTT histogram times the whole verification round trip (transport
+// + server proof construction + client-side checking); failures count
+// flushes that reported — ErrTampered or transport — and should be zero
+// against an honest, reachable server.
+var (
+	mAuditReceipts  = obs.Default.Counter("spitz_audit_receipts_total")
+	mAuditAudited   = obs.Default.Counter("spitz_audit_audited_total")
+	mAuditBatches   = obs.Default.Counter("spitz_audit_batches_total")
+	mAuditFailures  = obs.Default.Counter("spitz_audit_failures_total")
+	mAuditPending   = obs.Default.Gauge("spitz_audit_pending")
+	mAuditBatchSize = obs.Default.Histogram("spitz_audit_batch_size")
+	mAuditRTT       = obs.Default.Histogram("spitz_audit_rtt_ns")
 )
 
 // AuditMode configures deferred verification (Client.StartAudit,
@@ -226,6 +243,8 @@ func (a *Auditor) add(r auditReceipt) bool {
 	}
 	a.pending = append(a.pending, r)
 	a.stats.Receipts++
+	mAuditReceipts.Inc()
+	mAuditPending.Add(1)
 	n := len(a.pending)
 	a.mu.Unlock()
 	if n >= a.mode.MaxPending {
@@ -289,6 +308,7 @@ func (a *Auditor) flush() error {
 	if len(batch) == 0 {
 		return nil
 	}
+	mAuditPending.Add(-int64(len(batch)))
 	type groupKey struct {
 		shard  int
 		digest Digest
@@ -305,14 +325,20 @@ func (a *Auditor) flush() error {
 	var firstErr error
 	for _, k := range order {
 		rs := groups[k]
+		rttStart := time.Now()
 		err := a.link(k.shard).auditBatch(k.digest, rs)
+		mAuditRTT.ObserveSince(rttStart)
+		mAuditBatchSize.Observe(uint64(len(rs)))
 		if err == nil {
+			mAuditAudited.Add(uint64(len(rs)))
+			mAuditBatches.Inc()
 			a.mu.Lock()
 			a.stats.Audited += uint64(len(rs))
 			a.stats.Batches++
 			a.mu.Unlock()
 			continue
 		}
+		mAuditFailures.Inc()
 		if errors.Is(err, wire.ErrTransport) || errors.Is(err, errPrimarySync) {
 			// The server was unreachable: these receipts are unverified,
 			// not disproven. Keep them for the next flush so they can
@@ -320,6 +346,7 @@ func (a *Auditor) flush() error {
 			a.mu.Lock()
 			a.pending = append(a.pending, rs...)
 			a.mu.Unlock()
+			mAuditPending.Add(int64(len(rs)))
 		}
 		a.report(err)
 		if firstErr == nil {

@@ -254,3 +254,9 @@ func (db *ClusterDB) wireStats() wire.Stats {
 	}
 	return out
 }
+
+// ServerStats returns the observability payload this cluster serves to
+// OpStats clients: per-shard heights, WAL spans and attached followers.
+// Use it to publish instance gauges on an admin endpoint
+// (wire.PublishStats).
+func (db *ClusterDB) ServerStats() ServerStats { return db.wireStats() }

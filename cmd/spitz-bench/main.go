@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	spitz-bench [flags] all|fig1|fig6a|fig6b|fig7|fig8|siri|deferred|timestamps|cc|sharded|replica|replica-smoke|verify-audit
+//	spitz-bench [flags] all|fig1|fig6a|fig6b|fig7|fig8|siri|deferred|timestamps|cc|sharded|replica|replica-smoke|verify-audit|admin-smoke
 //
 // Flags scale the sweep; the default -max-size runs the paper's full 10k
 // to 1.28M doubling series, which takes a while. Use -max-size 160000 for
@@ -24,9 +24,17 @@
 // it. verify-audit runs the deferred-verification smoke: an AuditMode
 // client against a live server under write churn, every receipt
 // batch-verified, then a tamper probe whose corrupted batch proof must
-// trip ErrTampered. replica, replica-smoke and verify-audit are excluded
-// from "all" — they start servers and replicas, which dominates short
-// runs.
+// trip ErrTampered. admin-smoke runs the observability smoke: a durable
+// sharded cluster with a replica and a mixed workload, its ops endpoint
+// (spitz-server -admin-addr style) scraped live, every layer's /metrics
+// series — wire, commit pipeline, WAL, proof cache, replication,
+// auditor — asserted nonzero, and /tracez checked for a staged verified
+// read. replica, replica-smoke, verify-audit and admin-smoke are
+// excluded from "all" — they start servers and replicas, which
+// dominates short runs.
+//
+// -json FILE additionally writes the run's results (plus host and
+// config metadata) as machine-readable JSON.
 package main
 
 import (
@@ -49,6 +57,7 @@ func main() {
 	replicaReaders := flag.Int("replica-readers", 16, "concurrent readers in the replica experiment")
 	replicaOps := flag.Int("replica-ops", 20000, "measured verified reads per configuration in the replica experiment")
 	replicaKeys := flag.Int("replica-keys", 1000, "loaded keys in the replica experiment")
+	jsonOut := flag.String("json", "", "also write results (plus host and run config) as JSON to this file")
 	flag.Parse()
 
 	var sizes []int
@@ -68,37 +77,43 @@ func main() {
 	}
 	run := func(name string) bool { return which == "all" || which == name }
 	ran := false
+	var results []bench.Result
+	collect := func(rs ...bench.Result) {
+		for _, r := range rs {
+			r.Print(os.Stdout)
+		}
+		results = append(results, rs...)
+	}
 
 	if run("fig1") {
 		ran = true
 		res, err := bench.Fig1(60)
 		check(err)
-		res.Print(os.Stdout)
+		collect(res)
 	}
 	if run("fig6a") {
 		ran = true
 		res, err := bench.Fig6Read(cfg)
 		check(err)
-		res.Print(os.Stdout)
+		collect(res)
 	}
 	if run("fig6b") {
 		ran = true
 		res, err := bench.Fig6Write(cfg)
 		check(err)
-		res.Print(os.Stdout)
+		collect(res)
 	}
 	if run("fig7") {
 		ran = true
 		res, err := bench.Fig7(cfg)
 		check(err)
-		res.Print(os.Stdout)
+		collect(res)
 	}
 	if run("fig8") {
 		ran = true
 		readRes, writeRes, err := bench.Fig8(cfg)
 		check(err)
-		readRes.Print(os.Stdout)
-		writeRes.Print(os.Stdout)
+		collect(readRes, writeRes)
 	}
 	if run("siri") {
 		ran = true
@@ -108,25 +123,25 @@ func main() {
 		}
 		res, err := bench.AblationSIRI(n)
 		check(err)
-		res.Print(os.Stdout)
+		collect(res)
 	}
 	if run("deferred") {
 		ran = true
 		res, err := bench.AblationDeferred(100_000, nil)
 		check(err)
-		res.Print(os.Stdout)
+		collect(res)
 	}
 	if run("timestamps") {
 		ran = true
 		res, err := bench.AblationTimestamps(nil, 0)
 		check(err)
-		res.Print(os.Stdout)
+		collect(res)
 	}
 	if run("cc") {
 		ran = true
 		res, err := bench.AblationCC(0, nil)
 		check(err)
-		res.Print(os.Stdout)
+		collect(res)
 	}
 	if run("sharded") {
 		ran = true
@@ -135,7 +150,7 @@ func main() {
 		defer os.RemoveAll(dir)
 		res, err := bench.Sharded(dir, []int{1, 2, 4, 8}, *shardWorkers, *shardOps)
 		check(err)
-		res.Print(os.Stdout)
+		collect(res)
 	}
 	if which == "replica" {
 		ran = true
@@ -144,7 +159,7 @@ func main() {
 		defer os.RemoveAll(dir)
 		res, err := bench.Replica(dir, []int{0, 1, 2}, *replicaReaders, *replicaOps, *replicaKeys)
 		check(err)
-		res.Print(os.Stdout)
+		collect(res)
 	}
 	if which == "replica-smoke" {
 		ran = true
@@ -159,9 +174,21 @@ func main() {
 		check(bench.VerifyAuditSmoke())
 		fmt.Println("verify-audit smoke: AuditMode reads batch-verified under write churn; tamper probe tripped ErrTampered")
 	}
+	if which == "admin-smoke" {
+		ran = true
+		dir, err := os.MkdirTemp("", "spitz-admin-smoke-")
+		check(err)
+		defer os.RemoveAll(dir)
+		check(bench.AdminSmoke(dir))
+		fmt.Println("admin smoke: /metrics served nonzero wire/commit/WAL/proof-cache/replication/audit series; /tracez held a staged verified read; /healthz ok")
+	}
 	if !ran {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", which)
 		os.Exit(2)
+	}
+	if *jsonOut != "" {
+		check(bench.WriteJSON(*jsonOut, which, cfg, results))
+		fmt.Printf("results written to %s\n", *jsonOut)
 	}
 }
 

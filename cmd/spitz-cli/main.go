@@ -12,6 +12,9 @@
 //	spitz-cli -addr HOST:PORT digest check FILE   (verify a saved digest is
 //	                                               a consistent prefix)
 //	spitz-cli -addr HOST:PORT stats               (WAL span, follower lag)
+//	spitz-cli metrics -admin HOST:PORT [-watch 1s] [-filter SUBSTR]
+//	                                              (scrape /metrics on the
+//	                                               server's -admin-addr)
 //	spitz-cli -addr HOST:PORT snapshot FILE   (save a checkpoint)
 //	spitz-cli -addr HOST:PORT restore  FILE   (load a checkpoint)
 //
@@ -40,6 +43,11 @@ func main() {
 	args := flag.Args()
 	if len(args) == 0 {
 		usage()
+	}
+	if args[0] == "metrics" {
+		// metrics talks HTTP to the admin endpoint, not the wire protocol.
+		metricsCmd(args[1:])
+		return
 	}
 
 	cl, err := spitz.Dial("tcp", *addr)
@@ -273,6 +281,7 @@ func usage() {
   spitz-cli [-addr HOST:PORT] digest [save FILE | check FILE]
   spitz-cli [-addr HOST:PORT] stats
   spitz-cli [-addr HOST:PORT] snapshot FILE
-  spitz-cli [-addr HOST:PORT] restore  FILE`)
+  spitz-cli [-addr HOST:PORT] restore  FILE
+  spitz-cli metrics [-admin HOST:PORT] [-watch 1s] [-filter SUBSTR]`)
 	os.Exit(2)
 }

@@ -1,0 +1,115 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// metricsCmd implements `spitz-cli metrics`: scrape the server's admin
+// endpoint (/metrics) and render every series as an aligned terminal
+// table. With -watch it redraws on an interval and annotates counters
+// with their per-second rate since the previous scrape.
+func metricsCmd(args []string) {
+	fs := flag.NewFlagSet("metrics", flag.ExitOnError)
+	admin := fs.String("admin", "127.0.0.1:7688", "server ops (admin) HTTP address")
+	watch := fs.Duration("watch", 0, "redraw every interval with per-second counter rates (0 = scrape once)")
+	filter := fs.String("filter", "", "show only series containing this substring")
+	fs.Parse(args)
+
+	url := "http://" + *admin + "/metrics"
+	prev := map[string]float64{}
+	var prevAt time.Time
+	for {
+		vals, err := scrapeMetrics(url)
+		check(err)
+		now := time.Now()
+		if *watch > 0 {
+			fmt.Print("\x1b[2J\x1b[H") // clear screen between redraws
+			fmt.Printf("%s  @ %s  (every %s)\n\n", url, now.Format("15:04:05"), *watch)
+		}
+		renderMetrics(os.Stdout, vals, prev, now.Sub(prevAt), *filter)
+		if *watch <= 0 {
+			return
+		}
+		prev, prevAt = vals, now
+		time.Sleep(*watch)
+	}
+}
+
+// scrapeMetrics fetches a Prometheus text exposition and returns its
+// series as a name (with labels) -> value map.
+func scrapeMetrics(url string) (map[string]float64, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("metrics: %s returned %s", url, resp.Status)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]float64)
+	for _, line := range strings.Split(string(body), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			continue
+		}
+		v, err := strconv.ParseFloat(line[i+1:], 64)
+		if err != nil {
+			continue
+		}
+		out[line[:i]] = v
+	}
+	return out, nil
+}
+
+func renderMetrics(w io.Writer, vals, prev map[string]float64, dt time.Duration, filter string) {
+	names := make([]string, 0, len(vals))
+	width := 0
+	for name := range vals {
+		if filter != "" && !strings.Contains(name, filter) {
+			continue
+		}
+		names = append(names, name)
+		if len(name) > width {
+			width = len(name)
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		v := vals[name]
+		fmt.Fprintf(w, "%-*s  %14s", width, name, formatMetric(name, v))
+		base := strings.SplitN(name, "{", 2)[0]
+		if p, ok := prev[name]; ok && dt > 0 && strings.HasSuffix(base, "_total") {
+			fmt.Fprintf(w, "  %9.1f/s", (v-p)/dt.Seconds())
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// formatMetric renders nanosecond latency series as human durations and
+// everything else as plain numbers.
+func formatMetric(name string, v float64) string {
+	base := strings.SplitN(name, "{", 2)[0]
+	if strings.HasSuffix(base, "_ns") || strings.HasSuffix(base, "_ns_sum") {
+		return time.Duration(int64(v)).Round(100 * time.Nanosecond).String()
+	}
+	if v == float64(int64(v)) {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', 6, 64)
+}

@@ -3,11 +3,19 @@
 //
 // Usage:
 //
-//	spitz-server [-addr 127.0.0.1:7687] [-inverted] [-mode occ|to]
+//	spitz-server [-addr 127.0.0.1:7687] [-admin-addr 127.0.0.1:7688]
+//	             [-inverted] [-mode occ|to]
 //	             [-shards N] [-max-batch-txns 128] [-max-batch-delay 0s]
 //	             [-data-dir DIR] [-sync always|interval|never]
 //	             [-sync-every 50ms] [-checkpoint-interval 1m]
 //	             [-checkpoint-every-blocks 4096]
+//
+// -admin-addr serves the operations endpoint over HTTP: /metrics
+// (Prometheus text exposition of every internal counter, gauge and
+// latency histogram), /healthz (JSON liveness plus shard heights),
+// /tracez (recent sampled request traces with per-stage timings), and
+// /debug/pprof. It is off by default; bind it to a loopback or
+// operations network, not the client-facing address.
 //
 // Without -data-dir the database lives in memory and vanishes on exit.
 // With it, every commit is written ahead to a log under DIR before it is
@@ -55,11 +63,14 @@ import (
 	"time"
 
 	"spitz"
+	"spitz/internal/obs"
 	"spitz/internal/wal"
+	"spitz/internal/wire"
 )
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7687", "listen address")
+	adminAddr := flag.String("admin-addr", "", "ops HTTP endpoint (/metrics, /healthz, /tracez, /debug/pprof); empty disables")
 	inverted := flag.Bool("inverted", false, "maintain the inverted index for value lookups")
 	mode := flag.String("mode", "occ", "concurrency control scheme: occ or to")
 	shards := flag.Int("shards", 1, "serve a sharded cluster of this many engines (1 = single engine)")
@@ -90,7 +101,7 @@ func main() {
 		if *dataDir != "" {
 			log.Fatalf("spitz-server: -replicate-from and -data-dir are mutually exclusive (a replica's state comes from its primary)")
 		}
-		serveReplica(*replicateFrom, *addr, *inverted)
+		serveReplica(*replicateFrom, *addr, *adminAddr, *inverted)
 		return
 	}
 	shardsSet := false
@@ -106,7 +117,7 @@ func main() {
 		*shards = 0 // adopt the recorded shard count
 	}
 	if *shards != 1 {
-		serveCluster(*shards, *dataDir, opts, *syncMode, *syncEvery, *ckptInterval, *ckptBlocks, *addr)
+		serveCluster(*shards, *dataDir, opts, *syncMode, *syncEvery, *ckptInterval, *ckptBlocks, *addr, *adminAddr)
 		return
 	}
 	var db *spitz.DB
@@ -137,6 +148,7 @@ func main() {
 	log.Printf("spitz-server: serving verifiable database on %s", ln.Addr())
 	log.Printf("spitz-server: ledger digest height=%d root=%s",
 		db.Digest().Height, db.Digest().Root.Short())
+	startAdmin(*adminAddr, db.ServerStats, func() any { return db.ServerStats() })
 
 	// A signal closes the listener so Serve returns, then Close flushes
 	// the WAL — acknowledged commits are never lost to a clean shutdown.
@@ -157,9 +169,32 @@ func main() {
 	}
 }
 
+// startAdmin serves the ops HTTP endpoint on adminAddr (no-op when
+// empty). stats feeds the instance gauges — shard heights, WAL span,
+// follower lag — into the metrics registry at scrape time; health is
+// the /healthz detail payload.
+func startAdmin(adminAddr string, stats func() spitz.ServerStats, health func() any) {
+	if adminAddr == "" {
+		return
+	}
+	ln, err := net.Listen("tcp", adminAddr)
+	if err != nil {
+		log.Fatalf("spitz-server: admin listen: %v", err)
+	}
+	if stats != nil {
+		wire.PublishStats(obs.Default, stats)
+	}
+	log.Printf("spitz-server: ops endpoint on http://%s/metrics", ln.Addr())
+	go func() {
+		if err := obs.ServeAdmin(ln, obs.AdminOptions{Health: health}); err != nil && !errors.Is(err, net.ErrClosed) {
+			log.Printf("spitz-server: admin: %v", err)
+		}
+	}()
+}
+
 // serveReplica runs this server as a read-only replica: stream the
 // primary's log (all shards), verified-replay every block, serve reads.
-func serveReplica(primary, addr string, inverted bool) {
+func serveReplica(primary, addr, adminAddr string, inverted bool) {
 	rep, err := spitz.DialReplica("tcp", primary, spitz.ReplicaOptions{
 		MaintainInverted: inverted,
 		Logf:             log.Printf,
@@ -172,6 +207,7 @@ func serveReplica(primary, addr string, inverted bool) {
 		log.Fatalf("spitz-server: listen: %v", err)
 	}
 	log.Printf("spitz-server: serving read replica of %s (%d shard(s)) on %s", primary, rep.Shards(), ln.Addr())
+	startAdmin(adminAddr, rep.ServerStats, func() any { return rep.Status() })
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
@@ -195,7 +231,7 @@ func serveReplica(primary, addr string, inverted bool) {
 // serveCluster runs the sharded deployment: N engines behind one
 // listener, with optional per-shard durability under dataDir/shard-NNN.
 func serveCluster(shards int, dataDir string, opts spitz.Options, syncMode string,
-	syncEvery, ckptInterval time.Duration, ckptBlocks uint64, addr string) {
+	syncEvery, ckptInterval time.Duration, ckptBlocks uint64, addr, adminAddr string) {
 	copts := spitz.ClusterOptions{
 		Shards:           shards,
 		Mode:             opts.Mode,
@@ -234,6 +270,7 @@ func serveCluster(shards int, dataDir string, opts spitz.Options, syncMode strin
 	}
 	d := db.ClusterDigest()
 	log.Printf("spitz-server: serving sharded verifiable database on %s, combined root %s", ln.Addr(), d.Root.Short())
+	startAdmin(adminAddr, db.ServerStats, func() any { return db.ServerStats() })
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)

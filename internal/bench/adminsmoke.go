@@ -1,0 +1,268 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"spitz"
+	"spitz/internal/obs"
+	"spitz/internal/wire"
+)
+
+// AdminSmoke is the observability workload CI runs: a durable 2-shard
+// cluster served over the wire protocol with the ops endpoint attached,
+// a read replica mirroring it, and a mixed workload (writes across both
+// shards, eager verified reads with proof-cache reuse, AuditMode reads
+// batch-verified). It then scrapes the live admin endpoint and fails
+// unless /metrics reports plausible nonzero series from every layer —
+// wire, commit pipeline, WAL, proof cache, replication, auditor —
+// /tracez holds a sampled verified read broken into wire/ledger/proof
+// stages, and /healthz answers ok.
+func AdminSmoke(dir string) error {
+	// Sample every request so the trace assertion cannot flake, and keep
+	// the smoke's sampling from leaking into later experiments.
+	obs.DefaultTracer.SetSampleEvery(1)
+	defer obs.DefaultTracer.SetSampleEvery(128)
+
+	db, err := spitz.OpenCluster(dir, spitz.ClusterOptions{
+		Shards:             2,
+		Sync:               spitz.SyncAlways,
+		CheckpointInterval: -1, // retain the whole log so the replica bootstraps from it
+	})
+	if err != nil {
+		return err
+	}
+	defer db.Close()
+	ln, _ := wire.Listen()
+	defer ln.Close()
+	go db.Serve(ln)
+
+	// The ops endpoint, exactly as spitz-server -admin-addr wires it.
+	wire.PublishStats(obs.Default, db.ServerStats)
+	aln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	defer aln.Close()
+	go obs.ServeAdmin(aln, obs.AdminOptions{Health: func() any { return db.ServerStats() }})
+	base := "http://" + aln.Addr().String()
+
+	// Write load across both shards.
+	sc, err := spitz.NewShardedClient(func() (*wire.Client, error) { return wire.Connect(ln) })
+	if err != nil {
+		return err
+	}
+	defer sc.Close()
+	const keys = 200
+	for i := 0; i < keys; i++ {
+		if _, err := sc.Apply("admin-smoke", []spitz.Put{{Table: "t", Column: "c",
+			PK: benchKey(i), Value: []byte(fmt.Sprintf("value-%08d", i))}}); err != nil {
+			return fmt.Errorf("admin smoke write %d: %w", i, err)
+		}
+	}
+
+	// Eager verified reads; the repeats against an unchanged digest are
+	// the proof-cache hits the scrape asserts.
+	for round := 0; round < 3; round++ {
+		for i := 0; i < 50; i++ {
+			if _, found, err := sc.GetVerified("t", "c", benchKey(i)); err != nil {
+				return fmt.Errorf("verified read %d: %w", i, err)
+			} else if !found {
+				return fmt.Errorf("verified read %d: key missing", i)
+			}
+		}
+	}
+
+	// AuditMode reads: optimistic accept, one batch-proof RTT per digest.
+	ac, err := spitz.NewShardedClient(func() (*wire.Client, error) { return wire.Connect(ln) })
+	if err != nil {
+		return err
+	}
+	defer ac.Close()
+	aud, err := ac.StartAudit(spitz.AuditMode{MaxPending: 64, MaxDelay: time.Hour})
+	if err != nil {
+		return err
+	}
+	for i := 0; i < 100; i++ {
+		if _, _, err := ac.GetVerified("t", "c", benchKey(i)); err != nil {
+			return fmt.Errorf("audited read %d: %w", i, err)
+		}
+	}
+	if err := aud.Flush(); err != nil {
+		return fmt.Errorf("audit flush: %w", err)
+	}
+
+	// A replica mirroring both shards, so replication series move.
+	rep, err := spitz.NewReplica(func() (*wire.Client, error) { return wire.Connect(ln) },
+		spitz.ReplicaOptions{ReconnectDelay: 10 * time.Millisecond})
+	if err != nil {
+		return err
+	}
+	defer rep.Close()
+	for i := 0; i < rep.Shards(); i++ {
+		if err := rep.WaitForHeight(i, db.ServerStats().Shards[i].Height, 30*time.Second); err != nil {
+			return fmt.Errorf("replica catch-up shard %d: %w", i, err)
+		}
+	}
+
+	// A last round of eager verified reads: the trace ring holds only the
+	// newest finished traces, and the audit and replication traffic above
+	// would otherwise have rotated the staged get-verified traces out.
+	for i := 0; i < 10; i++ {
+		if _, _, err := sc.GetVerified("t", "c", benchKey(i)); err != nil {
+			return fmt.Errorf("final verified read %d: %w", i, err)
+		}
+	}
+
+	// Scrape the live endpoint and hold it to the acceptance bar.
+	vals, err := scrapeText(base + "/metrics")
+	if err != nil {
+		return err
+	}
+	nonzero := []string{
+		// wire
+		`spitz_wire_ops_total{op="get-verified"}`,
+		`spitz_wire_ops_total{op="put"}`,
+		`spitz_wire_written_bytes_total`,
+		// commit pipeline
+		`spitz_commit_blocks_total`,
+		`spitz_commit_txns_total`,
+		// WAL
+		`spitz_wal_appends_total`,
+		`spitz_wal_fsyncs_total`,
+		// proof + node caches
+		`spitz_proofcache_hits_total`,
+		`spitz_nodecache_hits_total`,
+		// replication, both sides
+		`spitz_repl_frames_sent_total`,
+		`spitz_replica_blocks_applied_total`,
+		// auditor
+		`spitz_audit_receipts_total`,
+		`spitz_audit_audited_total`,
+		`spitz_audit_batches_total`,
+		// instance gauges published at scrape time
+		`spitz_shard_height{shard="0"}`,
+		`spitz_shard_height{shard="1"}`,
+	}
+	for _, name := range nonzero {
+		if v, ok := vals[name]; !ok {
+			return fmt.Errorf("admin smoke: /metrics missing series %s", name)
+		} else if v <= 0 {
+			return fmt.Errorf("admin smoke: /metrics series %s = %g, want > 0", name, v)
+		}
+	}
+	// Follower-lag gauges must exist per attached follower (zero lag is
+	// the healthy value, so only presence is asserted).
+	for _, prefix := range []string{"spitz_follower_lag_blocks", "spitz_audit_pending"} {
+		if !hasSeries(vals, prefix) {
+			return fmt.Errorf("admin smoke: /metrics missing %s*", prefix)
+		}
+	}
+
+	// /tracez must hold a verified read broken into stages.
+	if err := checkTracez(base + "/tracez"); err != nil {
+		return err
+	}
+
+	// /healthz must answer ok.
+	var health struct {
+		Status string `json:"status"`
+	}
+	if err := getJSON(base+"/healthz", &health); err != nil {
+		return err
+	}
+	if health.Status != "ok" {
+		return fmt.Errorf("admin smoke: /healthz status %q", health.Status)
+	}
+	return nil
+}
+
+// scrapeText fetches a Prometheus text exposition into a series -> value
+// map.
+func scrapeText(url string) (map[string]float64, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("admin smoke: %s returned %s", url, resp.Status)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]float64)
+	for _, line := range strings.Split(string(body), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			continue
+		}
+		v, err := strconv.ParseFloat(line[i+1:], 64)
+		if err != nil {
+			continue
+		}
+		out[line[:i]] = v
+	}
+	return out, nil
+}
+
+func hasSeries(vals map[string]float64, prefix string) bool {
+	for name := range vals {
+		if strings.HasPrefix(name, prefix) {
+			return true
+		}
+	}
+	return false
+}
+
+func getJSON(url string, v any) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("admin smoke: %s returned %s", url, resp.Status)
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+// checkTracez asserts a sampled get-verified trace with wire and
+// ledger/proof stage timings.
+func checkTracez(url string) error {
+	var tz struct {
+		Traces []obs.TraceSnapshot `json:"traces"`
+	}
+	if err := getJSON(url, &tz); err != nil {
+		return err
+	}
+	for _, tr := range tz.Traces {
+		if tr.Op != string(wire.OpGetVerified) {
+			continue
+		}
+		var hasWire, hasProof bool
+		for _, st := range tr.Stages {
+			if strings.HasPrefix(st.Name, "wire.") {
+				hasWire = true
+			}
+			if strings.HasPrefix(st.Name, "proof.") || strings.HasPrefix(st.Name, "ledger.") {
+				hasProof = true
+			}
+		}
+		if hasWire && hasProof {
+			return nil
+		}
+	}
+	return fmt.Errorf("admin smoke: /tracez holds no get-verified trace with wire + ledger/proof stages (%d traces)", len(tz.Traces))
+}

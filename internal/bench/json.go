@@ -1,0 +1,44 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"time"
+)
+
+// Report is the machine-readable output of one spitz-bench run
+// (-json FILE): the host and run configuration plus every result's
+// series, so plotting scripts and regression dashboards consume the
+// same numbers the terminal tables print.
+type Report struct {
+	Experiment string    `json:"experiment"`
+	Timestamp  time.Time `json:"timestamp"`
+	GoVersion  string    `json:"go_version"`
+	GOOS       string    `json:"goos"`
+	GOARCH     string    `json:"goarch"`
+	CPUs       int       `json:"cpus"`
+	Config     Config    `json:"config"`
+	Results    []Result  `json:"results"`
+}
+
+// WriteJSON writes results and the run configuration to path as
+// indented JSON. Smoke experiments produce no Result rows; the report
+// then records only that the run happened and under what config.
+func WriteJSON(path, experiment string, cfg Config, results []Result) error {
+	rep := Report{
+		Experiment: experiment,
+		Timestamp:  time.Now().UTC(),
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		CPUs:       runtime.NumCPU(),
+		Config:     cfg,
+		Results:    results,
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -15,22 +15,22 @@ import (
 // Point is one measurement: X is the swept parameter (records, versions),
 // Y the measured value.
 type Point struct {
-	X int
-	Y float64
+	X int     `json:"x"`
+	Y float64 `json:"y"`
 }
 
 // Series is one line of a figure.
 type Series struct {
-	Name   string
-	Points []Point
+	Name   string  `json:"name"`
+	Points []Point `json:"points"`
 }
 
 // Result is one regenerated figure or table.
 type Result struct {
-	Title  string
-	XLabel string
-	YLabel string
-	Series []Series
+	Title  string   `json:"title"`
+	XLabel string   `json:"x_label"`
+	YLabel string   `json:"y_label"`
+	Series []Series `json:"series"`
 }
 
 // Print writes the result as an aligned table, one row per X value and one

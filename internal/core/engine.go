@@ -37,9 +37,24 @@ import (
 	"spitz/internal/inverted"
 	"spitz/internal/ledger"
 	"spitz/internal/mtree"
+	"spitz/internal/obs"
 	"spitz/internal/postree"
 	"spitz/internal/txn"
 	"spitz/internal/txn/tso"
+)
+
+// Group-commit pipeline metrics. Queue wait is enqueue-to-batch-cut;
+// ledger time is the POS-tree apply + commitment append per block; the
+// durable wait is the leader-side fsync hold (the WAL layer times the
+// fsync itself).
+var (
+	mCommitBlocks    = obs.Default.Counter("spitz_commit_blocks_total")
+	mCommitTxns      = obs.Default.Counter("spitz_commit_txns_total")
+	mCommitCells     = obs.Default.Counter("spitz_commit_cells_total")
+	mCommitQueueWait = obs.Default.Histogram("spitz_commit_queue_wait_ns")
+	mCommitBatchTxns = obs.Default.Histogram("spitz_commit_batch_txns")
+	mCommitLedger    = obs.Default.Histogram("spitz_commit_ledger_ns")
+	mCommitDurWait   = obs.Default.Histogram("spitz_commit_durable_wait_ns")
 )
 
 // Put is one cell write in a batch.
@@ -140,10 +155,11 @@ type pendingCell struct {
 
 // commitReq is one transaction riding the group-commit pipeline.
 type commitReq struct {
-	id        uint64
-	version   uint64
-	statement string
-	cells     []cellstore.Cell // stamped with version at enqueue
+	id         uint64
+	version    uint64
+	statement  string
+	cells      []cellstore.Cell // stamped with version at enqueue
+	enqueuedAt time.Time        // queue-wait accounting
 
 	lead     bool          // elected leader at enqueue (no leader was active)
 	takeover chan struct{} // closed when a finishing leader hands leadership over
@@ -323,12 +339,13 @@ func (e *Engine) enqueueCommit(statement string, cells []cellstore.Cell, version
 		cells[i].Version = version
 	}
 	req := &commitReq{
-		id:        e.nextTxnID,
-		version:   version,
-		statement: statement,
-		cells:     cells,
-		takeover:  make(chan struct{}),
-		done:      make(chan struct{}),
+		id:         e.nextTxnID,
+		version:    version,
+		statement:  statement,
+		cells:      cells,
+		enqueuedAt: time.Now(),
+		takeover:   make(chan struct{}),
+		done:       make(chan struct{}),
 	}
 	e.nextTxnID++
 	e.queue = append(e.queue, req)
@@ -434,7 +451,9 @@ func (e *Engine) lead(own *commitReq) {
 		// error is ignored here — every waiter surfaces it through its
 		// own durWait call.
 		if w := batch[0].durWait; w != nil {
+			durStart := time.Now()
 			_ = w()
+			mCommitDurWait.ObserveSince(durStart)
 		}
 		select {
 		case <-own.done:
@@ -471,11 +490,14 @@ func (e *Engine) commitBatch(batch []*commitReq) {
 		total += len(r.cells)
 	}
 	cells := make([]cellstore.Cell, 0, total)
+	cut := time.Now()
 	for i, r := range batch {
 		summaries[i] = ledger.TxnSummary{ID: r.id, Statement: r.statement, WriteHash: ledger.WriteSetHash(r.cells)}
 		cells = append(cells, r.cells...)
+		mCommitQueueWait.Observe(uint64(cut.Sub(r.enqueuedAt)))
 	}
 	h, err := e.ledger.Commit(batch[len(batch)-1].version, summaries, cells)
+	mCommitLedger.ObserveSince(cut)
 
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -493,6 +515,11 @@ func (e *Engine) commitBatch(batch []*commitReq) {
 	}
 	e.indexCellsLocked(cells)
 	e.clearPendingLocked(batch)
+
+	mCommitBlocks.Inc()
+	mCommitTxns.Add(uint64(len(batch)))
+	mCommitCells.Add(uint64(total))
+	mCommitBatchTxns.Observe(uint64(len(batch)))
 
 	e.bstats.Blocks++
 	e.bstats.Txns += uint64(len(batch))
@@ -751,7 +778,15 @@ type VerifiedResult struct {
 // and the digest it verifies against are captured atomically, so the
 // result stays self-consistent under concurrent commits.
 func (e *Engine) GetVerified(table, column string, pk []byte) (VerifiedResult, error) {
-	cell, ok, p, d, err := e.ledger.ProveGetHead(table, column, pk)
+	return e.GetVerifiedTraced(table, column, pk, nil)
+}
+
+// GetVerifiedTraced is GetVerified with an optional sampled request
+// trace (nil for the unsampled majority): the ledger records lock,
+// snapshot and proof-construction stages into it, so a wire-served
+// verified read decomposes into wire/ledger/proof timings on /tracez.
+func (e *Engine) GetVerifiedTraced(table, column string, pk []byte, tr *obs.Trace) (VerifiedResult, error) {
+	cell, ok, p, d, err := e.ledger.ProveGetHeadTraced(table, column, pk, tr)
 	if err != nil {
 		return VerifiedResult{}, err
 	}

@@ -5,7 +5,17 @@ import (
 
 	"spitz/internal/cellstore"
 	"spitz/internal/mtree"
+	"spitz/internal/obs"
 	"spitz/internal/postree"
+)
+
+// Proof-cache effectiveness counters: a hot verified-read working set
+// shows up as a high hit ratio; every commit shows up as one
+// invalidation (the cache holds a single head generation).
+var (
+	mProofCacheHits  = obs.Default.Counter("spitz_proofcache_hits_total")
+	mProofCacheMiss  = obs.Default.Counter("spitz_proofcache_misses_total")
+	mProofCacheInval = obs.Default.Counter("spitz_proofcache_invalidations_total")
 )
 
 // proofCacheSize bounds the number of memoized head proofs. Entries are
@@ -43,9 +53,15 @@ func (c *proofCache) get(d Digest, ref string) (cachedRead, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.m == nil || c.digest != d {
+		mProofCacheMiss.Inc()
 		return cachedRead{}, false
 	}
 	e, ok := c.m[ref]
+	if ok {
+		mProofCacheHits.Inc()
+	} else {
+		mProofCacheMiss.Inc()
+	}
 	return e, ok
 }
 
@@ -71,6 +87,7 @@ func (c *proofCache) put(d Digest, ref string, e cachedRead) {
 // ledger's write lock, so no read-locked prover can observe the old
 // generation after the head moves.
 func (c *proofCache) invalidate() {
+	mProofCacheInval.Inc()
 	c.mu.Lock()
 	c.m = nil
 	c.digest = Digest{}

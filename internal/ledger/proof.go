@@ -2,11 +2,17 @@ package ledger
 
 import (
 	"errors"
+	"time"
 
 	"spitz/internal/cellstore"
 	"spitz/internal/mtree"
+	"spitz/internal/obs"
 	"spitz/internal/postree"
 )
+
+// mProofBuild times full (uncached) head proof constructions: POS-tree
+// walk + point proof + block inclusion, excluding lock wait and gob.
+var mProofBuild = obs.Default.Histogram("spitz_proof_build_ns")
 
 // ErrProofInvalid is returned when a ledger proof fails verification.
 var ErrProofInvalid = errors.New("ledger: proof verification failed")
@@ -85,7 +91,7 @@ func (p Proof) Cells() ([]cellstore.Cell, error) {
 func (l *Ledger) ProveGetLatest(height uint64, table, column string, pk []byte) (cellstore.Cell, bool, Proof, error) {
 	l.mu.RLock()
 	defer l.mu.RUnlock()
-	cell, ok, p, _, err := l.proveGetLocked(height, table, column, pk)
+	cell, ok, p, _, err := l.proveGetLocked(height, table, column, pk, nil)
 	return cell, ok, p, err
 }
 
@@ -95,16 +101,29 @@ func (l *Ledger) ProveGetLatest(height uint64, table, column string, pk []byte) 
 // produce a proof that fails against the returned digest. ok is false
 // (with a zero proof) when the ledger is empty.
 func (l *Ledger) ProveGetHead(table, column string, pk []byte) (cellstore.Cell, bool, Proof, Digest, error) {
+	return l.ProveGetHeadTraced(table, column, pk, nil)
+}
+
+// ProveGetHeadTraced is ProveGetHead with an optional sampled request
+// trace: lock wait, snapshot resolution, point-proof construction and
+// block inclusion each record a stage, so /tracez attributes a slow
+// verified read to the stage that owns the time.
+func (l *Ledger) ProveGetHeadTraced(table, column string, pk []byte, tr *obs.Trace) (cellstore.Cell, bool, Proof, Digest, error) {
+	var lockStart time.Time
+	if tr.Sampled() {
+		lockStart = time.Now()
+	}
 	l.mu.RLock()
 	defer l.mu.RUnlock()
+	tr.Stage("ledger.lock", lockStart)
 	d := l.digestLocked()
 	if d.Height == 0 {
 		return cellstore.Cell{}, false, Proof{}, d, nil
 	}
-	return l.proveGetLocked(d.Height-1, table, column, pk)
+	return l.proveGetLocked(d.Height-1, table, column, pk, tr)
 }
 
-func (l *Ledger) proveGetLocked(height uint64, table, column string, pk []byte) (cellstore.Cell, bool, Proof, Digest, error) {
+func (l *Ledger) proveGetLocked(height uint64, table, column string, pk []byte, tr *obs.Trace) (cellstore.Cell, bool, Proof, Digest, error) {
 	d := l.digestLocked()
 	head := d.Height > 0 && height == d.Height-1
 	var ref string
@@ -113,23 +132,45 @@ func (l *Ledger) proveGetLocked(height uint64, table, column string, pk []byte) 
 		// digest was captured inside this read-locked section, so a hit
 		// is guaranteed to have been built for exactly this head.
 		ref = string(cellstore.CellPrefix(table, column, pk))
+		var cacheStart time.Time
+		if tr.Sampled() {
+			cacheStart = time.Now()
+		}
 		if e, ok := l.pcache.get(d, ref); ok {
+			tr.Stage("proof.cache_hit", cacheStart)
 			pp := e.point
 			return e.cell, e.ok, Proof{Header: e.hdr, Inclusion: e.inc, Point: &pp}, d, nil
 		}
+	}
+	buildStart := time.Now()
+	var snapStart time.Time
+	if tr.Sampled() {
+		snapStart = buildStart
 	}
 	h, snap, err := l.snapshotLocked(height)
 	if err != nil {
 		return cellstore.Cell{}, false, Proof{}, d, err
 	}
+	tr.Stage("ledger.snapshot", snapStart)
+	var pointStart time.Time
+	if tr.Sampled() {
+		pointStart = time.Now()
+	}
 	cell, ok, pointProof, err := snap.ProveGetHead(table, column, pk)
 	if err != nil {
 		return cellstore.Cell{}, false, Proof{}, d, err
+	}
+	tr.Stage("proof.point", pointStart)
+	var incStart time.Time
+	if tr.Sampled() {
+		incStart = time.Now()
 	}
 	inc, err := l.blockInclusion(height)
 	if err != nil {
 		return cellstore.Cell{}, false, Proof{}, d, err
 	}
+	tr.Stage("proof.inclusion", incStart)
+	mProofBuild.ObserveSince(buildStart)
 	if head {
 		l.pcache.put(d, ref, cachedRead{cell: cell, ok: ok, point: pointProof, inc: inc, hdr: h})
 	}

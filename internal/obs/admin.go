@@ -1,0 +1,83 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// AdminOptions configures the ops endpoint.
+type AdminOptions struct {
+	// Registry to expose; nil uses Default.
+	Registry *Registry
+	// Tracer whose recent traces /tracez serves; nil uses DefaultTracer.
+	Tracer *Tracer
+	// Health, when non-nil, supplies the deployment-specific portion of
+	// the /healthz payload (shard heights, replica status). It must not
+	// block.
+	Health func() any
+}
+
+// NewAdminHandler returns the ops endpoint handler:
+//
+//	/metrics     Prometheus text exposition of the registry
+//	/healthz     JSON liveness + the deployment's Health() payload
+//	/tracez      JSON dump of recent sampled request traces
+//	/debug/vars  expvar (Go runtime memstats and cmdline)
+//	/debug/pprof net/http/pprof profiles
+func NewAdminHandler(opts AdminOptions) http.Handler {
+	reg := opts.Registry
+	if reg == nil {
+		reg = Default
+	}
+	tracer := opts.Tracer
+	if tracer == nil {
+		tracer = DefaultTracer
+	}
+	started := time.Now()
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		payload := struct {
+			Status string `json:"status"`
+			Uptime string `json:"uptime"`
+			Detail any    `json:"detail,omitempty"`
+		}{Status: "ok", Uptime: time.Since(started).Round(time.Millisecond).String()}
+		if opts.Health != nil {
+			payload.Detail = opts.Health()
+		}
+		writeJSON(w, payload)
+	})
+	mux.HandleFunc("/tracez", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, struct {
+			Traces []TraceSnapshot `json:"traces"`
+		}{Traces: tracer.Recent()})
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// ServeAdmin serves the ops endpoint on ln until the listener closes.
+func ServeAdmin(ln net.Listener, opts AdminOptions) error {
+	srv := &http.Server{Handler: NewAdminHandler(opts), ReadHeaderTimeout: 5 * time.Second}
+	return srv.Serve(ln)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}

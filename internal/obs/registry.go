@@ -1,0 +1,371 @@
+// Package obs is the observability layer under every Spitz component: a
+// dependency-free metrics registry (atomic counters, gauges, fixed-bucket
+// latency histograms with quantile snapshots) plus sampled per-request
+// tracing. Instrumented packages declare their series as package-level
+// variables against the Default registry, so recording on the hot path is
+// a single atomic add — no maps, no locks, no allocation.
+//
+// The registry is process-global by design (like expvar): a process may
+// host many engines, shards, and replicas, and their counters aggregate.
+// Per-shard breakdowns that need instance identity (heights, follower
+// lag) are published at scrape time through RegisterEmitter, which pulls
+// from the same typed stats structs the wire protocol serves.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math/bits"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Default is the process-wide registry every Spitz layer records into.
+var Default = New()
+
+// Counter is a monotonically increasing counter.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is an instantaneous value that can move both ways.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add moves the gauge by n (negative to decrease).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// histBuckets is the fixed bucket count: bucket i holds values whose
+// bit length is i, i.e. v in [2^(i-1), 2^i). For nanosecond latencies
+// this spans sub-ns to ~39 hours with ~2x resolution, which is enough
+// to tell a 20µs read from a 5ms fsync without per-metric configuration.
+const histBuckets = 48
+
+// Histogram is a fixed-bucket log-scale histogram. Observations are two
+// atomic adds; there is no lock and no allocation. Snapshots estimate
+// quantiles by linear interpolation inside the matched power-of-two
+// bucket, so a reported p99 is within ~2x of the true value — the right
+// trade for an always-on hot-path histogram.
+type Histogram struct {
+	buckets [histBuckets]atomic.Uint64
+	count   atomic.Uint64
+	sum     atomic.Uint64
+}
+
+// Observe records one value (nanoseconds, bytes, batch sizes — any
+// non-negative magnitude).
+func (h *Histogram) Observe(v uint64) {
+	i := bits.Len64(v)
+	if i >= histBuckets {
+		i = histBuckets - 1
+	}
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// ObserveSince records the nanoseconds elapsed since start.
+func (h *Histogram) ObserveSince(start time.Time) {
+	h.Observe(uint64(time.Since(start)))
+}
+
+// HistSnapshot is a point-in-time read of a histogram. Buckets holds the
+// per-bucket counts (index = bit length of the value); P50/P95/P99 are
+// interpolated estimates. Snapshots are not atomic across buckets: under
+// concurrent writers the quantiles may lag Count by in-flight
+// observations, which is fine for monitoring.
+type HistSnapshot struct {
+	Count   uint64
+	Sum     uint64
+	Buckets [histBuckets]uint64
+	P50     float64
+	P95     float64
+	P99     float64
+}
+
+// Mean returns the average observed value, or 0 when empty.
+func (s HistSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}
+
+// Snapshot reads the histogram and computes quantile estimates.
+func (h *Histogram) Snapshot() HistSnapshot {
+	var s HistSnapshot
+	s.Count = h.count.Load()
+	s.Sum = h.sum.Load()
+	var total uint64
+	for i := range s.Buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+		total += s.Buckets[i]
+	}
+	// Quantiles walk the bucket counts actually read, not h.count, so a
+	// concurrent Observe between the loads cannot push a target past the
+	// last bucket.
+	s.P50 = quantile(&s.Buckets, total, 0.50)
+	s.P95 = quantile(&s.Buckets, total, 0.95)
+	s.P99 = quantile(&s.Buckets, total, 0.99)
+	return s
+}
+
+// quantile interpolates the q-th quantile from power-of-two buckets.
+func quantile(buckets *[histBuckets]uint64, total uint64, q float64) float64 {
+	if total == 0 {
+		return 0
+	}
+	target := q * float64(total)
+	var seen float64
+	for i, n := range buckets {
+		if n == 0 {
+			continue
+		}
+		if seen+float64(n) >= target {
+			// Bucket i covers [2^(i-1), 2^i); bucket 0 holds only zeros.
+			if i == 0 {
+				return 0
+			}
+			lo := float64(uint64(1) << (i - 1))
+			hi := lo * 2
+			frac := (target - seen) / float64(n)
+			return lo + (hi-lo)*frac
+		}
+		seen += float64(n)
+	}
+	return float64(uint64(1) << (histBuckets - 1))
+}
+
+// Registry holds named metrics. Series names follow Prometheus
+// conventions and may carry a fixed label set baked into the name
+// (`spitz_wire_ops_total{op="get"}`) — the registry treats the full
+// string as the key and the exposition groups TYPE lines by base name.
+type Registry struct {
+	mu       sync.RWMutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+	emitters []func(emit func(name string, value float64))
+}
+
+// New returns an empty registry.
+func New() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.RLock()
+	c := r.counters[name]
+	r.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c = r.counters[name]; c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.RLock()
+	g := r.gauges[name]
+	r.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g = r.gauges[name]; g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.RLock()
+	h := r.hists[name]
+	r.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h = r.hists[name]; h == nil {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// RegisterEmitter adds a scrape-time gauge source: f is called on every
+// snapshot/exposition with an emit callback. Use it for series whose
+// value lives in typed stats structs (shard heights, follower lag)
+// rather than in registry state. Emitters must not block.
+func (r *Registry) RegisterEmitter(f func(emit func(name string, value float64))) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.emitters = append(r.emitters, f)
+}
+
+// FlatMetric is one scalar series in a flattened snapshot. Histograms
+// flatten to their _count, _sum and quantile series.
+type FlatMetric struct {
+	Name  string
+	Value float64
+}
+
+// Flat returns every series as (name, value) pairs, sorted by name:
+// counters and gauges directly, histograms as name_count/name_sum plus
+// {quantile="…"} estimates, and emitter-published gauges. This is the
+// snapshot the wire OpStats payload and /metrics both serve.
+func (r *Registry) Flat() []FlatMetric {
+	r.mu.RLock()
+	out := make([]FlatMetric, 0, len(r.counters)+len(r.gauges)+5*len(r.hists))
+	for name, c := range r.counters {
+		out = append(out, FlatMetric{name, float64(c.Value())})
+	}
+	for name, g := range r.gauges {
+		out = append(out, FlatMetric{name, float64(g.Value())})
+	}
+	for name, h := range r.hists {
+		s := h.Snapshot()
+		base, labels := splitName(name)
+		out = append(out,
+			FlatMetric{base + "_count" + wrap(labels), float64(s.Count)},
+			FlatMetric{base + "_sum" + wrap(labels), float64(s.Sum)},
+			FlatMetric{base + mergeLabel(labels, `quantile="0.5"`), s.P50},
+			FlatMetric{base + mergeLabel(labels, `quantile="0.95"`), s.P95},
+			FlatMetric{base + mergeLabel(labels, `quantile="0.99"`), s.P99},
+		)
+	}
+	emitters := r.emitters
+	r.mu.RUnlock()
+	for _, f := range emitters {
+		f(func(name string, value float64) {
+			out = append(out, FlatMetric{name, value})
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// WritePrometheus writes the registry in Prometheus text exposition
+// format (version 0.0.4). Histograms export as summaries (quantile
+// series plus _sum/_count).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.RLock()
+	counters := sortedKeys(r.counters)
+	gauges := sortedKeys(r.gauges)
+	hists := sortedKeys(r.hists)
+	emitters := r.emitters
+	r.mu.RUnlock()
+
+	typed := make(map[string]bool)
+	for _, name := range counters {
+		base, _ := splitName(name)
+		if !typed[base] {
+			typed[base] = true
+			fmt.Fprintf(w, "# TYPE %s counter\n", base)
+		}
+		fmt.Fprintf(w, "%s %d\n", name, r.Counter(name).Value())
+	}
+	for _, name := range gauges {
+		base, _ := splitName(name)
+		if !typed[base] {
+			typed[base] = true
+			fmt.Fprintf(w, "# TYPE %s gauge\n", base)
+		}
+		fmt.Fprintf(w, "%s %d\n", name, r.Gauge(name).Value())
+	}
+	for _, name := range hists {
+		s := r.Histogram(name).Snapshot()
+		base, labels := splitName(name)
+		if !typed[base] {
+			typed[base] = true
+			fmt.Fprintf(w, "# TYPE %s summary\n", base)
+		}
+		fmt.Fprintf(w, "%s %g\n", base+mergeLabel(labels, `quantile="0.5"`), s.P50)
+		fmt.Fprintf(w, "%s %g\n", base+mergeLabel(labels, `quantile="0.95"`), s.P95)
+		fmt.Fprintf(w, "%s %g\n", base+mergeLabel(labels, `quantile="0.99"`), s.P99)
+		fmt.Fprintf(w, "%s_sum%s %d\n", base, wrap(labels), s.Sum)
+		fmt.Fprintf(w, "%s_count%s %d\n", base, wrap(labels), s.Count)
+	}
+	var err error
+	for _, f := range emitters {
+		f(func(name string, value float64) {
+			base, _ := splitName(name)
+			if !typed[base] {
+				typed[base] = true
+				fmt.Fprintf(w, "# TYPE %s gauge\n", base)
+			}
+			if _, e := fmt.Fprintf(w, "%s %g\n", name, value); e != nil {
+				err = e
+			}
+		})
+	}
+	return err
+}
+
+// splitName separates a series name into its base and baked-in label
+// set: `a{x="1"}` -> (`a`, `x="1"`).
+func splitName(name string) (base, labels string) {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i], strings.TrimSuffix(name[i+1:], "}")
+	}
+	return name, ""
+}
+
+// wrap re-braces a label set ("" stays "").
+func wrap(labels string) string {
+	if labels == "" {
+		return ""
+	}
+	return "{" + labels + "}"
+}
+
+// mergeLabel appends one label to a (possibly empty) baked-in set.
+func mergeLabel(labels, extra string) string {
+	if labels == "" {
+		return "{" + extra + "}"
+	}
+	return "{" + labels + "," + extra + "}"
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

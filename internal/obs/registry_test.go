@@ -1,0 +1,201 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestHistogramBuckets(t *testing.T) {
+	var h Histogram
+	// Bucket i holds values with bit length i: 0 -> bucket 0,
+	// 1 -> bucket 1, [2,4) -> bucket 2, [4,8) -> bucket 3, ...
+	cases := []struct {
+		v      uint64
+		bucket int
+	}{
+		{0, 0}, {1, 1}, {2, 2}, {3, 2}, {4, 3}, {7, 3}, {8, 4},
+		{1023, 10}, {1024, 11}, {1 << 46, 47},
+		{1 << 47, histBuckets - 1}, // clamped to the last bucket
+		{^uint64(0), histBuckets - 1},
+	}
+	for _, c := range cases {
+		h.Observe(c.v)
+	}
+	s := h.Snapshot()
+	if s.Count != uint64(len(cases)) {
+		t.Fatalf("Count = %d, want %d", s.Count, len(cases))
+	}
+	want := make(map[int]uint64)
+	var sum uint64
+	for _, c := range cases {
+		want[c.bucket]++
+		sum += c.v
+	}
+	if s.Sum != sum {
+		t.Fatalf("Sum = %d, want %d", s.Sum, sum)
+	}
+	for i, n := range s.Buckets {
+		if n != want[i] {
+			t.Errorf("bucket %d = %d, want %d", i, n, want[i])
+		}
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	for v := uint64(1); v <= 1000; v++ {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	// The 500th value is 500, inside bucket [256,512); interpolation
+	// stays within the bucket, so the estimate is within 2x of truth.
+	if s.P50 < 256 || s.P50 > 512 {
+		t.Errorf("P50 = %g, want within [256,512]", s.P50)
+	}
+	// The 990th value is 990, inside bucket [512,1024).
+	if s.P99 < 512 || s.P99 > 1024 {
+		t.Errorf("P99 = %g, want within [512,1024]", s.P99)
+	}
+	if mean := s.Mean(); mean < 400 || mean > 600 {
+		t.Errorf("Mean = %g, want ~500.5", mean)
+	}
+
+	// A degenerate distribution pins every quantile to one bucket.
+	var h2 Histogram
+	for i := 0; i < 100; i++ {
+		h2.Observe(100) // bucket [64,128)
+	}
+	s2 := h2.Snapshot()
+	for _, q := range []float64{s2.P50, s2.P95, s2.P99} {
+		if q < 64 || q > 128 {
+			t.Errorf("quantile = %g, want within [64,128]", q)
+		}
+	}
+
+	var empty [histBuckets]uint64
+	if q := quantile(&empty, 0, 0.5); q != 0 {
+		t.Errorf("empty quantile = %g, want 0", q)
+	}
+}
+
+func TestRegistryFlat(t *testing.T) {
+	r := New()
+	r.Counter(`demo_ops_total{op="get"}`).Add(7)
+	r.Gauge("demo_pending").Set(-3)
+	r.Histogram("demo_latency_ns").Observe(1000)
+	r.RegisterEmitter(func(emit func(string, float64)) {
+		emit(`demo_height{shard="0"}`, 42)
+	})
+
+	got := make(map[string]float64)
+	for _, m := range r.Flat() {
+		got[m.Name] = m.Value
+	}
+	expect := map[string]float64{
+		`demo_ops_total{op="get"}`: 7,
+		"demo_pending":             -3,
+		"demo_latency_ns_count":    1,
+		"demo_latency_ns_sum":      1000,
+		`demo_height{shard="0"}`:   42,
+	}
+	for name, want := range expect {
+		if got[name] != want {
+			t.Errorf("Flat()[%s] = %g, want %g", name, got[name], want)
+		}
+	}
+	// The quantile series exist and sit inside the observed bucket.
+	for _, q := range []string{"0.5", "0.95", "0.99"} {
+		name := `demo_latency_ns{quantile="` + q + `"}`
+		v, ok := got[name]
+		if !ok {
+			t.Fatalf("Flat() missing %s", name)
+		}
+		if v < 512 || v > 1024 {
+			t.Errorf("%s = %g, want within [512,1024]", name, v)
+		}
+	}
+	// Same-registry lookups return the same instance.
+	if r.Counter(`demo_ops_total{op="get"}`).Value() != 7 {
+		t.Error("counter identity lost across lookups")
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := New()
+	r.Counter(`demo_ops_total{op="get"}`).Inc()
+	r.Counter(`demo_ops_total{op="put"}`).Inc()
+	r.Histogram("demo_latency_ns").Observe(100)
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	// One TYPE line per base name, even with two labeled series.
+	if n := strings.Count(out, "# TYPE demo_ops_total counter"); n != 1 {
+		t.Errorf("TYPE demo_ops_total lines = %d, want 1:\n%s", n, out)
+	}
+	for _, line := range []string{
+		`demo_ops_total{op="get"} 1`,
+		`demo_ops_total{op="put"} 1`,
+		"# TYPE demo_latency_ns summary",
+		`demo_latency_ns{quantile="0.5"}`,
+		"demo_latency_ns_sum 100",
+		"demo_latency_ns_count 1",
+	} {
+		if !strings.Contains(out, line) {
+			t.Errorf("exposition missing %q:\n%s", line, out)
+		}
+	}
+}
+
+// TestRegistryConcurrent hammers one registry from many goroutines while
+// snapshots run; correctness of final totals plus the -race detector is
+// the assertion.
+func TestRegistryConcurrent(t *testing.T) {
+	r := New()
+	const workers = 8
+	const perWorker = 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				r.Counter("c_total").Inc()
+				r.Gauge("g").Add(1)
+				r.Histogram("h_ns").Observe(uint64(i))
+			}
+		}()
+	}
+	// Concurrent readers: snapshots must be safe mid-write.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 100; i++ {
+			r.Flat()
+			var sb strings.Builder
+			r.WritePrometheus(&sb)
+		}
+	}()
+	wg.Wait()
+	<-done
+
+	if v := r.Counter("c_total").Value(); v != workers*perWorker {
+		t.Errorf("counter = %d, want %d", v, workers*perWorker)
+	}
+	if v := r.Gauge("g").Value(); v != workers*perWorker {
+		t.Errorf("gauge = %d, want %d", v, workers*perWorker)
+	}
+	s := r.Histogram("h_ns").Snapshot()
+	if s.Count != workers*perWorker {
+		t.Errorf("histogram count = %d, want %d", s.Count, workers*perWorker)
+	}
+	var bucketTotal uint64
+	for _, n := range s.Buckets {
+		bucketTotal += n
+	}
+	if bucketTotal != s.Count {
+		t.Errorf("bucket total = %d, count = %d", bucketTotal, s.Count)
+	}
+}

@@ -1,0 +1,148 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultTracer samples 1 in 128 wire requests and keeps the last 64
+// finished traces for /tracez. Smoke tests and debugging sessions crank
+// the rate up with SetSampleEvery.
+var DefaultTracer = NewTracer(128, 64)
+
+// Tracer allocates request IDs at the wire server and samples a fixed
+// fraction of requests for stage-level tracing. The unsampled path pays
+// exactly one atomic add per request; only sampled requests touch the
+// clock and allocate.
+type Tracer struct {
+	every atomic.Uint64 // sample 1 in every (0 disables)
+	seq   atomic.Uint64 // request counter, drives sampling
+	ids   atomic.Uint64 // trace ID allocator
+
+	mu   sync.Mutex
+	ring []TraceSnapshot // finished traces, oldest overwritten first
+	next int
+	n    int
+}
+
+// NewTracer returns a tracer sampling 1 in every requests and retaining
+// the last keep finished traces.
+func NewTracer(every uint64, keep int) *Tracer {
+	t := &Tracer{ring: make([]TraceSnapshot, keep)}
+	t.every.Store(every)
+	return t
+}
+
+// SetSampleEvery changes the sampling rate: 1 in every requests traced,
+// 0 disables tracing entirely.
+func (t *Tracer) SetSampleEvery(every uint64) { t.every.Store(every) }
+
+// Sample allocates a request ID and, for the sampled fraction, returns a
+// live Trace; otherwise nil. A nil *Trace is valid everywhere — every
+// recording method no-ops on it — so call sites thread the result
+// unconditionally.
+func (t *Tracer) Sample(op string) *Trace {
+	every := t.every.Load()
+	if every == 0 {
+		return nil
+	}
+	if t.seq.Add(1)%every != 0 {
+		return nil
+	}
+	return &Trace{
+		tracer: t,
+		id:     t.ids.Add(1),
+		op:     op,
+		start:  time.Now(),
+		stages: make([]StageSpan, 0, 8),
+	}
+}
+
+// StageSpan is one timed stage inside a trace. Offsets are relative to
+// the trace start, so /tracez renders a timeline; spans may nest (a
+// wire.handle span covers the ledger and proof spans inside it).
+type StageSpan struct {
+	Name     string        `json:"name"`
+	Offset   time.Duration `json:"offset_ns"`
+	Duration time.Duration `json:"duration_ns"`
+}
+
+// TraceSnapshot is one finished trace as served on /tracez.
+type TraceSnapshot struct {
+	ID     uint64        `json:"id"`
+	Op     string        `json:"op"`
+	Start  time.Time     `json:"start"`
+	Total  time.Duration `json:"total_ns"`
+	Stages []StageSpan   `json:"stages"`
+}
+
+// Trace records stage durations for one sampled request. It lives on a
+// single request-handling goroutine; methods are not safe for concurrent
+// use but are safe (and free) on a nil receiver.
+type Trace struct {
+	tracer *Tracer
+	id     uint64
+	op     string
+	start  time.Time
+	stages []StageSpan
+}
+
+// Sampled reports whether tr is live. The common-path idiom is
+//
+//	var t0 time.Time
+//	if tr.Sampled() {
+//		t0 = time.Now()
+//	}
+//	... stage work ...
+//	tr.Stage("ledger.proof", t0)
+//
+// so unsampled requests never read the clock for stage timing.
+func (tr *Trace) Sampled() bool { return tr != nil }
+
+// Stage records a span that started at start and ends now.
+func (tr *Trace) Stage(name string, start time.Time) {
+	if tr == nil {
+		return
+	}
+	now := time.Now()
+	tr.stages = append(tr.stages, StageSpan{
+		Name:     name,
+		Offset:   start.Sub(tr.start),
+		Duration: now.Sub(start),
+	})
+}
+
+// Finish closes the trace and publishes it to the tracer's ring.
+func (tr *Trace) Finish() {
+	if tr == nil {
+		return
+	}
+	snap := TraceSnapshot{
+		ID:     tr.id,
+		Op:     tr.op,
+		Start:  tr.start,
+		Total:  time.Since(tr.start),
+		Stages: tr.stages,
+	}
+	t := tr.tracer
+	t.mu.Lock()
+	t.ring[t.next] = snap
+	t.next = (t.next + 1) % len(t.ring)
+	if t.n < len(t.ring) {
+		t.n++
+	}
+	t.mu.Unlock()
+}
+
+// Recent returns the retained finished traces, newest first.
+func (t *Tracer) Recent() []TraceSnapshot {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]TraceSnapshot, 0, t.n)
+	for i := 0; i < t.n; i++ {
+		idx := (t.next - 1 - i + len(t.ring)) % len(t.ring)
+		out = append(out, t.ring[idx])
+	}
+	return out
+}

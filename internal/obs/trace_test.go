@@ -1,0 +1,68 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+func TestTracerSampling(t *testing.T) {
+	tr := NewTracer(4, 8)
+	live := 0
+	for i := 0; i < 40; i++ {
+		if s := tr.Sample("op"); s != nil {
+			live++
+			s.Finish()
+		}
+	}
+	if live != 10 {
+		t.Errorf("sampled %d of 40 at 1-in-4, want 10", live)
+	}
+
+	tr.SetSampleEvery(0)
+	if s := tr.Sample("op"); s != nil {
+		t.Error("Sample returned a trace with sampling disabled")
+	}
+}
+
+func TestTraceStagesAndRing(t *testing.T) {
+	tr := NewTracer(1, 2)
+	for i := 0; i < 3; i++ {
+		s := tr.Sample("get-verified")
+		if s == nil {
+			t.Fatal("1-in-1 sampling returned nil")
+		}
+		if !s.Sampled() {
+			t.Fatal("live trace reports unsampled")
+		}
+		s.Stage("ledger.lock", time.Now())
+		s.Stage("proof.point", time.Now())
+		s.Finish()
+	}
+	recent := tr.Recent()
+	if len(recent) != 2 {
+		t.Fatalf("ring holds %d traces, want 2 (capacity)", len(recent))
+	}
+	// Newest first: the last finished trace has the highest ID.
+	if recent[0].ID <= recent[1].ID {
+		t.Errorf("Recent order: IDs %d, %d — want newest first", recent[0].ID, recent[1].ID)
+	}
+	snap := recent[0]
+	if snap.Op != "get-verified" || len(snap.Stages) != 2 {
+		t.Fatalf("snapshot = %+v, want op get-verified with 2 stages", snap)
+	}
+	if snap.Stages[0].Name != "ledger.lock" || snap.Stages[1].Name != "proof.point" {
+		t.Errorf("stage names = %q, %q", snap.Stages[0].Name, snap.Stages[1].Name)
+	}
+}
+
+// TestNilTrace asserts the unsampled path is safe everywhere: every
+// method no-ops on a nil receiver, which is what instrumented call sites
+// rely on.
+func TestNilTrace(t *testing.T) {
+	var tr *Trace
+	if tr.Sampled() {
+		t.Error("nil trace reports sampled")
+	}
+	tr.Stage("any", time.Now()) // must not panic
+	tr.Finish()                 // must not panic
+}

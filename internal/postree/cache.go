@@ -4,6 +4,17 @@ import (
 	"sync"
 
 	"spitz/internal/hashutil"
+	"spitz/internal/obs"
+)
+
+// Node-cache effectiveness counters, aggregated across every POS-tree in
+// the process (content addressing makes entries interchangeable anyway).
+// Misses approximate storage fetches of interior nodes; a rising
+// eviction rate means the interior working set outgrew the cache.
+var (
+	mNodeCacheHits  = obs.Default.Counter("spitz_nodecache_hits_total")
+	mNodeCacheMiss  = obs.Default.Counter("spitz_nodecache_misses_total")
+	mNodeCacheEvict = obs.Default.Counter("spitz_nodecache_evictions_total")
 )
 
 // defaultCacheSize bounds the number of cached decoded index nodes. Index
@@ -46,6 +57,11 @@ func (c *nodeCache) get(d hashutil.Digest) (cachedNode, bool) {
 	c.mu.RLock()
 	e, ok := c.m[d]
 	c.mu.RUnlock()
+	if ok {
+		mNodeCacheHits.Inc()
+	} else {
+		mNodeCacheMiss.Inc()
+	}
 	return e, ok
 }
 
@@ -60,6 +76,7 @@ func (c *nodeCache) put(d hashutil.Digest, n *node, body []byte) {
 		// the contention of a true LRU.
 		for k := range c.m {
 			delete(c.m, k)
+			mNodeCacheEvict.Inc()
 			break
 		}
 	}

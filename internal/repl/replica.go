@@ -10,7 +10,20 @@ import (
 	"spitz/internal/core"
 	"spitz/internal/durable"
 	"spitz/internal/ledger"
+	"spitz/internal/obs"
 	"spitz/internal/wire"
+)
+
+// Follower-side replication counters, aggregated across the process's
+// replicas (one per mirrored shard). Resyncs and poisonings are the
+// alarm series: both should stay at zero against an honest primary.
+var (
+	mRepBlocksApplied = obs.Default.Counter("spitz_replica_blocks_applied_total")
+	mRepBytesApplied  = obs.Default.Counter("spitz_replica_bytes_applied_total")
+	mRepApplyNs       = obs.Default.Histogram("spitz_replica_apply_ns")
+	mRepSnapshotLoads = obs.Default.Counter("spitz_replica_snapshot_loads_total")
+	mRepResyncs       = obs.Default.Counter("spitz_replica_resyncs_total")
+	mRepPoisoned      = obs.Default.Counter("spitz_replica_poisonings_total")
 )
 
 // Options configures a Replica.
@@ -224,6 +237,7 @@ func (r *Replica) onSnapshot(snapshot []byte, height uint64) (uint64, error) {
 		return 0, err
 	}
 	got := eng.Ledger().Height()
+	mRepSnapshotLoads.Inc()
 	r.mu.Lock()
 	r.eng = eng
 	r.st.SnapshotLoads++
@@ -262,6 +276,7 @@ func (r *Replica) onBlock(height uint64, frame []byte) (uint64, error) {
 		// A gap cannot be applied; reconnecting renegotiates the start.
 		return 0, fmt.Errorf("repl: stream gap: got block %d, replica at height %d", rec.Height, cur)
 	}
+	applyStart := time.Now()
 	if _, err := eng.ReplayBlock(rec); err != nil {
 		// Verified replay failed: the frame does not reproduce its logged
 		// hash on our chain. Either the primary rewrote history (honest
@@ -269,6 +284,9 @@ func (r *Replica) onBlock(height uint64, frame []byte) (uint64, error) {
 		// scratch and give up if that keeps happening.
 		return 0, r.resync(fmt.Errorf("repl: block %d failed verified replay: %w", rec.Height, err))
 	}
+	mRepApplyNs.ObserveSince(applyStart)
+	mRepBlocksApplied.Inc()
+	mRepBytesApplied.Add(uint64(len(frame)))
 	r.mu.Lock()
 	r.st.AppliedBlocks++
 	r.st.AppliedBytes += uint64(len(frame))
@@ -285,6 +303,7 @@ func (r *Replica) onBlock(height uint64, frame []byte) (uint64, error) {
 // verified and adopted — a diverged follower degrades to stale, never
 // to empty.
 func (r *Replica) resync(cause error) error {
+	mRepResyncs.Inc()
 	r.mu.Lock()
 	r.resyncs++
 	tooMany := r.resyncs > maxResyncs
@@ -303,6 +322,7 @@ func (r *Replica) resync(cause error) error {
 }
 
 func (r *Replica) poison(err error) {
+	mRepPoisoned.Inc()
 	r.mu.Lock()
 	r.st.Poisoned = true
 	r.st.LastError = err.Error()

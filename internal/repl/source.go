@@ -32,8 +32,19 @@ import (
 	"sync"
 
 	"spitz/internal/durable"
+	"spitz/internal/obs"
 	"spitz/internal/wal"
 	"spitz/internal/wire"
+)
+
+// Primary-side replication counters. Snapshot hand-offs are the fallback
+// for followers outside the retained log — a nonzero rate under steady
+// state means retention is too short for follower restart times.
+var (
+	mSrcAttaches      = obs.Default.Counter("spitz_repl_attaches_total")
+	mSrcFramesSent    = obs.Default.Counter("spitz_repl_frames_sent_total")
+	mSrcBytesSent     = obs.Default.Counter("spitz_repl_bytes_sent_total")
+	mSrcSnapshotsSent = obs.Default.Counter("spitz_repl_snapshots_sent_total")
 )
 
 // Source serves one durable engine's committed-block stream to
@@ -129,6 +140,7 @@ func (s *Source) Attach(remote string, from uint64) (wire.ReplFeed, error) {
 	s.nextID++
 	s.followers[f.id] = &followerState{remote: remote, start: start, acked: start}
 	s.mu.Unlock()
+	mSrcAttaches.Inc()
 	return f, nil
 }
 
@@ -227,6 +239,8 @@ func (f *feed) Next(stop <-chan struct{}) (wire.ReplEvent, error) {
 	if f.snap != nil {
 		ev := wire.ReplEvent{IsSnapshot: true, Height: f.snapHeight, Snapshot: f.snap}
 		f.src.noteSent(f.id, f.snapHeight, uint64(len(f.snap)))
+		mSrcSnapshotsSent.Inc()
+		mSrcBytesSent.Add(uint64(len(f.snap)))
 		f.snap = nil
 		return ev, nil
 	}
@@ -236,6 +250,8 @@ func (f *feed) Next(stop <-chan struct{}) (wire.ReplEvent, error) {
 	}
 	h := f.src.m.HeightForSeq(seq)
 	f.src.noteSent(f.id, h+1, uint64(len(payload)))
+	mSrcFramesSent.Inc()
+	mSrcBytesSent.Add(uint64(len(payload)))
 	return wire.ReplEvent{Height: h, Frame: payload}, nil
 }
 

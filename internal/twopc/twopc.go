@@ -19,7 +19,18 @@ import (
 	"sort"
 	"sync"
 
+	"spitz/internal/obs"
 	"spitz/internal/txn"
+)
+
+// 2PC outcome counters. Aborts split by cause: "conflict" is the
+// expected OCC/lock outcome under contention, "error" is anything else
+// (store failures, poisoned engines) and deserves alerting.
+var (
+	mPrepares       = obs.Default.Counter("spitz_twopc_prepares_total")
+	mCommits        = obs.Default.Counter("spitz_twopc_commits_total")
+	mAbortsConflict = obs.Default.Counter(`spitz_twopc_aborts_total{cause="conflict"}`)
+	mAbortsError    = obs.Default.Counter(`spitz_twopc_aborts_total{cause="error"}`)
 )
 
 // ErrAborted is returned when a distributed transaction fails to prepare
@@ -99,6 +110,7 @@ func (c *Coordinator) Execute(reqs []Request) (uint64, error) {
 	c.mu.Unlock()
 
 	// Phase 1: prepare all shards in parallel.
+	mPrepares.Add(uint64(len(reqs)))
 	errs := make([]error, len(reqs))
 	var wg sync.WaitGroup
 	for i := range reqs {
@@ -119,6 +131,11 @@ func (c *Coordinator) Execute(reqs []Request) (uint64, error) {
 			c.mu.Lock()
 			c.aborts++
 			c.mu.Unlock()
+			if errors.Is(err, txn.ErrConflict) {
+				mAbortsConflict.Inc()
+			} else {
+				mAbortsError.Inc()
+			}
 			return 0, fmt.Errorf("%w: shard %q: %v", ErrAborted, reqs[i].Shard, err)
 		}
 	}
@@ -144,6 +161,7 @@ func (c *Coordinator) Execute(reqs []Request) (uint64, error) {
 	c.mu.Lock()
 	c.commits++
 	c.mu.Unlock()
+	mCommits.Inc()
 	return version, nil
 }
 

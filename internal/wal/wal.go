@@ -26,6 +26,21 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"spitz/internal/obs"
+)
+
+// WAL metrics, aggregated over every open log in the process. Append
+// time covers frame encode + buffered write under the log lock; fsync
+// time is the device sync a group-commit leader pays (followers ride it
+// for free — fsyncs_total counts actual device syncs, not waiters).
+var (
+	mWalAppends     = obs.Default.Counter("spitz_wal_appends_total")
+	mWalAppendBytes = obs.Default.Counter("spitz_wal_append_bytes_total")
+	mWalAppendNs    = obs.Default.Histogram("spitz_wal_append_ns")
+	mWalFsyncs      = obs.Default.Counter("spitz_wal_fsyncs_total")
+	mWalFsyncNs     = obs.Default.Histogram("spitz_wal_fsync_ns")
+	mWalRotations   = obs.Default.Counter("spitz_wal_rotations_total")
 )
 
 // SyncPolicy controls when appends become durable.
@@ -307,6 +322,7 @@ func (l *Log) AppendAsync(payload []byte) (uint64, func() error, error) {
 	if len(payload) > maxRecordSize {
 		return 0, nil, fmt.Errorf("wal: record of %d bytes exceeds limit", len(payload))
 	}
+	appendStart := time.Now()
 	l.mu.Lock()
 	if l.closed {
 		l.mu.Unlock()
@@ -350,6 +366,9 @@ func (l *Log) AppendAsync(payload []byte) (uint64, func() error, error) {
 	policy := l.opts.Policy
 	l.broadcastLocked()
 	l.mu.Unlock()
+	mWalAppends.Inc()
+	mWalAppendBytes.Add(uint64(frameHeader) + uint64(len(payload)))
+	mWalAppendNs.ObserveSince(appendStart)
 
 	if policy == SyncAlways {
 		return seq, func() error { return l.syncTo(seq) }, nil
@@ -381,7 +400,10 @@ func (l *Log) syncTo(seq uint64) error {
 	target := l.appended
 	f := l.f
 	l.mu.Unlock()
+	fsyncStart := time.Now()
 	err := f.Sync()
+	mWalFsyncs.Inc()
+	mWalFsyncNs.ObserveSince(fsyncStart)
 	l.mu.Lock()
 	if err != nil {
 		l.syncErr = err
@@ -445,6 +467,7 @@ func (l *Log) rotate() error {
 	}
 	l.synced = l.appended
 	l.broadcastLocked()
+	mWalRotations.Inc()
 	return l.createSegmentLocked()
 }
 

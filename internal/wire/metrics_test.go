@@ -1,0 +1,97 @@
+package wire
+
+import (
+	"strings"
+	"testing"
+)
+
+// counterValue reads one per-op counter through the registry snapshot,
+// the same way /metrics and OpStats serve it.
+func counterValue(t *testing.T, name string) float64 {
+	t.Helper()
+	for _, m := range RegistryMetrics() {
+		if m.Name == name {
+			return m.Value
+		}
+	}
+	return 0
+}
+
+// TestPerOpCountersMatchTraffic issues a known mix of operations and
+// asserts the wire server's per-op counters moved by exactly that much.
+// The registry is process-global, so the test works in deltas.
+func TestPerOpCountersMatchTraffic(t *testing.T) {
+	cl, _ := startServer(t)
+
+	putName := `spitz_wire_ops_total{op="put"}`
+	getName := `spitz_wire_ops_total{op="get"}`
+	getvName := `spitz_wire_ops_total{op="get-verified"}`
+	digestName := `spitz_wire_ops_total{op="digest"}`
+	errName := `spitz_wire_op_errors_total{op="get-verified"}`
+	before := map[string]float64{}
+	for _, n := range []string{putName, getName, getvName, digestName, errName} {
+		before[n] = counterValue(t, n)
+	}
+
+	const puts, gets, getvs, digests = 3, 7, 5, 2
+	for i := 0; i < puts; i++ {
+		if _, err := cl.Do(Request{Op: OpPut, Statement: "seed", Puts: putBatch(10)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < gets; i++ {
+		if _, err := cl.Do(Request{Op: OpGet, Table: "t", Column: "c", PK: []byte("pk0001")}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < getvs; i++ {
+		if _, err := cl.Do(Request{Op: OpGetVerified, Table: "t", Column: "c", PK: []byte("pk0001")}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < digests; i++ {
+		if _, err := cl.Do(Request{Op: OpDigest}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	for name, want := range map[string]float64{
+		putName: puts, getName: gets, getvName: getvs, digestName: digests, errName: 0,
+	} {
+		if got := counterValue(t, name) - before[name]; got != want {
+			t.Errorf("%s moved by %g, want %g", name, got, want)
+		}
+	}
+
+	// Latency histograms observed one sample per op.
+	latCount := `spitz_wire_op_latency_ns_count{op="get"}`
+	if got := counterValue(t, latCount) - before[latCount]; got != gets {
+		t.Errorf("%s moved by %g, want %d", latCount, got, gets)
+	}
+}
+
+// TestStatsCarriesRegistry asserts the OpStats payload folds the full
+// registry snapshot in, so spitz-cli stats sees the same series as
+// /metrics.
+func TestStatsCarriesRegistry(t *testing.T) {
+	cl, _ := startServer(t)
+	if _, err := cl.Do(Request{Op: OpPut, Statement: "seed", Puts: putBatch(5)}); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := cl.Do(Request{Op: OpStats})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Stats == nil {
+		t.Fatal("OpStats returned no stats")
+	}
+	found := false
+	for _, m := range resp.Stats.Metrics {
+		if strings.HasPrefix(m.Name, `spitz_wire_ops_total{op="put"}`) && m.Value > 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("Stats.Metrics lacks a nonzero put counter (%d series)", len(resp.Stats.Metrics))
+	}
+}

@@ -14,11 +14,13 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
 	"spitz/internal/cellstore"
 	"spitz/internal/core"
 	"spitz/internal/ledger"
 	"spitz/internal/mtree"
+	"spitz/internal/obs"
 )
 
 // Op identifies a request type.
@@ -48,6 +50,37 @@ const (
 	OpReplStream Op = "repl-stream" // subscribe to the committed-block stream
 	OpReplAck    Op = "repl-ack"    // follower -> primary progress report (stream only)
 )
+
+// knownOps lists every request type for per-op metric preallocation.
+var knownOps = []Op{OpPut, OpGet, OpGetVerified, OpRange, OpRangeVer,
+	OpLookupEq, OpHistory, OpDigest, OpConsistency, OpProveBatch,
+	OpSnapshot, OpRestore, OpShardMap, OpClusterDigest, OpStats}
+
+// Per-op server metrics, preallocated so the request loop does one
+// read-only map lookup plus atomic adds — no locks on the hot path.
+var (
+	mOpCount   = make(map[Op]*obs.Counter, len(knownOps))
+	mOpErrs    = make(map[Op]*obs.Counter, len(knownOps))
+	mOpLatency = make(map[Op]*obs.Histogram, len(knownOps))
+
+	mOpCountOther   = obs.Default.Counter(`spitz_wire_ops_total{op="other"}`)
+	mOpErrsOther    = obs.Default.Counter(`spitz_wire_op_errors_total{op="other"}`)
+	mOpLatencyOther = obs.Default.Histogram(`spitz_wire_op_latency_ns{op="other"}`)
+
+	mConnsTotal   = obs.Default.Counter("spitz_wire_conns_total")
+	mConnsOpen    = obs.Default.Gauge("spitz_wire_conns_open")
+	mBytesRead    = obs.Default.Counter("spitz_wire_read_bytes_total")
+	mBytesWritten = obs.Default.Counter("spitz_wire_written_bytes_total")
+)
+
+func init() {
+	for _, op := range knownOps {
+		label := `{op="` + string(op) + `"}`
+		mOpCount[op] = obs.Default.Counter("spitz_wire_ops_total" + label)
+		mOpErrs[op] = obs.Default.Counter("spitz_wire_op_errors_total" + label)
+		mOpLatency[op] = obs.Default.Histogram("spitz_wire_op_latency_ns" + label)
+	}
+}
 
 // Put is one write in a request.
 type Put struct {
@@ -91,7 +124,18 @@ type Request struct {
 	// height to stream from (OpReplStream) or the follower's height after
 	// applying a block (OpReplAck).
 	Height uint64
+
+	// trace is the sampled request trace attached by the serving wire
+	// server (nil for the unsampled majority). Unexported, so it never
+	// crosses the wire — gob only encodes exported fields — but it rides
+	// the Request value through Handler implementations into Dispatch,
+	// which threads it down the engine/ledger proof stages.
+	trace *obs.Trace
 }
+
+// SetTrace attaches a sampled trace to an in-process request — used by
+// tests and embedding servers; the wire server attaches its own.
+func (r *Request) SetTrace(tr *obs.Trace) { r.trace = tr }
 
 // Response is the server -> client message.
 type Response struct {
@@ -126,9 +170,75 @@ type Response struct {
 
 // Stats is the server-side observability payload: one entry per shard
 // (single-engine servers report one), plus per-shard replica status when
-// the serving node is itself a replica.
+// the serving node is itself a replica, plus the process's flattened
+// metrics registry — every counter, gauge and histogram quantile the
+// admin endpoint would serve on /metrics.
 type Stats struct {
 	Shards []ShardStats
+	// Metrics is the flattened obs registry snapshot (counters, gauges,
+	// histogram _count/_sum/quantiles), sorted by series name.
+	Metrics []Metric
+}
+
+// Metric is one flattened registry series in the OpStats payload.
+type Metric struct {
+	Name  string
+	Value float64
+}
+
+// RegistryMetrics flattens the process metrics registry into the wire
+// representation. Servers attach it to every OpStats response so
+// clients (spitz-cli stats) see the full picture without scraping the
+// admin endpoint.
+func RegistryMetrics() []Metric {
+	flat := obs.Default.Flat()
+	out := make([]Metric, len(flat))
+	for i, m := range flat {
+		out[i] = Metric{Name: m.Name, Value: m.Value}
+	}
+	return out
+}
+
+// PublishStats registers scrape-time gauges derived from a deployment's
+// typed stats payload: per-shard ledger heights, WAL retention span, and
+// per-follower replication lag. Call it once when wiring the admin
+// endpoint; fn is invoked on every /metrics scrape.
+func PublishStats(r *obs.Registry, fn func() Stats) {
+	r.RegisterEmitter(func(emit func(name string, value float64)) {
+		st := fn()
+		for i, sh := range st.Shards {
+			l := fmt.Sprintf(`{shard="%d"}`, i)
+			emit("spitz_shard_height"+l, float64(sh.Height))
+			emit("spitz_shard_blocks"+l, float64(sh.Blocks))
+			emit("spitz_shard_txns"+l, float64(sh.Txns))
+			if sh.WAL != nil {
+				emit("spitz_wal_durable_height"+l, float64(sh.WAL.DurableHeight))
+				emit("spitz_wal_logged_height"+l, float64(sh.WAL.LoggedHeight))
+				emit("spitz_wal_oldest_retained_height"+l, float64(sh.WAL.OldestRetainedHeight))
+				emit("spitz_wal_segments"+l, float64(sh.WAL.Segments))
+				emit("spitz_wal_retained_bytes"+l, float64(sh.WAL.RetainedBytes))
+			}
+			for _, f := range sh.Followers {
+				fl := fmt.Sprintf(`{shard="%d",remote=%q}`, i, f.Remote)
+				emit("spitz_follower_lag_blocks"+fl, float64(f.LagBlocks))
+				emit("spitz_follower_lag_bytes"+fl, float64(f.LagBytes))
+				emit("spitz_follower_sent_height"+fl, float64(f.SentHeight))
+				emit("spitz_follower_acked_height"+fl, float64(f.AckedHeight))
+				emit("spitz_follower_sent_bytes"+fl, float64(f.SentBytes))
+			}
+			if sh.Replica != nil {
+				emit("spitz_replica_height"+l, float64(sh.Replica.Height))
+				connected := 0.0
+				if sh.Replica.Connected {
+					connected = 1
+				}
+				emit("spitz_replica_connected"+l, connected)
+				emit("spitz_replica_applied_blocks"+l, float64(sh.Replica.AppliedBlocks))
+				emit("spitz_replica_applied_bytes"+l, float64(sh.Replica.AppliedBytes))
+				emit("spitz_replica_snapshot_loads"+l, float64(sh.Replica.SnapshotLoads))
+			}
+		}
+	})
 }
 
 // ShardStats describes one shard of the serving deployment.
@@ -346,15 +456,39 @@ func (s *Server) shutdown() {
 	}
 }
 
+// countingConn feeds connection I/O into the wire byte counters.
+type countingConn struct {
+	net.Conn
+}
+
+func (c countingConn) Read(p []byte) (int, error) {
+	n, err := c.Conn.Read(p)
+	if n > 0 {
+		mBytesRead.Add(uint64(n))
+	}
+	return n, err
+}
+
+func (c countingConn) Write(p []byte) (int, error) {
+	n, err := c.Conn.Write(p)
+	if n > 0 {
+		mBytesWritten.Add(uint64(n))
+	}
+	return n, err
+}
+
 func (s *Server) handle(conn net.Conn) {
+	mConnsTotal.Inc()
+	mConnsOpen.Add(1)
 	defer func() {
+		mConnsOpen.Add(-1)
 		s.mu.Lock()
 		delete(s.conns, conn)
 		s.mu.Unlock()
 		conn.Close()
 	}()
-	dec := gob.NewDecoder(conn)
-	enc := gob.NewEncoder(conn)
+	dec := gob.NewDecoder(countingConn{conn})
+	enc := gob.NewEncoder(countingConn{conn})
 	for {
 		var req Request
 		if err := dec.Decode(&req); err != nil {
@@ -365,6 +499,9 @@ func (s *Server) handle(conn net.Conn) {
 			s.streamRepl(conn, enc, dec, req)
 			return
 		}
+		start := time.Now()
+		tr := obs.DefaultTracer.Sample(string(req.Op))
+		req.trace = tr
 		var resp Response
 		s.mu.Lock()
 		h := s.handler
@@ -372,6 +509,7 @@ func (s *Server) handle(conn net.Conn) {
 		switch {
 		case req.Op == OpStats && s.Stats != nil:
 			st := s.Stats()
+			st.Metrics = RegistryMetrics()
 			resp = Response{Stats: &st}
 		case req.Op == OpRestore && h == nil:
 			resp = s.restore(req)
@@ -380,10 +518,32 @@ func (s *Server) handle(conn net.Conn) {
 		default:
 			resp = Dispatch(s.Engine(), req)
 		}
-		if err := enc.Encode(resp); err != nil {
+		tr.Stage("wire.handle", start)
+		var encStart time.Time
+		if tr.Sampled() {
+			encStart = time.Now()
+		}
+		err := enc.Encode(resp)
+		tr.Stage("wire.encode", encStart)
+		tr.Finish()
+		recordOp(req.Op, start, resp.Err != "")
+		if err != nil {
 			return
 		}
 	}
+}
+
+// recordOp updates the per-op serve metrics for one completed request.
+func recordOp(op Op, start time.Time, failed bool) {
+	count, errs, lat := mOpCountOther, mOpErrsOther, mOpLatencyOther
+	if c, ok := mOpCount[op]; ok {
+		count, errs, lat = c, mOpErrs[op], mOpLatency[op]
+	}
+	count.Inc()
+	if failed {
+		errs.Inc()
+	}
+	lat.ObserveSince(start)
 }
 
 // streamRepl serves one replication stream: block frames flow out,
@@ -500,7 +660,7 @@ func Dispatch(eng *core.Engine, req Request) Response {
 		}
 		return Response{Found: true, Value: cell.Value, Digest: d}
 	case OpGetVerified:
-		res, err := eng.GetVerified(req.Table, req.Column, req.PK)
+		res, err := eng.GetVerifiedTraced(req.Table, req.Column, req.PK, req.trace)
 		if err != nil {
 			return Response{Err: err.Error()}
 		}
@@ -540,6 +700,7 @@ func Dispatch(eng *core.Engine, req Request) Response {
 		return Response{Cluster: &d}
 	case OpStats:
 		st := EngineStats(eng)
+		st.Metrics = RegistryMetrics()
 		return Response{Stats: &st}
 	case OpConsistency:
 		// Digest and proof must be captured atomically: sampled separately

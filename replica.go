@@ -118,3 +118,8 @@ func (r *Replica) Serve(ln net.Listener) error {
 	srv.Stats = r.set.WireStats
 	return srv.Serve(ln)
 }
+
+// ServerStats returns the observability payload this replica serves to
+// OpStats clients: per-shard replica heights and apply progress. Use it
+// to publish instance gauges on an admin endpoint (wire.PublishStats).
+func (r *Replica) ServerStats() ServerStats { return r.set.WireStats() }

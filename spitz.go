@@ -434,6 +434,11 @@ func (db *DB) wireStats() wire.Stats {
 	return wire.Stats{Shards: []wire.ShardStats{sh}}
 }
 
+// ServerStats returns the observability payload this database serves to
+// OpStats clients: shard heights, WAL span, attached followers. Use it
+// to publish instance gauges on an admin endpoint (wire.PublishStats).
+func (db *DB) ServerStats() ServerStats { return db.wireStats() }
+
 // ResetFromSnapshot replaces this in-memory database's entire state with
 // the contents of a snapshot stream (WriteSnapshot's output), validating
 // it like Restore does. In-flight operations complete against the old
