@@ -174,6 +174,11 @@ func (cl *Client) Stats() (ServerStats, error) {
 	return *resp.Stats, nil
 }
 
+// Proto reports the wire framing this client negotiated with the
+// server (wire.ProtoBinary or wire.ProtoGob) — empty if the connection
+// failed before negotiation finished.
+func (cl *Client) Proto() string { return cl.c.Proto() }
+
 // Digest fetches the server's current ledger digest (unverified; use
 // SyncDigest to advance trust safely).
 func (cl *Client) Digest() (Digest, error) {

@@ -58,6 +58,7 @@ func main() {
 	replicaOps := flag.Int("replica-ops", 20000, "measured verified reads per configuration in the replica experiment")
 	replicaKeys := flag.Int("replica-keys", 1000, "loaded keys in the replica experiment")
 	jsonOut := flag.String("json", "", "also write results (plus host and run config) as JSON to this file")
+	thresholds := flag.String("thresholds", "ci/bench-thresholds.json", "acceptance thresholds for the readpath-smoke experiment")
 	flag.Parse()
 
 	var sizes []int
@@ -173,6 +174,11 @@ func main() {
 		ran = true
 		check(bench.VerifyAuditSmoke())
 		fmt.Println("verify-audit smoke: AuditMode reads batch-verified under write churn; tamper probe tripped ErrTampered")
+	}
+	if which == "readpath-smoke" {
+		ran = true
+		check(bench.ReadPathSmoke(*thresholds))
+		fmt.Println("readpath smoke: unverified and deferred wire reads within checked-in latency and allocation thresholds")
 	}
 	if which == "admin-smoke" {
 		ran = true

@@ -226,6 +226,9 @@ func printDigests(sc *spitz.ShardedClient, ds []spitz.Digest) {
 }
 
 func printStats(st spitz.ServerStats) {
+	if st.Protocol != "" {
+		fmt.Printf("protocol: %s\n", st.Protocol)
+	}
 	for i, sh := range st.Shards {
 		prefix := ""
 		if len(st.Shards) > 1 {

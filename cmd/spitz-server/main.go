@@ -82,6 +82,7 @@ func main() {
 	syncEvery := flag.Duration("sync-every", 50*time.Millisecond, "fsync period under -sync interval")
 	ckptInterval := flag.Duration("checkpoint-interval", time.Minute, "background checkpoint period")
 	ckptBlocks := flag.Uint64("checkpoint-every-blocks", 4096, "checkpoint after this many commits")
+	legacyGob := flag.Bool("legacy-gob", false, "serve only the legacy gob wire framing (disable binary/v2 negotiation)")
 	flag.Parse()
 
 	opts := spitz.Options{
@@ -101,7 +102,7 @@ func main() {
 		if *dataDir != "" {
 			log.Fatalf("spitz-server: -replicate-from and -data-dir are mutually exclusive (a replica's state comes from its primary)")
 		}
-		serveReplica(*replicateFrom, *addr, *adminAddr, *inverted)
+		serveReplica(*replicateFrom, *addr, *adminAddr, *inverted, *legacyGob)
 		return
 	}
 	shardsSet := false
@@ -117,7 +118,7 @@ func main() {
 		*shards = 0 // adopt the recorded shard count
 	}
 	if *shards != 1 {
-		serveCluster(*shards, *dataDir, opts, *syncMode, *syncEvery, *ckptInterval, *ckptBlocks, *addr, *adminAddr)
+		serveCluster(*shards, *dataDir, opts, *syncMode, *syncEvery, *ckptInterval, *ckptBlocks, *addr, *adminAddr, *legacyGob)
 		return
 	}
 	var db *spitz.DB
@@ -139,6 +140,10 @@ func main() {
 		}
 		log.Printf("spitz-server: durable database in %s (sync=%s, %s mode), recovered %d blocks",
 			*dataDir, policy, *mode, db.Height())
+	}
+	db.LegacyGobWire = *legacyGob
+	if *legacyGob {
+		log.Printf("spitz-server: binary/v2 wire negotiation disabled (-legacy-gob)")
 	}
 
 	ln, err := net.Listen("tcp", *addr)
@@ -194,7 +199,7 @@ func startAdmin(adminAddr string, stats func() spitz.ServerStats, health func() 
 
 // serveReplica runs this server as a read-only replica: stream the
 // primary's log (all shards), verified-replay every block, serve reads.
-func serveReplica(primary, addr, adminAddr string, inverted bool) {
+func serveReplica(primary, addr, adminAddr string, inverted, legacyGob bool) {
 	rep, err := spitz.DialReplica("tcp", primary, spitz.ReplicaOptions{
 		MaintainInverted: inverted,
 		Logf:             log.Printf,
@@ -202,6 +207,7 @@ func serveReplica(primary, addr, adminAddr string, inverted bool) {
 	if err != nil {
 		log.Fatalf("spitz-server: replica of %s: %v", primary, err)
 	}
+	rep.LegacyGobWire = legacyGob
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		log.Fatalf("spitz-server: listen: %v", err)
@@ -231,7 +237,7 @@ func serveReplica(primary, addr, adminAddr string, inverted bool) {
 // serveCluster runs the sharded deployment: N engines behind one
 // listener, with optional per-shard durability under dataDir/shard-NNN.
 func serveCluster(shards int, dataDir string, opts spitz.Options, syncMode string,
-	syncEvery, ckptInterval time.Duration, ckptBlocks uint64, addr, adminAddr string) {
+	syncEvery, ckptInterval time.Duration, ckptBlocks uint64, addr, adminAddr string, legacyGob bool) {
 	copts := spitz.ClusterOptions{
 		Shards:           shards,
 		Mode:             opts.Mode,
@@ -253,6 +259,7 @@ func serveCluster(shards int, dataDir string, opts spitz.Options, syncMode strin
 	if err != nil {
 		log.Fatalf("spitz-server: open cluster: %v", err)
 	}
+	db.LegacyGobWire = legacyGob
 	if dataDir == "" {
 		log.Printf("spitz-server: serving %d-shard in-memory cluster (no -data-dir; state is lost on exit)", db.Shards())
 	} else {

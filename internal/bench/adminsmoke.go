@@ -98,6 +98,37 @@ func AdminSmoke(dir string) error {
 		return fmt.Errorf("audit flush: %w", err)
 	}
 
+	// Transport coverage: a compression-negotiated client pulls a large
+	// compressible value (moves the compressed-vs-raw byte counters), and
+	// a legacy gob client performs one read (moves the gob negotiation
+	// counter) — CI sees both framings serve side by side.
+	big := []byte(strings.Repeat("admin-smoke-compressible ", 256)) // ~6 KB
+	if _, err := sc.Apply("admin-smoke-big", []spitz.Put{{Table: "t", Column: "big",
+		PK: benchKey(0), Value: big}}); err != nil {
+		return fmt.Errorf("admin smoke big write: %w", err)
+	}
+	cc, err := wire.ConnectOptions(ln, wire.ClientOptions{Compress: true})
+	if err != nil {
+		return err
+	}
+	if resp, err := cc.Do(wire.Request{Op: wire.OpGet, Table: "t", Column: "big", PK: benchKey(0)}); err != nil {
+		cc.Close()
+		return fmt.Errorf("compressed read: %w", err)
+	} else if len(resp.Value) != len(big) {
+		cc.Close()
+		return fmt.Errorf("compressed read: got %d bytes, want %d", len(resp.Value), len(big))
+	}
+	cc.Close()
+	gc, err := wire.ConnectOptions(ln, wire.ClientOptions{ForceGob: true})
+	if err != nil {
+		return err
+	}
+	if _, err := gc.Do(wire.Request{Op: wire.OpGet, Table: "t", Column: "c", PK: benchKey(0)}); err != nil {
+		gc.Close()
+		return fmt.Errorf("gob read: %w", err)
+	}
+	gc.Close()
+
 	// A replica mirroring both shards, so replication series move.
 	rep, err := spitz.NewReplica(func() (*wire.Client, error) { return wire.Connect(ln) },
 		spitz.ReplicaOptions{ReconnectDelay: 10 * time.Millisecond})
@@ -130,6 +161,14 @@ func AdminSmoke(dir string) error {
 		`spitz_wire_ops_total{op="get-verified"}`,
 		`spitz_wire_ops_total{op="put"}`,
 		`spitz_wire_written_bytes_total`,
+		// transport: both framings negotiated, frames flowing, and the
+		// compressed transfer shrank its payload
+		`spitz_wire_negotiations_total{proto="binary"}`,
+		`spitz_wire_negotiations_total{proto="gob"}`,
+		`spitz_wire_frames_read_total`,
+		`spitz_wire_frames_written_total`,
+		`spitz_wire_compress_raw_bytes_total`,
+		`spitz_wire_compress_sent_bytes_total`,
 		// commit pipeline
 		`spitz_commit_blocks_total`,
 		`spitz_commit_txns_total`,
@@ -159,10 +198,14 @@ func AdminSmoke(dir string) error {
 	}
 	// Follower-lag gauges must exist per attached follower (zero lag is
 	// the healthy value, so only presence is asserted).
-	for _, prefix := range []string{"spitz_follower_lag_blocks", "spitz_audit_pending"} {
+	for _, prefix := range []string{"spitz_follower_lag_blocks", "spitz_audit_pending",
+		"spitz_wire_frames_inflight", "spitz_wire_pipeline_depth"} {
 		if !hasSeries(vals, prefix) {
 			return fmt.Errorf("admin smoke: /metrics missing %s*", prefix)
 		}
+	}
+	if raw, sent := vals[`spitz_wire_compress_raw_bytes_total`], vals[`spitz_wire_compress_sent_bytes_total`]; sent >= raw {
+		return fmt.Errorf("admin smoke: compression did not shrink payloads (raw %g, sent %g)", raw, sent)
 	}
 
 	// /tracez must hold a verified read broken into stages.

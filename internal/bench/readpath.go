@@ -1,0 +1,156 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"spitz"
+	"spitz/internal/wire"
+)
+
+// ReadPathThresholds is the checked-in acceptance bar for the wire read
+// path (ci/bench-thresholds.json). Latency ceilings are deliberately
+// loose — CI hosts vary several-fold — while allocation ceilings are
+// tight: allocations per op are deterministic for a fixed code path, so
+// a codec regression (say, sliding back to reflection-based encoding)
+// trips them even on a fast machine.
+type ReadPathThresholds struct {
+	UnverifiedNsMax     float64 `json:"unverified_ns_max"`
+	DeferredNsMax       float64 `json:"deferred_ns_max"`
+	UnverifiedAllocsMax float64 `json:"unverified_allocs_max"`
+	DeferredAllocsMax   float64 `json:"deferred_allocs_max"`
+}
+
+// ReadPathSmoke measures the two production read modes over the wire —
+// unverified gets (the floor) and AuditMode verified reads (deferred
+// batch auditing) — and fails if either exceeds the checked-in
+// thresholds. CI runs it as the bench-regression gate: a transport or
+// codec change that slows the hot path or adds per-op allocations fails
+// the build rather than landing silently.
+func ReadPathSmoke(thresholdsPath string) error {
+	raw, err := os.ReadFile(thresholdsPath)
+	if err != nil {
+		return fmt.Errorf("readpath smoke: %w", err)
+	}
+	var th ReadPathThresholds
+	if err := json.Unmarshal(raw, &th); err != nil {
+		return fmt.Errorf("readpath smoke: %s: %w", thresholdsPath, err)
+	}
+
+	db := spitz.Open(spitz.Options{})
+	defer db.Close()
+	ln, _ := wire.Listen()
+	defer ln.Close()
+	go db.Serve(ln)
+
+	wc, err := wire.Connect(ln)
+	if err != nil {
+		return err
+	}
+	cl := spitz.NewClient(wc)
+	defer cl.Close()
+	if p := cl.Proto(); p != wire.ProtoBinary {
+		return fmt.Errorf("readpath smoke: negotiated %q, want %q", p, wire.ProtoBinary)
+	}
+
+	const keys = 1000
+	puts := make([]spitz.Put, 0, 100)
+	for i := 0; i < keys; i += 100 {
+		puts = puts[:0]
+		for j := i; j < i+100; j++ {
+			puts = append(puts, spitz.Put{Table: "t", Column: "c",
+				PK: benchKey(j), Value: []byte(fmt.Sprintf("value-%08d", j))})
+		}
+		if _, err := cl.Apply("readpath-load", puts); err != nil {
+			return fmt.Errorf("readpath smoke load: %w", err)
+		}
+	}
+
+	const warmup, ops = 500, 4000
+
+	// Unverified floor.
+	for i := 0; i < warmup; i++ {
+		if _, err := cl.Get("t", "c", benchKey(i%keys)); err != nil {
+			return err
+		}
+	}
+	unvNs, unvAllocs, err := timedOps(ops, func(i int) error {
+		_, err := cl.Get("t", "c", benchKey(i%keys))
+		return err
+	})
+	if err != nil {
+		return err
+	}
+
+	// Deferred verified reads: optimistic accept + batch audit, flush
+	// inside the timed region so the proof RTTs are paid for.
+	aud, err := cl.StartAudit(spitz.AuditMode{MaxPending: 512, MaxDelay: time.Hour})
+	if err != nil {
+		return err
+	}
+	for i := 0; i < warmup; i++ {
+		if _, _, err := cl.GetVerified("t", "c", benchKey(i%keys)); err != nil {
+			return err
+		}
+	}
+	if err := aud.Flush(); err != nil {
+		return err
+	}
+	defNs, defAllocs, err := timedOps(ops, func(i int) error {
+		_, _, err := cl.GetVerified("t", "c", benchKey(i%keys))
+		if err == nil && i == ops-1 {
+			err = aud.Flush()
+		}
+		return err
+	})
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("readpath smoke (%s):\n", cl.Proto())
+	fmt.Printf("  unverified: %8.0f ns/op  %5.1f allocs/op  (max %.0f ns, %.0f allocs)\n",
+		unvNs, unvAllocs, th.UnverifiedNsMax, th.UnverifiedAllocsMax)
+	fmt.Printf("  deferred:   %8.0f ns/op  %5.1f allocs/op  (max %.0f ns, %.0f allocs)\n",
+		defNs, defAllocs, th.DeferredNsMax, th.DeferredAllocsMax)
+
+	var fails []string
+	if unvNs > th.UnverifiedNsMax {
+		fails = append(fails, fmt.Sprintf("unverified %0.f ns/op > %.0f", unvNs, th.UnverifiedNsMax))
+	}
+	if defNs > th.DeferredNsMax {
+		fails = append(fails, fmt.Sprintf("deferred %0.f ns/op > %.0f", defNs, th.DeferredNsMax))
+	}
+	if unvAllocs > th.UnverifiedAllocsMax {
+		fails = append(fails, fmt.Sprintf("unverified %.1f allocs/op > %.0f", unvAllocs, th.UnverifiedAllocsMax))
+	}
+	if defAllocs > th.DeferredAllocsMax {
+		fails = append(fails, fmt.Sprintf("deferred %.1f allocs/op > %.0f", defAllocs, th.DeferredAllocsMax))
+	}
+	if len(fails) > 0 {
+		return fmt.Errorf("readpath smoke: regression past thresholds: %v", fails)
+	}
+	return nil
+}
+
+// timedOps runs fn n times and reports mean wall time and process-wide
+// allocations per op. The allocation figure matches what go test's
+// -benchmem reports for the same loop: every goroutine the op touches
+// (client and in-process server alike) counts.
+func timedOps(n int, fn func(i int) error) (nsPerOp, allocsPerOp float64, err error) {
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		if err := fn(i); err != nil {
+			return 0, 0, err
+		}
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	return float64(elapsed.Nanoseconds()) / float64(n),
+		float64(after.Mallocs-before.Mallocs) / float64(n), nil
+}

@@ -1,0 +1,123 @@
+package binenc
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func TestUvarintRoundTrip(t *testing.T) {
+	for _, v := range []uint64{0, 1, 127, 128, 300, 1 << 20, 1<<63 - 1, 1 << 63, ^uint64(0)} {
+		enc := AppendUvarint(nil, v)
+		got, rest, err := ReadUvarint(enc)
+		if err != nil || got != v || len(rest) != 0 {
+			t.Fatalf("uvarint %d: got %d rest %d err %v", v, got, len(rest), err)
+		}
+	}
+	if _, _, err := ReadUvarint(nil); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("empty uvarint: err %v", err)
+	}
+}
+
+func TestBytesNilVsEmpty(t *testing.T) {
+	cases := [][]byte{nil, {}, {0}, []byte("hello"), bytes.Repeat([]byte{0xAB}, 300)}
+	for _, b := range cases {
+		enc := AppendBytes(nil, b)
+		got, rest, err := ReadBytes(enc)
+		if err != nil || len(rest) != 0 {
+			t.Fatalf("bytes %v: rest %d err %v", b, len(rest), err)
+		}
+		if (got == nil) != (b == nil) {
+			t.Fatalf("bytes nil-ness lost: in %v out %v", b == nil, got == nil)
+		}
+		if !bytes.Equal(got, b) {
+			t.Fatalf("bytes mismatch: %v != %v", got, b)
+		}
+	}
+	// A declared length beyond the input must fail, not allocate.
+	enc := AppendUvarint(nil, 1<<40)
+	if _, _, err := ReadBytes(enc); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("oversized bytes: err %v", err)
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	for _, s := range []string{"", "a", "table/column", string(make([]byte, 200))} {
+		enc := AppendString(nil, s)
+		got, rest, err := ReadString(enc)
+		if err != nil || got != s || len(rest) != 0 {
+			t.Fatalf("string %q: got %q rest %d err %v", s, got, len(rest), err)
+		}
+	}
+	enc := AppendUvarint(nil, 10) // declares 10 bytes, provides none
+	if _, _, err := ReadString(enc); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("truncated string: err %v", err)
+	}
+}
+
+func TestBoolRejectsJunk(t *testing.T) {
+	for _, b := range []bool{false, true} {
+		enc := AppendBool(nil, b)
+		got, _, err := ReadBool(enc)
+		if err != nil || got != b {
+			t.Fatalf("bool %v: got %v err %v", b, got, err)
+		}
+	}
+	if _, _, err := ReadBool([]byte{2}); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("bool byte 2: err %v", err)
+	}
+	if _, _, err := ReadBool(nil); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("bool empty: err %v", err)
+	}
+}
+
+func TestByteSlicesRoundTrip(t *testing.T) {
+	cases := [][][]byte{nil, {}, {nil}, {{}, nil, []byte("x")}, {[]byte("a"), []byte("bb")}}
+	for _, bs := range cases {
+		enc := AppendByteSlices(nil, bs)
+		got, rest, err := ReadByteSlices(enc)
+		if err != nil || len(rest) != 0 {
+			t.Fatalf("byteslices %v: rest %d err %v", bs, len(rest), err)
+		}
+		if (got == nil) != (bs == nil) || len(got) != len(bs) {
+			t.Fatalf("byteslices shape lost: %v != %v", got, bs)
+		}
+		for i := range bs {
+			if (got[i] == nil) != (bs[i] == nil) || !bytes.Equal(got[i], bs[i]) {
+				t.Fatalf("byteslices[%d]: %v != %v", i, got[i], bs[i])
+			}
+		}
+	}
+}
+
+func TestBoolsRoundTrip(t *testing.T) {
+	cases := [][]bool{nil, {}, {true}, {false, true, true, false}}
+	for _, bs := range cases {
+		enc := AppendBools(nil, bs)
+		got, rest, err := ReadBools(enc)
+		if err != nil || len(rest) != 0 {
+			t.Fatalf("bools %v: rest %d err %v", bs, len(rest), err)
+		}
+		if (got == nil) != (bs == nil) || len(got) != len(bs) {
+			t.Fatalf("bools shape lost: %v != %v", got, bs)
+		}
+		for i := range bs {
+			if got[i] != bs[i] {
+				t.Fatalf("bools[%d]: %v != %v", i, got[i], bs[i])
+			}
+		}
+	}
+}
+
+func TestCountGuard(t *testing.T) {
+	rest := make([]byte, 100)
+	if n, err := Count(10, rest, 10); err != nil || n != 10 {
+		t.Fatalf("count 10x10 in 100: n %d err %v", n, err)
+	}
+	if _, err := Count(11, rest, 10); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("count 11x10 in 100: err %v", err)
+	}
+	if _, err := Count(1<<40, rest, 1); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("count huge: err %v", err)
+	}
+}

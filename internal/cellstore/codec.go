@@ -1,0 +1,73 @@
+package cellstore
+
+// Compact binary encoding of Cell for the wire protocol's binary
+// framing (unverified reads, history, fan-out scans all ship []Cell).
+
+import "spitz/internal/binenc"
+
+// AppendCell appends c's binary encoding.
+func AppendCell(dst []byte, c Cell) []byte {
+	dst = binenc.AppendString(dst, c.Table)
+	dst = binenc.AppendString(dst, c.Column)
+	dst = binenc.AppendBytes(dst, c.PK)
+	dst = binenc.AppendUvarint(dst, c.Version)
+	dst = binenc.AppendBytes(dst, c.Value)
+	return binenc.AppendBool(dst, c.Tombstone)
+}
+
+// ReadCell decodes a cell.
+func ReadCell(src []byte) (Cell, []byte, error) {
+	var c Cell
+	var err error
+	if c.Table, src, err = binenc.ReadString(src); err != nil {
+		return c, nil, err
+	}
+	if c.Column, src, err = binenc.ReadString(src); err != nil {
+		return c, nil, err
+	}
+	if c.PK, src, err = binenc.ReadBytes(src); err != nil {
+		return c, nil, err
+	}
+	if c.Version, src, err = binenc.ReadUvarint(src); err != nil {
+		return c, nil, err
+	}
+	if c.Value, src, err = binenc.ReadBytes(src); err != nil {
+		return c, nil, err
+	}
+	c.Tombstone, src, err = binenc.ReadBool(src)
+	return c, src, err
+}
+
+// AppendCells appends a nil-preserving cell list.
+func AppendCells(dst []byte, cs []Cell) []byte {
+	if cs == nil {
+		return append(dst, 0)
+	}
+	dst = binenc.AppendUvarint(dst, uint64(len(cs))+1)
+	for i := range cs {
+		dst = AppendCell(dst, cs[i])
+	}
+	return dst
+}
+
+// ReadCells decodes a cell list.
+func ReadCells(src []byte) ([]Cell, []byte, error) {
+	n, rest, err := binenc.ReadUvarint(src)
+	if err != nil {
+		return nil, nil, err
+	}
+	if n == 0 {
+		return nil, rest, nil
+	}
+	cnt, err := binenc.Count(n-1, rest, 6)
+	if err != nil {
+		return nil, nil, err
+	}
+	out := make([]Cell, cnt)
+	for i := range out {
+		if out[i], rest, err = ReadCell(rest); err != nil {
+			return nil, nil, err
+		}
+	}
+	return out, rest, nil
+}

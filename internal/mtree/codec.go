@@ -1,0 +1,85 @@
+package mtree
+
+// Compact binary encoding of the commitment-tree proofs, used by the
+// wire protocol's binary framing (internal/wire). The layouts are
+// versioned by the framing that carries them; within a frame version
+// they are canonical: the same proof always encodes to the same bytes.
+
+import (
+	"spitz/internal/binenc"
+	"spitz/internal/hashutil"
+)
+
+// appendDigests appends a uvarint count + the raw 32-byte digests.
+func appendDigests(dst []byte, ds []hashutil.Digest) []byte {
+	dst = binenc.AppendUvarint(dst, uint64(len(ds)))
+	for i := range ds {
+		dst = append(dst, ds[i][:]...)
+	}
+	return dst
+}
+
+func readDigests(src []byte) ([]hashutil.Digest, []byte, error) {
+	n, rest, err := binenc.ReadUvarint(src)
+	if err != nil {
+		return nil, nil, err
+	}
+	if n == 0 {
+		return nil, rest, nil
+	}
+	if n > uint64(len(rest))/hashutil.DigestSize {
+		return nil, nil, binenc.ErrCorrupt
+	}
+	out := make([]hashutil.Digest, n)
+	for i := range out {
+		copy(out[i][:], rest[:hashutil.DigestSize])
+		rest = rest[hashutil.DigestSize:]
+	}
+	return out, rest, nil
+}
+
+// AppendInclusionProof appends p's binary encoding.
+func AppendInclusionProof(dst []byte, p InclusionProof) []byte {
+	dst = binenc.AppendUvarint(dst, uint64(p.Index))
+	dst = binenc.AppendUvarint(dst, uint64(p.TreeSize))
+	return appendDigests(dst, p.Path)
+}
+
+// ReadInclusionProof decodes an inclusion proof.
+func ReadInclusionProof(src []byte) (InclusionProof, []byte, error) {
+	var p InclusionProof
+	idx, rest, err := binenc.ReadUvarint(src)
+	if err != nil {
+		return p, nil, err
+	}
+	size, rest, err := binenc.ReadUvarint(rest)
+	if err != nil {
+		return p, nil, err
+	}
+	p.Index, p.TreeSize = int(idx), int(size)
+	p.Path, rest, err = readDigests(rest)
+	return p, rest, err
+}
+
+// AppendConsistencyProof appends p's binary encoding.
+func AppendConsistencyProof(dst []byte, p ConsistencyProof) []byte {
+	dst = binenc.AppendUvarint(dst, uint64(p.OldSize))
+	dst = binenc.AppendUvarint(dst, uint64(p.NewSize))
+	return appendDigests(dst, p.Path)
+}
+
+// ReadConsistencyProof decodes a consistency proof.
+func ReadConsistencyProof(src []byte) (ConsistencyProof, []byte, error) {
+	var p ConsistencyProof
+	old, rest, err := binenc.ReadUvarint(src)
+	if err != nil {
+		return p, nil, err
+	}
+	nw, rest, err := binenc.ReadUvarint(rest)
+	if err != nil {
+		return p, nil, err
+	}
+	p.OldSize, p.NewSize = int(old), int(nw)
+	p.Path, rest, err = readDigests(rest)
+	return p, rest, err
+}

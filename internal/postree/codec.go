@@ -1,0 +1,122 @@
+package postree
+
+// Compact binary encoding of the POS-tree proof types for the wire
+// protocol's binary framing. Node bodies and values travel verbatim —
+// they are the hashed material, so the codec must not canonicalize or
+// re-order anything inside them. nil-ness of values and range bounds is
+// semantic (absent value, unbounded end) and is preserved exactly.
+
+import "spitz/internal/binenc"
+
+// AppendPointProof appends p's binary encoding.
+func AppendPointProof(dst []byte, p PointProof) []byte {
+	dst = binenc.AppendBytes(dst, p.Key)
+	dst = binenc.AppendBytes(dst, p.Value)
+	dst = binenc.AppendBool(dst, p.Found)
+	return binenc.AppendByteSlices(dst, p.Nodes)
+}
+
+// ReadPointProof decodes a point proof.
+func ReadPointProof(src []byte) (PointProof, []byte, error) {
+	var p PointProof
+	var err error
+	if p.Key, src, err = binenc.ReadBytes(src); err != nil {
+		return p, nil, err
+	}
+	if p.Value, src, err = binenc.ReadBytes(src); err != nil {
+		return p, nil, err
+	}
+	if p.Found, src, err = binenc.ReadBool(src); err != nil {
+		return p, nil, err
+	}
+	p.Nodes, src, err = binenc.ReadByteSlices(src)
+	return p, src, err
+}
+
+// AppendEntries appends a nil-preserving entry list.
+func AppendEntries(dst []byte, es []Entry) []byte {
+	if es == nil {
+		return append(dst, 0)
+	}
+	dst = binenc.AppendUvarint(dst, uint64(len(es))+1)
+	for _, e := range es {
+		dst = binenc.AppendBytes(dst, e.Key)
+		dst = binenc.AppendBytes(dst, e.Value)
+	}
+	return dst
+}
+
+// ReadEntries decodes an entry list.
+func ReadEntries(src []byte) ([]Entry, []byte, error) {
+	n, rest, err := binenc.ReadUvarint(src)
+	if err != nil {
+		return nil, nil, err
+	}
+	if n == 0 {
+		return nil, rest, nil
+	}
+	cnt, err := binenc.Count(n-1, rest, 2)
+	if err != nil {
+		return nil, nil, err
+	}
+	out := make([]Entry, cnt)
+	for i := range out {
+		if out[i].Key, rest, err = binenc.ReadBytes(rest); err != nil {
+			return nil, nil, err
+		}
+		if out[i].Value, rest, err = binenc.ReadBytes(rest); err != nil {
+			return nil, nil, err
+		}
+	}
+	return out, rest, nil
+}
+
+// AppendRangeProof appends p's binary encoding.
+func AppendRangeProof(dst []byte, p RangeProof) []byte {
+	dst = binenc.AppendBytes(dst, p.Start)
+	dst = binenc.AppendBytes(dst, p.End)
+	dst = AppendEntries(dst, p.Entries)
+	return binenc.AppendByteSlices(dst, p.Nodes)
+}
+
+// ReadRangeProof decodes a range proof.
+func ReadRangeProof(src []byte) (RangeProof, []byte, error) {
+	var p RangeProof
+	var err error
+	if p.Start, src, err = binenc.ReadBytes(src); err != nil {
+		return p, nil, err
+	}
+	if p.End, src, err = binenc.ReadBytes(src); err != nil {
+		return p, nil, err
+	}
+	if p.Entries, src, err = ReadEntries(src); err != nil {
+		return p, nil, err
+	}
+	p.Nodes, src, err = binenc.ReadByteSlices(src)
+	return p, src, err
+}
+
+// AppendBatchProof appends p's binary encoding.
+func AppendBatchProof(dst []byte, p BatchProof) []byte {
+	dst = binenc.AppendByteSlices(dst, p.Keys)
+	dst = binenc.AppendByteSlices(dst, p.Values)
+	dst = binenc.AppendBools(dst, p.Found)
+	return binenc.AppendByteSlices(dst, p.Nodes)
+}
+
+// ReadBatchProof decodes a batch proof.
+func ReadBatchProof(src []byte) (BatchProof, []byte, error) {
+	var p BatchProof
+	var err error
+	if p.Keys, src, err = binenc.ReadByteSlices(src); err != nil {
+		return p, nil, err
+	}
+	if p.Values, src, err = binenc.ReadByteSlices(src); err != nil {
+		return p, nil, err
+	}
+	if p.Found, src, err = binenc.ReadBools(src); err != nil {
+		return p, nil, err
+	}
+	p.Nodes, src, err = binenc.ReadByteSlices(src)
+	return p, src, err
+}

@@ -1,6 +1,8 @@
 package wire
 
 import (
+	"encoding/binary"
+	"hash/crc32"
 	"net"
 	"sync"
 	"time"
@@ -28,7 +30,31 @@ type Faults struct {
 	// CloseAfter, when positive, closes the connection after that many
 	// response bytes have been written (a mid-response drop).
 	CloseAfter int64
+
+	// FrameMode, when not FrameNone, injects a fault into the FrameIndex-th
+	// binary frame the server writes (0-based). Frames are recognized by
+	// their header CRC, so the handshake reply and raw gob traffic are
+	// never miscounted as frames.
+	FrameMode  FrameMode
+	FrameIndex int
 }
+
+// FrameMode selects a frame-granularity fault.
+type FrameMode int
+
+// Frame fault modes.
+const (
+	FrameNone FrameMode = iota
+	// FrameTruncate drops the second half of the frame's bytes and
+	// closes the connection (a mid-frame drop).
+	FrameTruncate
+	// FrameCorruptLen XORs the low byte of the frame's length field.
+	FrameCorruptLen
+	// FrameCorruptTag XORs the low byte of the frame's tag field —
+	// interleaved-tag corruption: the response would be delivered to
+	// the wrong waiter if the header CRC did not catch it.
+	FrameCorruptTag
+)
 
 // FaultListener wraps a listener so every accepted connection applies
 // the faults configured at accept time.
@@ -68,11 +94,45 @@ type faultConn struct {
 	net.Conn
 	faults  Faults
 	written int64
+	frames  int
+}
+
+// isFrameStart reports whether a write begins with a valid binary frame
+// header (its CRC covers the 9 preceding bytes, so random data cannot
+// pass). Large frames are written as header+payload in two writes; only
+// the header write matches, so each frame counts once.
+func isFrameStart(p []byte) bool {
+	if len(p) < frameHeaderLen {
+		return false
+	}
+	return crc32.Checksum(p[:9], castagnoli) == binary.BigEndian.Uint32(p[9:13])
 }
 
 func (c *faultConn) Write(p []byte) (int, error) {
 	if c.faults.Delay > 0 {
 		time.Sleep(c.faults.Delay)
+	}
+	if c.faults.FrameMode != FrameNone && isFrameStart(p) {
+		idx := c.frames
+		c.frames++
+		if idx == c.faults.FrameIndex {
+			switch c.faults.FrameMode {
+			case FrameTruncate:
+				keep := len(p) / 2
+				n, _ := c.Conn.Write(p[:keep])
+				c.written += int64(n)
+				c.Conn.Close()
+				return len(p), nil // the drop surfaces on the peer
+			case FrameCorruptLen:
+				q := append([]byte(nil), p...)
+				q[3] ^= 0xFF
+				p = q
+			case FrameCorruptTag:
+				q := append([]byte(nil), p...)
+				q[7] ^= 0xFF
+				p = q
+			}
+		}
 	}
 	if c.faults.FlipEnabled {
 		off := c.faults.FlipOffset - c.written

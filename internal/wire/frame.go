@@ -1,0 +1,266 @@
+package wire
+
+// Binary framing for protocol v2.
+//
+// Connect-time negotiation: the client opens with a 6-byte hello —
+// magic 0x00 'S' 'P' 'Z', a version byte, and a flags byte. The leading
+// 0x00 can never begin a gob stream (gob's first uvarint is a message
+// length, and a zero-length message is invalid), so the server
+// distinguishes new clients from legacy gob clients by peeking one
+// byte. The server answers with the same magic, the version it chose,
+// and the intersection of the offered flags. A legacy server fails to
+// gob-decode the hello and drops the connection; Dial/Connect then
+// redial and speak gob (see listen.go).
+//
+// Frame layout, both directions, after the handshake:
+//
+//	length  uint32 BE   bytes after this field (tag+flags+crc+payload)
+//	tag     uint32 BE   request/stream identifier for multiplexing
+//	flags   byte        bit0: payload is flate-compressed
+//	crc     uint32 BE   CRC-32C over the 9 preceding header bytes
+//	payload length-9 bytes
+//
+// The header CRC exists so a corrupted length or tag is detected
+// instead of desynchronizing the stream — a flipped length bit would
+// otherwise make the reader block forever waiting for bytes that never
+// come, and a flipped tag would deliver a response to the wrong waiter.
+// Payload corruption is the verification layer's job: proofs are
+// self-authenticating, which is the whole point of the system.
+
+import (
+	"bufio"
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"sync"
+
+	"spitz/internal/obs"
+)
+
+// ProtoGob and ProtoBinary name the negotiated protocols in Stats and
+// metrics.
+const (
+	ProtoGob    = "gob/v1"
+	ProtoBinary = "binary/v2"
+)
+
+const (
+	helloMagic0 = 0x00
+	helloMagic1 = 'S'
+	helloMagic2 = 'P'
+	helloMagic3 = 'Z'
+
+	// protoVersion is the framing version this build speaks.
+	protoVersion = 2
+
+	// flagCompress in the hello offers flate compression of large
+	// payloads; in a frame header it marks the payload compressed.
+	flagCompress = 1
+
+	frameHeaderLen = 13
+	frameOverhead  = 9 // tag + flags + crc, counted by the length field
+
+	// maxFrameLen bounds a frame's self-declared size. Snapshots are the
+	// largest legitimate payload; 1 GiB is far above anything real while
+	// still preventing a pathological allocation.
+	maxFrameLen = 1 << 30
+
+	// compressMin is the smallest payload worth compressing; below it
+	// the flate header overhead and CPU cost beat any wire savings.
+	compressMin = 1 << 10
+
+	// largeFrame is the payload size above which header and payload are
+	// written separately instead of copied into one buffer.
+	largeFrame = 64 << 10
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// errBadFrame reports a frame header that failed its CRC or bounds
+// checks; the connection cannot be resynchronized and must die.
+var errBadFrame = errors.New("wire: corrupt frame header")
+
+var (
+	mNegotiatedBinary = obs.Default.Counter(`spitz_wire_negotiations_total{proto="binary"}`)
+	mNegotiatedGob    = obs.Default.Counter(`spitz_wire_negotiations_total{proto="gob"}`)
+	mNegotiateFailed  = obs.Default.Counter(`spitz_wire_negotiations_total{proto="failed"}`)
+
+	mFramesRead    = obs.Default.Counter("spitz_wire_frames_read_total")
+	mFramesWritten = obs.Default.Counter("spitz_wire_frames_written_total")
+
+	// mFramesInflight counts requests a binary server has accepted but
+	// not yet answered, across all conns; mPipelineDepth counts client
+	// requests awaiting a response across all multiplexed conns.
+	mFramesInflight = obs.Default.Gauge("spitz_wire_frames_inflight")
+	mPipelineDepth  = obs.Default.Gauge("spitz_wire_pipeline_depth")
+
+	mCompressRaw  = obs.Default.Counter("spitz_wire_compress_raw_bytes_total")
+	mCompressSent = obs.Default.Counter("spitz_wire_compress_sent_bytes_total")
+)
+
+// bufPool recycles frame encode/decode buffers across requests — the
+// zero-allocation half of the hot path.
+var bufPool = sync.Pool{New: func() any { return new(frameBuf) }}
+
+type frameBuf struct{ b []byte }
+
+func getBuf() *frameBuf  { return bufPool.Get().(*frameBuf) }
+func putBuf(f *frameBuf) { f.b = f.b[:0]; bufPool.Put(f) }
+
+// helloBytes builds a 6-byte hello/reply.
+func helloBytes(version, flags byte) [6]byte {
+	return [6]byte{helloMagic0, helloMagic1, helloMagic2, helloMagic3, version, flags}
+}
+
+// parseHello validates a 6-byte hello and returns (version, flags).
+func parseHello(h []byte) (byte, byte, error) {
+	if len(h) != 6 || h[0] != helloMagic0 || h[1] != helloMagic1 ||
+		h[2] != helloMagic2 || h[3] != helloMagic3 {
+		return 0, 0, fmt.Errorf("wire: bad protocol hello % x", h)
+	}
+	return h[4], h[5], nil
+}
+
+// frameWriter serializes frames onto a conn. A single Write per frame
+// keeps frames atomic with respect to fault injection and avoids
+// interleaving under the shared write lock.
+type frameWriter struct {
+	mu sync.Mutex
+	w  io.Writer
+	// compressOK is set when both sides negotiated the compression flag.
+	compressOK bool
+}
+
+// writeFrame sends one frame carrying payload under tag. When
+// compression was negotiated and the payload clears compressMin, the
+// payload ships flate-compressed (unless compression grows it).
+func (fw *frameWriter) writeFrame(tag uint32, payload []byte) error {
+	flags := byte(0)
+	var comp *frameBuf
+	if fw.compressOK && len(payload) >= compressMin {
+		comp = getBuf()
+		if c, ok := compressPayload(comp, payload); ok {
+			mCompressRaw.Add(uint64(len(payload)))
+			mCompressSent.Add(uint64(len(c)))
+			payload = c
+			flags |= flagCompress
+		}
+	}
+	var hdr [frameHeaderLen]byte
+	binary.BigEndian.PutUint32(hdr[0:], uint32(frameOverhead+len(payload)))
+	binary.BigEndian.PutUint32(hdr[4:], tag)
+	hdr[8] = flags
+	binary.BigEndian.PutUint32(hdr[9:], crc32.Checksum(hdr[:9], castagnoli))
+
+	var err error
+	if len(payload) >= largeFrame {
+		// Copying a multi-MB payload behind a 13-byte header costs more
+		// than a second write; send header and payload separately (still
+		// adjacent — the mutex spans both).
+		fw.mu.Lock()
+		if _, err = fw.w.Write(hdr[:]); err == nil {
+			_, err = fw.w.Write(payload)
+		}
+		fw.mu.Unlock()
+	} else {
+		buf := getBuf()
+		b := append(buf.b[:0], hdr[:]...)
+		b = append(b, payload...)
+		fw.mu.Lock()
+		_, err = fw.w.Write(b)
+		fw.mu.Unlock()
+		buf.b = b
+		putBuf(buf)
+	}
+	if comp != nil {
+		putBuf(comp)
+	}
+	if err == nil {
+		mFramesWritten.Inc()
+	}
+	return err
+}
+
+// readFrame reads one frame into buf (which it may grow), returning the
+// tag and the payload (decompressed if the frame was). The payload
+// aliases buf.b unless decompression replaced it; either way it is only
+// valid until buf is recycled.
+func readFrame(br *bufio.Reader, buf *frameBuf) (tag uint32, payload []byte, err error) {
+	var hdr [frameHeaderLen]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	if crc32.Checksum(hdr[:9], castagnoli) != binary.BigEndian.Uint32(hdr[9:]) {
+		return 0, nil, errBadFrame
+	}
+	length := binary.BigEndian.Uint32(hdr[0:])
+	if length < frameOverhead || length > maxFrameLen {
+		return 0, nil, errBadFrame
+	}
+	tag = binary.BigEndian.Uint32(hdr[4:])
+	n := int(length) - frameOverhead
+	if cap(buf.b) < n {
+		buf.b = make([]byte, n)
+	}
+	payload = buf.b[:n]
+	if _, err := io.ReadFull(br, payload); err != nil {
+		return 0, nil, err
+	}
+	mFramesRead.Inc()
+	if hdr[8]&flagCompress != 0 {
+		// Honor the frame's own flag regardless of what was negotiated:
+		// the sender committed to it, and decoding is always safe.
+		out, err := decompressPayload(payload)
+		if err != nil {
+			return 0, nil, errBadFrame
+		}
+		payload = out
+	}
+	return tag, payload, nil
+}
+
+// ---------------------------------------------------------------------------
+// Compression
+
+var flateWriterPool = sync.Pool{New: func() any {
+	w, _ := flate.NewWriter(io.Discard, flate.BestSpeed)
+	return w
+}}
+
+// compressPayload flate-compresses src into buf, reporting ok=false
+// when compression does not shrink the payload.
+func compressPayload(buf *frameBuf, src []byte) ([]byte, bool) {
+	w := flateWriterPool.Get().(*flate.Writer)
+	bw := bytes.NewBuffer(buf.b[:0])
+	w.Reset(bw)
+	if _, err := w.Write(src); err != nil || w.Close() != nil {
+		flateWriterPool.Put(w)
+		return nil, false
+	}
+	flateWriterPool.Put(w)
+	buf.b = bw.Bytes()
+	if len(buf.b) >= len(src) {
+		return nil, false
+	}
+	return buf.b, true
+}
+
+// decompressPayload inflates a compressed frame payload.
+func decompressPayload(src []byte) ([]byte, error) {
+	r := flate.NewReader(bytes.NewReader(src))
+	defer r.Close()
+	// Frames are bounded by maxFrameLen on the wire; bound the inflated
+	// size too so a decompression bomb cannot run away.
+	out, err := io.ReadAll(io.LimitReader(r, maxFrameLen+1))
+	if err != nil {
+		return nil, err
+	}
+	if len(out) > maxFrameLen {
+		return nil, errBadFrame
+	}
+	return out, nil
+}

@@ -79,14 +79,36 @@ func (pipeAddr) Network() string { return "pipe" }
 func (pipeAddr) String() string  { return "pipe" }
 
 // Connect returns a client for a listener created by Listen, regardless of
-// transport.
+// transport. It negotiates the binary framing eagerly and falls back to
+// the legacy gob framing (on a fresh connection) when the server does
+// not answer the handshake.
 func Connect(ln net.Listener) (*Client, error) {
-	if pl, ok := ln.(*PipeListener); ok {
-		conn, err := pl.DialPipe()
-		if err != nil {
+	return ConnectOptions(ln, ClientOptions{})
+}
+
+// ConnectOptions is Connect with explicit protocol options.
+func ConnectOptions(ln net.Listener, opts ClientOptions) (*Client, error) {
+	pl, ok := ln.(*PipeListener)
+	if !ok {
+		return DialOptions(ln.Addr().Network(), ln.Addr().String(), opts)
+	}
+	conn, err := pl.DialPipe()
+	if err != nil {
+		return nil, err
+	}
+	c := NewClientOptions(conn, opts)
+	if opts.ForceGob {
+		return c, nil
+	}
+	if err := c.Handshake(); err != nil {
+		// A legacy server dropped the connection on our hello; redial
+		// and speak its protocol.
+		conn.Close()
+		conn2, err2 := pl.DialPipe()
+		if err2 != nil {
 			return nil, err
 		}
-		return NewClient(conn), nil
+		return NewGobClient(conn2), nil
 	}
-	return Dial(ln.Addr().Network(), ln.Addr().String())
+	return c, nil
 }

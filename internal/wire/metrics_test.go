@@ -28,8 +28,9 @@ func TestPerOpCountersMatchTraffic(t *testing.T) {
 	getvName := `spitz_wire_ops_total{op="get-verified"}`
 	digestName := `spitz_wire_ops_total{op="digest"}`
 	errName := `spitz_wire_op_errors_total{op="get-verified"}`
+	latCount := `spitz_wire_op_latency_ns_count{op="get"}`
 	before := map[string]float64{}
-	for _, n := range []string{putName, getName, getvName, digestName, errName} {
+	for _, n := range []string{putName, getName, getvName, digestName, errName, latCount} {
 		before[n] = counterValue(t, n)
 	}
 
@@ -64,7 +65,6 @@ func TestPerOpCountersMatchTraffic(t *testing.T) {
 	}
 
 	// Latency histograms observed one sample per op.
-	latCount := `spitz_wire_op_latency_ns_count{op="get"}`
 	if got := counterValue(t, latCount) - before[latCount]; got != gets {
 		t.Errorf("%s moved by %g, want %d", latCount, got, gets)
 	}

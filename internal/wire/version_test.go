@@ -1,0 +1,280 @@
+package wire
+
+// Mixed-version and transport-level tests for the v2 binary framing:
+// negotiation in both directions (new client ↔ legacy server, legacy
+// client ↔ new server), payload compression, and request multiplexing
+// over a shared connection.
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+)
+
+// echoHandler answers OpGet with a value derived from the key, so a
+// misrouted response is detectable, and serves OpStats so protocol
+// reporting can be asserted.
+func echoHandler() Handler {
+	return HandlerFunc(func(req Request) Response {
+		switch req.Op {
+		case OpGet:
+			return Response{Found: true, Value: append([]byte("v:"), req.PK...)}
+		case OpStats:
+			return Response{Stats: &Stats{Shards: []ShardStats{{Height: 7}}}}
+		}
+		return Response{Err: "echo: unsupported op " + string(req.Op)}
+	})
+}
+
+func startEchoServer(t *testing.T, legacy bool) net.Listener {
+	t.Helper()
+	srv := NewHandlerServer(echoHandler())
+	srv.LegacyGobOnly = legacy
+	ln, _ := Listen()
+	go srv.Serve(ln)
+	t.Cleanup(func() { srv.Close() })
+	return ln
+}
+
+func checkEcho(t *testing.T, cl *Client, key string) {
+	t.Helper()
+	resp, err := cl.Do(Request{Op: OpGet, PK: []byte(key)})
+	if err != nil {
+		t.Fatalf("echo %q: %v", key, err)
+	}
+	if !resp.Found || string(resp.Value) != "v:"+key {
+		t.Fatalf("echo %q: got found=%v value=%q", key, resp.Found, resp.Value)
+	}
+}
+
+func TestNegotiateBinary(t *testing.T) {
+	ln := startEchoServer(t, false)
+	cl, err := Connect(ln)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if p := cl.Proto(); p != ProtoBinary {
+		t.Fatalf("negotiated %q, want %q", p, ProtoBinary)
+	}
+	checkEcho(t, cl, "k1")
+	resp, err := cl.Do(Request{Op: OpStats})
+	if err != nil || resp.Stats == nil {
+		t.Fatalf("stats: %v %+v", err, resp)
+	}
+	if resp.Stats.Protocol != ProtoBinary {
+		t.Fatalf("server reported protocol %q, want %q", resp.Stats.Protocol, ProtoBinary)
+	}
+}
+
+// TestGobClientAgainstNewServer: a legacy client (no handshake, raw gob)
+// must be served by a current server on the same listener.
+func TestGobClientAgainstNewServer(t *testing.T) {
+	ln := startEchoServer(t, false)
+	cl, err := ConnectOptions(ln, ClientOptions{ForceGob: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if p := cl.Proto(); p != ProtoGob {
+		t.Fatalf("forced gob client negotiated %q", p)
+	}
+	checkEcho(t, cl, "legacy")
+	resp, err := cl.Do(Request{Op: OpStats})
+	if err != nil || resp.Stats == nil {
+		t.Fatalf("stats: %v %+v", err, resp)
+	}
+	if resp.Stats.Protocol != ProtoGob {
+		t.Fatalf("server reported protocol %q, want %q", resp.Stats.Protocol, ProtoGob)
+	}
+}
+
+// TestBinaryClientAgainstLegacyServer: a current client dialing a server
+// that only speaks gob must fall back transparently.
+func TestBinaryClientAgainstLegacyServer(t *testing.T) {
+	ln := startEchoServer(t, true)
+	cl, err := Connect(ln)
+	if err != nil {
+		t.Fatalf("fallback connect: %v", err)
+	}
+	defer cl.Close()
+	if p := cl.Proto(); p != ProtoGob {
+		t.Fatalf("fallback negotiated %q, want %q", p, ProtoGob)
+	}
+	checkEcho(t, cl, "fallback")
+}
+
+// TestCompressionRoundTrip: with compression negotiated, a large
+// compressible payload must arrive intact and the compression counters
+// must move.
+func TestCompressionRoundTrip(t *testing.T) {
+	big := bytes.Repeat([]byte("spitz-compressible-payload "), 4096) // ~110 KB
+	srv := NewHandlerServer(HandlerFunc(func(req Request) Response {
+		return Response{Found: true, Value: big}
+	}))
+	ln, _ := Listen()
+	go srv.Serve(ln)
+	defer srv.Close()
+
+	cl, err := ConnectOptions(ln, ClientOptions{Compress: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if p := cl.Proto(); p != ProtoBinary {
+		t.Fatalf("negotiated %q", p)
+	}
+	raw0, sent0 := mCompressRaw.Value(), mCompressSent.Value()
+	resp, err := cl.Do(Request{Op: OpGet, PK: []byte("k")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(resp.Value, big) {
+		t.Fatalf("compressed payload corrupted: %d bytes, want %d", len(resp.Value), len(big))
+	}
+	raw, sent := mCompressRaw.Value()-raw0, mCompressSent.Value()-sent0
+	if raw < uint64(len(big)) {
+		t.Fatalf("compression raw counter moved by %d, want >= %d", raw, len(big))
+	}
+	if sent == 0 || sent >= raw {
+		t.Fatalf("compression sent counter %d not smaller than raw %d", sent, raw)
+	}
+}
+
+// TestCompressionOffByDefault: without the client opting in, large
+// payloads ship raw even though the server supports compression.
+func TestCompressionOffByDefault(t *testing.T) {
+	big := bytes.Repeat([]byte("x"), 64<<10)
+	srv := NewHandlerServer(HandlerFunc(func(req Request) Response {
+		return Response{Found: true, Value: big}
+	}))
+	ln, _ := Listen()
+	go srv.Serve(ln)
+	defer srv.Close()
+
+	cl, err := Connect(ln)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	raw0 := mCompressRaw.Value()
+	resp, err := cl.Do(Request{Op: OpGet, PK: []byte("k")})
+	if err != nil || !bytes.Equal(resp.Value, big) {
+		t.Fatalf("uncompressed round trip: %v", err)
+	}
+	if moved := mCompressRaw.Value() - raw0; moved != 0 {
+		t.Fatalf("compression engaged without negotiation (raw +%d)", moved)
+	}
+}
+
+// TestMultiplexedRequests: many goroutines share one connection; every
+// response must route back to its own request.
+func TestMultiplexedRequests(t *testing.T) {
+	ln := startEchoServer(t, false)
+	cl, err := Connect(ln)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	const workers = 16
+	const perWorker = 50
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				key := fmt.Sprintf("w%d-i%d", w, i)
+				resp, err := cl.Do(Request{Op: OpGet, PK: []byte(key)})
+				if err != nil {
+					errs <- fmt.Errorf("%s: %v", key, err)
+					return
+				}
+				if string(resp.Value) != "v:"+key {
+					errs <- fmt.Errorf("%s: misrouted response %q", key, resp.Value)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestDoAfterClose: a closed client must fail with ErrTransport, and
+// outstanding waiters must be released rather than hang.
+func TestDoAfterClose(t *testing.T) {
+	ln := startEchoServer(t, false)
+	cl, err := Connect(ln)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkEcho(t, cl, "pre-close")
+	cl.Close()
+	if _, err := cl.Do(Request{Op: OpGet, PK: []byte("post")}); err == nil {
+		t.Fatal("Do succeeded on closed client")
+	} else if !errors.Is(err, ErrTransport) {
+		t.Fatalf("post-close error %v does not wrap ErrTransport", err)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Framing benchmarks: the same echo round trip over both protocols.
+
+func benchRoundTrip(b *testing.B, opts ClientOptions, payload int) {
+	val := bytes.Repeat([]byte("x"), payload)
+	srv := NewHandlerServer(HandlerFunc(func(req Request) Response {
+		return Response{Found: true, Value: val}
+	}))
+	ln, _ := Listen()
+	go srv.Serve(ln)
+	defer srv.Close()
+	cl, err := ConnectOptions(ln, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cl.Close()
+	req := Request{Op: OpGet, Table: "t", Column: "c", PK: []byte("bench-key")}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cl.Do(req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRoundTripBinary(b *testing.B)    { benchRoundTrip(b, ClientOptions{}, 64) }
+func BenchmarkRoundTripGob(b *testing.B)       { benchRoundTrip(b, ClientOptions{ForceGob: true}, 64) }
+func BenchmarkRoundTripBinary64K(b *testing.B) { benchRoundTrip(b, ClientOptions{}, 64<<10) }
+func BenchmarkRoundTripGob64K(b *testing.B) {
+	benchRoundTrip(b, ClientOptions{ForceGob: true}, 64<<10)
+}
+
+func BenchmarkEncodeRequest(b *testing.B) {
+	req := Request{Op: OpGet, Table: "t", Column: "c", PK: []byte("bench-key")}
+	var buf []byte
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = AppendRequest(buf[:0], &req)
+	}
+}
+
+func BenchmarkDecodeResponse(b *testing.B) {
+	resp := Response{Found: true, Value: bytes.Repeat([]byte("x"), 64)}
+	enc := AppendResponse(nil, &resp)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := DecodeResponse(enc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,17 +1,26 @@
 // Package wire implements the client/server protocol for Spitz services.
 //
-// Requests and responses are gob-encoded over a stream connection. The
-// same protocol serves the standalone Spitz server (cmd/spitz-server) and
-// the two services of the non-intrusive deployment (Figure 3), whose
-// measured overhead in Figure 8 is precisely the cost of crossing this
-// boundary twice per operation instead of zero or one times.
+// Two framings share the protocol's Request/Response vocabulary. The
+// current one (binary/v2, negotiated at connect time — see frame.go) is
+// a length-prefixed compact binary encoding with tagged frames, so many
+// requests can be in flight on one connection and large payloads can
+// ship compressed. The original gob framing remains fully served:
+// a server recognizes a legacy client by its first byte and speaks gob
+// for that connection, and a client falls back to gob when the server
+// does not answer the version handshake. The same protocol serves the
+// standalone Spitz server (cmd/spitz-server) and the two services of
+// the non-intrusive deployment (Figure 3), whose measured overhead in
+// Figure 8 is precisely the cost of crossing this boundary twice per
+// operation instead of zero or one times.
 package wire
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/gob"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"sync"
 	"time"
@@ -174,6 +183,11 @@ type Response struct {
 // metrics registry — every counter, gauge and histogram quantile the
 // admin endpoint would serve on /metrics.
 type Stats struct {
+	// Protocol names the framing the serving connection negotiated
+	// (ProtoBinary or ProtoGob), so operators can see which protocol a
+	// fleet speaks during a rolling upgrade.
+	Protocol string
+
 	Shards []ShardStats
 	// Metrics is the flattened obs registry snapshot (counters, gauges,
 	// histogram _count/_sum/quantiles), sorted by series name.
@@ -357,6 +371,13 @@ type Server struct {
 	// the handler or the engine's basic counters. Set before Serve.
 	Stats func() Stats
 
+	// LegacyGobOnly disables binary-framing negotiation, making the
+	// server behave like a pre-v2 release: every connection is treated
+	// as a gob stream, so a binary hello fails to decode and the
+	// connection drops (which is exactly what drives client fallback).
+	// Used by mixed-version tests and the spitz-server -legacy-gob flag.
+	LegacyGobOnly bool
+
 	mu      sync.Mutex
 	engine  *core.Engine
 	handler Handler // when set, requests go here instead of Dispatch(engine, ·)
@@ -395,8 +416,9 @@ func (s *Server) SetEngine(eng *core.Engine) {
 // Serve accepts connections until the listener is closed; on return the
 // server is fully stopped — live connections (including replication
 // streams) are closed, so a stopped server never keeps serving stale
-// state in the background. Each connection handles requests sequentially
-// (clients multiplex by opening more connections).
+// state in the background. Binary-framing connections multiplex many
+// in-flight requests; legacy gob connections handle requests
+// sequentially (those clients multiplex by opening more connections).
 func (s *Server) Serve(ln net.Listener) error {
 	s.mu.Lock()
 	s.ln = ln
@@ -487,8 +509,29 @@ func (s *Server) handle(conn net.Conn) {
 		s.mu.Unlock()
 		conn.Close()
 	}()
-	dec := gob.NewDecoder(countingConn{conn})
-	enc := gob.NewEncoder(countingConn{conn})
+	cc := countingConn{conn}
+	br := bufio.NewReaderSize(cc, 1<<16)
+	// Sniff the framing: a binary client opens with the 0x00 magic
+	// byte, which can never begin a gob stream (gob's leading uvarint is
+	// a message length, and zero-length messages are invalid), so one
+	// peeked byte reliably separates the two protocols.
+	first, err := br.Peek(1)
+	if err != nil {
+		return
+	}
+	if first[0] == helloMagic0 && !s.LegacyGobOnly {
+		s.handleBinary(conn, cc, br)
+		return
+	}
+	mNegotiatedGob.Inc()
+	s.handleGob(conn, cc, br)
+}
+
+// handleGob serves one legacy gob connection: sequential requests, a
+// dedicated connection per replication stream.
+func (s *Server) handleGob(conn net.Conn, cc countingConn, br *bufio.Reader) {
+	dec := gob.NewDecoder(br)
+	enc := gob.NewEncoder(cc)
 	for {
 		var req Request
 		if err := dec.Decode(&req); err != nil {
@@ -499,26 +542,7 @@ func (s *Server) handle(conn net.Conn) {
 			s.streamRepl(conn, enc, dec, req)
 			return
 		}
-		start := time.Now()
-		tr := obs.DefaultTracer.Sample(string(req.Op))
-		req.trace = tr
-		var resp Response
-		s.mu.Lock()
-		h := s.handler
-		s.mu.Unlock()
-		switch {
-		case req.Op == OpStats && s.Stats != nil:
-			st := s.Stats()
-			st.Metrics = RegistryMetrics()
-			resp = Response{Stats: &st}
-		case req.Op == OpRestore && h == nil:
-			resp = s.restore(req)
-		case h != nil:
-			resp = h.Handle(req)
-		default:
-			resp = Dispatch(s.Engine(), req)
-		}
-		tr.Stage("wire.handle", start)
+		resp, tr, start := s.execute(req, ProtoGob)
 		var encStart time.Time
 		if tr.Sampled() {
 			encStart = time.Now()
@@ -527,6 +551,209 @@ func (s *Server) handle(conn net.Conn) {
 		tr.Stage("wire.encode", encStart)
 		tr.Finish()
 		recordOp(req.Op, start, resp.Err != "")
+		if err != nil {
+			return
+		}
+	}
+}
+
+// execute runs one request through the server's handler chain and
+// returns the response with the trace and start time still open, so
+// each framing can attribute its own encode cost before finishing.
+func (s *Server) execute(req Request, proto string) (Response, *obs.Trace, time.Time) {
+	start := time.Now()
+	tr := obs.DefaultTracer.Sample(string(req.Op))
+	req.trace = tr
+	var resp Response
+	s.mu.Lock()
+	h := s.handler
+	s.mu.Unlock()
+	switch {
+	case req.Op == OpStats && s.Stats != nil:
+		st := s.Stats()
+		st.Metrics = RegistryMetrics()
+		resp = Response{Stats: &st}
+	case req.Op == OpRestore && h == nil:
+		resp = s.restore(req)
+	case h != nil:
+		resp = h.Handle(req)
+	default:
+		resp = Dispatch(s.Engine(), req)
+	}
+	if resp.Stats != nil {
+		resp.Stats.Protocol = proto
+	}
+	tr.Stage("wire.handle", start)
+	return resp, tr, start
+}
+
+// handleBinary serves one binary-framing connection: answer the hello,
+// then demultiplex tagged request frames. Replication streams share the
+// connection with queries — block frames go out under the stream's tag
+// and OpReplAck frames route back to the feed by the same tag.
+func (s *Server) handleBinary(conn net.Conn, cc countingConn, br *bufio.Reader) {
+	var hello [6]byte
+	if _, err := io.ReadFull(br, hello[:]); err != nil {
+		return
+	}
+	_, flags, err := parseHello(hello[:])
+	if err != nil {
+		mNegotiateFailed.Inc()
+		return
+	}
+	flags &= flagCompress // intersect with the flags this build supports
+	reply := helloBytes(protoVersion, flags)
+	if _, err := cc.Write(reply[:]); err != nil {
+		return
+	}
+	mNegotiatedBinary.Inc()
+	fw := &frameWriter{w: cc, compressOK: flags&flagCompress != 0}
+
+	var (
+		wg        sync.WaitGroup
+		streamsMu sync.Mutex
+		streams   = map[uint32]ReplFeed{}
+		connDone  = make(chan struct{})
+	)
+	defer func() {
+		close(connDone)
+		wg.Wait()
+	}()
+
+	buf := getBuf()
+	defer putBuf(buf)
+	for {
+		tag, payload, err := readFrame(br, buf)
+		if err != nil {
+			return // closed, or a frame header failed its CRC
+		}
+		req, err := DecodeRequest(payload)
+		if err != nil {
+			// The stream itself is still framed correctly, but the
+			// payload is not trustworthy; report and drop the conn.
+			fw.writeFrame(tag, AppendResponse(nil, &Response{Err: "wire: corrupt request payload"}))
+			return
+		}
+		switch req.Op {
+		case OpReplAck:
+			// One-way progress report for the stream with this tag.
+			streamsMu.Lock()
+			feed := streams[tag]
+			streamsMu.Unlock()
+			if feed != nil {
+				feed.Ack(req.Height)
+			}
+		case OpReplStream:
+			wg.Add(1)
+			go func(req Request, tag uint32) {
+				defer wg.Done()
+				feed, errMsg := s.attachRepl(conn, req)
+				if feed == nil {
+					fw.writeFrame(tag, AppendResponse(nil, &Response{Err: errMsg}))
+					return
+				}
+				streamsMu.Lock()
+				streams[tag] = feed
+				streamsMu.Unlock()
+				s.pumpRepl(fw, tag, feed, connDone)
+				streamsMu.Lock()
+				delete(streams, tag)
+				streamsMu.Unlock()
+			}(req, tag)
+		default:
+			mFramesInflight.Add(1)
+			if br.Buffered() == 0 {
+				// Nothing else is waiting: execute inline and save the
+				// goroutine hand-off — the common serial-client case.
+				err := s.answerBinary(fw, tag, req)
+				mFramesInflight.Add(-1)
+				if err != nil {
+					return
+				}
+			} else {
+				// The client is pipelining; let requests overlap.
+				wg.Add(1)
+				go func(req Request, tag uint32) {
+					defer wg.Done()
+					defer mFramesInflight.Add(-1)
+					s.answerBinary(fw, tag, req)
+				}(req, tag)
+			}
+		}
+	}
+}
+
+// answerBinary executes one request and writes its tagged response.
+func (s *Server) answerBinary(fw *frameWriter, tag uint32, req Request) error {
+	resp, tr, start := s.execute(req, ProtoBinary)
+	var encStart time.Time
+	if tr.Sampled() {
+		encStart = time.Now()
+	}
+	out := getBuf()
+	out.b = AppendResponse(out.b[:0], &resp)
+	err := fw.writeFrame(tag, out.b)
+	putBuf(out)
+	tr.Stage("wire.encode", encStart)
+	tr.Finish()
+	recordOp(req.Op, start, resp.Err != "")
+	return err
+}
+
+// attachRepl resolves a stream request to an attached feed, or an error
+// message for the client.
+func (s *Server) attachRepl(conn net.Conn, req Request) (ReplFeed, string) {
+	if s.Repl == nil {
+		return nil, "wire: this server does not serve replication streams"
+	}
+	str, err := s.Repl(req.Shard)
+	if err != nil {
+		return nil, err.Error()
+	}
+	remote := "?"
+	if addr := conn.RemoteAddr(); addr != nil {
+		remote = addr.String()
+	}
+	feed, err := str.Attach(remote, req.Height)
+	if err != nil {
+		return nil, err.Error()
+	}
+	return feed, ""
+}
+
+// pumpRepl drives one attached feed onto the connection as tagged
+// response frames until the follower disconnects, the server stops, or
+// the feed fails.
+func (s *Server) pumpRepl(fw *frameWriter, tag uint32, feed ReplFeed, connDone <-chan struct{}) {
+	defer feed.Close()
+	stop := make(chan struct{})
+	streamDone := make(chan struct{})
+	defer close(streamDone)
+	go func() {
+		defer close(stop)
+		select {
+		case <-connDone:
+		case <-s.stopc:
+		case <-streamDone:
+		}
+	}()
+	for {
+		ev, err := feed.Next(stop)
+		if err != nil {
+			fw.writeFrame(tag, AppendResponse(nil, &Response{Err: err.Error()}))
+			return
+		}
+		resp := Response{Height: ev.Height}
+		if ev.IsSnapshot {
+			resp.Found = true
+			resp.Value = ev.Snapshot
+		} else {
+			resp.Value = ev.Frame
+		}
+		out := getBuf()
+		out.b = AppendResponse(out.b[:0], &resp)
+		err = fw.writeFrame(tag, out.b)
+		putBuf(out)
 		if err != nil {
 			return
 		}
@@ -752,27 +979,290 @@ func EngineStats(eng *core.Engine) Stats {
 	}}}
 }
 
-// Client is a synchronous protocol client over one connection. Safe for
-// concurrent use (requests serialize on the connection).
-type Client struct {
-	mu   sync.Mutex
-	conn net.Conn
-	enc  *gob.Encoder
-	dec  *gob.Decoder
+// ClientOptions configures a Client's protocol negotiation.
+type ClientOptions struct {
+	// Compress offers transparent flate compression of large payloads
+	// during negotiation. Off by default: on a fast local link the CPU
+	// cost of compressing a multi-KB proof exceeds the wire savings, so
+	// compression is for deployments where bytes are the bottleneck.
+	Compress bool
+
+	// ForceGob skips negotiation and speaks the legacy gob framing —
+	// what a pre-v2 client does. Used by mixed-version tests.
+	ForceGob bool
 }
 
-// Dial connects to a server address on the given network.
+// Client is a protocol client over one connection. Safe for concurrent
+// use: on the binary framing concurrent requests are multiplexed as
+// in-flight tagged frames; on the legacy gob framing they serialize.
+type Client struct {
+	conn net.Conn
+	opts ClientOptions
+
+	mu      sync.Mutex
+	started bool
+	hserr   error
+	proto   string
+
+	// Legacy gob framing (requests serialize on mu).
+	enc *gob.Encoder
+	dec *gob.Decoder
+
+	// Binary framing. Inbound frames are demultiplexed by reader
+	// election rather than a dedicated goroutine: whichever waiter holds
+	// the baton token reads frames off the connection, delivering other
+	// tags' responses to their waiters, until its own arrives. A serial
+	// client therefore reads its response on its own goroutine — no
+	// context-switch per op — while pipelined callers still multiplex.
+	fw      *frameWriter
+	br      *bufio.Reader
+	nextTag uint32
+	pending map[uint32]*pendWaiter
+	readErr error
+	baton   chan struct{} // cap 1: token present iff no reader is active
+}
+
+// pendWaiter is one in-flight request (or attached stream) awaiting
+// tagged response frames. The channel is closed when the connection
+// fails; stream waiters keep their registration across many responses.
+type pendWaiter struct {
+	ch     chan Response
+	stream bool
+}
+
+// Dial connects to a server address on the given network, negotiating
+// the binary framing and falling back to gob (by redialing) when the
+// server predates it.
 func Dial(network, addr string) (*Client, error) {
+	return DialOptions(network, addr, ClientOptions{})
+}
+
+// DialOptions is Dial with explicit protocol options.
+func DialOptions(network, addr string, opts ClientOptions) (*Client, error) {
 	conn, err := net.Dial(network, addr)
 	if err != nil {
 		return nil, fmt.Errorf("wire: dial: %w", err)
 	}
-	return NewClient(conn), nil
+	c := NewClientOptions(conn, opts)
+	if opts.ForceGob {
+		return c, nil
+	}
+	if err := c.Handshake(); err != nil {
+		// A legacy server gob-decoded our hello, failed, and dropped the
+		// connection. Redial and speak its protocol.
+		conn.Close()
+		conn, err2 := net.Dial(network, addr)
+		if err2 != nil {
+			return nil, err
+		}
+		return NewClientOptions(conn, ClientOptions{ForceGob: true}), nil
+	}
+	return c, nil
 }
 
-// NewClient wraps an established connection.
+// NewClient wraps an established connection. The protocol handshake
+// runs lazily on first use (call Handshake to force it); wrapping a
+// connection to a legacy server yields transport errors rather than
+// fallback — only Dial/Connect own enough of the connection's lifecycle
+// to redial.
 func NewClient(conn net.Conn) *Client {
-	return &Client{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}
+	return NewClientOptions(conn, ClientOptions{})
+}
+
+// NewClientOptions is NewClient with explicit protocol options.
+func NewClientOptions(conn net.Conn, opts ClientOptions) *Client {
+	return &Client{conn: conn, opts: opts}
+}
+
+// NewGobClient wraps a connection with the legacy gob framing, exactly
+// as a pre-v2 client would — no handshake bytes ever touch the wire.
+func NewGobClient(conn net.Conn) *Client {
+	return NewClientOptions(conn, ClientOptions{ForceGob: true})
+}
+
+// Handshake performs protocol negotiation if it has not run yet. It is
+// idempotent; every request path calls it first.
+func (c *Client) Handshake() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.handshakeLocked()
+}
+
+func (c *Client) handshakeLocked() error {
+	if c.started {
+		return c.hserr
+	}
+	c.started = true
+	if c.opts.ForceGob {
+		c.proto = ProtoGob
+		c.enc = gob.NewEncoder(c.conn)
+		c.dec = gob.NewDecoder(c.conn)
+		mNegotiatedGob.Inc()
+		return nil
+	}
+	var flags byte
+	if c.opts.Compress {
+		flags |= flagCompress
+	}
+	hello := helloBytes(protoVersion, flags)
+	if _, err := c.conn.Write(hello[:]); err != nil {
+		c.hserr = fmt.Errorf("%w: handshake: %v", ErrTransport, err)
+		return c.hserr
+	}
+	br := bufio.NewReaderSize(c.conn, 1<<16)
+	var reply [6]byte
+	if _, err := io.ReadFull(br, reply[:]); err != nil {
+		mNegotiateFailed.Inc()
+		c.hserr = fmt.Errorf("%w: handshake: %v", ErrTransport, err)
+		return c.hserr
+	}
+	_, rflags, err := parseHello(reply[:])
+	if err != nil {
+		mNegotiateFailed.Inc()
+		c.hserr = fmt.Errorf("%w: %v", ErrTransport, err)
+		return c.hserr
+	}
+	c.proto = ProtoBinary
+	c.br = br
+	c.fw = &frameWriter{w: c.conn, compressOK: flags&rflags&flagCompress != 0}
+	c.pending = make(map[uint32]*pendWaiter)
+	c.nextTag = 1
+	c.baton = make(chan struct{}, 1)
+	c.baton <- struct{}{}
+	mNegotiatedBinary.Inc()
+	return nil
+}
+
+// Proto reports the negotiated protocol (ProtoBinary or ProtoGob),
+// forcing the handshake if it has not run; "" means negotiation failed.
+func (c *Client) Proto() string {
+	c.Handshake()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.proto
+}
+
+// await blocks until the response for tag arrives — either delivered by
+// another waiter acting as reader, or by this goroutine winning the
+// baton and reading the connection itself.
+func (c *Client) await(tag uint32, w *pendWaiter) (Response, error) {
+	for {
+		select {
+		case resp, ok := <-w.ch:
+			if !ok {
+				return Response{}, c.transportErr()
+			}
+			return resp, nil
+		case <-c.baton:
+			// A previous reader may have delivered our response just
+			// before handing over the baton; prefer it over reading.
+			select {
+			case resp, ok := <-w.ch:
+				c.releaseBaton()
+				if !ok {
+					return Response{}, c.transportErr()
+				}
+				return resp, nil
+			default:
+			}
+			resp, err := c.readUntil(tag, w)
+			if err != nil {
+				return Response{}, err // connection failed; baton retired
+			}
+			c.releaseBaton()
+			return resp, nil
+		}
+	}
+}
+
+// readUntil reads and routes frames as the connection's reader until a
+// frame for own arrives. Only the baton holder may call it.
+func (c *Client) readUntil(own uint32, ownW *pendWaiter) (Response, error) {
+	buf := getBuf()
+	defer putBuf(buf)
+	for {
+		tag, payload, err := readFrame(c.br, buf)
+		if err != nil {
+			return Response{}, c.failConn(fmt.Errorf("%w: receive: %v", ErrTransport, err))
+		}
+		resp, err := DecodeResponse(payload)
+		if err != nil {
+			return Response{}, c.failConn(fmt.Errorf("%w: corrupt response payload", ErrTransport))
+		}
+		if tag == own {
+			if !ownW.stream {
+				c.mu.Lock()
+				delete(c.pending, own)
+				c.mu.Unlock()
+			}
+			return resp, nil
+		}
+		c.mu.Lock()
+		w := c.pending[tag]
+		if w != nil && !w.stream {
+			delete(c.pending, tag)
+		}
+		c.mu.Unlock()
+		if w != nil {
+			// Frames for unknown tags are dropped — they belong to
+			// requests or streams whose waiter already gave up.
+			w.ch <- resp
+		}
+	}
+}
+
+// failConn records a connection-level failure and wakes every waiter.
+// The baton is retired with the connection: registering new requests
+// fails on readErr, so no waiter can block on it afterwards.
+func (c *Client) failConn(err error) error {
+	c.conn.Close()
+	c.mu.Lock()
+	if c.readErr == nil {
+		c.readErr = err
+	}
+	pending := c.pending
+	c.pending = nil
+	c.mu.Unlock()
+	for _, w := range pending {
+		close(w.ch)
+	}
+	return err
+}
+
+// releaseBaton returns the reader token after a successful read.
+func (c *Client) releaseBaton() {
+	select {
+	case c.baton <- struct{}{}:
+	default:
+	}
+}
+
+// register allocates a tag for a new in-flight request or stream.
+func (c *Client) register(stream bool, buffered int) (uint32, *pendWaiter, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.readErr != nil {
+		return 0, nil, c.readErr
+	}
+	tag := c.nextTag
+	c.nextTag++
+	w := &pendWaiter{ch: make(chan Response, buffered), stream: stream}
+	c.pending[tag] = w
+	return tag, w, nil
+}
+
+// unregister drops a tag's waiter (request failed to send, or a stream
+// ended). Reports false when failConn already claimed the waiter — the
+// caller must not receive from a channel it no longer owns.
+func (c *Client) unregister(tag uint32) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.pending == nil {
+		return false
+	}
+	_, ok := c.pending[tag]
+	delete(c.pending, tag)
+	return ok
 }
 
 // Close closes the connection.
@@ -783,8 +1273,52 @@ func (c *Client) Close() error { return c.conn.Close() }
 // failing over between replicas — retry on it and surface anything else.
 var ErrTransport = errors.New("wire: transport failed")
 
-// Do performs one request/response round trip.
+// Do performs one request/response round trip. On the binary framing
+// many Dos may be in flight on the connection at once.
 func (c *Client) Do(req Request) (Response, error) {
+	if err := c.Handshake(); err != nil {
+		return Response{}, err
+	}
+	if c.proto == ProtoGob {
+		return c.doGob(req)
+	}
+	tag, w, err := c.register(false, 1)
+	if err != nil {
+		return Response{}, err
+	}
+	mPipelineDepth.Add(1)
+	defer mPipelineDepth.Add(-1)
+	buf := getBuf()
+	buf.b = AppendRequest(buf.b[:0], &req)
+	err = c.fw.writeFrame(tag, buf.b)
+	putBuf(buf)
+	if err != nil {
+		if c.unregister(tag) {
+			return Response{}, fmt.Errorf("%w: send: %v", ErrTransport, err)
+		}
+		return Response{}, c.transportErr()
+	}
+	resp, err := c.await(tag, w)
+	if err != nil {
+		return Response{}, err
+	}
+	if resp.Err != "" {
+		return resp, errors.New(resp.Err)
+	}
+	return resp, nil
+}
+
+// transportErr returns the recorded connection failure.
+func (c *Client) transportErr() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.readErr != nil {
+		return c.readErr
+	}
+	return ErrTransport
+}
+
+func (c *Client) doGob(req Request) (Response, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if err := c.enc.Encode(req); err != nil {
@@ -804,9 +1338,79 @@ func (c *Client) Do(req Request) (Response, error) {
 // given height and drives the callbacks until the stream ends. Both
 // callbacks return the follower's resulting ledger height, which is
 // acknowledged back to the primary (its follower lag accounting).
-// The connection is dedicated to the stream for the duration; use a
-// separate Client for queries.
+// On the binary framing the stream is just another tag, so the
+// connection stays usable for queries; on gob it is dedicated to the
+// stream for the duration.
 func (c *Client) StreamBlocks(shard int, from uint64,
+	onSnapshot func(snapshot []byte, height uint64) (uint64, error),
+	onBlock func(height uint64, frame []byte) (uint64, error)) error {
+	if err := c.Handshake(); err != nil {
+		return err
+	}
+	if c.proto == ProtoGob {
+		return c.streamBlocksGob(shard, from, onSnapshot, onBlock)
+	}
+	tag, w, err := c.register(true, 16)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		c.unregister(tag)
+		// The demux goroutine may be blocked delivering to this stream's
+		// now-abandoned channel; draining frees it. At most one blocked
+		// delivery can exist — the tag is out of the map, so the next
+		// frame for it is dropped instead of delivered.
+		for {
+			select {
+			case _, ok := <-w.ch:
+				if !ok {
+					return
+				}
+			default:
+				return
+			}
+		}
+	}()
+	req := Request{Op: OpReplStream, Shard: shard, Height: from}
+	buf := getBuf()
+	buf.b = AppendRequest(buf.b[:0], &req)
+	err = c.fw.writeFrame(tag, buf.b)
+	putBuf(buf)
+	if err != nil {
+		if !c.unregister(tag) {
+			return c.transportErr()
+		}
+		return fmt.Errorf("%w: send: %v", ErrTransport, err)
+	}
+	for {
+		resp, err := c.await(tag, w)
+		if err != nil {
+			return err
+		}
+		if resp.Err != "" {
+			return errors.New(resp.Err)
+		}
+		var height uint64
+		if resp.Found {
+			height, err = onSnapshot(resp.Value, resp.Height)
+		} else {
+			height, err = onBlock(resp.Height, resp.Value)
+		}
+		if err != nil {
+			return err
+		}
+		ack := Request{Op: OpReplAck, Height: height}
+		buf := getBuf()
+		buf.b = AppendRequest(buf.b[:0], &ack)
+		err = c.fw.writeFrame(tag, buf.b)
+		putBuf(buf)
+		if err != nil {
+			return fmt.Errorf("%w: ack: %v", ErrTransport, err)
+		}
+	}
+}
+
+func (c *Client) streamBlocksGob(shard int, from uint64,
 	onSnapshot func(snapshot []byte, height uint64) (uint64, error),
 	onBlock func(height uint64, frame []byte) (uint64, error)) error {
 	c.mu.Lock()
