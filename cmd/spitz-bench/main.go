@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	spitz-bench [flags] all|fig1|fig6a|fig6b|fig7|fig8|siri|deferred|timestamps|cc|sharded|replica|replica-smoke|verify-audit|admin-smoke
+//	spitz-bench [flags] all|fig1|fig6a|fig6b|fig7|fig8|siri|deferred|timestamps|cc|sharded|replica|replica-smoke|verify-audit|admin-smoke|disk-smoke
 //
 // Flags scale the sweep; the default -max-size runs the paper's full 10k
 // to 1.28M doubling series, which takes a while. Use -max-size 160000 for
@@ -29,9 +29,13 @@
 // (spitz-server -admin-addr style) scraped live, every layer's /metrics
 // series — wire, commit pipeline, WAL, proof cache, replication,
 // auditor — asserted nonzero, and /tracez checked for a staged verified
-// read. replica, replica-smoke, verify-audit and admin-smoke are
-// excluded from "all" — they start servers and replicas, which
-// dominates short runs.
+// read. disk-smoke runs the disk-native node store workload: sharded
+// and replicated deployments on -store disk with the minimum 1 MiB
+// node-cache budget, exercising checkpoint + clean reopen and a kill
+// without close, every read proof-verified and both reopens required to
+// recover the exact pre-shutdown cluster root. replica, replica-smoke,
+// verify-audit, admin-smoke and disk-smoke are excluded from "all" —
+// they start servers and replicas, which dominates short runs.
 //
 // -json FILE additionally writes the run's results (plus host and
 // config metadata) as machine-readable JSON.
@@ -187,6 +191,14 @@ func main() {
 		defer os.RemoveAll(dir)
 		check(bench.AdminSmoke(dir))
 		fmt.Println("admin smoke: /metrics served nonzero wire/commit/WAL/proof-cache/replication/audit series; /tracez held a staged verified read; /healthz ok")
+	}
+	if which == "disk-smoke" {
+		ran = true
+		dir, err := os.MkdirTemp("", "spitz-disk-smoke-")
+		check(err)
+		defer os.RemoveAll(dir)
+		check(bench.DiskSmoke(dir))
+		fmt.Println("disk smoke: sharded + replicated workloads on -store disk (1MiB node cache); checkpoint, clean reopen and kill/reopen all kept digest continuity with every read proof-verified")
 	}
 	if !ran {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", which)

@@ -260,6 +260,41 @@ func printStats(st spitz.ServerStats) {
 			fmt.Println()
 		}
 	}
+	printNodeStore(st.Metrics)
+}
+
+// printNodeStore summarizes the disk node store from the stats payload's
+// metrics snapshot; databases on the memory store emit none of these
+// series, so the line simply doesn't print for them.
+func printNodeStore(metrics []spitz.Metric) {
+	vals := map[string]float64{}
+	var readB, writtenB float64
+	for _, m := range metrics {
+		if !strings.HasPrefix(m.Name, "spitz_nodestore_") {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(m.Name, "spitz_nodestore_read_bytes_total"):
+			readB += m.Value
+		case strings.HasPrefix(m.Name, "spitz_nodestore_written_bytes_total"):
+			writtenB += m.Value
+		default:
+			vals[strings.TrimPrefix(m.Name, "spitz_nodestore_")] = m.Value
+		}
+	}
+	if len(vals) == 0 && readB == 0 && writtenB == 0 {
+		return
+	}
+	hits, misses := vals["cache_hits_total"], vals["cache_misses_total"]
+	rate := 0.0
+	if hits+misses > 0 {
+		rate = 100 * hits / (hits + misses)
+	}
+	fmt.Printf("node store: cached=%.1fMiB dirty=%.1fMiB hits=%.0f misses=%.0f (%.1f%% hit) evictions=%.0f flushes=%.0f spills=%.0f read=%.1fMiB written=%.1fMiB\n",
+		vals["cache_bytes"]/(1<<20), vals["dirty_bytes"]/(1<<20),
+		hits, misses, rate,
+		vals["cache_evictions_total"], vals["flushes_total"], vals["spills_total"],
+		readB/(1<<20), writtenB/(1<<20))
 }
 
 func need(args []string, n int) {

@@ -9,6 +9,7 @@
 //	             [-data-dir DIR] [-sync always|interval|never]
 //	             [-sync-every 50ms] [-checkpoint-interval 1m]
 //	             [-checkpoint-every-blocks 4096]
+//	             [-store mem|disk] [-node-cache-mb 64]
 //
 // -admin-addr serves the operations endpoint over HTTP: /metrics
 // (Prometheus text exposition of every internal counter, gauge and
@@ -23,6 +24,14 @@
 // a crash or restart. -sync trades durability for throughput: "always"
 // fsyncs every commit (group commit), "interval" fsyncs on a timer,
 // "never" leaves persistence to the OS.
+//
+// -store selects the node-store backend for durable databases: "mem"
+// (default) keeps the authenticated index in RAM and checkpoints stream
+// full snapshots; "disk" keeps it in append-only segment files behind a
+// write-back cache bounded by -node-cache-mb (per shard), checkpoints
+// incrementally, and restarts by root hash — recovery cost is
+// O(log height), not O(state). The choice is recorded in the data
+// directory on creation and is authoritative on later opens.
 //
 // -shards N > 1 serves a sharded cluster behind this one listener: the
 // key space partitions across N full engines (each durable under
@@ -82,6 +91,8 @@ func main() {
 	syncEvery := flag.Duration("sync-every", 50*time.Millisecond, "fsync period under -sync interval")
 	ckptInterval := flag.Duration("checkpoint-interval", time.Minute, "background checkpoint period")
 	ckptBlocks := flag.Uint64("checkpoint-every-blocks", 4096, "checkpoint after this many commits")
+	storeKind := flag.String("store", "mem", "node-store backend for -data-dir: mem or disk")
+	nodeCacheMB := flag.Int("node-cache-mb", 64, "disk store node-cache budget in MiB (per shard)")
 	legacyGob := flag.Bool("legacy-gob", false, "serve only the legacy gob wire framing (disable binary/v2 negotiation)")
 	flag.Parse()
 
@@ -117,8 +128,13 @@ func main() {
 		// ignore every shard's data.
 		*shards = 0 // adopt the recorded shard count
 	}
+	store, err := spitz.ParseStoreKind(*storeKind)
+	if err != nil {
+		log.Fatalf("spitz-server: %v", err)
+	}
 	if *shards != 1 {
-		serveCluster(*shards, *dataDir, opts, *syncMode, *syncEvery, *ckptInterval, *ckptBlocks, *addr, *adminAddr, *legacyGob)
+		serveCluster(*shards, *dataDir, opts, *syncMode, *syncEvery, *ckptInterval, *ckptBlocks,
+			store, *nodeCacheMB, *addr, *adminAddr, *legacyGob)
 		return
 	}
 	var db *spitz.DB
@@ -134,12 +150,14 @@ func main() {
 		opts.SyncEvery = *syncEvery
 		opts.CheckpointInterval = *ckptInterval
 		opts.CheckpointEveryBlocks = *ckptBlocks
+		opts.Store = store
+		opts.NodeCacheMB = *nodeCacheMB
 		db, err = spitz.OpenDir(*dataDir, opts)
 		if err != nil {
 			log.Fatalf("spitz-server: open %s: %v", *dataDir, err)
 		}
-		log.Printf("spitz-server: durable database in %s (sync=%s, %s mode), recovered %d blocks",
-			*dataDir, policy, *mode, db.Height())
+		log.Printf("spitz-server: durable database in %s (sync=%s, store=%s, %s mode), recovered %d blocks",
+			*dataDir, policy, db.StoreKind(), *mode, db.Height())
 	}
 	db.LegacyGobWire = *legacyGob
 	if *legacyGob {
@@ -237,7 +255,8 @@ func serveReplica(primary, addr, adminAddr string, inverted, legacyGob bool) {
 // serveCluster runs the sharded deployment: N engines behind one
 // listener, with optional per-shard durability under dataDir/shard-NNN.
 func serveCluster(shards int, dataDir string, opts spitz.Options, syncMode string,
-	syncEvery, ckptInterval time.Duration, ckptBlocks uint64, addr, adminAddr string, legacyGob bool) {
+	syncEvery, ckptInterval time.Duration, ckptBlocks uint64,
+	store spitz.StoreKind, nodeCacheMB int, addr, adminAddr string, legacyGob bool) {
 	copts := spitz.ClusterOptions{
 		Shards:           shards,
 		Mode:             opts.Mode,
@@ -254,6 +273,8 @@ func serveCluster(shards int, dataDir string, opts spitz.Options, syncMode strin
 		copts.SyncEvery = syncEvery
 		copts.CheckpointInterval = ckptInterval
 		copts.CheckpointEveryBlocks = ckptBlocks
+		copts.Store = store
+		copts.NodeCacheMB = nodeCacheMB
 	}
 	db, err := spitz.OpenCluster(dataDir, copts)
 	if err != nil {

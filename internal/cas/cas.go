@@ -63,12 +63,16 @@ func (s Stats) SavingsRatio() float64 {
 type Memory struct {
 	mu      sync.RWMutex
 	objects map[hashutil.Digest][]byte
+	domains map[hashutil.Digest]byte
 	stats   Stats
 }
 
 // NewMemory returns an empty in-memory store.
 func NewMemory() *Memory {
-	return &Memory{objects: make(map[hashutil.Digest][]byte)}
+	return &Memory{
+		objects: make(map[hashutil.Digest][]byte),
+		domains: make(map[hashutil.Digest]byte),
+	}
 }
 
 // Put implements Store.
@@ -84,9 +88,18 @@ func (m *Memory) Put(domain byte, data []byte) hashutil.Digest {
 	cp := make([]byte, len(data))
 	copy(cp, data)
 	m.objects[d] = cp
+	m.domains[d] = domain
 	m.stats.Objects++
 	m.stats.PhysicalBytes += int64(len(data))
 	return d
+}
+
+// Domain implements DomainResolver.
+func (m *Memory) Domain(d hashutil.Digest) (byte, bool) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	dom, ok := m.domains[d]
+	return dom, ok
 }
 
 // Get implements Store.
@@ -125,36 +138,74 @@ func (m *Memory) Delete(d hashutil.Digest) {
 		m.stats.Objects--
 		m.stats.PhysicalBytes -= int64(len(obj))
 		delete(m.objects, d)
+		delete(m.domains, d)
 	}
 }
 
+// DomainBytes is per-domain I/O accounting: bytes read by Get and bytes
+// accepted by Put for one hashutil domain tag.
+type DomainBytes struct {
+	Read    int64
+	Written int64
+}
+
 // Counting wraps a Store and counts operations; the experiment harness uses
-// it to report I/O amplification.
+// it to report I/O amplification, broken down per domain tag.
 type Counting struct {
 	Inner Store
 
-	mu   sync.Mutex
-	puts int64
-	gets int64
+	mu       sync.Mutex
+	puts     int64
+	gets     int64
+	perDom   map[byte]*DomainBytes
+	getOther int64 // Get bytes whose domain the inner store cannot resolve
 }
 
 // NewCounting wraps inner in an operation counter.
-func NewCounting(inner Store) *Counting { return &Counting{Inner: inner} }
+func NewCounting(inner Store) *Counting {
+	return &Counting{Inner: inner, perDom: make(map[byte]*DomainBytes)}
+}
+
+func (c *Counting) domLocked(domain byte) *DomainBytes {
+	db := c.perDom[domain]
+	if db == nil {
+		db = &DomainBytes{}
+		c.perDom[domain] = db
+	}
+	return db
+}
 
 // Put implements Store.
 func (c *Counting) Put(domain byte, data []byte) hashutil.Digest {
 	c.mu.Lock()
 	c.puts++
+	c.domLocked(domain).Written += int64(len(data))
 	c.mu.Unlock()
 	return c.Inner.Put(domain, data)
 }
 
-// Get implements Store.
+// Get implements Store. When the inner store implements DomainResolver,
+// read bytes are attributed to the object's domain.
 func (c *Counting) Get(d hashutil.Digest) ([]byte, error) {
 	c.mu.Lock()
 	c.gets++
 	c.mu.Unlock()
-	return c.Inner.Get(d)
+	data, err := c.Inner.Get(d)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	if r, ok := c.Inner.(DomainResolver); ok {
+		if dom, ok := r.Domain(d); ok {
+			c.domLocked(dom).Read += int64(len(data))
+		} else {
+			c.getOther += int64(len(data))
+		}
+	} else {
+		c.getOther += int64(len(data))
+	}
+	c.mu.Unlock()
+	return data, nil
 }
 
 // Has implements Store.
@@ -163,9 +214,30 @@ func (c *Counting) Has(d hashutil.Digest) bool { return c.Inner.Has(d) }
 // Stats implements Store.
 func (c *Counting) Stats() Stats { return c.Inner.Stats() }
 
+// Domain implements DomainResolver by delegation.
+func (c *Counting) Domain(d hashutil.Digest) (byte, bool) {
+	if r, ok := c.Inner.(DomainResolver); ok {
+		return r.Domain(d)
+	}
+	return 0, false
+}
+
 // Ops returns the number of Put and Get calls seen so far.
 func (c *Counting) Ops() (puts, gets int64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.puts, c.gets
+}
+
+// PerDomain returns a copy of the per-domain byte accounting. Get bytes
+// that could not be attributed (inner store is not a DomainResolver) are
+// returned under the second value.
+func (c *Counting) PerDomain() (map[byte]DomainBytes, int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[byte]DomainBytes, len(c.perDom))
+	for k, v := range c.perDom {
+		out[k] = *v
+	}
+	return out, c.getOther
 }

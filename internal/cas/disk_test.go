@@ -1,0 +1,370 @@
+package cas
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"spitz/internal/hashutil"
+)
+
+func testBody(i int) []byte {
+	return bytes.Repeat([]byte(fmt.Sprintf("body-%06d|", i)), 8)
+}
+
+func openTestDisk(t *testing.T, dir string, opts DiskOptions) *Disk {
+	t.Helper()
+	s, err := OpenDisk(dir, opts)
+	if err != nil {
+		t.Fatalf("OpenDisk: %v", err)
+	}
+	return s
+}
+
+func TestDiskRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s := openTestDisk(t, dir, DiskOptions{})
+	defer s.Close()
+
+	var digests []hashutil.Digest
+	for i := 0; i < 100; i++ {
+		digests = append(digests, s.Put(hashutil.DomainPOSLeaf, testBody(i)))
+	}
+	// Dedup: same content again must not grow the store.
+	before := s.Stats()
+	s.Put(hashutil.DomainPOSLeaf, testBody(0))
+	after := s.Stats()
+	if after.Objects != before.Objects || after.DedupHits != before.DedupHits+1 {
+		t.Fatalf("dedup not applied: before=%+v after=%+v", before, after)
+	}
+	for i, d := range digests {
+		if !s.Has(d) {
+			t.Fatalf("Has(%d) = false", i)
+		}
+		got, err := s.Get(d)
+		if err != nil {
+			t.Fatalf("Get(%d): %v", i, err)
+		}
+		if !bytes.Equal(got, testBody(i)) {
+			t.Fatalf("Get(%d): wrong body", i)
+		}
+		if dom, ok := s.Domain(d); !ok || dom != hashutil.DomainPOSLeaf {
+			t.Fatalf("Domain(%d) = %v, %v", i, dom, ok)
+		}
+	}
+	if _, err := s.Get(hashutil.Sum(hashutil.DomainValue, []byte("absent"))); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("missing object: got %v, want ErrNotFound", err)
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	if err := s.Err(); err != nil {
+		t.Fatalf("Err: %v", err)
+	}
+}
+
+func TestDiskReopenMultiSegment(t *testing.T) {
+	dir := t.TempDir()
+	// Tiny segments force many rotations, so reopen exercises the sealed
+	// footer path as well as the active-segment scan.
+	s := openTestDisk(t, dir, DiskOptions{SegmentBytes: 4 << 10})
+	const n = 300
+	var digests []hashutil.Digest
+	for i := 0; i < n; i++ {
+		dom := hashutil.DomainPOSLeaf
+		if i%3 == 0 {
+			dom = hashutil.DomainPOSIndex
+		}
+		digests = append(digests, s.Put(dom, testBody(i)))
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	segs, err := listSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) < 3 {
+		t.Fatalf("expected multiple segments, got %d", len(segs))
+	}
+
+	r := openTestDisk(t, dir, DiskOptions{SegmentBytes: 4 << 10})
+	defer r.Close()
+	if got := r.Stats().Objects; got != n {
+		t.Fatalf("reopened Objects = %d, want %d", got, n)
+	}
+	for i, d := range digests {
+		got, err := r.Get(d)
+		if err != nil {
+			t.Fatalf("reopened Get(%d): %v", i, err)
+		}
+		if !bytes.Equal(got, testBody(i)) {
+			t.Fatalf("reopened Get(%d): wrong body", i)
+		}
+	}
+	// The store stays writable after reopen, including across rotations.
+	d := r.Put(hashutil.DomainValue, []byte("post-reopen"))
+	if err := r.Flush(); err != nil {
+		t.Fatalf("Flush after reopen: %v", err)
+	}
+	if got, err := r.Get(d); err != nil || string(got) != "post-reopen" {
+		t.Fatalf("post-reopen Get: %q, %v", got, err)
+	}
+}
+
+func TestDiskTornTailTruncated(t *testing.T) {
+	dir := t.TempDir()
+	s := openTestDisk(t, dir, DiskOptions{})
+	var digests []hashutil.Digest
+	for i := 0; i < 20; i++ {
+		digests = append(digests, s.Put(hashutil.DomainPOSLeaf, testBody(i)))
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A crash mid-append leaves a partial record at the tail.
+	segs, _ := listSegments(dir)
+	path := filepath.Join(dir, segs[len(segs)-1])
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0x00, 0x00, 0x01, 0x40, 0x03, 0xde, 0xad}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	r := openTestDisk(t, dir, DiskOptions{})
+	defer r.Close()
+	if got := r.Stats().Objects; got != len(digests) {
+		t.Fatalf("objects after torn tail = %d, want %d", got, len(digests))
+	}
+	for i, d := range digests {
+		if _, err := r.Get(d); err != nil {
+			t.Fatalf("Get(%d) after torn-tail truncation: %v", i, err)
+		}
+	}
+	// Appends continue cleanly into the truncated segment.
+	d := r.Put(hashutil.DomainValue, []byte("after-torn"))
+	if err := r.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := r.Get(d); err != nil || string(got) != "after-torn" {
+		t.Fatalf("Get after torn-tail append: %q, %v", got, err)
+	}
+}
+
+func TestDiskBitFlipFailsHashVerification(t *testing.T) {
+	dir := t.TempDir()
+	s := openTestDisk(t, dir, DiskOptions{})
+	good := s.Put(hashutil.DomainPOSLeaf, testBody(1))
+	victim := s.Put(hashutil.DomainPOSLeaf, testBody(2))
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Flip one payload byte of the victim record on disk. The record
+	// CRC still covers it, so this models post-scan media corruption.
+	r := openTestDisk(t, dir, DiskOptions{})
+	loc := r.index[victim]
+	var b [1]byte
+	if _, err := r.segs[loc.seg].f.ReadAt(b[:], loc.off+recHeaderSize); err != nil {
+		t.Fatal(err)
+	}
+	b[0] ^= 0x01
+	if _, err := r.segs[loc.seg].f.WriteAt(b[:], loc.off+recHeaderSize); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := r.Get(victim); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("bit-flipped Get: got %v, want ErrCorrupt", err)
+	}
+	if _, err := r.Get(good); err != nil {
+		t.Fatalf("intact object: %v", err)
+	}
+	r.Close()
+}
+
+func TestDiskEvictionUnderPressure(t *testing.T) {
+	dir := t.TempDir()
+	// Minimum cache budget (1 MiB) with ~4 MiB of distinct objects: the
+	// clean set cannot fit, so reads past the working set must refault.
+	s := openTestDisk(t, dir, DiskOptions{CacheBytes: 1})
+	const n = 1 << 10
+	body := make([]byte, 4<<10)
+	var digests []hashutil.Digest
+	for i := 0; i < n; i++ {
+		copy(body, fmt.Sprintf("obj-%06d", i))
+		digests = append(digests, s.Put(hashutil.DomainPOSLeaf, body))
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	for pass := 0; pass < 2; pass++ {
+		for i, d := range digests {
+			got, err := s.Get(d)
+			if err != nil {
+				t.Fatalf("pass %d Get(%d): %v", pass, i, err)
+			}
+			if want := fmt.Sprintf("obj-%06d", i); string(got[:len(want)]) != want {
+				t.Fatalf("pass %d Get(%d): wrong body", pass, i)
+			}
+		}
+	}
+	cs := s.CacheStats()
+	if cs.Evictions == 0 {
+		t.Fatalf("expected evictions under pressure, got stats %+v", cs)
+	}
+	if cs.Misses == 0 {
+		t.Fatalf("expected refaults under pressure, got stats %+v", cs)
+	}
+	if cs.CleanBytes+cs.DirtyBytes > cs.CacheBudget+int64(len(body)) {
+		t.Fatalf("cache over budget: %+v", cs)
+	}
+	s.Close()
+}
+
+func TestDiskSpillKeepsDataReadable(t *testing.T) {
+	dir := t.TempDir()
+	s := openTestDisk(t, dir, DiskOptions{CacheBytes: 1})
+	defer s.Close()
+	// >0.5 MiB dirty forces a spill before any Flush.
+	body := make([]byte, 8<<10)
+	var digests []hashutil.Digest
+	for i := 0; i < 128; i++ {
+		copy(body, fmt.Sprintf("spill-%04d", i))
+		digests = append(digests, s.Put(hashutil.DomainPOSLeaf, body))
+	}
+	if got := s.CacheStats().Spills; got == 0 {
+		t.Fatalf("expected spill, stats %+v", s.CacheStats())
+	}
+	for i, d := range digests {
+		got, err := s.Get(d)
+		if err != nil {
+			t.Fatalf("Get(%d) after spill: %v", i, err)
+		}
+		if want := fmt.Sprintf("spill-%04d", i); string(got[:len(want)]) != want {
+			t.Fatalf("Get(%d) after spill: wrong body", i)
+		}
+	}
+}
+
+func TestDiskConcurrent(t *testing.T) {
+	dir := t.TempDir()
+	s := openTestDisk(t, dir, DiskOptions{CacheBytes: 1, SegmentBytes: 64 << 10})
+	defer s.Close()
+	const workers = 8
+	const perWorker = 200
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var digests []hashutil.Digest
+			for i := 0; i < perWorker; i++ {
+				body := testBody(w*perWorker + i)
+				digests = append(digests, s.Put(hashutil.DomainPOSLeaf, body))
+				if i%17 == 0 {
+					if err := s.Flush(); err != nil {
+						errs <- err
+						return
+					}
+				}
+			}
+			for i, d := range digests {
+				got, err := s.Get(d)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !bytes.Equal(got, testBody(w*perWorker+i)) {
+					errs <- fmt.Errorf("worker %d: wrong body at %d", w, i)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestCountingPerDomain(t *testing.T) {
+	for _, inner := range []struct {
+		name string
+		mk   func(t *testing.T) Store
+	}{
+		{"memory", func(t *testing.T) Store { return NewMemory() }},
+		{"disk", func(t *testing.T) Store {
+			s := openTestDisk(t, t.TempDir(), DiskOptions{})
+			t.Cleanup(func() { s.Close() })
+			return s
+		}},
+	} {
+		t.Run(inner.name, func(t *testing.T) {
+			c := NewCounting(inner.mk(t))
+			leaf := []byte("leaf body....")
+			blk := []byte("block body.........")
+			dl := c.Put(hashutil.DomainPOSLeaf, leaf)
+			db := c.Put(hashutil.DomainBlock, blk)
+			if _, err := c.Get(dl); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := c.Get(db); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := c.Get(db); err != nil {
+				t.Fatal(err)
+			}
+			per, other := c.PerDomain()
+			if other != 0 {
+				t.Fatalf("unattributed Get bytes: %d", other)
+			}
+			if got := per[hashutil.DomainPOSLeaf]; got.Written != int64(len(leaf)) || got.Read != int64(len(leaf)) {
+				t.Fatalf("posleaf accounting: %+v", got)
+			}
+			if got := per[hashutil.DomainBlock]; got.Written != int64(len(blk)) || got.Read != 2*int64(len(blk)) {
+				t.Fatalf("block accounting: %+v", got)
+			}
+		})
+	}
+}
+
+func TestFaultOverDisk(t *testing.T) {
+	dir := t.TempDir()
+	s := openTestDisk(t, dir, DiskOptions{})
+	defer s.Close()
+	f := NewFault(s)
+	d := f.Put(hashutil.DomainPOSLeaf, testBody(7))
+	if dom, ok := f.Domain(d); !ok || dom != hashutil.DomainPOSLeaf {
+		t.Fatalf("Fault.Domain = %v, %v", dom, ok)
+	}
+	f.Corrupt(d, 3)
+	got, err := f.Get(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hashutil.Sum(hashutil.DomainPOSLeaf, got) == d {
+		t.Fatal("injected corruption not visible to hash verification")
+	}
+	f.Heal()
+	got, err = f.Get(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hashutil.Sum(hashutil.DomainPOSLeaf, got) != d {
+		t.Fatal("healed object does not verify")
+	}
+	f.Lose(d)
+	if _, err := f.Get(d); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("lost object: got %v, want ErrNotFound", err)
+	}
+}

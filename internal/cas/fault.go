@@ -92,3 +92,11 @@ func (f *Fault) Has(d hashutil.Digest) bool {
 
 // Stats implements Store.
 func (f *Fault) Stats() Stats { return f.Inner.Stats() }
+
+// Domain implements DomainResolver by delegation.
+func (f *Fault) Domain(d hashutil.Digest) (byte, bool) {
+	if r, ok := f.Inner.(DomainResolver); ok {
+		return r.Domain(d)
+	}
+	return 0, false
+}

@@ -78,6 +78,14 @@ type Options struct {
 	// MaintainInverted keeps the inverted index updated on every commit,
 	// enabling value lookups (LookupEqual etc.) at some write cost.
 	MaintainInverted bool
+	// LazyIndex skips the O(state) routing/schema rebuild scan when the
+	// engine is constructed over recovered state (NewWithLedger): point
+	// reads then resolve directly against the authenticated cell tree,
+	// and the schema map fills from new commits plus one deferred scan on
+	// first Columns call. Ignored (an eager scan still runs) when
+	// MaintainInverted is set, because inverted lookups have no per-key
+	// fallback path.
+	LazyIndex bool
 
 	// MaxBatchTxns caps how many transactions the group-commit leader
 	// folds into one ledger block (default 128).
@@ -111,6 +119,12 @@ type Engine struct {
 	// schema records the columns observed per table, supporting SELECT *
 	// and whole-row deletes in the query layer.
 	schema map[string]map[string]struct{}
+	// lazy marks an engine opened without the eager index rebuild: the
+	// routing index only covers post-open commits, so reads must not treat
+	// a routing miss as absence. schemaScanned flips once the deferred
+	// schema discovery scan has run (see ensureSchema).
+	lazy          bool
+	schemaScanned bool
 
 	nextTxnID uint64
 
@@ -691,6 +705,7 @@ func (e *Engine) indexCellsLocked(cells []cellstore.Cell) {
 
 // Columns returns the sorted set of columns ever written to a table.
 func (e *Engine) Columns(table string) []string {
+	e.ensureSchema()
 	e.mu.RLock()
 	defer e.mu.RUnlock()
 	cols := e.schema[table]
@@ -716,9 +731,13 @@ var ErrNotFound = errors.New("core: not found")
 func (e *Engine) Get(table, column string, pk []byte) ([]byte, error) {
 	ref := cellstore.CellPrefix(table, column, pk)
 	e.mu.RLock()
-	_, ok := e.routing.Get(ref)
+	lazy := e.lazy
+	routed := false
+	if !lazy {
+		_, routed = e.routing.Get(ref)
+	}
 	e.mu.RUnlock()
-	if !ok {
+	if !lazy && !routed {
 		return nil, ErrNotFound
 	}
 	cells, _, live := e.ledger.Latest()
@@ -730,6 +749,11 @@ func (e *Engine) Get(table, column string, pk []byte) ([]byte, error) {
 		return nil, err
 	}
 	if !found {
+		if lazy {
+			// A lazily opened engine has no complete routing index; the
+			// authenticated tree itself is the source of truth for absence.
+			return nil, ErrNotFound
+		}
 		return nil, fmt.Errorf("core: routing index stale for %s.%s", table, column)
 	}
 	_, value, tomb, err := cellstore.DecodeVersion(raw)

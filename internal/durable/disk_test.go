@@ -1,0 +1,379 @@
+package durable
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"spitz/internal/core"
+	"spitz/internal/hashutil"
+	"spitz/internal/wal"
+)
+
+func diskOpts(o Options) Options {
+	o.Store = StoreDisk
+	if o.NodeCacheMB == 0 {
+		o.NodeCacheMB = 8
+	}
+	return noAutoCkpt(o)
+}
+
+func TestDiskStoreRoundTripReopen(t *testing.T) {
+	dir := t.TempDir()
+	m, err := Open(dir, diskOpts(Options{Sync: wal.SyncAlways}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.StoreKind() != StoreDisk || m.NodeStore() == nil {
+		t.Fatalf("store kind = %v, node store = %v", m.StoreKind(), m.NodeStore())
+	}
+	commitN(t, m.Engine(), 0, 10)
+	digest := m.Engine().Digest()
+	if err := m.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	m2, err := Open(dir, diskOpts(Options{Sync: wal.SyncAlways}))
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer m2.Close()
+	// Root-addressed open: the checkpoint named everything, so no WAL
+	// record needed replaying to reach the recovered digest.
+	if n := m2.sinceCkpt.Load(); n != 0 {
+		t.Fatalf("replayed %d WAL records after a clean checkpointed close", n)
+	}
+	if h := m2.CheckpointHeight(); h != 10 {
+		t.Fatalf("recovered checkpoint height = %d, want 10", h)
+	}
+	if got := m2.Engine().Digest(); got != digest {
+		t.Fatalf("digest after reopen = %+v, want %+v", got, digest)
+	}
+	res, err := m2.Engine().GetVerified("t", "c", []byte("k003"))
+	if err != nil || !res.Found {
+		t.Fatalf("verified read after reopen: found=%v err=%v", res.Found, err)
+	}
+	if res.Digest != digest {
+		t.Fatalf("verified read digest %+v, want %+v", res.Digest, digest)
+	}
+	checkN(t, m2.Engine(), 10)
+
+	// The reopened engine keeps committing, and history chains on.
+	commitN(t, m2.Engine(), 10, 12)
+	checkN(t, m2.Engine(), 12)
+	if _, err := m2.Engine().ConsistencyProof(digest); err != nil {
+		t.Fatalf("consistency proof across reopen: %v", err)
+	}
+}
+
+func TestDiskCrashWithoutCloseReplaysWAL(t *testing.T) {
+	dir := t.TempDir()
+	m, err := Open(dir, diskOpts(Options{Sync: wal.SyncAlways}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	commitN(t, m.Engine(), 0, 10)
+	digest := m.Engine().Digest()
+	// Crash: no Checkpoint, no Close. Nothing reached the node store —
+	// recovery must come entirely from the WAL.
+
+	m2, err := Open(dir, diskOpts(Options{Sync: wal.SyncAlways}))
+	if err != nil {
+		t.Fatalf("recovery: %v", err)
+	}
+	defer m2.Close()
+	if got := m2.Engine().Digest(); got != digest {
+		t.Fatalf("digest after crash recovery = %+v, want %+v", got, digest)
+	}
+	checkN(t, m2.Engine(), 10)
+	commitN(t, m2.Engine(), 10, 12)
+	checkN(t, m2.Engine(), 12)
+}
+
+func TestDiskCheckpointThenCrashReplaysTail(t *testing.T) {
+	dir := t.TempDir()
+	m, err := Open(dir, diskOpts(Options{Sync: wal.SyncAlways}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	commitN(t, m.Engine(), 0, 6)
+	if err := m.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	commitN(t, m.Engine(), 6, 10)
+	digest := m.Engine().Digest()
+	// Crash without Close: blocks 6..9 exist only in the WAL.
+
+	m2, err := Open(dir, diskOpts(Options{Sync: wal.SyncAlways}))
+	if err != nil {
+		t.Fatalf("recovery: %v", err)
+	}
+	defer m2.Close()
+	if got := m2.Engine().Digest(); got != digest {
+		t.Fatalf("digest = %+v, want %+v", got, digest)
+	}
+	if n := m2.sinceCkpt.Load(); n != 4 {
+		t.Fatalf("replayed %d WAL records, want 4", n)
+	}
+	checkN(t, m2.Engine(), 10)
+	if h := m2.CheckpointHeight(); h != 6 {
+		t.Fatalf("checkpoint height = %d, want 6", h)
+	}
+}
+
+func TestDiskHistorySurvivesCheckpointReopen(t *testing.T) {
+	dir := t.TempDir()
+	m, err := Open(dir, diskOpts(Options{Sync: wal.SyncAlways}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := m.Engine().Apply("upd", []core.Put{
+			{Table: "t", Column: "c", PK: []byte("k"), Value: []byte(fmt.Sprintf("gen%d", i))},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Engine().Apply("upd", []core.Put{
+		{Table: "t", Column: "c", PK: []byte("k"), Value: []byte("gen4")},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Demoted versions for gen0..gen2 came back through the VLOG (gen3's
+	// demotion rides the WAL tail); both sources overlap and dedup.
+	m2, err := Open(dir, diskOpts(Options{Sync: wal.SyncAlways}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m2.Close()
+	hist, err := m2.Engine().History("t", "c", []byte("k"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hist) != 5 {
+		t.Fatalf("recovered history has %d versions, want 5", len(hist))
+	}
+	if string(hist[0].Value) != "gen4" || string(hist[4].Value) != "gen0" {
+		t.Fatalf("history order wrong: newest %q oldest %q", hist[0].Value, hist[4].Value)
+	}
+}
+
+func TestDiskPartialCheckpointRecoversPreviousRoot(t *testing.T) {
+	for _, stage := range []string{"vlog", "flush"} {
+		t.Run("crash-after-"+stage, func(t *testing.T) {
+			dir := t.TempDir()
+			m, err := Open(dir, diskOpts(Options{Sync: wal.SyncAlways}))
+			if err != nil {
+				t.Fatal(err)
+			}
+			commitN(t, m.Engine(), 0, 5)
+			if err := m.Checkpoint(); err != nil {
+				t.Fatal(err)
+			}
+			commitN(t, m.Engine(), 5, 10)
+			digest := m.Engine().Digest()
+			m.ckptCrash = func(s string) bool { return s == stage }
+			if err := m.Checkpoint(); !errors.Is(err, errCkptCrashed) {
+				t.Fatalf("checkpoint = %v, want simulated crash", err)
+			}
+			// Crash: the manifest still points at height 5. Flushed-but-
+			// unnamed nodes and duplicate VLOG entries are orphans the
+			// replay deduplicates.
+
+			m2, err := Open(dir, diskOpts(Options{Sync: wal.SyncAlways}))
+			if err != nil {
+				t.Fatalf("recovery: %v", err)
+			}
+			defer m2.Close()
+			if h := m2.CheckpointHeight(); h != 5 {
+				t.Fatalf("checkpoint height = %d, want previous root at 5", h)
+			}
+			if got := m2.Engine().Digest(); got != digest {
+				t.Fatalf("digest = %+v, want %+v", got, digest)
+			}
+			checkN(t, m2.Engine(), 10)
+			// A full checkpoint now succeeds and the next reopen is clean.
+			if err := m2.Checkpoint(); err != nil {
+				t.Fatal(err)
+			}
+			if h := m2.CheckpointHeight(); h != 10 {
+				t.Fatalf("post-recovery checkpoint height = %d, want 10", h)
+			}
+		})
+	}
+}
+
+func TestDiskStoreMarkerIsAuthoritative(t *testing.T) {
+	dir := t.TempDir()
+	m, err := Open(dir, diskOpts(Options{Sync: wal.SyncAlways}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	commitN(t, m.Engine(), 0, 3)
+	digest := m.Engine().Digest()
+	if err := m.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Asking for the memory store on a disk-store directory still opens
+	// disk: the marker, not the flag, decides.
+	m2, err := Open(dir, noAutoCkpt(Options{Sync: wal.SyncAlways, Store: StoreMemory}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m2.Close()
+	if m2.StoreKind() != StoreDisk {
+		t.Fatalf("store kind = %v, want disk", m2.StoreKind())
+	}
+	if got := m2.Engine().Digest(); got != digest {
+		t.Fatalf("digest = %+v, want %+v", got, digest)
+	}
+}
+
+func TestDiskRefusesMemoryStoreDirectory(t *testing.T) {
+	dir := t.TempDir()
+	m, err := Open(dir, noAutoCkpt(Options{Sync: wal.SyncAlways}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	commitN(t, m.Engine(), 0, 3)
+	if err := m.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, diskOpts(Options{Sync: wal.SyncAlways})); err == nil {
+		t.Fatal("disk open of a memory-store directory succeeded; want refusal")
+	}
+}
+
+func TestDiskCorruptHeaderChainDetected(t *testing.T) {
+	dir := t.TempDir()
+	m, err := Open(dir, diskOpts(Options{Sync: wal.SyncAlways}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	commitN(t, m.Engine(), 0, 5)
+	if err := m.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	flipBlockHeaderByte(t, filepath.Join(dir, nodesDirName))
+
+	m2, err := Open(dir, diskOpts(Options{Sync: wal.SyncAlways}))
+	if err == nil {
+		m2.Close()
+		t.Fatal("open served a bit-flipped header chain; want verification failure")
+	}
+}
+
+// flipBlockHeaderByte parses the node-store segment files (format in
+// FORMAT.md: 8-byte magic, then records of len u32 BE | domain u8 |
+// digest [32] | crc u32 BE | payload) and flips one payload byte of the
+// last DomainBlock record — the ledger head header the reopen chain walk
+// starts from.
+func flipBlockHeaderByte(t *testing.T, nodesDir string) {
+	t.Helper()
+	ents, err := os.ReadDir(nodesDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var segs []string
+	for _, e := range ents {
+		if filepath.Ext(e.Name()) == ".spz" {
+			segs = append(segs, filepath.Join(nodesDir, e.Name()))
+		}
+	}
+	sort.Strings(segs)
+	for i := len(segs) - 1; i >= 0; i-- {
+		data, err := os.ReadFile(segs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		lastOff := -1
+		pos := 8 // past magic
+		for pos+41 <= len(data) {
+			n := int(binary.BigEndian.Uint32(data[pos:]))
+			if pos+41+n > len(data) {
+				break // sealed-segment index footer
+			}
+			if data[pos+4] == hashutil.DomainBlock {
+				lastOff = pos + 41 // first payload byte
+			}
+			pos += 41 + n
+		}
+		if lastOff >= 0 {
+			data[lastOff] ^= 0x01
+			if err := os.WriteFile(segs[i], data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			return
+		}
+	}
+	t.Fatal("no DomainBlock record found in any segment")
+}
+
+func TestDiskTinyCacheServesFullKeyspace(t *testing.T) {
+	dir := t.TempDir()
+	m, err := Open(dir, diskOpts(Options{Sync: wal.SyncAlways, NodeCacheMB: 64}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	val := make([]byte, 2048)
+	for i := 0; i < 200; i++ {
+		if _, err := m.Engine().Apply("load", []core.Put{
+			{Table: "t", Column: "c", PK: []byte(fmt.Sprintf("key-%04d", i)), Value: val},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	digest := m.Engine().Digest()
+	if err := m.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen with the minimum cache budget: every proof path faults in
+	// from the segment files and still verifies.
+	m2, err := Open(dir, diskOpts(Options{Sync: wal.SyncAlways, NodeCacheMB: 1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m2.Close()
+	for i := 0; i < 200; i++ {
+		res, err := m2.Engine().GetVerified("t", "c", []byte(fmt.Sprintf("key-%04d", i)))
+		if err != nil || !res.Found {
+			t.Fatalf("key-%04d: found=%v err=%v", i, res.Found, err)
+		}
+		if res.Digest != digest {
+			t.Fatalf("key-%04d proved against %+v, want %+v", i, res.Digest, digest)
+		}
+	}
+	cs := m2.NodeStore().CacheStats()
+	if cs.Misses == 0 {
+		t.Fatalf("expected cache misses under a 1MB budget, stats %+v", cs)
+	}
+}

@@ -29,6 +29,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"spitz/internal/cas"
 	"spitz/internal/core"
 	"spitz/internal/txn"
 	"spitz/internal/txn/tso"
@@ -73,6 +74,15 @@ type Options struct {
 	// (Checkpoint can still be called by hand).
 	CheckpointInterval    time.Duration
 	CheckpointEveryBlocks uint64
+
+	// Store selects the node-store backend (see StoreKind). The choice is
+	// recorded in the data directory on creation and is authoritative from
+	// then on: a disk-store database always reopens as disk.
+	Store StoreKind
+	// NodeCacheMB bounds the disk store's in-memory body cache (clean
+	// bodies plus the dirty write-back set), in MiB. Zero means the 64 MiB
+	// default. Ignored for StoreMemory.
+	NodeCacheMB int
 }
 
 const (
@@ -97,6 +107,14 @@ type Manager struct {
 	opts Options
 	eng  *core.Engine
 	log  *wal.Log
+
+	// Disk-store state (nil/zero for StoreMemory): the node store whose
+	// Flush is the incremental-checkpoint primitive, and the VLOG holding
+	// the persisted demoted-version index.
+	storeKind StoreKind
+	nodes     *cas.Disk
+	vlog      *vlog
+	ckptCrash func(stage string) bool // test hook: true aborts checkpointDisk after stage
 
 	// seqOff maps ledger heights to WAL sequence numbers: every record is
 	// exactly one block, appended in ledger order, so seq(h) = h + seqOff
@@ -136,6 +154,16 @@ func Open(dir string, opts Options) (*Manager, error) {
 	// would silently ignore every shard's data.
 	if _, err := os.Stat(filepath.Join(dir, ClusterMarkerName)); err == nil {
 		return nil, fmt.Errorf("durable: %s holds a sharded cluster; open it with OpenCluster (or spitz-server -shards)", dir)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	kind, err := resolveStoreKind(dir, opts.Store)
+	if err != nil {
+		return nil, err
+	}
+	if kind == StoreDisk {
+		return openDisk(dir, opts)
 	}
 	for _, d := range []string{dir, filepath.Join(dir, walDirName), filepath.Join(dir, ckptDirName)} {
 		if err := os.MkdirAll(d, 0o755); err != nil {
@@ -203,24 +231,10 @@ func Open(dir string, opts Options) (*Manager, error) {
 		orc.Advance(h.Version)
 	}
 
-	height := eng.Ledger().Height()
-	replayed := 0
-	for _, rec := range recs {
-		if rec.Height < height {
-			continue // already inside the checkpoint
-		}
-		if rec.Height > height {
-			log.Close()
-			return nil, fmt.Errorf("durable: wal gap: next logged block is %d but engine is at height %d",
-				rec.Height, height)
-		}
-		if _, err := eng.ReplayBlock(rec); err != nil {
-			log.Close()
-			return nil, fmt.Errorf("durable: %w", err)
-		}
-		orc.Advance(rec.Version)
-		height++
-		replayed++
+	height, replayed, err := replayTail(eng, orc, recs)
+	if err != nil {
+		log.Close()
+		return nil, err
 	}
 
 	m := &Manager{
@@ -247,6 +261,30 @@ func Open(dir string, opts Options) (*Manager, error) {
 		close(m.loopDone)
 	}
 	return m, nil
+}
+
+// replayTail re-commits the WAL records above the engine's recovered
+// height, verifying each block hash, and advances the timestamp oracle
+// past every replayed version. Records below the recovered height are
+// duplicates the checkpoint already covers; a gap above it is fatal.
+func replayTail(eng *core.Engine, orc TimestampSource, recs []core.CommitRecord) (height uint64, replayed int, err error) {
+	height = eng.Ledger().Height()
+	for _, rec := range recs {
+		if rec.Height < height {
+			continue // already inside the checkpoint
+		}
+		if rec.Height > height {
+			return 0, 0, fmt.Errorf("durable: wal gap: next logged block is %d but engine is at height %d",
+				rec.Height, height)
+		}
+		if _, err := eng.ReplayBlock(rec); err != nil {
+			return 0, 0, fmt.Errorf("durable: %w", err)
+		}
+		orc.Advance(rec.Version)
+		height++
+		replayed++
+	}
+	return height, replayed, nil
 }
 
 // Engine returns the recovered engine. All queries and commits go through
@@ -346,11 +384,16 @@ func (m *Manager) checkpointLoop() {
 	}
 }
 
-// Checkpoint streams a snapshot of the engine to the checkpoint
-// directory, atomically repoints the MANIFEST at it, deletes the previous
-// checkpoint and prunes WAL segments the new one made redundant. Safe to
-// call at any time, concurrently with commits.
+// Checkpoint makes everything committed so far recoverable without the
+// WAL tail, then prunes WAL segments that became redundant. For
+// StoreMemory it streams a full engine snapshot and repoints the
+// MANIFEST at it; for StoreDisk it is incremental — flush dirty nodes,
+// persist new demotions, record the head root (see checkpointDisk).
+// Safe to call at any time, concurrently with commits.
 func (m *Manager) Checkpoint() error {
+	if m.storeKind == StoreDisk {
+		return m.checkpointDisk()
+	}
 	m.ckptMu.Lock()
 	defer m.ckptMu.Unlock()
 	height := m.eng.Ledger().Height()
@@ -417,6 +460,18 @@ func (m *Manager) Close() error {
 		close(m.closing)
 		<-m.loopDone
 		m.closeErr = m.log.Close()
+		if m.vlog != nil {
+			if err := m.vlog.Close(); err != nil && m.closeErr == nil {
+				m.closeErr = err
+			}
+		}
+		if m.nodes != nil {
+			// Close flushes the write-back set; data not yet named by the
+			// MANIFEST is still recovered from the WAL on reopen.
+			if err := m.nodes.Close(); err != nil && m.closeErr == nil {
+				m.closeErr = err
+			}
+		}
 	})
 	return m.closeErr
 }
@@ -459,7 +514,10 @@ func readManifest(dir string) (ckptName string, height uint64, ok bool, err erro
 // fsync), so a crash leaves either the old or the new manifest, never a
 // torn one.
 func writeManifest(dir, ckptName string, height uint64) error {
-	body := fmt.Sprintf("%s\ncheckpoint %s\nheight %d\n", manifestMagic, ckptName, height)
+	return writeManifestBody(dir, fmt.Sprintf("%s\ncheckpoint %s\nheight %d\n", manifestMagic, ckptName, height))
+}
+
+func writeManifestBody(dir, body string) error {
 	tmp := filepath.Join(dir, manifestName+".tmp")
 	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
 	if err != nil {

@@ -12,6 +12,7 @@ import (
 	"sync"
 
 	"spitz/internal/cas"
+	"spitz/internal/hashutil"
 	"spitz/internal/postree"
 )
 
@@ -36,6 +37,25 @@ func New(store cas.Store) *Store {
 		store = cas.NewMemory()
 	}
 	return &Store{tree: postree.Empty(store)}
+}
+
+// Open resumes a store at a previously saved root digest (see Root).
+// Only the root node is read eagerly, so opening against a disk-backed
+// store is O(1); the rest of the tree faults in per lookup path.
+func Open(store cas.Store, root hashutil.Digest) (*Store, error) {
+	t, err := postree.Load(store, root)
+	if err != nil {
+		return nil, err
+	}
+	return &Store{tree: t}, nil
+}
+
+// Root returns the current snapshot's root digest — the handle Open
+// resumes from. The zero digest denotes the empty store.
+func (s *Store) Root() hashutil.Digest {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.tree.Root()
 }
 
 // Get returns the value under key.

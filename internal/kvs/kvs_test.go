@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sync"
 	"testing"
+
+	"spitz/internal/cas"
 )
 
 func batch(lo, hi int, tag string) []KV {
@@ -98,4 +100,51 @@ func TestConcurrentReadsDuringWrites(t *testing.T) {
 	}
 	close(stop)
 	wg.Wait()
+}
+
+func TestOpenResumesAtRootOverDisk(t *testing.T) {
+	dir := t.TempDir()
+	store, err := cas.OpenDisk(dir, cas.DiskOptions{CacheBytes: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(store)
+	if err := s.Apply(batch(0, 500, "v")); err != nil {
+		t.Fatal(err)
+	}
+	root := s.Root()
+	if err := store.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen the store and resume the KVS at its saved root: only the
+	// root node loads eagerly, lookups fault in their own paths.
+	store2, err := cas.OpenDisk(dir, cas.DiskOptions{CacheBytes: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store2.Close()
+	s2, err := Open(store2, root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i += 37 {
+		v, ok, err := s2.Get([]byte(fmt.Sprintf("key%06d", i)))
+		if err != nil || !ok || string(v) != fmt.Sprintf("v-%06d", i) {
+			t.Fatalf("key%06d after reopen: %q ok=%v err=%v", i, v, ok, err)
+		}
+	}
+	if s2.Root() != root {
+		t.Fatalf("root drifted across reopen")
+	}
+	// The resumed store keeps evolving.
+	if err := s2.Apply(batch(500, 600, "w")); err != nil {
+		t.Fatal(err)
+	}
+	if s2.Len() != 600 {
+		t.Fatalf("Len after resume+apply = %d", s2.Len())
+	}
 }

@@ -140,6 +140,12 @@ type Ledger struct {
 	// pcache memoizes head point proofs for the current digest; Commit
 	// invalidates it (see proofCache).
 	pcache proofCache
+
+	// demoLog/demoTail retain demoted-version entries for the durable
+	// layer's VLOG (see EnableDemotionLog); disabled by default so purely
+	// in-memory ledgers don't accumulate an unbounded tail.
+	demoLog  bool
+	demoTail []VersionEntry
 }
 
 type versionRef struct {
@@ -243,8 +249,7 @@ func (l *Ledger) Commit(version uint64, txns []TxnSummary, cells []cellstore.Cel
 		return BlockHeader{}, err
 	}
 	for _, d := range demoted {
-		l.versions[string(d.Ref)] = append(l.versions[string(d.Ref)],
-			versionRef{version: d.Version, object: d.Object})
+		l.insertVersionLocked(d.Ref, versionRef{version: d.Version, object: d.Object})
 	}
 	body := encodeBody(txns)
 	bodyHash := l.store.Put(hashutil.DomainStmt, body)

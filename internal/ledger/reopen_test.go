@@ -1,0 +1,194 @@
+package ledger
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"spitz/internal/cas"
+	"spitz/internal/cellstore"
+)
+
+// churnCommit writes the same keys at each version so every block demotes
+// the previous head versions.
+func churnCommit(t *testing.T, l *Ledger, blocks int) {
+	t.Helper()
+	for b := 0; b < blocks; b++ {
+		v := uint64(b + 1)
+		if _, err := l.Commit(v, []TxnSummary{{ID: v, Statement: "churn"}}, cellsFor(v, 8, "k")); err != nil {
+			t.Fatalf("Commit(%d): %v", b, err)
+		}
+	}
+}
+
+func TestReopenRecoversDigestAndHistory(t *testing.T) {
+	store := cas.NewMemory()
+	l := New(store)
+	l.EnableDemotionLog()
+	churnCommit(t, l, 6)
+
+	headers := make([]BlockHeader, 0, 6)
+	for i := uint64(0); i < l.Height(); i++ {
+		h, err := l.Header(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		headers = append(headers, h)
+	}
+	demos := l.PendingDemotions()
+	if len(demos) == 0 {
+		t.Fatal("churn produced no demotions")
+	}
+
+	r, err := Reopen(store, headers, demos)
+	if err != nil {
+		t.Fatalf("Reopen: %v", err)
+	}
+	if r.Digest() != l.Digest() {
+		t.Fatalf("reopened digest %+v != original %+v", r.Digest(), l.Digest())
+	}
+
+	// Head reads and the auditor's version index must match the original.
+	pk := []byte("k-0003")
+	for asOf := uint64(1); asOf <= 6; asOf++ {
+		want, wok, err := l.GetAsOf("t", "c", pk, asOf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, gok, err := r.GetAsOf("t", "c", pk, asOf)
+		if err != nil {
+			t.Fatalf("reopened GetAsOf(%d): %v", asOf, err)
+		}
+		if wok != gok || !bytes.Equal(want.Value, got.Value) || want.Version != got.Version {
+			t.Fatalf("GetAsOf(%d): got (%q,%d,%v), want (%q,%d,%v)",
+				asOf, got.Value, got.Version, gok, want.Value, want.Version, wok)
+		}
+	}
+	wantHist, err := l.History("t", "c", pk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotHist, err := r.History("t", "c", pk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gotHist) != len(wantHist) {
+		t.Fatalf("history length %d, want %d", len(gotHist), len(wantHist))
+	}
+
+	// The reopened ledger keeps committing on top of the recovered head.
+	if _, err := r.Commit(7, nil, cellsFor(7, 8, "k")); err != nil {
+		t.Fatalf("Commit after reopen: %v", err)
+	}
+}
+
+func TestReopenIdempotentUnderReplayedDemotions(t *testing.T) {
+	store := cas.NewMemory()
+	l := New(store)
+	l.EnableDemotionLog()
+	churnCommit(t, l, 4)
+	headers := make([]BlockHeader, 0, 4)
+	for i := uint64(0); i < l.Height(); i++ {
+		h, _ := l.Header(i)
+		headers = append(headers, h)
+	}
+	demos := l.PendingDemotions()
+
+	// A crash between VLOG persist and manifest write replays blocks whose
+	// demotions are already in the VLOG: duplicates must collapse.
+	doubled := append(append([]VersionEntry(nil), demos...), demos...)
+	r, err := Reopen(store, headers, doubled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pk := []byte("k-0001")
+	hist, err := r.History("t", "c", pk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := l.History("t", "c", pk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hist) != len(want) {
+		t.Fatalf("replayed history has %d versions, want %d", len(hist), len(want))
+	}
+	for i := 1; i < len(hist); i++ {
+		if hist[i-1].Version <= hist[i].Version {
+			t.Fatalf("history not strictly descending at %d: %d then %d", i, hist[i-1].Version, hist[i].Version)
+		}
+	}
+}
+
+func TestReopenRejectsBrokenChain(t *testing.T) {
+	store := cas.NewMemory()
+	l := New(store)
+	churnCommit(t, l, 3)
+	var headers []BlockHeader
+	for i := uint64(0); i < 3; i++ {
+		h, _ := l.Header(i)
+		headers = append(headers, h)
+	}
+	bad := append([]BlockHeader(nil), headers...)
+	bad[2].Parent = bad[1].Parent
+	if _, err := Reopen(store, bad, nil); err == nil {
+		t.Fatal("Reopen accepted a broken parent chain")
+	}
+	bad = append([]BlockHeader(nil), headers...)
+	bad[1].Height = 5
+	if _, err := Reopen(store, bad, nil); err == nil {
+		t.Fatal("Reopen accepted a wrong height")
+	}
+}
+
+func TestClearDemotionsPartial(t *testing.T) {
+	l := New(cas.NewMemory())
+	l.EnableDemotionLog()
+	churnCommit(t, l, 3)
+	demos := l.PendingDemotions()
+	if len(demos) < 2 {
+		t.Fatalf("need at least 2 demotions, got %d", len(demos))
+	}
+	l.ClearDemotions(1)
+	rest := l.PendingDemotions()
+	if len(rest) != len(demos)-1 {
+		t.Fatalf("after ClearDemotions(1): %d entries, want %d", len(rest), len(demos)-1)
+	}
+	if !bytes.Equal(rest[0].Ref, demos[1].Ref) || rest[0].Version != demos[1].Version {
+		t.Fatal("ClearDemotions dropped the wrong entry")
+	}
+	l.ClearDemotions(len(rest) + 10)
+	if got := l.PendingDemotions(); len(got) != 0 {
+		t.Fatalf("over-clear left %d entries", len(got))
+	}
+}
+
+// TestGroupCommitDemotionOrder pins the ordering fix: a single block that
+// writes one cell at two versions demotes both the batch-internal older
+// version and the previous head, and they can arrive out of order. The
+// version index must stay ascending or GetAsOf's binary search misses.
+func TestGroupCommitDemotionOrder(t *testing.T) {
+	mk := func(v uint64, val string) cellstore.Cell {
+		return cellstore.Cell{Table: "t", Column: "c", PK: []byte("pk"), Version: v, Value: []byte(val)}
+	}
+	l := New(cas.NewMemory())
+	if _, err := l.Commit(1, nil, []cellstore.Cell{mk(1, "v1")}); err != nil {
+		t.Fatal(err)
+	}
+	// One folded block carrying v3 then v2 for the same cell.
+	if _, err := l.Commit(3, nil, []cellstore.Cell{mk(3, "v3"), mk(2, "v2")}); err != nil {
+		t.Fatal(err)
+	}
+	for asOf := uint64(1); asOf <= 3; asOf++ {
+		c, ok, err := l.GetAsOf("t", "c", []byte("pk"), asOf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatalf("GetAsOf(%d): not found", asOf)
+		}
+		if want := fmt.Sprintf("v%d", asOf); string(c.Value) != want {
+			t.Fatalf("GetAsOf(%d) = %q, want %q", asOf, c.Value, want)
+		}
+	}
+}

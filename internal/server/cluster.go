@@ -50,6 +50,10 @@ type Options struct {
 	SegmentSize           int64
 	CheckpointInterval    time.Duration
 	CheckpointEveryBlocks uint64
+	// Store and NodeCacheMB select and bound each shard's node-store
+	// backend (see durable.Options); the cache budget applies per shard.
+	Store       durable.StoreKind
+	NodeCacheMB int
 }
 
 // Cluster shards the key space across processor nodes, each with its own
@@ -143,6 +147,8 @@ func Open(opts Options) (*Cluster, error) {
 				SegmentSize:           opts.SegmentSize,
 				CheckpointInterval:    opts.CheckpointInterval,
 				CheckpointEveryBlocks: opts.CheckpointEveryBlocks,
+				Store:                 opts.Store,
+				NodeCacheMB:           opts.NodeCacheMB,
 			})
 			if err != nil {
 				c.Close()

@@ -90,6 +90,8 @@ type (
 	// ServerStats is the wire-level observability payload a running
 	// server reports (Client.Stats, spitz-cli stats).
 	ServerStats = wire.Stats
+	// Metric is one named counter or gauge sample in ServerStats.
+	Metric = wire.Metric
 	// ReplicaStatus is a read replica's replication state.
 	ReplicaStatus = repl.Status
 )
@@ -180,6 +182,44 @@ type Options struct {
 	CheckpointEveryBlocks uint64
 	// WALSegmentSize caps write-ahead log segment files (default 64 MiB).
 	WALSegmentSize int64
+
+	// Store selects the node-store backend: StoreMemory (the default)
+	// keeps the CAS in RAM and checkpoints stream full snapshots;
+	// StoreDisk backs it with segment files behind a bounded write-back
+	// cache, checkpoints incrementally, and reopens by root hash — a
+	// restart pays O(height) header reads instead of loading all state.
+	// The choice is recorded in the data directory on creation and is
+	// authoritative on later opens.
+	Store StoreKind
+	// NodeCacheMB bounds the disk store's node cache in MiB (default 64,
+	// minimum 1). Ignored for StoreMemory.
+	NodeCacheMB int
+}
+
+// StoreKind selects the node-store backend for Options.Store.
+type StoreKind = durable.StoreKind
+
+// Node-store backends.
+const (
+	// StoreMemory keeps all nodes in RAM (the default).
+	StoreMemory = durable.StoreMemory
+	// StoreDisk keeps nodes in append-only segment files behind a
+	// bounded write-back cache.
+	StoreDisk = durable.StoreDisk
+)
+
+// ParseStoreKind parses the command-line spellings "mem" and "disk".
+func ParseStoreKind(s string) (StoreKind, error) { return durable.ParseStoreKind(s) }
+
+// StoreKind reports the node-store backend this database resolved to.
+// It can differ from Options.Store: a directory's STORE marker is
+// authoritative, so a disk-store database reopens as disk no matter
+// what the caller asked for.
+func (db *DB) StoreKind() StoreKind {
+	if db.dur == nil {
+		return StoreMemory
+	}
+	return db.dur.StoreKind()
 }
 
 // DB is an embedded Spitz database. Safe for concurrent use.
@@ -234,6 +274,8 @@ func OpenDir(dir string, opts Options) (*DB, error) {
 		SegmentSize:           opts.WALSegmentSize,
 		CheckpointInterval:    opts.CheckpointInterval,
 		CheckpointEveryBlocks: opts.CheckpointEveryBlocks,
+		Store:                 opts.Store,
+		NodeCacheMB:           opts.NodeCacheMB,
 	})
 	if err != nil {
 		return nil, err
