@@ -309,6 +309,10 @@ func (a *Auditor) flush() error {
 		return nil
 	}
 	mAuditPending.Add(-int64(len(batch)))
+	// The flush owns a root span; every (shard, digest) group's ProveBatch
+	// round trip records as a child leg carrying the trace to the server.
+	tr := obs.DefaultTracer.Root("audit.flush", "client")
+	defer tr.Finish()
 	type groupKey struct {
 		shard  int
 		digest Digest
@@ -326,7 +330,9 @@ func (a *Auditor) flush() error {
 	for _, k := range order {
 		rs := groups[k]
 		rttStart := time.Now()
-		err := a.link(k.shard).auditBatch(k.digest, rs)
+		l := a.link(k.shard)
+		l.tr = tr
+		err := l.auditBatch(k.digest, rs)
 		mAuditRTT.ObserveSince(rttStart)
 		mAuditBatchSize.Observe(uint64(len(rs)))
 		if err == nil {
@@ -384,8 +390,12 @@ func (l shardLink) getOptimistic(a *Auditor, shard int, table, column string, pk
 	if err := a.poisoned(); err != nil {
 		return nil, false, err
 	}
-	resp, err := l.c.Do(wire.Request{Op: wire.OpGet, Table: table, Column: column,
-		PK: pk, Shard: l.shard})
+	tr := l.span("client.get-optimistic")
+	defer tr.Finish()
+	req := wire.Request{Op: wire.OpGet, Table: table, Column: column,
+		PK: pk, Shard: l.shard}
+	req.SetTrace(tr)
+	resp, err := l.c.Do(req)
 	if err != nil {
 		return nil, false, err
 	}
@@ -439,8 +449,12 @@ func (l shardLink) rangeOptimistic(a *Auditor, shard int, table, column string, 
 	if err := a.poisoned(); err != nil {
 		return nil, err
 	}
-	resp, err := l.c.Do(wire.Request{Op: wire.OpRange, Table: table, Column: column,
-		PK: pkLo, PKHi: pkHi, Shard: l.shard})
+	tr := l.span("client.range-optimistic")
+	defer tr.Finish()
+	req := wire.Request{Op: wire.OpRange, Table: table, Column: column,
+		PK: pkLo, PKHi: pkHi, Shard: l.shard}
+	req.SetTrace(tr)
+	resp, err := l.c.Do(req)
 	if err != nil {
 		return nil, err
 	}
@@ -509,8 +523,12 @@ func (l shardLink) auditBatch(at Digest, rs []auditReceipt) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	cur := l.v.Digest()
-	resp, err := l.syncConn().Do(wire.Request{Op: wire.OpProveBatch,
-		OldDigest: cur, OldDigest2: &at, Audits: queries, Shard: l.shard})
+	req := wire.Request{Op: wire.OpProveBatch,
+		OldDigest: cur, OldDigest2: &at, Audits: queries, Shard: l.shard}
+	leg := l.span("audit.prove-batch")
+	req.SetTrace(leg)
+	resp, err := l.syncConn().Do(req)
+	leg.Finish()
 	if err != nil {
 		if errors.Is(err, wire.ErrTransport) {
 			if l.syncC != nil {

@@ -8,6 +8,7 @@ import (
 	"sync"
 
 	"spitz/internal/cellstore"
+	"spitz/internal/obs"
 	"spitz/internal/server"
 	"spitz/internal/wire"
 )
@@ -70,7 +71,11 @@ func (cl *Client) link() shardLink {
 
 // Apply commits a batch of writes and returns the new block header.
 func (cl *Client) Apply(statement string, puts []Put) (BlockHeader, error) {
-	resp, err := cl.c.Do(wire.Request{Op: wire.OpPut, Statement: statement, Puts: encodePuts(puts)})
+	tr := obs.DefaultTracer.Root("client.apply", "client")
+	defer tr.Finish()
+	req := wire.Request{Op: wire.OpPut, Statement: statement, Puts: encodePuts(puts)}
+	req.SetTrace(tr)
+	resp, err := cl.c.Do(req)
 	if err != nil {
 		return BlockHeader{}, err
 	}
@@ -230,6 +235,21 @@ type shardLink struct {
 	// maxLag, when non-zero, bounds how many blocks behind the trusted
 	// digest a served result may be before ErrStale is returned.
 	maxLag uint64
+
+	// tr, when non-nil, is the parent span this link's requests record
+	// under (a sharded fan-out or an audit flush owns the root span);
+	// when nil, verified-read flows mint their own client root.
+	tr *obs.Trace
+}
+
+// span opens the span one verified-read flow records under: a child of
+// the link's parent when one is set, a sampled client root otherwise.
+// The caller finishes it; nil (unsampled) is safe everywhere.
+func (l shardLink) span(op string) *obs.Trace {
+	if l.tr != nil {
+		return l.tr.Child(op)
+	}
+	return obs.DefaultTracer.Root(op, "client")
 }
 
 // errPrimarySync marks a failure of the digest-authority round trip
@@ -270,7 +290,7 @@ func (l shardLink) checkLag(d, cur Digest) error {
 // genuine prefix of the same history); with both verified, p is checked
 // against d itself. This converges in one round trip under any write
 // churn, where refetch-until-current would livelock.
-func (l shardLink) syncAndVerify(d Digest, p *Proof) error {
+func (l shardLink) syncAndVerify(tr *obs.Trace, d Digest, p *Proof) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	cur := l.v.Digest()
@@ -288,7 +308,11 @@ func (l shardLink) syncAndVerify(d Digest, p *Proof) error {
 		// replica being read: pin the primary's digest (trust on first
 		// use, exactly as a direct client would) and fall through to
 		// prove d is a prefix of it.
-		dresp, err := l.syncC.Do(wire.Request{Op: wire.OpDigest, Shard: l.shard})
+		dreq := wire.Request{Op: wire.OpDigest, Shard: l.shard}
+		pin := tr.Child("client.trust-pin")
+		dreq.SetTrace(pin)
+		dresp, err := l.syncC.Do(dreq)
+		pin.Finish()
 		if err != nil {
 			return fmt.Errorf("%w: %v", errPrimarySync, err)
 		}
@@ -300,8 +324,16 @@ func (l shardLink) syncAndVerify(d Digest, p *Proof) error {
 			return l.v.VerifyNow(*p)
 		}
 	}
-	resp, err := l.syncConn().Do(wire.Request{Op: wire.OpConsistency, OldDigest: cur, OldDigest2: &d,
-		Shard: l.shard})
+	// The prefix-proof leg: against the digest authority (the primary of
+	// a replicated deployment) when the link carries one, the serving
+	// connection otherwise. Its span is a child of the read's root, so a
+	// replica-served read shows both legs under one trace ID.
+	creq := wire.Request{Op: wire.OpConsistency, OldDigest: cur, OldDigest2: &d,
+		Shard: l.shard}
+	leg := tr.Child("client.prefix-proof")
+	creq.SetTrace(leg)
+	resp, err := l.syncConn().Do(creq)
+	leg.Finish()
 	if err != nil {
 		if l.syncC != nil {
 			if errors.Is(err, wire.ErrTransport) {
@@ -346,8 +378,12 @@ func (l shardLink) syncAndVerify(d Digest, p *Proof) error {
 }
 
 func (l shardLink) getVerified(table, column string, pk []byte) ([]byte, bool, error) {
-	resp, err := l.c.Do(wire.Request{Op: wire.OpGetVerified, Table: table, Column: column,
-		PK: pk, Shard: l.shard})
+	tr := l.span("client.get-verified")
+	defer tr.Finish()
+	req := wire.Request{Op: wire.OpGetVerified, Table: table, Column: column,
+		PK: pk, Shard: l.shard}
+	req.SetTrace(tr)
+	resp, err := l.c.Do(req)
 	if err != nil {
 		return nil, false, err
 	}
@@ -360,7 +396,7 @@ func (l shardLink) getVerified(table, column string, pk []byte) ([]byte, bool, e
 		}
 		return nil, false, nil // empty database
 	}
-	if err := l.syncAndVerify(resp.Digest, resp.Proof); err != nil {
+	if err := l.syncAndVerify(tr, resp.Digest, resp.Proof); err != nil {
 		return nil, false, err
 	}
 	// The proof must answer the question that was asked: a valid proof
@@ -393,8 +429,12 @@ func (l shardLink) checkEmptyReplica(d Digest) error {
 }
 
 func (l shardLink) rangeVerified(table, column string, pkLo, pkHi []byte) ([]Cell, error) {
-	resp, err := l.c.Do(wire.Request{Op: wire.OpRangeVer, Table: table, Column: column,
-		PK: pkLo, PKHi: pkHi, Shard: l.shard})
+	tr := l.span("client.range-verified")
+	defer tr.Finish()
+	req := wire.Request{Op: wire.OpRangeVer, Table: table, Column: column,
+		PK: pkLo, PKHi: pkHi, Shard: l.shard}
+	req.SetTrace(tr)
+	resp, err := l.c.Do(req)
 	if err != nil {
 		return nil, err
 	}
@@ -407,7 +447,7 @@ func (l shardLink) rangeVerified(table, column string, pkLo, pkHi []byte) ([]Cel
 		}
 		return nil, nil
 	}
-	if err := l.syncAndVerify(resp.Digest, resp.Proof); err != nil {
+	if err := l.syncAndVerify(tr, resp.Digest, resp.Proof); err != nil {
 		return nil, err
 	}
 	// The proof must cover exactly the requested range: a valid proof of
@@ -477,6 +517,12 @@ type ShardedClient struct {
 	verifiers []*Verifier
 	syncMus   []sync.Mutex // one per shard, serializing digest refreshes
 	auditHolder
+
+	// anchor, when non-nil, is the digest authority every shard's trust
+	// advances against (see AnchorTrust); anchorLag bounds replica
+	// staleness exactly like ReplicatedOptions.MaxLag.
+	anchor    *wire.Client
+	anchorLag uint64
 }
 
 // DialSharded connects to a sharded Spitz server, fetching the shard map
@@ -534,10 +580,40 @@ func (sc *ShardedClient) Close() error {
 			first = err
 		}
 	}
+	if sc.anchor != nil {
+		if err := sc.anchor.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
 	if first != nil {
 		return first
 	}
 	return auditErr
+}
+
+// AnchorTrust points every shard's trust decisions at a separate digest
+// authority — the primary of a replicated deployment — so this client
+// can read from a replica (DialSharded against Replica.Serve) while
+// trust only ever advances against the primary: a proof served by the
+// replica at digest d is accepted only after the authority proves d a
+// prefix of the trusted history, per shard. This is the sharded form of
+// DialReplicated's anchoring. maxLag, when non-zero, bounds how many
+// blocks behind the trusted digest a replica-served result may be
+// before ErrStale is returned.
+//
+// Call it once, right after connecting and before issuing reads. The
+// anchor connection is owned by the client and released by Close.
+func (sc *ShardedClient) AnchorTrust(dial func() (*wire.Client, error), maxLag uint64) error {
+	if sc.anchor != nil {
+		return errors.New("spitz: trust anchor already set")
+	}
+	c, err := dial()
+	if err != nil {
+		return err
+	}
+	sc.anchor = c
+	sc.anchorLag = maxLag
+	return nil
 }
 
 // StartAudit switches the sharded client into deferred verification (see
@@ -562,16 +638,24 @@ func (sc *ShardedClient) ShardVerifier(i int) *Verifier { return sc.verifiers[i]
 
 func (sc *ShardedClient) linkFor(pk []byte) shardLink { return sc.link(sc.ShardFor(pk)) }
 
-// link builds shard i's (connection, verifier, mutex) triple.
+// link builds shard i's (connection, verifier, mutex) triple, routing
+// consistency traffic to the trust anchor when one is set.
 func (sc *ShardedClient) link(i int) shardLink {
-	return shardLink{c: sc.conns[i], v: sc.verifiers[i], mu: &sc.syncMus[i], shard: i + 1}
+	return shardLink{c: sc.conns[i], v: sc.verifiers[i], mu: &sc.syncMus[i], shard: i + 1,
+		syncC: sc.anchor, maxLag: sc.anchorLag}
 }
 
 // Apply commits a batch of writes atomically: the server groups them by
 // owning shard and commits cross-shard batches with two-phase commit. It
 // returns the cluster commit timestamp.
 func (sc *ShardedClient) Apply(statement string, puts []Put) (uint64, error) {
-	resp, err := sc.conns[0].Do(wire.Request{Op: wire.OpPut, Statement: statement, Puts: encodePuts(puts)})
+	// A sampled root here stitches the coordinator's per-shard 2PC
+	// prepare/commit legs under the client's trace ID.
+	tr := obs.DefaultTracer.Root("client.apply", "client")
+	defer tr.Finish()
+	req := wire.Request{Op: wire.OpPut, Statement: statement, Puts: encodePuts(puts)}
+	req.SetTrace(tr)
+	resp, err := sc.conns[0].Do(req)
 	if err != nil {
 		return 0, err
 	}
@@ -659,8 +743,14 @@ func (sc *ShardedClient) RangePKVerified(table, column string, pkLo, pkHi []byte
 			return sc.link(i).rangeOptimistic(a, i, table, column, pkLo, pkHi)
 		})
 	}
+	// One root span owns the scatter; each shard's read becomes a child
+	// leg, so the whole fan-out stitches under a single trace ID.
+	tr := obs.DefaultTracer.Root("client.range-verified", "client")
+	defer tr.Finish()
 	return sc.fanOut(func(i int) ([]Cell, error) {
-		return sc.link(i).rangeVerified(table, column, pkLo, pkHi)
+		l := sc.link(i)
+		l.tr = tr
+		return l.rangeVerified(table, column, pkLo, pkHi)
 	})
 }
 

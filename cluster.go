@@ -230,6 +230,7 @@ func (db *ClusterDB) Engine(i int) *core.Engine { return db.c.Engine(i) }
 // (DialReplica mirrors the whole cluster, shard by shard).
 func (db *ClusterDB) Serve(ln net.Listener) error {
 	srv := wire.NewHandlerServer(db.c)
+	srv.Node = "primary"
 	srv.LegacyGobOnly = db.LegacyGobWire
 	srv.Stats = db.wireStats
 	srv.Repl = func(shard int) (wire.ReplStreamer, error) {

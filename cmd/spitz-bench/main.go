@@ -25,11 +25,14 @@
 // client against a live server under write churn, every receipt
 // batch-verified, then a tamper probe whose corrupted batch proof must
 // trip ErrTampered. admin-smoke runs the observability smoke: a durable
-// sharded cluster with a replica and a mixed workload, its ops endpoint
-// (spitz-server -admin-addr style) scraped live, every layer's /metrics
-// series — wire, commit pipeline, WAL, proof cache, replication,
-// auditor — asserted nonzero, and /tracez checked for a staged verified
-// read. disk-smoke runs the disk-native node store workload: sharded
+// 4-shard cluster with a served replica and a mixed workload, its ops
+// endpoint (spitz-server -admin-addr style) scraped live — every
+// layer's /metrics series asserted nonzero, /tracez checked for
+// stitched cross-node traces (an anchored replica read and a
+// cross-shard 2PC write, each under one trace ID), /slowz for a tripped
+// threshold, and the health rules driven through an injected
+// replication stall (degraded, then recovered) and a tamper probe
+// (critical, sticky). disk-smoke runs the disk-native node store workload: sharded
 // and replicated deployments on -store disk with the minimum 1 MiB
 // node-cache budget, exercising checkpoint + clean reopen and a kill
 // without close, every read proof-verified and both reopens required to
@@ -190,7 +193,7 @@ func main() {
 		check(err)
 		defer os.RemoveAll(dir)
 		check(bench.AdminSmoke(dir))
-		fmt.Println("admin smoke: /metrics served nonzero wire/commit/WAL/proof-cache/replication/audit series; /tracez held a staged verified read; /healthz ok")
+		fmt.Println("admin smoke: /metrics served nonzero series from every layer; /tracez stitched cross-node traces (client+replica+primary read, client+2PC write); /slowz captured a tripped threshold; a replication stall degraded /healthz and recovered; the tamper probe pinned /healthz critical with spitz_alerts_firing raised")
 	}
 	if which == "disk-smoke" {
 		ran = true

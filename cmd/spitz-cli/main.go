@@ -15,6 +15,11 @@
 //	spitz-cli metrics -admin HOST:PORT [-watch 1s] [-filter SUBSTR]
 //	                                              (scrape /metrics on the
 //	                                               server's -admin-addr)
+//	spitz-cli trace  -admin HOST:PORT [-follow]   (render /tracez stitched
+//	                                               cross-node timelines)
+//	spitz-cli alerts -admin HOST:PORT             (render /alertz rule
+//	                                               states; exit 1 if not ok)
+//	spitz-cli slow   -admin HOST:PORT             (render /slowz captures)
 //	spitz-cli -addr HOST:PORT snapshot FILE   (save a checkpoint)
 //	spitz-cli -addr HOST:PORT restore  FILE   (load a checkpoint)
 //
@@ -44,9 +49,19 @@ func main() {
 	if len(args) == 0 {
 		usage()
 	}
-	if args[0] == "metrics" {
-		// metrics talks HTTP to the admin endpoint, not the wire protocol.
+	switch args[0] {
+	// These talk HTTP to the admin endpoint, not the wire protocol.
+	case "metrics":
 		metricsCmd(args[1:])
+		return
+	case "trace":
+		traceCmd(args[1:])
+		return
+	case "alerts":
+		alertsCmd(args[1:])
+		return
+	case "slow":
+		slowCmd(args[1:])
 		return
 	}
 
@@ -320,6 +335,9 @@ func usage() {
   spitz-cli [-addr HOST:PORT] stats
   spitz-cli [-addr HOST:PORT] snapshot FILE
   spitz-cli [-addr HOST:PORT] restore  FILE
-  spitz-cli metrics [-admin HOST:PORT] [-watch 1s] [-filter SUBSTR]`)
+  spitz-cli metrics [-admin HOST:PORT] [-watch 1s] [-filter SUBSTR]
+  spitz-cli trace   [-admin HOST:PORT] [-follow] [-every 1s] [-n 10] [-stages]
+  spitz-cli alerts  [-admin HOST:PORT]
+  spitz-cli slow    [-admin HOST:PORT]`)
 	os.Exit(2)
 }

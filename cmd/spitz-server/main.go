@@ -13,8 +13,11 @@
 //
 // -admin-addr serves the operations endpoint over HTTP: /metrics
 // (Prometheus text exposition of every internal counter, gauge and
-// latency histogram), /healthz (JSON liveness plus shard heights),
-// /tracez (recent sampled request traces with per-stage timings), and
+// latency histogram), /healthz (JSON liveness plus shard heights, with
+// its status driven by the health rules), /tracez (recent sampled spans
+// stitched into cross-node timelines by trace ID), /slowz (requests
+// over the slow-op threshold), /alertz (health-rule states: replication
+// lag, audit tampering, WAL fsync latency, node-store health), and
 // /debug/pprof. It is off by default; bind it to a loopback or
 // operations network, not the client-facing address.
 //
@@ -195,7 +198,9 @@ func main() {
 // startAdmin serves the ops HTTP endpoint on adminAddr (no-op when
 // empty). stats feeds the instance gauges — shard heights, WAL span,
 // follower lag — into the metrics registry at scrape time; health is
-// the /healthz detail payload.
+// the /healthz detail payload. The standard health rules are started
+// alongside it, so /alertz, spitz_alerts_firing and the rules-driven
+// /healthz status work out of the box.
 func startAdmin(adminAddr string, stats func() spitz.ServerStats, health func() any) {
 	if adminAddr == "" {
 		return
@@ -207,9 +212,11 @@ func startAdmin(adminAddr string, stats func() spitz.ServerStats, health func() 
 	if stats != nil {
 		wire.PublishStats(obs.Default, stats)
 	}
+	rules := obs.NewRules(obs.Default, obs.StandardRules(obs.StandardRuleOptions{}), 0)
+	rules.Start()
 	log.Printf("spitz-server: ops endpoint on http://%s/metrics", ln.Addr())
 	go func() {
-		if err := obs.ServeAdmin(ln, obs.AdminOptions{Health: health}); err != nil && !errors.Is(err, net.ErrClosed) {
+		if err := obs.ServeAdmin(ln, obs.AdminOptions{Health: health, Rules: rules}); err != nil && !errors.Is(err, net.ErrClosed) {
 			log.Printf("spitz-server: admin: %v", err)
 		}
 	}()

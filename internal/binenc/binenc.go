@@ -39,6 +39,22 @@ func ReadUvarint(src []byte) (uint64, []byte, error) {
 	return v, src[n:], nil
 }
 
+// AppendUint64 appends v as 8 fixed big-endian bytes. Trace and span
+// IDs use this instead of uvarints: they are uniformly random 64-bit
+// values, so a varint would average nine bytes and break the
+// fixed-width layout for nothing.
+func AppendUint64(dst []byte, v uint64) []byte {
+	return binary.BigEndian.AppendUint64(dst, v)
+}
+
+// ReadUint64 consumes 8 fixed big-endian bytes.
+func ReadUint64(src []byte) (uint64, []byte, error) {
+	if len(src) < 8 {
+		return 0, nil, ErrCorrupt
+	}
+	return binary.BigEndian.Uint64(src), src[8:], nil
+}
+
 // AppendBool appends b as one byte.
 func AppendBool(dst []byte, b bool) []byte {
 	if b {

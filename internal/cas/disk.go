@@ -67,6 +67,10 @@ var (
 	mStoreFlushedObj = obs.Default.Counter("spitz_nodestore_flushed_objects_total")
 	mStoreCacheBytes = obs.Default.Gauge("spitz_nodestore_cache_bytes")
 	mStoreDirtyBytes = obs.Default.Gauge("spitz_nodestore_dirty_bytes")
+	// Errors counts I/O and verification failures: sticky write-path
+	// errors (which fail-stop the store), failed segment reads and
+	// hash-verification misses. Health rules alarm on any increase.
+	mStoreErrors = obs.Default.Counter("spitz_nodestore_errors_total")
 )
 
 // Per-domain byte counters are created lazily so /metrics only carries
@@ -570,9 +574,11 @@ func (s *Disk) Get(d hashutil.Digest) ([]byte, error) {
 	mStoreMisses.Inc()
 	payload := make([]byte, loc.length)
 	if _, err := s.segs[loc.seg].f.ReadAt(payload, loc.off+recHeaderSize); err != nil {
+		mStoreErrors.Inc()
 		return nil, fmt.Errorf("cas: read %s: %w", d.Short(), err)
 	}
 	if hashutil.Sum(loc.domain, payload) != d {
+		mStoreErrors.Inc()
 		return nil, fmt.Errorf("%w: %s", ErrCorrupt, d.Short())
 	}
 	domainCounter(&domReadCounters, "read", loc.domain).Add(uint64(len(payload)))
@@ -688,6 +694,7 @@ func (s *Disk) writeDirtyLocked() error {
 	}
 	fail := func(err error) error {
 		s.err = err
+		mStoreErrors.Inc()
 		return err
 	}
 	var written int64
@@ -807,6 +814,7 @@ func (s *Disk) flushLocked() error {
 	act := s.segs[len(s.segs)-1]
 	if err := act.f.Sync(); err != nil {
 		s.err = fmt.Errorf("cas: flush: %w", err)
+		mStoreErrors.Inc()
 		return s.err
 	}
 	s.cstats.Flushes++

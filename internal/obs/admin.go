@@ -19,13 +19,23 @@ type AdminOptions struct {
 	// the /healthz payload (shard heights, replica status). It must not
 	// block.
 	Health func() any
+	// SlowLog whose entries /slowz serves; nil uses DefaultSlowLog.
+	SlowLog *SlowLog
+	// Rules, when non-nil, serves /alertz and drives the /healthz status
+	// field: "ok" becomes "degraded"/"critical" while warn/critical
+	// rules fire. Without rules /healthz always reports "ok" (liveness
+	// only), as before.
+	Rules *Rules
 }
 
 // NewAdminHandler returns the ops endpoint handler:
 //
 //	/metrics     Prometheus text exposition of the registry
-//	/healthz     JSON liveness + the deployment's Health() payload
-//	/tracez      JSON dump of recent sampled request traces
+//	/healthz     JSON liveness + rules-driven status + Health() payload
+//	/tracez      JSON dump of recent sampled spans, with stitched
+//	             cross-node timelines grouped by trace ID
+//	/slowz       JSON dump of over-threshold requests (tail capture)
+//	/alertz      JSON health-rule states
 //	/debug/vars  expvar (Go runtime memstats and cmdline)
 //	/debug/pprof net/http/pprof profiles
 func NewAdminHandler(opts AdminOptions) http.Handler {
@@ -36,6 +46,10 @@ func NewAdminHandler(opts AdminOptions) http.Handler {
 	tracer := opts.Tracer
 	if tracer == nil {
 		tracer = DefaultTracer
+	}
+	slow := opts.SlowLog
+	if slow == nil {
+		slow = DefaultSlowLog
 	}
 	started := time.Now()
 
@@ -49,16 +63,38 @@ func NewAdminHandler(opts AdminOptions) http.Handler {
 			Status string `json:"status"`
 			Uptime string `json:"uptime"`
 			Detail any    `json:"detail,omitempty"`
-		}{Status: "ok", Uptime: time.Since(started).Round(time.Millisecond).String()}
+		}{Status: HealthOK, Uptime: time.Since(started).Round(time.Millisecond).String()}
+		if opts.Rules != nil {
+			payload.Status = opts.Rules.Health()
+		}
 		if opts.Health != nil {
 			payload.Detail = opts.Health()
 		}
 		writeJSON(w, payload)
 	})
 	mux.HandleFunc("/tracez", func(w http.ResponseWriter, _ *http.Request) {
+		recent := tracer.Recent()
 		writeJSON(w, struct {
-			Traces []TraceSnapshot `json:"traces"`
-		}{Traces: tracer.Recent()})
+			Traces   []TraceSnapshot `json:"traces"`
+			Stitched []StitchedTrace `json:"stitched"`
+		}{Traces: recent, Stitched: Stitch(recent)})
+	})
+	mux.HandleFunc("/slowz", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, struct {
+			Slow  []SlowOp `json:"slow"`
+			Total uint64   `json:"total"`
+		}{Slow: slow.Recent(), Total: slow.Total()})
+	})
+	mux.HandleFunc("/alertz", func(w http.ResponseWriter, _ *http.Request) {
+		payload := struct {
+			Health string      `json:"health"`
+			Rules  []RuleState `json:"rules"`
+		}{Health: HealthOK}
+		if opts.Rules != nil {
+			payload.Health = opts.Rules.Health()
+			payload.Rules = opts.Rules.States()
+		}
+		writeJSON(w, payload)
 	})
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)

@@ -1,0 +1,152 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func adminGet(t *testing.T, opts AdminOptions, path string, v any) {
+	t.Helper()
+	srv := httptest.NewServer(NewAdminHandler(opts))
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("%s returned %d", path, resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		t.Fatalf("%s: %v", path, err)
+	}
+}
+
+func TestAdminTracez(t *testing.T) {
+	tracer := NewTracer(1, 16)
+	root := tracer.Root("client.get-verified", "client")
+	traceID, spanID, _ := root.Context()
+	cont := tracer.Continue("get-verified", "shard-0", traceID, spanID)
+	cont.Finish()
+	root.Finish()
+
+	var payload struct {
+		Traces   []TraceSnapshot `json:"traces"`
+		Stitched []StitchedTrace `json:"stitched"`
+	}
+	adminGet(t, AdminOptions{Registry: New(), Tracer: tracer}, "/tracez", &payload)
+	if len(payload.Traces) != 2 {
+		t.Fatalf("/tracez served %d raw spans, want 2", len(payload.Traces))
+	}
+	if len(payload.Stitched) != 1 {
+		t.Fatalf("/tracez served %d stitched traces, want 1", len(payload.Stitched))
+	}
+	st := payload.Stitched[0]
+	if st.TraceID != traceID || len(st.Spans) != 2 {
+		t.Fatalf("stitched = %+v", st)
+	}
+	if st.Spans[0].Node != "client" || st.Spans[1].Node != "shard-0" || st.Spans[1].Depth != 1 {
+		t.Errorf("cross-node timeline wrong: %+v", st.Spans)
+	}
+}
+
+func TestAdminSlowz(t *testing.T) {
+	slow := NewSlowLog(4)
+	for i := 0; i < 6; i++ {
+		slow.Record(SlowOp{Op: "get", Latency: 200 * time.Millisecond, Shard: 2, KeyHash: 42})
+	}
+	var payload struct {
+		Slow  []SlowOp `json:"slow"`
+		Total uint64   `json:"total"`
+	}
+	adminGet(t, AdminOptions{Registry: New(), SlowLog: slow}, "/slowz", &payload)
+	if payload.Total != 6 || len(payload.Slow) != 4 {
+		t.Fatalf("/slowz total=%d retained=%d, want 6/4", payload.Total, len(payload.Slow))
+	}
+	if payload.Slow[0].Op != "get" || payload.Slow[0].KeyHash != 42 {
+		t.Errorf("slow op payload = %+v", payload.Slow[0])
+	}
+}
+
+func TestAdminAlertzAndHealthz(t *testing.T) {
+	reg := New()
+	lag := reg.Gauge("lag_blocks")
+	rules := NewRules(reg, []Rule{
+		{Name: "lag", Severity: SeverityWarn, Series: "lag_blocks", Threshold: 10},
+	}, time.Hour)
+	opts := AdminOptions{Registry: reg, Rules: rules}
+
+	var health struct {
+		Status string `json:"status"`
+	}
+	var alerts struct {
+		Health string      `json:"health"`
+		Rules  []RuleState `json:"rules"`
+	}
+
+	rules.Evaluate()
+	adminGet(t, opts, "/healthz", &health)
+	adminGet(t, opts, "/alertz", &alerts)
+	if health.Status != "ok" || alerts.Health != "ok" {
+		t.Fatalf("healthy deployment reports %q/%q", health.Status, alerts.Health)
+	}
+	if len(alerts.Rules) != 1 || alerts.Rules[0].State != "ok" {
+		t.Fatalf("/alertz rules = %+v", alerts.Rules)
+	}
+
+	lag.Set(128)
+	rules.Evaluate()
+	adminGet(t, opts, "/healthz", &health)
+	adminGet(t, opts, "/alertz", &alerts)
+	if health.Status != HealthDegraded {
+		t.Errorf("/healthz status = %q while a warn rule fires, want degraded", health.Status)
+	}
+	if alerts.Health != HealthDegraded || !alerts.Rules[0].Firing() {
+		t.Errorf("/alertz = %q %+v, want degraded/firing", alerts.Health, alerts.Rules)
+	}
+
+	lag.Set(0)
+	rules.Evaluate()
+	adminGet(t, opts, "/healthz", &health)
+	if health.Status != HealthOK {
+		t.Errorf("/healthz did not recover: %q", health.Status)
+	}
+}
+
+// TestAdminHealthzWithoutRules keeps the pre-rules behavior: /healthz is
+// pure liveness.
+func TestAdminHealthzWithoutRules(t *testing.T) {
+	var health struct {
+		Status string `json:"status"`
+		Detail any    `json:"detail"`
+	}
+	adminGet(t, AdminOptions{Registry: New(), Health: func() any { return map[string]int{"h": 7} }},
+		"/healthz", &health)
+	if health.Status != "ok" || health.Detail == nil {
+		t.Errorf("/healthz = %+v", health)
+	}
+}
+
+func TestAdminMetricsHasAlertGauge(t *testing.T) {
+	reg := New()
+	rules := NewRules(reg, []Rule{{Name: "r", Severity: SeverityWarn, Series: "x", Threshold: 1}}, time.Hour)
+	_ = rules
+	srv := httptest.NewServer(NewAdminHandler(AdminOptions{Registry: reg, Rules: rules}))
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body), "spitz_alerts_firing") {
+		t.Errorf("/metrics lacks spitz_alerts_firing:\n%s", body)
+	}
+}

@@ -1,0 +1,450 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Severity ranks a firing rule's impact on /healthz.
+type Severity string
+
+const (
+	// SeverityWarn downgrades /healthz to "degraded".
+	SeverityWarn Severity = "warn"
+	// SeverityCritical downgrades /healthz to "critical".
+	SeverityCritical Severity = "critical"
+)
+
+// Health status strings reported by Rules.Health and /healthz.
+const (
+	HealthOK       = "ok"
+	HealthDegraded = "degraded"
+	HealthCritical = "critical"
+)
+
+// Snapshot is one flattened registry read (Registry.Flat) as a name →
+// value map, the input a rule evaluates against.
+type Snapshot map[string]float64
+
+// Get returns the named series.
+func (s Snapshot) Get(name string) (float64, bool) {
+	v, ok := s[name]
+	return v, ok
+}
+
+// Max returns the maximum across every series whose name starts with
+// prefix — the aggregation for per-instance series whose labels are
+// baked into the name (spitz_follower_lag_blocks{shard="0",…}).
+func (s Snapshot) Max(prefix string) (float64, bool) {
+	var max float64
+	found := false
+	for name, v := range s {
+		if !strings.HasPrefix(name, prefix) {
+			continue
+		}
+		if !found || v > max {
+			max = v
+		}
+		found = true
+	}
+	return max, found
+}
+
+// Sum returns the total across every series whose name starts with
+// prefix.
+func (s Snapshot) Sum(prefix string) (float64, bool) {
+	var sum float64
+	found := false
+	for name, v := range s {
+		if strings.HasPrefix(name, prefix) {
+			sum += v
+			found = true
+		}
+	}
+	return sum, found
+}
+
+// Rule is one declarative health condition over a registry snapshot.
+// The zero comparison fires when the value rises above Threshold; Below
+// inverts it (hit ratios). Delta evaluates the change between
+// consecutive snapshots instead of the level (error counters that only
+// ever rise). For debounces: the condition must hold continuously that
+// long before the rule fires (0 fires on the first breaching
+// evaluation). Sticky rules never return to ok on their own — the right
+// shape for tamper evidence, which a passing re-check does not unprove.
+type Rule struct {
+	Name     string
+	Severity Severity
+
+	// Series is the metric name the rule watches — exact, or a name
+	// prefix when Prefix is set (labels are baked into series names, so
+	// per-shard families share a prefix). Prefix rules evaluate the max
+	// across matches. Value, when non-nil, replaces series lookup
+	// entirely (computed quantities like cache hit ratios).
+	Series string
+	Prefix bool
+	Value  func(Snapshot) (float64, bool)
+
+	Threshold float64
+	Below     bool
+	Delta     bool
+	For       time.Duration
+	Sticky    bool
+}
+
+// value extracts the quantity the rule compares against Threshold.
+func (r Rule) value(s Snapshot) (float64, bool) {
+	if r.Value != nil {
+		return r.Value(s)
+	}
+	if r.Prefix {
+		return s.Max(r.Series)
+	}
+	return s.Get(r.Series)
+}
+
+// RuleState is one rule's current evaluation as served on /alertz.
+type RuleState struct {
+	Name      string    `json:"name"`
+	Severity  Severity  `json:"severity"`
+	State     string    `json:"state"` // "ok" | "pending" | "firing"
+	Value     float64   `json:"value"`
+	Threshold float64   `json:"threshold"`
+	Since     time.Time `json:"since,omitempty"` // when the current state began
+	LastEval  time.Time `json:"last_eval"`
+	Message   string    `json:"message,omitempty"`
+}
+
+// Firing reports whether the rule is in the firing state.
+func (s RuleState) Firing() bool { return s.State == "firing" }
+
+// Rules periodically snapshots a registry and evaluates health rules
+// against it. It has no dependencies beyond the registry itself: rules
+// see the same flattened series /metrics exports. Evaluation is
+// decoupled from serving — States and Health read the last evaluation
+// under a mutex, so admin handlers never block on a snapshot.
+type Rules struct {
+	reg      *Registry
+	interval time.Duration
+
+	mu     sync.Mutex
+	rules  []Rule
+	states []RuleState
+	prev   []float64 // last raw value per rule, for Delta
+	seen   []bool    // whether prev is valid
+
+	startOnce sync.Once
+	stop      chan struct{}
+	done      chan struct{}
+}
+
+// NewRules builds an evaluator over reg. It registers a scrape-time
+// emitter publishing spitz_alerts_firing (total firing rules) and
+// spitz_alert_firing{rule="…"} (0/1 per rule), so alert state is
+// visible on /metrics as well as /alertz. Call Start to begin periodic
+// evaluation, or drive EvaluateAt directly in tests.
+func NewRules(reg *Registry, rules []Rule, interval time.Duration) *Rules {
+	if interval <= 0 {
+		interval = 2 * time.Second
+	}
+	r := &Rules{
+		reg:      reg,
+		interval: interval,
+		rules:    rules,
+		states:   make([]RuleState, len(rules)),
+		prev:     make([]float64, len(rules)),
+		seen:     make([]bool, len(rules)),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	for i, rule := range rules {
+		r.states[i] = RuleState{
+			Name:      rule.Name,
+			Severity:  rule.Severity,
+			State:     "ok",
+			Threshold: rule.Threshold,
+		}
+	}
+	reg.RegisterEmitter(func(emit func(name string, value float64)) {
+		firing := 0
+		for _, s := range r.States() {
+			v := 0.0
+			if s.Firing() {
+				v = 1
+				firing++
+			}
+			emit(fmt.Sprintf("spitz_alert_firing{rule=%q}", s.Name), v)
+		}
+		emit("spitz_alerts_firing", float64(firing))
+	})
+	return r
+}
+
+// Start launches the evaluation loop. Safe to call once; Close stops it.
+func (r *Rules) Start() {
+	r.startOnce.Do(func() {
+		go func() {
+			defer close(r.done)
+			t := time.NewTicker(r.interval)
+			defer t.Stop()
+			for {
+				select {
+				case <-r.stop:
+					return
+				case <-t.C:
+					r.Evaluate()
+				}
+			}
+		}()
+	})
+}
+
+// Close stops the evaluation loop started by Start.
+func (r *Rules) Close() {
+	select {
+	case <-r.stop:
+	default:
+		close(r.stop)
+	}
+	select {
+	case <-r.done:
+	case <-time.After(time.Second):
+	}
+}
+
+// Evaluate runs one evaluation against the registry's current state.
+func (r *Rules) Evaluate() {
+	flat := r.reg.Flat()
+	snap := make(Snapshot, len(flat))
+	for _, m := range flat {
+		snap[m.Name] = m.Value
+	}
+	r.EvaluateAt(time.Now(), snap)
+}
+
+// EvaluateAt evaluates every rule against one snapshot at a given
+// instant — the injectable core of Evaluate, used directly by tests.
+func (r *Rules) EvaluateAt(now time.Time, snap Snapshot) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i := range r.rules {
+		rule := &r.rules[i]
+		st := &r.states[i]
+		st.LastEval = now
+
+		raw, ok := rule.value(snap)
+		if !ok {
+			// No data: a sticky firing rule holds; anything else reads ok.
+			if !(rule.Sticky && st.State == "firing") {
+				r.toState(st, "ok", now)
+				st.Message = "no data"
+			}
+			r.seen[i] = false
+			continue
+		}
+		v := raw
+		if rule.Delta {
+			if r.seen[i] {
+				v = raw - r.prev[i]
+			} else {
+				v = 0
+			}
+			r.prev[i] = raw
+			r.seen[i] = true
+		}
+		st.Value = v
+
+		breach := v > rule.Threshold
+		if rule.Below {
+			breach = v < rule.Threshold
+		}
+		cmp := ">"
+		if rule.Below {
+			cmp = "<"
+		}
+
+		switch {
+		case rule.Sticky && st.State == "firing":
+			// Tamper-class evidence: stays fired.
+		case !breach:
+			r.toState(st, "ok", now)
+			st.Message = ""
+		case st.State == "firing":
+			// Still breaching, still firing.
+		case st.State == "pending" && now.Sub(st.Since) >= rule.For:
+			r.toState(st, "firing", now)
+			st.Message = fmt.Sprintf("%s: %g %s %g", rule.Name, v, cmp, rule.Threshold)
+		case st.State == "ok":
+			if rule.For <= 0 {
+				r.toState(st, "firing", now)
+				st.Message = fmt.Sprintf("%s: %g %s %g", rule.Name, v, cmp, rule.Threshold)
+			} else {
+				r.toState(st, "pending", now)
+				st.Message = fmt.Sprintf("%s: %g %s %g for %s before firing", rule.Name, v, cmp, rule.Threshold, rule.For)
+			}
+		}
+	}
+}
+
+// toState transitions a rule, resetting Since only on actual change.
+func (r *Rules) toState(st *RuleState, state string, now time.Time) {
+	if st.State != state {
+		st.State = state
+		st.Since = now
+	}
+}
+
+// States returns a copy of every rule's current state.
+func (r *Rules) States() []RuleState {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]RuleState, len(r.states))
+	copy(out, r.states)
+	return out
+}
+
+// Health folds rule states into the /healthz status string: any firing
+// critical rule → "critical", any firing warn rule → "degraded",
+// otherwise "ok".
+func (r *Rules) Health() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	health := HealthOK
+	for i := range r.states {
+		if !r.states[i].Firing() {
+			continue
+		}
+		if r.states[i].Severity == SeverityCritical {
+			return HealthCritical
+		}
+		health = HealthDegraded
+	}
+	return health
+}
+
+// FiringCount returns how many rules are currently firing.
+func (r *Rules) FiringCount() int {
+	n := 0
+	for _, s := range r.States() {
+		if s.Firing() {
+			n++
+		}
+	}
+	return n
+}
+
+// StandardRuleOptions parameterizes StandardRules; zero values pick
+// production defaults.
+type StandardRuleOptions struct {
+	// FollowerLagBlocks is the replication lag (in blocks, max across
+	// followers) that degrades health. Default 64.
+	FollowerLagBlocks float64
+	// FollowerLagFor debounces the lag rule. Default 5s.
+	FollowerLagFor time.Duration
+	// WalFsyncP99 is the WAL fsync p99 that degrades health. Default 50ms.
+	WalFsyncP99 time.Duration
+	// WalFsyncFor debounces the fsync rule. Default 10s.
+	WalFsyncFor time.Duration
+	// CacheHitRatio is the node-store cache hit ratio floor. Default 0.5.
+	CacheHitRatio float64
+	// CacheMinLookups suppresses the ratio rule until the cache has seen
+	// this many lookups. Default 1000.
+	CacheMinLookups float64
+	// CacheFor debounces the cache rule. Default 30s.
+	CacheFor time.Duration
+}
+
+func (o *StandardRuleOptions) defaults() {
+	if o.FollowerLagBlocks == 0 {
+		o.FollowerLagBlocks = 64
+	}
+	if o.FollowerLagFor == 0 {
+		o.FollowerLagFor = 5 * time.Second
+	}
+	if o.WalFsyncP99 == 0 {
+		o.WalFsyncP99 = 50 * time.Millisecond
+	}
+	if o.WalFsyncFor == 0 {
+		o.WalFsyncFor = 10 * time.Second
+	}
+	if o.CacheHitRatio == 0 {
+		o.CacheHitRatio = 0.5
+	}
+	if o.CacheMinLookups == 0 {
+		o.CacheMinLookups = 1000
+	}
+	if o.CacheFor == 0 {
+		o.CacheFor = 30 * time.Second
+	}
+}
+
+// StandardRules is the stock Spitz rule set: tampering evidence is
+// critical, sticky and immediate; capacity/performance conditions are
+// debounced warnings.
+func StandardRules(o StandardRuleOptions) []Rule {
+	o.defaults()
+	return []Rule{
+		{
+			Name:     "audit-tampering",
+			Severity: SeverityCritical,
+			Series:   "spitz_audit_failures_total",
+			Sticky:   true,
+			// Threshold 0, For 0: a single failed audit is evidence of a
+			// lying server and fires immediately, forever.
+		},
+		{
+			Name:     "replica-poisoned",
+			Severity: SeverityCritical,
+			Series:   "spitz_replica_poisonings_total",
+			Sticky:   true,
+		},
+		{
+			Name:      "replication-lag",
+			Severity:  SeverityWarn,
+			Series:    "spitz_follower_lag_blocks",
+			Prefix:    true,
+			Threshold: o.FollowerLagBlocks,
+			For:       o.FollowerLagFor,
+		},
+		{
+			Name:     "replica-resyncs",
+			Severity: SeverityWarn,
+			Series:   "spitz_replica_resyncs_total",
+			Delta:    true,
+			// A resync in the last interval means verified replay caught a
+			// divergence and recovered; clears once resyncs stop.
+		},
+		{
+			Name:      "wal-fsync-p99",
+			Severity:  SeverityWarn,
+			Series:    `spitz_wal_fsync_ns{quantile="0.99"}`,
+			Threshold: float64(o.WalFsyncP99),
+			For:       o.WalFsyncFor,
+		},
+		{
+			Name:     "nodestore-errors",
+			Severity: SeverityWarn,
+			Series:   "spitz_nodestore_errors_total",
+			Sticky:   true,
+			// Any CAS read/write failure is sticky: the store may have
+			// served stale or partial state until an operator looks.
+		},
+		{
+			Name:      "nodestore-cache-hit-ratio",
+			Severity:  SeverityWarn,
+			Threshold: o.CacheHitRatio,
+			Below:     true,
+			For:       o.CacheFor,
+			Value: func(s Snapshot) (float64, bool) {
+				hits, _ := s.Get("spitz_nodestore_cache_hits_total")
+				misses, _ := s.Get("spitz_nodestore_cache_misses_total")
+				if hits+misses < o.CacheMinLookups {
+					return 0, false
+				}
+				return hits / (hits + misses), true
+			},
+		},
+	}
+}

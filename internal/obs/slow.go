@@ -1,0 +1,112 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultSlowLog is the process-wide slow-op ring the wire server
+// records into and /slowz serves.
+var DefaultSlowLog = NewSlowLog(256)
+
+var mSlowOps = Default.Counter("spitz_slow_ops_total")
+
+// SlowOp is one request whose wall time exceeded its op's threshold.
+// Unlike sampled traces there is no stage detail — the unsampled hot
+// path records only what it already has in hand when the request ends.
+type SlowOp struct {
+	Op      string        `json:"op"`
+	Start   time.Time     `json:"start"`
+	Latency time.Duration `json:"latency_ns"`
+	Shard   int           `json:"shard,omitempty"`
+	KeyHash uint64        `json:"key_hash,omitempty"`
+	Bytes   int           `json:"bytes,omitempty"`
+	Err     bool          `json:"err,omitempty"`
+}
+
+// SlowLog captures over-threshold requests independently of the trace
+// sampler, so tail events are never lost to 1-in-N sampling. The
+// hot-path check (Slow) is one atomic load when no per-op thresholds
+// are configured; only actual breaches take the ring lock.
+type SlowLog struct {
+	def    atomic.Int64 // default threshold in ns; <= 0 disables
+	hasOps atomic.Bool  // fast-path skip of the per-op map
+	ops    sync.Map     // op string -> int64 threshold ns (<= 0 disables that op)
+	total  atomic.Uint64
+
+	mu   sync.Mutex
+	ring []SlowOp
+	next int
+	n    int
+}
+
+// NewSlowLog returns a slow-op ring retaining the last keep entries,
+// with a 100ms default threshold for every op.
+func NewSlowLog(keep int) *SlowLog {
+	l := &SlowLog{ring: make([]SlowOp, keep)}
+	l.def.Store(int64(100 * time.Millisecond))
+	return l
+}
+
+// SetThreshold sets the default per-op latency threshold. Zero or
+// negative disables capture for ops without an explicit override.
+func (l *SlowLog) SetThreshold(d time.Duration) { l.def.Store(int64(d)) }
+
+// SetOpThreshold overrides the threshold for one op name. Zero or
+// negative disables capture for that op.
+func (l *SlowLog) SetOpThreshold(op string, d time.Duration) {
+	l.ops.Store(op, int64(d))
+	l.hasOps.Store(true)
+}
+
+// Threshold returns the threshold that applies to op.
+func (l *SlowLog) Threshold(op string) time.Duration {
+	if l.hasOps.Load() {
+		if v, ok := l.ops.Load(op); ok {
+			return time.Duration(v.(int64))
+		}
+	}
+	return time.Duration(l.def.Load())
+}
+
+// Slow reports whether a request with this op and latency breaches its
+// threshold — the per-request check on the unsampled hot path.
+func (l *SlowLog) Slow(op string, latency time.Duration) bool {
+	t := l.def.Load()
+	if l.hasOps.Load() {
+		if v, ok := l.ops.Load(op); ok {
+			t = v.(int64)
+		}
+	}
+	return t > 0 && latency > time.Duration(t)
+}
+
+// Record publishes one slow op to the ring.
+func (l *SlowLog) Record(op SlowOp) {
+	l.total.Add(1)
+	mSlowOps.Inc()
+	l.mu.Lock()
+	l.ring[l.next] = op
+	l.next = (l.next + 1) % len(l.ring)
+	if l.n < len(l.ring) {
+		l.n++
+	}
+	l.mu.Unlock()
+}
+
+// Recent returns the retained slow ops, newest first.
+func (l *SlowLog) Recent() []SlowOp {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]SlowOp, 0, l.n)
+	for i := 0; i < l.n; i++ {
+		idx := (l.next - 1 - i + len(l.ring)) % len(l.ring)
+		out = append(out, l.ring[idx])
+	}
+	return out
+}
+
+// Total returns how many slow ops have ever been recorded, including
+// entries the ring has since overwritten.
+func (l *SlowLog) Total() uint64 { return l.total.Load() }

@@ -1,0 +1,58 @@
+package obs
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestSlowLogThresholds(t *testing.T) {
+	l := NewSlowLog(8)
+	if l.Threshold("get") != 100*time.Millisecond {
+		t.Errorf("default threshold = %v, want 100ms", l.Threshold("get"))
+	}
+	if l.Slow("get", 50*time.Millisecond) {
+		t.Error("50ms counted slow under a 100ms threshold")
+	}
+	if !l.Slow("get", 150*time.Millisecond) {
+		t.Error("150ms not slow under a 100ms threshold")
+	}
+
+	l.SetOpThreshold("put", 10*time.Millisecond)
+	if !l.Slow("put", 20*time.Millisecond) {
+		t.Error("per-op threshold not applied")
+	}
+	if l.Slow("get", 20*time.Millisecond) {
+		t.Error("per-op threshold leaked to another op")
+	}
+
+	l.SetOpThreshold("snapshot", -1) // disable: snapshots are expected slow
+	if l.Slow("snapshot", time.Hour) {
+		t.Error("disabled op still counted slow")
+	}
+
+	l.SetThreshold(time.Millisecond)
+	if !l.Slow("get", 2*time.Millisecond) {
+		t.Error("lowered default threshold not applied")
+	}
+}
+
+func TestSlowLogRingOverflow(t *testing.T) {
+	l := NewSlowLog(4)
+	for i := 0; i < 10; i++ {
+		l.Record(SlowOp{Op: fmt.Sprintf("op-%d", i), Latency: time.Duration(i) * time.Millisecond})
+	}
+	if l.Total() != 10 {
+		t.Errorf("Total = %d, want 10", l.Total())
+	}
+	recent := l.Recent()
+	if len(recent) != 4 {
+		t.Fatalf("ring retained %d, want 4", len(recent))
+	}
+	// Newest first, oldest overwritten.
+	for i, want := range []string{"op-9", "op-8", "op-7", "op-6"} {
+		if recent[i].Op != want {
+			t.Errorf("recent[%d] = %q, want %q", i, recent[i].Op, want)
+		}
+	}
+}

@@ -1,0 +1,181 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+func span(traceID, spanID, parentID uint64, node, op string, startMs, durMs int) TraceSnapshot {
+	base := time.Unix(2000, 0)
+	return TraceSnapshot{
+		TraceID:  traceID,
+		SpanID:   spanID,
+		ParentID: parentID,
+		Node:     node,
+		Op:       op,
+		Start:    base.Add(time.Duration(startMs) * time.Millisecond),
+		Total:    time.Duration(durMs) * time.Millisecond,
+	}
+}
+
+// TestStitchCrossNode stitches a client root, two shard-server children
+// and a replica grandchild into one parent-first timeline.
+func TestStitchCrossNode(t *testing.T) {
+	spans := []TraceSnapshot{
+		// Deliberately out of order: children before the root.
+		span(7, 30, 10, "shard-1", "get", 2, 3),
+		span(7, 20, 10, "shard-0", "get", 1, 4),
+		span(7, 40, 20, "replica", "prefix-proof", 3, 1),
+		span(7, 10, 0, "client", "client.get-verified", 0, 10),
+		span(9, 50, 0, "client", "other-trace", 5, 1),
+		span(0, 60, 0, "", "legacy-untraced", 0, 1), // zero trace ID: ignored
+	}
+	traces := Stitch(spans)
+	if len(traces) != 2 {
+		t.Fatalf("stitched %d traces, want 2", len(traces))
+	}
+	// Newest first: trace 9 started at +5ms.
+	if traces[0].TraceID != 9 || traces[1].TraceID != 7 {
+		t.Fatalf("trace order = %d, %d", traces[0].TraceID, traces[1].TraceID)
+	}
+	tr := traces[1]
+	if tr.Dropped != 0 {
+		t.Errorf("dropped %d honest spans", tr.Dropped)
+	}
+	wantOrder := []struct {
+		spanID uint64
+		depth  int
+	}{
+		{10, 0}, // client root
+		{20, 1}, // shard-0 (started first)
+		{40, 2}, // replica leg under shard-0
+		{30, 1}, // shard-1
+	}
+	if len(tr.Spans) != len(wantOrder) {
+		t.Fatalf("stitched %d spans, want %d", len(tr.Spans), len(wantOrder))
+	}
+	for i, w := range wantOrder {
+		if tr.Spans[i].SpanID != w.spanID || tr.Spans[i].Depth != w.depth {
+			t.Errorf("span %d = id %d depth %d, want id %d depth %d",
+				i, tr.Spans[i].SpanID, tr.Spans[i].Depth, w.spanID, w.depth)
+		}
+	}
+	if tr.Start != spans[3].Start {
+		t.Errorf("trace start = %v, want the root's", tr.Start)
+	}
+	if tr.Total != 10*time.Millisecond {
+		t.Errorf("trace total = %v, want 10ms", tr.Total)
+	}
+}
+
+// TestStitchRejectsForged drops spans with zero, duplicate, self-parent
+// or cyclic IDs, counting them, while keeping the honest ones.
+func TestStitchRejectsForged(t *testing.T) {
+	spans := []TraceSnapshot{
+		span(7, 10, 0, "client", "root", 0, 10),
+		span(7, 20, 10, "server", "get", 1, 2),
+		span(7, 0, 10, "evil", "zero-span-id", 1, 1),
+		span(7, 20, 10, "evil", "duplicate-span-id", 2, 1),
+		span(7, 30, 30, "evil", "self-parent", 3, 1),
+		// Forged parent cycle: 40 -> 50 -> 40.
+		span(7, 40, 50, "evil", "cycle-a", 4, 1),
+		span(7, 50, 40, "evil", "cycle-b", 4, 1),
+	}
+	traces := Stitch(spans)
+	if len(traces) != 1 {
+		t.Fatalf("stitched %d traces, want 1", len(traces))
+	}
+	tr := traces[0]
+	if tr.Dropped != 5 {
+		t.Errorf("dropped = %d, want 5", tr.Dropped)
+	}
+	if len(tr.Spans) != 2 {
+		t.Fatalf("kept %d spans, want 2 honest ones", len(tr.Spans))
+	}
+	if tr.Spans[0].SpanID != 10 || tr.Spans[1].SpanID != 20 {
+		t.Errorf("kept spans %d, %d", tr.Spans[0].SpanID, tr.Spans[1].SpanID)
+	}
+}
+
+// TestStitchOrphan keeps a span whose parent was not captured (e.g. the
+// client's ring rolled over) at depth 0 rather than dropping it.
+func TestStitchOrphan(t *testing.T) {
+	traces := Stitch([]TraceSnapshot{span(7, 20, 99, "server", "get", 1, 2)})
+	if len(traces) != 1 || len(traces[0].Spans) != 1 {
+		t.Fatalf("orphan span lost: %+v", traces)
+	}
+	if traces[0].Spans[0].Depth != 0 {
+		t.Errorf("orphan depth = %d, want 0", traces[0].Spans[0].Depth)
+	}
+}
+
+func TestRootContinueChild(t *testing.T) {
+	tr := NewTracer(1, 16)
+	root := tr.Root("client.get", "client")
+	if root == nil {
+		t.Fatal("1-in-1 Root returned nil")
+	}
+	traceID, spanID, ok := root.Context()
+	if !ok || traceID == 0 || spanID == 0 {
+		t.Fatalf("root context = %d/%d/%v", traceID, spanID, ok)
+	}
+
+	// Server-side continuation always records when context is present.
+	cont := tr.Continue("get", "server", traceID, spanID)
+	if cont == nil {
+		t.Fatal("Continue returned nil for live context")
+	}
+	child := cont.ChildAt("twopc.prepare", "shard-1")
+	child.Finish()
+	cont.Finish()
+	root.Finish()
+
+	// No context → no span; disabled tracer → no span.
+	if tr.Continue("get", "server", 0, 0) != nil {
+		t.Error("Continue minted a span with zero trace ID")
+	}
+	tr.SetSampleEvery(0)
+	if tr.Continue("get", "server", traceID, spanID) != nil {
+		t.Error("Continue minted a span with tracing disabled")
+	}
+
+	stitched := Stitch(tr.Recent())
+	if len(stitched) != 1 {
+		t.Fatalf("stitched %d traces, want 1", len(stitched))
+	}
+	got := stitched[0]
+	if len(got.Spans) != 3 || got.Dropped != 0 {
+		t.Fatalf("stitched spans = %d (dropped %d), want 3", len(got.Spans), got.Dropped)
+	}
+	if got.Spans[0].Op != "client.get" || got.Spans[0].Depth != 0 ||
+		got.Spans[1].Op != "get" || got.Spans[1].Depth != 1 ||
+		got.Spans[2].Op != "twopc.prepare" || got.Spans[2].Depth != 2 {
+		t.Errorf("stitched timeline wrong: %+v", got.Spans)
+	}
+	if got.Spans[2].Node != "shard-1" {
+		t.Errorf("ChildAt node = %q", got.Spans[2].Node)
+	}
+
+	// Nil-safety of the context/child API on unsampled traces.
+	var nilTr *Trace
+	if _, _, ok := nilTr.Context(); ok {
+		t.Error("nil trace has context")
+	}
+	if nilTr.Child("x") != nil || nilTr.ChildAt("x", "y") != nil {
+		t.Error("nil trace minted children")
+	}
+}
+
+func TestIDUniqueness(t *testing.T) {
+	seen := make(map[uint64]bool, 4096)
+	for i := 0; i < 4096; i++ {
+		id := newID()
+		if id == 0 {
+			t.Fatal("zero ID minted")
+		}
+		if seen[id] {
+			t.Fatalf("duplicate ID %x after %d draws", id, i)
+		}
+		seen[id] = true
+	}
+}

@@ -276,14 +276,21 @@ func (r *Replica) onBlock(height uint64, frame []byte) (uint64, error) {
 		// A gap cannot be applied; reconnecting renegotiates the start.
 		return 0, fmt.Errorf("repl: stream gap: got block %d, replica at height %d", rec.Height, cur)
 	}
+	// Block-apply has no inbound trace context (the stream was opened
+	// long before this block's transaction), so apply spans are sampled
+	// replica-local roots rather than children of the write's trace.
+	tr := obs.DefaultTracer.Root("repl.apply", "replica")
 	applyStart := time.Now()
 	if _, err := eng.ReplayBlock(rec); err != nil {
+		tr.Finish()
 		// Verified replay failed: the frame does not reproduce its logged
 		// hash on our chain. Either the primary rewrote history (honest
 		// only after losing an unsynced tail) or it is lying; resync from
 		// scratch and give up if that keeps happening.
 		return 0, r.resync(fmt.Errorf("repl: block %d failed verified replay: %w", rec.Height, err))
 	}
+	tr.Stage("repl.replay-block", applyStart)
+	tr.Finish()
 	mRepApplyNs.ObserveSince(applyStart)
 	mRepBlocksApplied.Inc()
 	mRepBytesApplied.Add(uint64(len(frame)))

@@ -16,6 +16,7 @@ import (
 	"spitz/internal/durable"
 	"spitz/internal/ledger"
 	"spitz/internal/mtree"
+	"spitz/internal/obs"
 	"spitz/internal/twopc"
 	"spitz/internal/txn"
 	"spitz/internal/txn/hlc"
@@ -267,6 +268,13 @@ func (c *Cluster) Checkpoint() error {
 // two-phase commit, so a batch is never half-applied. It returns the
 // coordinator's commit timestamp.
 func (c *Cluster) Apply(statement string, puts []core.Put) (uint64, error) {
+	return c.applyTraced(nil, statement, puts)
+}
+
+// applyTraced is Apply threading the serving request's trace into the
+// 2PC coordinator, so per-shard prepare/commit legs appear as child
+// spans of the write that caused them.
+func (c *Cluster) applyTraced(tr *obs.Trace, statement string, puts []core.Put) (uint64, error) {
 	if len(puts) == 0 {
 		return 0, errors.New("server: empty write batch")
 	}
@@ -287,7 +295,7 @@ func (c *Cluster) Apply(statement string, puts []core.Put) (uint64, error) {
 			Writes:    byShard[si],
 		})
 	}
-	return c.coord.Execute(reqs)
+	return c.coord.ExecuteTraced(tr, reqs)
 }
 
 // sortedShards returns the map's shard indices in ascending order: 2PC
@@ -332,7 +340,7 @@ func (c *Cluster) GetVerified(table, column string, pk []byte) (int, core.Verifi
 // before a (hypothetical) reshard; with stable routing only the owning
 // shard contributes.
 func (c *Cluster) History(table, column string, pk []byte) ([]cellstore.Cell, error) {
-	parts, err := c.scatter(func(eng *core.Engine) ([]cellstore.Cell, error) {
+	parts, err := c.scatter(nil, "history", func(eng *core.Engine) ([]cellstore.Cell, error) {
 		return eng.History(table, column, pk)
 	})
 	if err != nil {
@@ -347,7 +355,11 @@ func (c *Cluster) History(table, column string, pk []byte) ([]cellstore.Cell, er
 // [pkLo, pkHi) across every shard in parallel, merging the per-shard
 // results into one pk-ordered scan.
 func (c *Cluster) RangePK(table, column string, pkLo, pkHi []byte) ([]cellstore.Cell, error) {
-	parts, err := c.scatter(func(eng *core.Engine) ([]cellstore.Cell, error) {
+	return c.rangePKTraced(nil, table, column, pkLo, pkHi)
+}
+
+func (c *Cluster) rangePKTraced(tr *obs.Trace, table, column string, pkLo, pkHi []byte) ([]cellstore.Cell, error) {
+	parts, err := c.scatter(tr, "scatter.range", func(eng *core.Engine) ([]cellstore.Cell, error) {
 		return eng.RangePK(table, column, pkLo, pkHi)
 	})
 	if err != nil {
@@ -360,7 +372,11 @@ func (c *Cluster) RangePK(table, column string, pkLo, pkHi []byte) ([]cellstore.
 // value, gathered from every shard's inverted index in parallel
 // (requires Options.MaintainInverted).
 func (c *Cluster) LookupEqual(table, column string, value []byte) ([]cellstore.Cell, error) {
-	parts, err := c.scatter(func(eng *core.Engine) ([]cellstore.Cell, error) {
+	return c.lookupEqualTraced(nil, table, column, value)
+}
+
+func (c *Cluster) lookupEqualTraced(tr *obs.Trace, table, column string, value []byte) ([]cellstore.Cell, error) {
+	parts, err := c.scatter(tr, "scatter.lookup-eq", func(eng *core.Engine) ([]cellstore.Cell, error) {
 		return eng.LookupEqual(table, column, value)
 	})
 	if err != nil {
@@ -370,8 +386,9 @@ func (c *Cluster) LookupEqual(table, column string, value []byte) ([]cellstore.C
 }
 
 // scatter runs fn against every shard engine concurrently and collects
-// the per-shard results in shard order.
-func (c *Cluster) scatter(fn func(*core.Engine) ([]cellstore.Cell, error)) ([][]cellstore.Cell, error) {
+// the per-shard results in shard order. When the originating request is
+// traced, each shard's leg records a child span named op.
+func (c *Cluster) scatter(tr *obs.Trace, op string, fn func(*core.Engine) ([]cellstore.Cell, error)) ([][]cellstore.Cell, error) {
 	parts := make([][]cellstore.Cell, len(c.shards))
 	errs := make([]error, len(c.shards))
 	var wg sync.WaitGroup
@@ -379,7 +396,9 @@ func (c *Cluster) scatter(fn func(*core.Engine) ([]cellstore.Cell, error)) ([][]
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
+			leg := tr.ChildAt(op, shardName(i))
 			parts[i], errs[i] = fn(c.shards[i].eng)
+			leg.Finish()
 		}(i)
 	}
 	wg.Wait()
@@ -645,7 +664,7 @@ func (c *Cluster) Handle(req wire.Request) wire.Response {
 			puts[i] = core.Put{Table: p.Table, Column: p.Column, PK: p.PK,
 				Value: p.Value, Tombstone: p.Tombstone}
 		}
-		version, err := c.Apply(req.Statement, puts)
+		version, err := c.applyTraced(req.Trace(), req.Statement, puts)
 		if err != nil {
 			return wire.Response{Err: err.Error()}
 		}
@@ -657,24 +676,24 @@ func (c *Cluster) Handle(req wire.Request) wire.Response {
 		if req.Shard > len(c.shards) {
 			return wire.Response{Err: fmt.Sprintf("wire: shard %d beyond cluster of %d", req.Shard-1, len(c.shards))}
 		}
-		resp := wire.Dispatch(c.shards[req.Shard-1].eng, req)
+		resp := c.dispatchShard(req.Shard-1, req)
 		resp.Shard = req.Shard
 		return resp
 	}
 	switch req.Op {
 	case wire.OpGet, wire.OpGetVerified, wire.OpHistory:
 		si := c.ShardFor(req.PK)
-		resp := wire.Dispatch(c.shards[si].eng, req)
+		resp := c.dispatchShard(si, req)
 		resp.Shard = si + 1
 		return resp
 	case wire.OpRange:
-		cells, err := c.RangePK(req.Table, req.Column, req.PK, req.PKHi)
+		cells, err := c.rangePKTraced(req.Trace(), req.Table, req.Column, req.PK, req.PKHi)
 		if err != nil {
 			return wire.Response{Err: err.Error()}
 		}
 		return wire.Response{Found: len(cells) > 0, Cells: cells}
 	case wire.OpLookupEq:
-		cells, err := c.LookupEqual(req.Table, req.Column, req.Value)
+		cells, err := c.lookupEqualTraced(req.Trace(), req.Table, req.Column, req.Value)
 		if err != nil {
 			return wire.Response{Err: err.Error()}
 		}
@@ -689,6 +708,18 @@ func (c *Cluster) Handle(req wire.Request) wire.Response {
 	default:
 		return wire.Response{Err: fmt.Sprintf("wire: unknown op %q", req.Op)}
 	}
+}
+
+// dispatchShard routes a request to one shard's engine. A traced
+// request gets a child span labelled with the owning shard, so the
+// engine's proof/ledger stages land on a per-shard span in the stitched
+// timeline rather than on the cluster-level server span.
+func (c *Cluster) dispatchShard(si int, req wire.Request) wire.Response {
+	leg := req.Trace().ChildAt("shard.dispatch", shardName(si))
+	req.SetTrace(leg)
+	resp := wire.Dispatch(c.shards[si].eng, req)
+	leg.Finish()
+	return resp
 }
 
 // Compile-time interface check.

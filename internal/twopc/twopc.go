@@ -95,6 +95,13 @@ type Request struct {
 // the coordinator's commit timestamp is returned. On abort, ErrAborted
 // wraps the first failing shard's vote.
 func (c *Coordinator) Execute(reqs []Request) (uint64, error) {
+	return c.ExecuteTraced(nil, reqs)
+}
+
+// ExecuteTraced is Execute carrying the request's trace: each shard's
+// prepare and commit leg records a child span, so a stitched timeline
+// shows which participant a cross-shard write was waiting on.
+func (c *Coordinator) ExecuteTraced(tr *obs.Trace, reqs []Request) (uint64, error) {
 	c.mu.Lock()
 	c.nextID++
 	id := c.nextID
@@ -117,7 +124,9 @@ func (c *Coordinator) Execute(reqs []Request) (uint64, error) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
+			leg := tr.ChildAt("twopc.prepare", reqs[i].Shard)
 			errs[i] = parts[i].Prepare(id, reqs[i])
+			leg.Finish()
 		}(i)
 	}
 	wg.Wait()
@@ -147,7 +156,9 @@ func (c *Coordinator) Execute(reqs []Request) (uint64, error) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
+			leg := tr.ChildAt("twopc.commit", reqs[i].Shard)
 			errs[i] = parts[i].Commit(id, version)
+			leg.Finish()
 		}(i)
 	}
 	wg.Wait()

@@ -54,6 +54,10 @@ const (
 	reqSnapshot
 	reqShard
 	reqHeight
+	// reqTrace carries distributed trace context (trace ID + parent span
+	// ID, two fixed u64s). Absent on the unsampled majority, so the hot
+	// path's encoding is byte-identical to a build without tracing.
+	reqTrace
 )
 
 // AppendRequest appends req's binary encoding.
@@ -103,6 +107,9 @@ func AppendRequest(dst []byte, req *Request) []byte {
 	if req.Height != 0 {
 		bits |= reqHeight
 	}
+	if req.traceID != 0 {
+		bits |= reqTrace
+	}
 	dst = binenc.AppendUvarint(dst, bits)
 	if bits&reqTable != 0 {
 		dst = binenc.AppendString(dst, req.Table)
@@ -145,6 +152,10 @@ func AppendRequest(dst []byte, req *Request) []byte {
 	}
 	if bits&reqHeight != 0 {
 		dst = binenc.AppendUvarint(dst, req.Height)
+	}
+	if bits&reqTrace != 0 {
+		dst = binenc.AppendUint64(dst, req.traceID)
+		dst = binenc.AppendUint64(dst, req.parentSpan)
 	}
 	return dst
 }
@@ -252,6 +263,14 @@ func DecodeRequest(src []byte) (Request, error) {
 	}
 	if bits&reqHeight != 0 {
 		if req.Height, src, err = binenc.ReadUvarint(src); err != nil {
+			return req, err
+		}
+	}
+	if bits&reqTrace != 0 {
+		if req.traceID, src, err = binenc.ReadUint64(src); err != nil {
+			return req, err
+		}
+		if req.parentSpan, src, err = binenc.ReadUint64(src); err != nil {
 			return req, err
 		}
 	}

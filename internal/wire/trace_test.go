@@ -1,0 +1,151 @@
+package wire
+
+import (
+	"testing"
+
+	"spitz/internal/core"
+	"spitz/internal/obs"
+)
+
+// sampleAll cranks the process tracer to 1-in-1 for the test and
+// restores the production rate afterwards.
+func sampleAll(t *testing.T) {
+	t.Helper()
+	obs.DefaultTracer.SetSampleEvery(1)
+	t.Cleanup(func() { obs.DefaultTracer.SetSampleEvery(128) })
+}
+
+// findSpan returns the newest recorded span with the given op, if any.
+func findSpan(op string) (obs.TraceSnapshot, bool) {
+	for _, s := range obs.DefaultTracer.Recent() {
+		if s.Op == op {
+			return s, true
+		}
+	}
+	return obs.TraceSnapshot{}, false
+}
+
+// TestTraceContextOverWire asserts the binary framing carries the
+// client's trace context: the server-side span continues the client's
+// trace ID with the client span as parent, instead of minting a fresh
+// server-local trace.
+func TestTraceContextOverWire(t *testing.T) {
+	sampleAll(t)
+	cl, _ := startServer(t)
+	if cl.Proto() != ProtoBinary {
+		t.Skipf("transport negotiated %q; trace context needs the binary framing", cl.Proto())
+	}
+	if _, err := cl.Do(Request{Op: OpPut, Statement: "seed", Puts: putBatch(4)}); err != nil {
+		t.Fatal(err)
+	}
+
+	root := obs.DefaultTracer.Root("client.test-read", "client")
+	traceID, spanID, ok := root.Context()
+	if !ok {
+		t.Fatal("root has no context at 1-in-1 sampling")
+	}
+	req := Request{Op: OpGet, Table: "t", Column: "c", PK: []byte("pk0001")}
+	req.SetTrace(root)
+	if _, err := cl.Do(req); err != nil {
+		t.Fatal(err)
+	}
+	root.Finish()
+
+	srvSpan, found := findSpan("get")
+	if !found {
+		t.Fatal("server recorded no span for the traced get")
+	}
+	if srvSpan.TraceID != traceID {
+		t.Errorf("server span trace ID %x, want the client's %x", srvSpan.TraceID, traceID)
+	}
+	if srvSpan.ParentID != spanID {
+		t.Errorf("server span parent %x, want the client root span %x", srvSpan.ParentID, spanID)
+	}
+	if srvSpan.Node != "server" {
+		t.Errorf("server span node = %q, want the default \"server\"", srvSpan.Node)
+	}
+}
+
+// TestTraceDegradesOverGob asserts the legacy gob framing degrades to
+// server-local sampling instead of breaking: the server span exists but
+// carries its own trace ID (gob never sees the unexported context).
+func TestTraceDegradesOverGob(t *testing.T) {
+	sampleAll(t)
+	eng := core.New(core.Options{})
+	srv := NewServer(eng)
+	srv.LegacyGobOnly = true
+	ln, _ := Listen()
+	go srv.Serve(ln)
+	t.Cleanup(func() { srv.Close() })
+	cl, err := Connect(ln)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cl.Close() })
+	if _, err := cl.Do(Request{Op: OpPut, Statement: "seed", Puts: putBatch(4)}); err != nil {
+		t.Fatal(err)
+	}
+
+	root := obs.DefaultTracer.Root("client.gob-read", "client")
+	traceID, _, _ := root.Context()
+	req := Request{Op: OpGet, Table: "t", Column: "c", PK: []byte("pk0001")}
+	req.SetTrace(root)
+	if _, err := cl.Do(req); err != nil {
+		t.Fatal(err)
+	}
+	root.Finish()
+
+	srvSpan, found := findSpan("get")
+	if !found {
+		t.Fatal("gob server recorded no span (server-local sampling broken)")
+	}
+	if srvSpan.TraceID == traceID {
+		t.Error("gob framing carried the trace context; expected server-local degradation")
+	}
+	if srvSpan.ParentID != 0 {
+		t.Errorf("gob server span has parent %x, want a fresh root", srvSpan.ParentID)
+	}
+}
+
+// TestSetTraceSurvivesReencode is the regression test for the silent
+// trace drop at in-process hops: SetTrace captures the wire-form
+// context, so a request attached to a trace in one process and
+// re-encoded toward another server still carries it.
+func TestSetTraceSurvivesReencode(t *testing.T) {
+	sampleAll(t)
+	root := obs.DefaultTracer.Root("hop", "router")
+	wantTrace, wantSpan, _ := root.Context()
+
+	req := Request{Op: OpGet, Table: "t", Column: "c", PK: []byte("k")}
+	req.SetTrace(root)
+	if gotT, gotS := req.TraceContext(); gotT != wantTrace || gotS != wantSpan {
+		t.Fatalf("TraceContext = %x/%x, want %x/%x", gotT, gotS, wantTrace, wantSpan)
+	}
+
+	// Round-trip through the binary codec — the re-encode a proxying hop
+	// performs — and check the context survived.
+	enc := AppendRequest(nil, &req)
+	dec, err := DecodeRequest(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotT, gotS := dec.TraceContext()
+	if gotT != wantTrace || gotS != wantSpan {
+		t.Errorf("re-encoded context = %x/%x, want %x/%x", gotT, gotS, wantTrace, wantSpan)
+	}
+
+	// An untraced request encodes no context at all — and decodes to none.
+	plain := Request{Op: OpGet, Table: "t", Column: "c", PK: []byte("k")}
+	encPlain := AppendRequest(nil, &plain)
+	decPlain, err := DecodeRequest(encPlain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotT, gotS := decPlain.TraceContext(); gotT != 0 || gotS != 0 {
+		t.Errorf("untraced request decoded context %x/%x", gotT, gotS)
+	}
+	if len(encPlain) >= len(enc) {
+		t.Errorf("untraced encoding (%dB) not smaller than traced (%dB)", len(encPlain), len(enc))
+	}
+	root.Finish()
+}

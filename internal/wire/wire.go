@@ -134,17 +134,43 @@ type Request struct {
 	// applying a block (OpReplAck).
 	Height uint64
 
-	// trace is the sampled request trace attached by the serving wire
-	// server (nil for the unsampled majority). Unexported, so it never
-	// crosses the wire — gob only encodes exported fields — but it rides
-	// the Request value through Handler implementations into Dispatch,
-	// which threads it down the engine/ledger proof stages.
+	// trace is the live span for this request (nil for the unsampled
+	// majority). It rides the Request value through Handler
+	// implementations into Dispatch, which threads it down the
+	// engine/ledger proof stages. The pointer itself never crosses the
+	// wire; traceID/parentSpan below are its wire form.
 	trace *obs.Trace
+
+	// traceID/parentSpan carry the distributed trace context. SetTrace
+	// fills them from the attached span, the binary codec serializes
+	// them (a presence-bitmap field — zero bytes when absent), and the
+	// serving side's execute continues the trace as a child span. The
+	// legacy gob framing does not carry them (gob encodes only exported
+	// fields), so gob hops degrade to server-local sampling.
+	traceID    uint64
+	parentSpan uint64
 }
 
-// SetTrace attaches a sampled trace to an in-process request — used by
-// tests and embedding servers; the wire server attaches its own.
-func (r *Request) SetTrace(tr *obs.Trace) { r.trace = tr }
+// SetTrace attaches a live span to a request. The span pointer rides
+// in-process hops (a cluster routing to its shard engines passes the
+// same Request value); for wire hops the span's trace ID and span ID
+// are captured alongside so the binary codec propagates the context and
+// the remote server continues the trace.
+func (r *Request) SetTrace(tr *obs.Trace) {
+	r.trace = tr
+	r.traceID, r.parentSpan, _ = tr.Context()
+}
+
+// TraceContext returns the distributed trace context this request
+// carries (zero values when untraced).
+func (r *Request) TraceContext() (traceID, parentSpan uint64) {
+	return r.traceID, r.parentSpan
+}
+
+// Trace returns the live span attached to this request (nil for the
+// unsampled majority). Handlers that fan out use it to open child
+// spans for each leg.
+func (r *Request) Trace() *obs.Trace { return r.trace }
 
 // Response is the server -> client message.
 type Response struct {
@@ -371,6 +397,10 @@ type Server struct {
 	// the handler or the engine's basic counters. Set before Serve.
 	Stats func() Stats
 
+	// Node labels this server's spans in stitched distributed traces
+	// ("shard-0", "replica"). Empty means "server". Set before Serve.
+	Node string
+
 	// LegacyGobOnly disables binary-framing negotiation, making the
 	// server behave like a pre-v2 release: every connection is treated
 	// as a gob stream, so a binary hello fails to decode and the
@@ -550,11 +580,19 @@ func (s *Server) handleGob(conn net.Conn, cc countingConn, br *bufio.Reader) {
 		err := enc.Encode(resp)
 		tr.Stage("wire.encode", encStart)
 		tr.Finish()
-		recordOp(req.Op, start, resp.Err != "")
+		recordOp(&req, start, resp.Err != "", 0)
 		if err != nil {
 			return
 		}
 	}
+}
+
+// nodeName returns the span label for this server's side of a trace.
+func (s *Server) nodeName() string {
+	if s.Node != "" {
+		return s.Node
+	}
+	return "server"
 }
 
 // execute runs one request through the server's handler chain and
@@ -562,8 +600,16 @@ func (s *Server) handleGob(conn net.Conn, cc countingConn, br *bufio.Reader) {
 // each framing can attribute its own encode cost before finishing.
 func (s *Server) execute(req Request, proto string) (Response, *obs.Trace, time.Time) {
 	start := time.Now()
-	tr := obs.DefaultTracer.Sample(string(req.Op))
-	req.trace = tr
+	var tr *obs.Trace
+	if req.traceID != 0 {
+		// The client sampled this request and sent its trace context:
+		// continue the distributed trace rather than re-rolling the
+		// sampler, so every leg of a sampled fan-out is captured.
+		tr = obs.DefaultTracer.Continue(string(req.Op), s.nodeName(), req.traceID, req.parentSpan)
+	} else {
+		tr = obs.DefaultTracer.Root(string(req.Op), s.nodeName())
+	}
+	req.SetTrace(tr)
 	var resp Response
 	s.mu.Lock()
 	h := s.handler
@@ -692,11 +738,12 @@ func (s *Server) answerBinary(fw *frameWriter, tag uint32, req Request) error {
 	}
 	out := getBuf()
 	out.b = AppendResponse(out.b[:0], &resp)
+	respBytes := len(out.b)
 	err := fw.writeFrame(tag, out.b)
 	putBuf(out)
 	tr.Stage("wire.encode", encStart)
 	tr.Finish()
-	recordOp(req.Op, start, resp.Err != "")
+	recordOp(&req, start, resp.Err != "", respBytes)
 	return err
 }
 
@@ -760,17 +807,44 @@ func (s *Server) pumpRepl(fw *frameWriter, tag uint32, feed ReplFeed, connDone <
 	}
 }
 
-// recordOp updates the per-op serve metrics for one completed request.
-func recordOp(op Op, start time.Time, failed bool) {
+// recordOp updates the per-op serve metrics for one completed request
+// and, independently of the trace sampler, captures over-threshold
+// requests to the slow-op ring so tail events survive 1-in-N sampling.
+// respBytes is the encoded response size (0 on the gob framing, which
+// never sees its encoded length).
+func recordOp(req *Request, start time.Time, failed bool, respBytes int) {
 	count, errs, lat := mOpCountOther, mOpErrsOther, mOpLatencyOther
-	if c, ok := mOpCount[op]; ok {
-		count, errs, lat = c, mOpErrs[op], mOpLatency[op]
+	if c, ok := mOpCount[req.Op]; ok {
+		count, errs, lat = c, mOpErrs[req.Op], mOpLatency[req.Op]
 	}
 	count.Inc()
 	if failed {
 		errs.Inc()
 	}
-	lat.ObserveSince(start)
+	elapsed := time.Since(start)
+	lat.Observe(uint64(elapsed))
+	if obs.DefaultSlowLog.Slow(string(req.Op), elapsed) {
+		obs.DefaultSlowLog.Record(obs.SlowOp{
+			Op:      string(req.Op),
+			Start:   start,
+			Latency: elapsed,
+			Shard:   req.Shard,
+			KeyHash: keyHash(req.PK),
+			Bytes:   respBytes,
+			Err:     failed,
+		})
+	}
+}
+
+// keyHash is FNV-1a over the request's primary key — enough to group
+// slow ops by key without putting raw keys on an ops endpoint.
+func keyHash(pk []byte) uint64 {
+	h := uint64(14695981039346656037)
+	for _, b := range pk {
+		h ^= uint64(b)
+		h *= 1099511628211
+	}
+	return h
 }
 
 // streamRepl serves one replication stream: block frames flow out,

@@ -119,6 +119,7 @@ func (r *Replica) WaitForHeight(i int, height uint64, timeout time.Duration) err
 // refused; reads follow the primary's routing rules.
 func (r *Replica) Serve(ln net.Listener) error {
 	srv := wire.NewHandlerServer(r.set)
+	srv.Node = "replica"
 	srv.LegacyGobOnly = r.LegacyGobWire
 	srv.Stats = r.set.WireStats
 	return srv.Serve(ln)

@@ -436,6 +436,7 @@ func (db *DB) Serve(ln net.Listener) error {
 	// leave this listener serving the discarded engine.
 	db.mu.Lock()
 	srv := wire.NewServer(db.eng)
+	srv.Node = "primary"
 	srv.LegacyGobOnly = db.LegacyGobWire
 	if db.dur == nil {
 		srv.Restore = func(snapshot []byte) (*core.Engine, error) {
