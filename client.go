@@ -277,32 +277,42 @@ func (l shardLink) checkLag(d, cur Digest) error {
 }
 
 // syncAndVerify advances the link's trusted digest as needed and checks
-// p, which the server produced against digest d. The whole flow runs
-// under the link's mutex so concurrent verified reads cannot interleave
-// digest refreshes and report tampering the honest server never
-// committed.
+// p, which the server produced against digest d.
+func (l shardLink) syncAndVerify(tr *obs.Trace, d Digest, p *Proof) error {
+	return l.syncAndVerifyWith(tr, d,
+		func() error { return l.v.VerifyNow(*p) },
+		func() error { return l.v.VerifyAsOf(*p, d) })
+}
+
+// syncAndVerifyWith is the digest-advance flow every proof-carrying read
+// shares; the closures perform the final proof check against the current
+// trusted digest (verifyNow) or against d once d is proven a prefix of
+// it (verifyAsOf) — a point/range Proof and an aggregated BatchProof
+// differ only there. The whole flow runs under the link's mutex so
+// concurrent verified reads cannot interleave digest refreshes and
+// report tampering the honest server never committed.
 //
 // When the trusted digest has already moved past d (a concurrent read
 // synced a newer state), the proof cannot verify against the trusted
 // digest — but it is still an honest statement about an older ledger
 // state. One atomic server call returns two consistency proofs: trusted
 // digest → current (advancing trust) and d → current (showing d is a
-// genuine prefix of the same history); with both verified, p is checked
-// against d itself. This converges in one round trip under any write
-// churn, where refetch-until-current would livelock.
-func (l shardLink) syncAndVerify(tr *obs.Trace, d Digest, p *Proof) error {
+// genuine prefix of the same history); with both verified, the proof is
+// checked against d itself. This converges in one round trip under any
+// write churn, where refetch-until-current would livelock.
+func (l shardLink) syncAndVerifyWith(tr *obs.Trace, d Digest, verifyNow, verifyAsOf func() error) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	cur := l.v.Digest()
 	if cur == d {
-		return l.v.VerifyNow(*p)
+		return verifyNow()
 	}
 	if cur.Height == 0 && cur.Root.IsZero() {
 		if l.syncC == nil {
 			if err := l.v.Advance(d, ConsistencyProof{}); err != nil {
 				return err
 			}
-			return l.v.VerifyNow(*p)
+			return verifyNow()
 		}
 		// Trust bootstraps from the digest authority, never from the
 		// replica being read: pin the primary's digest (trust on first
@@ -321,7 +331,7 @@ func (l shardLink) syncAndVerify(tr *obs.Trace, d Digest, p *Proof) error {
 		}
 		cur = l.v.Digest()
 		if cur == d {
-			return l.v.VerifyNow(*p)
+			return verifyNow()
 		}
 	}
 	// The prefix-proof leg: against the digest authority (the primary of
@@ -354,7 +364,7 @@ func (l shardLink) syncAndVerify(tr *obs.Trace, d Digest, p *Proof) error {
 		return err
 	}
 	if l.v.Digest() == d {
-		return l.v.VerifyNow(*p)
+		return verifyNow()
 	}
 	// Trust is now ahead of d: require the second proof to show d is a
 	// prefix of the same (now trusted) state, then verify against d.
@@ -374,7 +384,7 @@ func (l shardLink) syncAndVerify(tr *obs.Trace, d Digest, p *Proof) error {
 	if err := l.checkLag(d, resp.Digest); err != nil {
 		return err
 	}
-	return l.v.VerifyAsOf(*p, d)
+	return verifyAsOf()
 }
 
 func (l shardLink) getVerified(table, column string, pk []byte) ([]byte, bool, error) {

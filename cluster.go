@@ -192,6 +192,14 @@ func (db *ClusterDB) History(table, column string, pk []byte) ([]Cell, error) {
 	return db.c.History(table, column, pk)
 }
 
+// Exec parses and executes one statement against the cluster: reads
+// scatter-gather across every shard, mutations group by key ownership
+// and commit with two-phase commit. The embedded, unverified form of
+// the query surface — see Client.Query for verified execution.
+func (db *ClusterDB) Exec(statement string) (QueryResult, error) {
+	return db.c.Exec(statement)
+}
+
 // Begin starts an interactive cross-shard transaction: reads collect
 // versions to validate, writes stage locally, and Commit runs two-phase
 // commit over every touched shard.

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	spitz-bench [flags] all|fig1|fig6a|fig6b|fig7|fig8|siri|deferred|timestamps|cc|sharded|replica|replica-smoke|verify-audit|admin-smoke|disk-smoke
+//	spitz-bench [flags] all|fig1|fig6a|fig6b|fig7|fig8|siri|deferred|timestamps|cc|sharded|replica|replica-smoke|verify-audit|admin-smoke|disk-smoke|query-smoke
 //
 // Flags scale the sweep; the default -max-size runs the paper's full 10k
 // to 1.28M doubling series, which takes a while. Use -max-size 160000 for
@@ -36,9 +36,16 @@
 // and replicated deployments on -store disk with the minimum 1 MiB
 // node-cache budget, exercising checkpoint + clean reopen and a kill
 // without close, every read proof-verified and both reopens required to
-// recover the exact pre-shutdown cluster root. replica, replica-smoke,
-// verify-audit, admin-smoke and disk-smoke are excluded from "all" —
-// they start servers and replicas, which dominates short runs.
+// recover the exact pre-shutdown cluster root. query-smoke runs the
+// verified-query workload: a served 4-shard cluster driven entirely
+// through Client.Query statements — mutations 2PC through the
+// coordinator, then range/predicate scans, COUNT/SUM aggregates and
+// inverted-index lookups under concurrent write churn, fanned out with
+// every surfaced row proven — then
+// a tamper probe whose corrupted query proofs must trip ErrTampered.
+// replica, replica-smoke, verify-audit, admin-smoke, disk-smoke and
+// query-smoke are excluded from "all" — they start servers and
+// replicas, which dominates short runs.
 //
 // -json FILE additionally writes the run's results (plus host and
 // config metadata) as machine-readable JSON.
@@ -194,6 +201,11 @@ func main() {
 		defer os.RemoveAll(dir)
 		check(bench.AdminSmoke(dir))
 		fmt.Println("admin smoke: /metrics served nonzero series from every layer; /tracez stitched cross-node traces (client+replica+primary read, client+2PC write); /slowz captured a tripped threshold; a replication stall degraded /healthz and recovered; the tamper probe pinned /healthz critical with spitz_alerts_firing raised")
+	}
+	if which == "query-smoke" {
+		ran = true
+		check(bench.QuerySmoke())
+		fmt.Println("query smoke: verified SQL over a served 4-shard cluster under write churn — range/predicate scans, COUNT/SUM aggregates and index lookups all proof-checked client-side; tamper probes on range and point proofs tripped ErrTampered")
 	}
 	if which == "disk-smoke" {
 		ran = true

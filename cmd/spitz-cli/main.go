@@ -7,6 +7,9 @@
 //	spitz-cli -addr HOST:PORT getv  TABLE COLUMN PK     (verified read)
 //	spitz-cli -addr HOST:PORT range TABLE COLUMN LO HI  (verified scan)
 //	spitz-cli -addr HOST:PORT hist  TABLE COLUMN PK
+//	spitz-cli -addr HOST:PORT query STATEMENT...  (rich queries; SELECTs are
+//	                                               verified against per-shard
+//	                                               digests before printing)
 //	spitz-cli -addr HOST:PORT digest              (print the current digest)
 //	spitz-cli -addr HOST:PORT digest save  FILE   (save it for later audits)
 //	spitz-cli -addr HOST:PORT digest check FILE   (verify a saved digest is
@@ -36,10 +39,12 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"sort"
 	"strings"
 
 	"spitz"
 	"spitz/internal/hashutil"
+	"spitz/internal/query"
 )
 
 func main() {
@@ -62,6 +67,13 @@ func main() {
 		return
 	case "slow":
 		slowCmd(args[1:])
+		return
+	// query dials shard-aware, so it is handled before the plain client
+	// below: SELECTs verify per-shard proofs against single servers and
+	// clusters alike.
+	case "query":
+		need(args, 2)
+		queryCmd(*addr, strings.Join(args[1:], " "))
 		return
 	}
 
@@ -137,6 +149,47 @@ func main() {
 		fmt.Printf("restored: height=%d root=%s\n", d.Height, d.Root)
 	default:
 		usage()
+	}
+}
+
+// queryCmd executes one statement over a shard-aware client. SELECT
+// results are verified before printing: the client re-derives the proof
+// obligations from the statement and checks each shard's batch proof
+// against that shard's trusted digest. Mutations report rows affected
+// and the commit position; HISTORY prints version rows (unverified).
+func queryCmd(addr, statement string) {
+	sc, err := spitz.DialSharded("tcp", addr)
+	if err != nil {
+		log.Fatalf("spitz-cli: %v", err)
+	}
+	defer sc.Close()
+	res, err := sc.Query(statement)
+	check(err)
+	switch {
+	case query.Mutates(statement):
+		fmt.Printf("%d row(s) affected", res.RowsAffected)
+		if res.Block > 0 {
+			// Block height on a single-engine server, cluster commit
+			// timestamp on a sharded one.
+			fmt.Printf(", committed at %d", res.Block)
+		}
+		fmt.Println()
+	case res.HasAgg:
+		fmt.Printf("%d\t(verified)\n", res.AggValue)
+	default:
+		for _, r := range res.Rows {
+			cols := make([]string, 0, len(r.Columns))
+			for c := range r.Columns {
+				cols = append(cols, c)
+			}
+			sort.Strings(cols)
+			parts := make([]string, 0, len(cols))
+			for _, c := range cols {
+				parts = append(parts, fmt.Sprintf("%s=%s", c, r.Columns[c]))
+			}
+			fmt.Printf("%s\t%s\n", r.PK, strings.Join(parts, "\t"))
+		}
+		fmt.Printf("%d row(s)\n", len(res.Rows))
 	}
 }
 
@@ -331,6 +384,7 @@ func usage() {
   spitz-cli [-addr HOST:PORT] getv  TABLE COLUMN PK
   spitz-cli [-addr HOST:PORT] range TABLE COLUMN LO HI
   spitz-cli [-addr HOST:PORT] hist  TABLE COLUMN PK
+  spitz-cli [-addr HOST:PORT] query STATEMENT...      (verified SELECTs)
   spitz-cli [-addr HOST:PORT] digest [save FILE | check FILE]
   spitz-cli [-addr HOST:PORT] stats
   spitz-cli [-addr HOST:PORT] snapshot FILE

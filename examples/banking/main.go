@@ -1,17 +1,23 @@
 // Banking: serializable transfers with MVCC transactions, conflict
-// handling, and a verifiable audit trail — the "financial transactions"
-// workload from the paper's introduction (Figure 2).
+// handling, and a networked regulator auditing the books with verified
+// SQL — the "financial transactions" workload from the paper's
+// introduction (Figure 2).
 //
-// Concurrent tellers transfer money between accounts; optimistic
-// concurrency control aborts conflicting transfers, which retry. At the
-// end, an auditor replays the account history against the ledger and
-// verifies that total money was conserved in every committed state.
+// The bank runs the Spitz server and its tellers transfer money between
+// accounts with optimistic transactions; conflicting transfers abort and
+// retry. A regulator connects over TCP as a separate, distrustful party:
+// it opens the accounts through the query surface, and after the
+// transfer storm audits conservation of money with verified COUNT and
+// SUM aggregates — every cell that feeds the fold arrives with a proof
+// the regulator's client re-checks against its own saved digest, so the
+// bank cannot hide an account or shave a balance.
 package main
 
 import (
 	"errors"
 	"fmt"
 	"log"
+	"net"
 	"strconv"
 	"sync"
 
@@ -28,19 +34,33 @@ const (
 func acct(i int) []byte { return []byte(fmt.Sprintf("acct-%02d", i)) }
 
 func main() {
+	// The bank hosts the database and serves it over the wire.
 	db := spitz.Open(spitz.Options{Mode: spitz.ModeOCC})
-
-	// Seed the accounts in one block.
-	var puts []spitz.Put
-	for i := 0; i < accounts; i++ {
-		puts = append(puts, spitz.Put{Table: "bank", Column: "balance",
-			PK: acct(i), Value: []byte(strconv.Itoa(initial))})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatalf("banking: no loopback networking: %v", err)
 	}
-	if _, err := db.Apply("open accounts", puts); err != nil {
+	go db.Serve(ln)
+	addr := ln.Addr().String()
+	fmt.Printf("bank serving ledger database on %s\n", addr)
+
+	// The regulator opens the accounts over the wire, one INSERT
+	// statement each — recorded verbatim in the audit trail.
+	reg, err := spitz.Dial("tcp", addr)
+	if err != nil {
 		log.Fatal(err)
 	}
+	defer reg.Close()
+	for i := 0; i < accounts; i++ {
+		stmt := fmt.Sprintf("INSERT INTO bank (pk, balance) VALUES ('%s', '%d')", acct(i), initial)
+		if _, err := reg.Query(stmt); err != nil {
+			log.Fatalf("%s: %v", stmt, err)
+		}
+	}
 
-	// Concurrent tellers run read-modify-write transfers.
+	// Concurrent tellers run read-modify-write transfers on the bank's
+	// embedded handle: interactive transactions need Begin/Commit, which
+	// stays server-side.
 	var wg sync.WaitGroup
 	var mu sync.Mutex
 	committed, aborted := 0, 0
@@ -66,41 +86,37 @@ func main() {
 	wg.Wait()
 	fmt.Printf("transfers: %d committed, %d aborted on conflicts\n", committed, aborted)
 
-	// Audit: total balance must be conserved.
-	total := 0
-	for i := 0; i < accounts; i++ {
-		v, err := db.Get("bank", "balance", acct(i))
-		if err != nil {
-			log.Fatal(err)
-		}
-		n, _ := strconv.Atoi(string(v))
-		total += n
-	}
-	fmt.Printf("audit: total balance = %d (expected %d)\n", total, accounts*initial)
-	if total != accounts*initial {
-		log.Fatal("money was not conserved!")
-	}
-
-	// Verified statement: the bank hands the auditor account 0's balance
-	// with a proof; the auditor checks it against their own saved digest.
-	auditor := spitz.NewVerifier()
-	res, err := db.GetVerified("bank", "balance", acct(0))
+	// The audit, over the wire: COUNT proves no account vanished, SUM
+	// proves money was conserved. Both fold client-side from proven
+	// cells — the server cannot pick the answer.
+	res, err := reg.Query("SELECT COUNT(balance) FROM bank WHERE pk BETWEEN 'acct-00' AND 'acct-99'")
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := auditor.Advance(res.Digest, spitz.ConsistencyProof{}); err != nil {
+	fmt.Printf("audit: verified COUNT(balance) = %d (expected %d)\n", res.AggValue, accounts)
+	res, err = reg.Query("SELECT SUM(balance) FROM bank WHERE pk BETWEEN 'acct-00' AND 'acct-99'")
+	if err != nil {
 		log.Fatal(err)
 	}
-	if err := auditor.VerifyNow(res.Proof); err != nil {
+	fmt.Printf("audit: verified SUM(balance) = %d (expected %d)\n", res.AggValue, accounts*initial)
+	if res.AggValue != uint64(accounts*initial) {
+		log.Fatal("money was not conserved!")
+	}
+
+	// A verified statement about one account, for the record.
+	res, err = reg.Query(fmt.Sprintf("SELECT balance FROM bank WHERE pk = '%s'", acct(0)))
+	if err != nil {
 		log.Fatal(err)
 	}
-	cells, _ := res.Proof.Cells()
-	fmt.Printf("verified statement: %s = %s at ledger height %d\n",
-		cells[0].PK, cells[0].Value, res.Digest.Height)
+	fmt.Printf("verified statement: %s = %s at trusted height %d\n",
+		res.Rows[0].PK, res.Rows[0].Columns["balance"], reg.Verifier().Digest().Height)
 
 	// Every committed transfer is in the immutable history.
-	hist, _ := db.History("bank", "balance", acct(0))
-	fmt.Printf("account %s has %d balance versions on record\n", acct(0), len(hist))
+	res, err = reg.Query(fmt.Sprintf("HISTORY bank.balance WHERE pk = '%s'", acct(0)))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("account %s has %d balance versions on record\n", acct(0), len(res.Rows))
 }
 
 // transferOnce moves `transfer` units inside one serializable transaction.

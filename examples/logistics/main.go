@@ -1,9 +1,10 @@
 // Logistics: multiple distrustful parties share one database over the
 // network — the "logistic orders" workload of the paper's Figure 2. A
 // carrier runs the Spitz server; a shipper and a customs auditor connect
-// as clients. Neither client trusts the carrier: every read they act on is
-// verified against their own saved digest, and digest refreshes carry
-// consistency proofs so the carrier cannot rewrite shipment history.
+// as clients. Neither client trusts the carrier: every statement result
+// they act on is verified against their own saved digest, and digest
+// refreshes carry consistency proofs so the carrier cannot rewrite
+// shipment history.
 package main
 
 import (
@@ -14,9 +15,12 @@ import (
 	"spitz"
 )
 
+func order(i int) string { return fmt.Sprintf("order-%04d", i) }
+
 func main() {
-	// The carrier hosts the shared database.
-	db := spitz.Open(spitz.Options{})
+	// The carrier hosts the shared database, with the inverted index on
+	// so clients can query by value.
+	db := spitz.Open(spitz.Options{MaintainInverted: true})
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		log.Fatalf("logistics: no loopback networking: %v", err)
@@ -25,77 +29,77 @@ func main() {
 	addr := ln.Addr().String()
 	fmt.Printf("carrier serving shared ledger database on %s\n", addr)
 
-	// The shipper registers orders over the wire.
+	// The shipper registers orders over the wire, one INSERT each —
+	// recorded verbatim in the ledger, so the audit trail shows what was
+	// asked, not just what changed.
 	shipper, err := spitz.Dial("tcp", addr)
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer shipper.Close()
-	var orders []spitz.Put
 	for i := 0; i < 20; i++ {
-		pk := []byte(fmt.Sprintf("order-%04d", i))
-		orders = append(orders,
-			spitz.Put{Table: "orders", Column: "status", PK: pk, Value: []byte("created")},
-			spitz.Put{Table: "orders", Column: "origin", PK: pk, Value: []byte("SIN")},
-			spitz.Put{Table: "orders", Column: "destination", PK: pk, Value: []byte("PEK")},
-		)
-	}
-	if _, err := shipper.Apply("register orders", orders); err != nil {
-		log.Fatal(err)
+		stmt := fmt.Sprintf(
+			"INSERT INTO orders (pk, status, origin, destination) VALUES ('%s', 'created', 'SIN', 'PEK')",
+			order(i))
+		if _, err := shipper.Query(stmt); err != nil {
+			log.Fatalf("%s: %v", stmt, err)
+		}
 	}
 
-	// The carrier updates statuses as shipments move.
-	var updates []spitz.Put
+	// The carrier updates statuses as shipments move — on its embedded
+	// handle; it trusts its own memory and needs no proofs.
 	for i := 0; i < 20; i++ {
 		status := "in-transit"
 		if i%4 == 0 {
 			status = "customs-hold"
 		}
-		updates = append(updates, spitz.Put{Table: "orders", Column: "status",
-			PK: []byte(fmt.Sprintf("order-%04d", i)), Value: []byte(status)})
-	}
-	if _, err := shipper.Apply("carrier status updates", updates); err != nil {
-		log.Fatal(err)
+		stmt := fmt.Sprintf("UPDATE orders SET status = '%s' WHERE pk = '%s'", status, order(i))
+		if _, err := db.Exec(stmt); err != nil {
+			log.Fatalf("%s: %v", stmt, err)
+		}
 	}
 
 	// The customs auditor — a separate, distrustful party with its own
-	// verifier state — audits held shipments with verified reads.
+	// verifier state — pulls the held shipments straight from the
+	// inverted index. Every surfaced row arrives with a proof the
+	// auditor's client checks before the row is even returned.
 	auditor, err := spitz.Dial("tcp", addr)
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer auditor.Close()
-
-	held := 0
-	for i := 0; i < 20; i++ {
-		pk := []byte(fmt.Sprintf("order-%04d", i))
-		status, found, err := auditor.GetVerified("orders", "status", pk)
-		if err != nil {
-			log.Fatalf("audit of %s failed verification: %v", pk, err)
-		}
-		if found && string(status) == "customs-hold" {
-			held++
-		}
-	}
-	fmt.Printf("auditor verified all 20 orders; %d on customs hold\n", held)
-	fmt.Printf("auditor's trusted digest: height %d\n", auditor.Verifier().Digest().Height)
-
-	// A verified manifest: the full order range in one proof.
-	manifest, err := auditor.RangePKVerified("orders", "status", []byte("order-0000"), []byte("order-9999"))
+	res, err := auditor.Query("SELECT origin, destination FROM orders WHERE status = 'customs-hold'")
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("verified manifest covers %d orders in a single proof\n", len(manifest))
+	fmt.Printf("auditor: %d orders on customs hold (each row proven):\n", len(res.Rows))
+	for _, row := range res.Rows {
+		fmt.Printf("  %s  %s -> %s\n", row.PK, row.Columns["origin"], row.Columns["destination"])
+	}
+
+	// A verified manifest: the complete order range under range proofs —
+	// the carrier cannot omit an order from this answer.
+	res, err = auditor.Query("SELECT status FROM orders WHERE pk BETWEEN 'order-0000' AND 'order-9999'")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("verified manifest covers %d orders\n", len(res.Rows))
+	res, err = auditor.Query("SELECT COUNT(status) FROM orders WHERE pk BETWEEN 'order-0000' AND 'order-9999'")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("verified COUNT = %d; auditor's trusted digest: height %d\n",
+		res.AggValue, auditor.Verifier().Digest().Height)
 
 	// The shipper checks provenance of a disputed order: the immutable
 	// status history resolves who changed what, and when.
-	hist, err := shipper.History("orders", "status", []byte("order-0004"))
+	res, err = shipper.Query(fmt.Sprintf("HISTORY orders.status WHERE pk = '%s'", order(4)))
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("order-0004 status history (newest first):")
-	for _, c := range hist {
-		fmt.Printf("  %s@v%d", c.Value, c.Version)
+	fmt.Printf("%s status history (newest first):", order(4))
+	for _, row := range res.Rows {
+		fmt.Printf("  %s@v%s", row.Columns["status"], row.Columns["@version"])
 	}
 	fmt.Println()
 }

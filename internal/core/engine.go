@@ -679,9 +679,9 @@ func (e *Engine) ReplayBlock(rec CommitRecord) (ledger.BlockHeader, error) {
 // a commit. Caller holds e.mu. Versions are monotonic across commits, so
 // within one batch only a same-ref duplicate could route backwards; Put's
 // last-wins behaviour combined with the pipeline's version ordering keeps
-// the routing entry at the newest version. Superseded inverted postings
-// are filtered lazily at query time (resolvePostings checks that a
-// posting still names the head version).
+// the routing entry at the newest version. The inverted index removes
+// superseded postings itself on Add; resolvePostings re-checks versions at
+// query time as a safety net.
 func (e *Engine) indexCellsLocked(cells []cellstore.Cell) {
 	for i := range cells {
 		c := &cells[i]

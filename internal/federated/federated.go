@@ -15,6 +15,7 @@
 package federated
 
 import (
+	"bytes"
 	"encoding/binary"
 	"fmt"
 	"sort"
@@ -112,7 +113,11 @@ func (s *Source) verifiedRange(table, column string, pkLo, pkHi []byte) SourceRe
 		return res
 	}
 	if resp.Proof == nil {
-		if len(resp.Cells) > 0 {
+		// Absence needs a proof too. The only response allowed to carry
+		// neither cells nor proof is a genuinely empty ledger: height zero in
+		// the response, and no taller digest ever pinned for this source. A
+		// lying source could otherwise fabricate an empty result at will.
+		if len(resp.Cells) > 0 || resp.Digest.Height != 0 || s.verifier.Digest().Height != 0 {
 			res.Err = fmt.Errorf("federated: %s omitted its proof", s.Name)
 		}
 		return res
@@ -123,6 +128,15 @@ func (s *Source) verifiedRange(table, column string, pkLo, pkHi []byte) SourceRe
 	}
 	if err := s.verifier.VerifyNow(*resp.Proof); err != nil {
 		res.Err = fmt.Errorf("federated: %s failed verification: %w", s.Name, err)
+		return res
+	}
+	// The proof must cover exactly the requested range: a valid proof of a
+	// narrower range would otherwise silently omit rows (the same binding
+	// eager client reads perform).
+	wantStart, wantEnd := cellstore.RefRange(table, column, pkLo, pkHi)
+	if resp.Proof.Range == nil ||
+		!bytes.Equal(resp.Proof.Range.Start, wantStart) || !bytes.Equal(resp.Proof.Range.End, wantEnd) {
+		res.Err = fmt.Errorf("federated: %s proof covers a different range", s.Name)
 		return res
 	}
 	cells, err := resp.Proof.Cells()
@@ -188,14 +202,27 @@ func (c *Coordinator) AggregateRange(table, column string, pkLo, pkHi []byte) Ag
 // MergedCells returns all verified cells across sources, sorted by
 // (pk, source) for deterministic downstream analytics.
 func MergedCells(results []SourceResult) []cellstore.Cell {
-	var out []cellstore.Cell
+	type tagged struct {
+		c   cellstore.Cell
+		src string
+	}
+	var all []tagged
 	for _, r := range results {
 		if r.Err == nil {
-			out = append(out, r.Cells...)
+			for _, c := range r.Cells {
+				all = append(all, tagged{c: c, src: r.Source})
+			}
 		}
 	}
-	sort.Slice(out, func(i, j int) bool {
-		return string(out[i].PK) < string(out[j].PK)
+	sort.SliceStable(all, func(i, j int) bool {
+		if c := bytes.Compare(all[i].c.PK, all[j].c.PK); c != 0 {
+			return c < 0
+		}
+		return all[i].src < all[j].src
 	})
+	out := make([]cellstore.Cell, 0, len(all))
+	for _, t := range all {
+		out = append(out, t.c)
+	}
 	return out
 }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"testing"
 
+	"spitz/internal/cellstore"
 	"spitz/internal/core"
 	"spitz/internal/wire"
 )
@@ -106,6 +107,150 @@ func TestSourceGrowthIsVerified(t *testing.T) {
 	}
 	if len(res[0].Cells) != 4 {
 		t.Fatalf("cells = %d", len(res[0].Cells))
+	}
+}
+
+// startForged serves an engine through a wrapping handler so tests can
+// forge individual responses while every other op stays honest.
+func startForged(t *testing.T, eng *core.Engine, forge func(wire.Request) *wire.Response) *wire.Client {
+	t.Helper()
+	srv := wire.NewHandlerServer(wire.HandlerFunc(func(req wire.Request) wire.Response {
+		if resp := forge(req); resp != nil {
+			return *resp
+		}
+		return wire.Dispatch(eng, req)
+	}))
+	ln := wire.NewPipeListener()
+	go srv.Serve(ln)
+	t.Cleanup(func() { srv.Close() })
+	conn, err := ln.DialPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := wire.NewClient(conn)
+	t.Cleanup(func() { cl.Close() })
+	return cl
+}
+
+func TestFaultForgedNarrowerRange(t *testing.T) {
+	// Regression: a source that answers a range query with a valid proof of
+	// a NARROWER range silently omits rows. The proof itself verifies, so
+	// only binding it to the requested (table, column, pkLo, pkHi) catches it.
+	eng := core.New(core.Options{})
+	var puts []core.Put
+	for i := 0; i < 10; i++ {
+		v := make([]byte, 8)
+		binary.BigEndian.PutUint64(v, uint64(i))
+		puts = append(puts, core.Put{Table: "cases", Column: "count",
+			PK: []byte(fmt.Sprintf("region-%02d", i)), Value: v})
+	}
+	if _, err := eng.Apply("seed", puts); err != nil {
+		t.Fatal(err)
+	}
+	cl := startForged(t, eng, func(req wire.Request) *wire.Response {
+		if req.Op != wire.OpRangeVer {
+			return nil
+		}
+		// Serve an honest proof — for a narrower range than was asked.
+		req.PKHi = []byte("region-03")
+		resp := wire.Dispatch(eng, req)
+		return &resp
+	})
+	c := NewCoordinator()
+	if err := c.AddSource("evil", cl); err != nil {
+		t.Fatal(err)
+	}
+	res := c.Range("cases", "count", []byte("region-00"), []byte("region-08"))
+	if res[0].Err == nil {
+		t.Fatalf("narrower-range proof accepted; %d cells surfaced silently", len(res[0].Cells))
+	}
+}
+
+func TestFaultProoflessEmptyRejected(t *testing.T) {
+	// Regression: a proof-less response with zero cells used to pass as a
+	// verified-empty result, letting a lying source fabricate absences.
+	eng := core.New(core.Options{})
+	if _, err := eng.Apply("seed", []core.Put{{Table: "cases", Column: "count",
+		PK: []byte("region-00"), Value: make([]byte, 8)}}); err != nil {
+		t.Fatal(err)
+	}
+	cl := startForged(t, eng, func(req wire.Request) *wire.Response {
+		if req.Op != wire.OpRangeVer {
+			return nil
+		}
+		return &wire.Response{Digest: eng.Digest()}
+	})
+	c := NewCoordinator()
+	if err := c.AddSource("evil", cl); err != nil {
+		t.Fatal(err)
+	}
+	res := c.Range("cases", "count", nil, nil)
+	if res[0].Err == nil {
+		t.Fatal("fabricated empty result accepted without an absence proof")
+	}
+}
+
+func TestGenuinelyEmptySourceStillAnswers(t *testing.T) {
+	// A source whose ledger is truly empty (height zero, pinned at zero)
+	// legitimately has no proof to give; that one case must keep working.
+	cl, _ := startSource(t, "empty", 0, 0)
+	c := NewCoordinator()
+	if err := c.AddSource("empty", cl); err != nil {
+		t.Fatal(err)
+	}
+	res := c.Range("cases", "count", nil, nil)
+	if res[0].Err != nil {
+		t.Fatalf("empty source rejected: %v", res[0].Err)
+	}
+	if len(res[0].Cells) != 0 {
+		t.Fatalf("empty source returned cells: %v", res[0].Cells)
+	}
+}
+
+func TestMergedCellsOrder(t *testing.T) {
+	// Regression: the comparator ignored the source, so equal-PK cells from
+	// different sources landed in nondeterministic order.
+	mk := func(src string, pks ...string) SourceResult {
+		r := SourceResult{Source: src}
+		for _, pk := range pks {
+			r.Cells = append(r.Cells, cellstore.Cell{Table: "t", Column: "c",
+				PK: []byte(pk), Value: []byte("from-" + src)})
+		}
+		return r
+	}
+	cases := []struct {
+		name    string
+		results []SourceResult
+		want    []string // "pk/value" in expected order
+	}{
+		{
+			name:    "equal pks ordered by source",
+			results: []SourceResult{mk("b", "k1"), mk("a", "k1")},
+			want:    []string{"k1/from-a", "k1/from-b"},
+		},
+		{
+			name:    "pk major, source minor",
+			results: []SourceResult{mk("b", "k1", "k2"), mk("a", "k2"), mk("c", "k0")},
+			want:    []string{"k0/from-c", "k1/from-b", "k2/from-a", "k2/from-b"},
+		},
+		{
+			name:    "failed sources excluded",
+			results: []SourceResult{mk("a", "k1"), {Source: "x", Err: fmt.Errorf("down")}},
+			want:    []string{"k1/from-a"},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := MergedCells(tc.results)
+			if len(got) != len(tc.want) {
+				t.Fatalf("merged %d cells, want %d", len(got), len(tc.want))
+			}
+			for i, w := range tc.want {
+				if g := string(got[i].PK) + "/" + string(got[i].Value); g != w {
+					t.Fatalf("cell %d = %s, want %s", i, g, w)
+				}
+			}
+		})
 	}
 }
 

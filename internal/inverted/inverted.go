@@ -65,10 +65,58 @@ func equal(a, b Posting) bool {
 	return a.Version == b.Version && bytes.Equal(a.PK, b.PK)
 }
 
+// headEntry remembers the latest indexed state of one (column, pk) so a
+// newer version — including a tombstone, which carries no value of its
+// own — can find and remove the posting it supersedes.
+type headEntry struct {
+	value     []byte
+	version   uint64
+	tombstone bool
+}
+
 // column holds the two per-type structures for one (table, column).
 type column struct {
 	numeric *skiplist.List[*postingList]
 	strings *radix.Tree[*postingList]
+	head    map[string]headEntry
+}
+
+// index inserts a posting under value into the appropriate structure.
+func (col *column) index(p Posting, value []byte) {
+	if n, ok := DecodeNumeric(value); ok {
+		pl, found := col.numeric.Get(n)
+		if !found {
+			pl = &postingList{}
+			col.numeric.Put(n, pl)
+		}
+		pl.add(p)
+		return
+	}
+	pl, found := col.strings.Get(value)
+	if !found {
+		pl = &postingList{}
+		col.strings.Put(append([]byte(nil), value...), pl)
+	}
+	pl.add(p)
+}
+
+// unindex removes a posting filed under value, deleting emptied keys.
+func (col *column) unindex(p Posting, value []byte) {
+	if n, ok := DecodeNumeric(value); ok {
+		if pl, found := col.numeric.Get(n); found {
+			pl.remove(p)
+			if len(pl.items) == 0 {
+				col.numeric.Delete(n)
+			}
+		}
+		return
+	}
+	if pl, found := col.strings.Get(value); found {
+		pl.remove(p)
+		if len(pl.items) == 0 {
+			col.strings.Delete(value)
+		}
+	}
 }
 
 // Index is an inverted index over cell values, safe for concurrent use.
@@ -91,6 +139,7 @@ func (ix *Index) column(table, col string) *column {
 		c = &column{
 			numeric: skiplist.New[*postingList](int64(len(ix.cols)) + 1),
 			strings: &radix.Tree[*postingList]{},
+			head:    make(map[string]headEntry),
 		}
 		ix.cols[key] = c
 	}
@@ -113,31 +162,33 @@ func EncodeNumeric(v uint64) []byte {
 	return out
 }
 
-// Add indexes a cell. Tombstones remove the prior posting instead (a
-// deleted row should not be surfaced by value lookups).
+// Add indexes a cell, superseding whatever the index previously held for
+// the same (column, pk): an updated value moves the posting, and a
+// tombstone removes the prior posting (a deleted row must not be surfaced
+// by value lookups). Versions below or equal to the one already indexed
+// for the pk are ignored as stale replays, so commit-path maintenance and
+// log replay can overlap safely.
 func (ix *Index) Add(c cellstore.Cell) {
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
 	col := ix.column(c.Table, c.Column)
-	p := Posting{PK: append([]byte(nil), c.PK...), Version: c.Version}
+	pk := string(c.PK)
+	prev, had := col.head[pk]
+	if had && c.Version <= prev.version {
+		return // stale replay of an already indexed or superseded version
+	}
+	if had && !prev.tombstone {
+		col.unindex(Posting{PK: []byte(pk), Version: prev.version}, prev.value)
+	}
+	col.head[pk] = headEntry{
+		value:     append([]byte(nil), c.Value...),
+		version:   c.Version,
+		tombstone: c.Tombstone,
+	}
 	if c.Tombstone {
-		return // tombstones carry no value to index
+		return // nothing to index; the prior posting is gone now
 	}
-	if n, ok := DecodeNumeric(c.Value); ok {
-		pl, found := col.numeric.Get(n)
-		if !found {
-			pl = &postingList{}
-			col.numeric.Put(n, pl)
-		}
-		pl.add(p)
-		return
-	}
-	pl, found := col.strings.Get(c.Value)
-	if !found {
-		pl = &postingList{}
-		col.strings.Put(append([]byte(nil), c.Value...), pl)
-	}
-	pl.add(p)
+	col.index(Posting{PK: append([]byte(nil), c.PK...), Version: c.Version}, c.Value)
 }
 
 // Remove unindexes a specific cell occurrence.
@@ -148,21 +199,9 @@ func (ix *Index) Remove(c cellstore.Cell) {
 	if !ok {
 		return
 	}
-	p := Posting{PK: c.PK, Version: c.Version}
-	if n, okNum := DecodeNumeric(c.Value); okNum {
-		if pl, found := col.numeric.Get(n); found {
-			pl.remove(p)
-			if len(pl.items) == 0 {
-				col.numeric.Delete(n)
-			}
-		}
-		return
-	}
-	if pl, found := col.strings.Get(c.Value); found {
-		pl.remove(p)
-		if len(pl.items) == 0 {
-			col.strings.Delete(c.Value)
-		}
+	col.unindex(Posting{PK: c.PK, Version: c.Version}, c.Value)
+	if prev, had := col.head[string(c.PK)]; had && prev.version == c.Version {
+		delete(col.head, string(c.PK))
 	}
 }
 

@@ -104,6 +104,50 @@ func TestTombstonesNotIndexed(t *testing.T) {
 	}
 }
 
+func TestTombstoneRemovesPriorPosting(t *testing.T) {
+	// Regression: Add documents that a tombstone removes the prior posting,
+	// but it used to return without touching the index, so deleted rows kept
+	// surfacing in value lookups forever.
+	ix := New()
+	ix.Add(cell("a", 1, []byte("alice")))
+	ix.Add(cell("b", 1, []byte("alice")))
+	ix.Add(cellstore.Cell{Table: "t", Column: "c", PK: []byte("a"), Version: 2, Tombstone: true})
+	got := ix.LookupEqual("t", "c", []byte("alice"))
+	if len(got) != 1 || string(got[0].PK) != "b" {
+		t.Fatalf("deleted row still surfaced: %v", got)
+	}
+	// Numeric side of the same bug.
+	ix.Add(cell("n", 1, EncodeNumeric(7)))
+	ix.Add(cellstore.Cell{Table: "t", Column: "c", PK: []byte("n"), Version: 2, Tombstone: true})
+	if got := ix.LookupNumericRange("t", "c", 0, 100); len(got) != 0 {
+		t.Fatalf("deleted numeric row still surfaced: %v", got)
+	}
+	// Re-insert after delete comes back with the new version only.
+	ix.Add(cell("a", 3, []byte("alice")))
+	got = ix.LookupEqual("t", "c", []byte("alice"))
+	if len(got) != 2 || string(got[0].PK) != "a" || got[0].Version != 3 {
+		t.Fatalf("re-insert after delete: %v", got)
+	}
+}
+
+func TestUpdateMovesPosting(t *testing.T) {
+	ix := New()
+	ix.Add(cell("a", 1, []byte("draft")))
+	ix.Add(cell("a", 2, []byte("final")))
+	if got := ix.LookupEqual("t", "c", []byte("draft")); len(got) != 0 {
+		t.Fatalf("superseded value still indexed: %v", got)
+	}
+	got := ix.LookupEqual("t", "c", []byte("final"))
+	if len(got) != 1 || got[0].Version != 2 {
+		t.Fatalf("updated value postings: %v", got)
+	}
+	// A stale replay of the old version must not resurrect it.
+	ix.Add(cell("a", 1, []byte("draft")))
+	if got := ix.LookupEqual("t", "c", []byte("draft")); len(got) != 0 {
+		t.Fatalf("stale replay resurrected old value: %v", got)
+	}
+}
+
 func TestDuplicateAddIdempotent(t *testing.T) {
 	ix := New()
 	c := cell("a", 1, EncodeNumeric(7))

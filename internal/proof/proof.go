@@ -120,6 +120,34 @@ func (v *Verifier) VerifyAsOf(p ledger.Proof, d ledger.Digest) error {
 	return nil
 }
 
+// VerifyBatchAsOf checks an aggregated multi-key batch proof against an
+// older digest d that the caller has shown — via a verified consistency
+// proof — to be a prefix of the trusted ledger, counting every covered
+// read as verified. This is the batch analogue of VerifyAsOf: query
+// responses are proven at the digest the server executed at, which under
+// write churn can trail the client's already-advanced trust. The caller
+// is responsible for the prefix check; this method only refuses digests
+// that could not possibly be prefixes (taller than the trusted ledger).
+func (v *Verifier) VerifyBatchAsOf(p ledger.BatchProof, d ledger.Digest, reads int) error {
+	v.mu.Lock()
+	cur := v.digest
+	trusted := v.trusted
+	v.mu.Unlock()
+	if !trusted {
+		return fmt.Errorf("%w: no trusted digest pinned", ErrTampered)
+	}
+	if d.Height > cur.Height {
+		return fmt.Errorf("%w: digest height %d beyond trusted %d", ErrTampered, d.Height, cur.Height)
+	}
+	if err := p.Verify(d); err != nil {
+		return fmt.Errorf("%w: %v", ErrTampered, err)
+	}
+	v.mu.Lock()
+	v.verified += int64(reads)
+	v.mu.Unlock()
+	return nil
+}
+
 // VerifyBlock checks that a block header is part of the ledger the
 // trusted digest commits to. Clients use it to verify *writes*: the block
 // exists, and its recorded write-set hash can then be compared against the

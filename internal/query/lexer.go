@@ -6,11 +6,17 @@
 // The SQL subset covers the verifiable-database workload:
 //
 //	INSERT INTO t (pk, col, ...) VALUES ('k', 'v', ...)
-//	SELECT col, ... | * FROM t WHERE pk = 'k'
-//	SELECT col, ... | * FROM t WHERE pk BETWEEN 'a' AND 'b'
+//	SELECT col, ... | * FROM t WHERE <conditions>
+//	SELECT COUNT(col) | SUM(col) FROM t WHERE pk BETWEEN 'a' AND 'b' [AND col = 'v' ...]
 //	UPDATE t SET col = 'v', ... WHERE pk = 'k'
 //	DELETE FROM t WHERE pk = 'k'
 //	HISTORY t.col WHERE pk = 'k'
+//
+// SELECT conditions are AND-separated conjuncts: at most one `pk = 'k'`
+// or `pk BETWEEN 'a' AND 'b'` (inclusive), plus any number of equality
+// predicates `col = 'v'` on non-pk columns. A SELECT without a pk
+// condition locates rows through the inverted index. Aggregates require a
+// pk range so the result can be proven complete.
 //
 // The first column of INSERT is always the row's primary key. Statements
 // are recorded verbatim in ledger blocks, giving the audit trail the paper

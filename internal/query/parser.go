@@ -15,13 +15,27 @@ type Insert struct {
 	Values  []string
 }
 
-// Select reads columns of one row (PK set) or a pk range (Lo/Hi set).
+// Pred is one equality predicate on a non-pk column; a SELECT's
+// predicates are ANDed together.
+type Pred struct {
+	Column string
+	Value  string
+}
+
+// Select reads columns of one row (HasPK), a pk range (IsRange), or rows
+// located through the inverted index by predicates alone. Agg, when set,
+// is a COUNT or SUM over AggCol; aggregates require a pk range so the
+// result can be proven complete.
 type Select struct {
 	Table   string
 	Columns []string // empty means *
 	PK      string
+	HasPK   bool
 	Lo, Hi  string
 	IsRange bool
+	Preds   []Pred
+	Agg     string // "" | "COUNT" | "SUM"
+	AggCol  string
 }
 
 // Update overwrites columns of one row.
@@ -125,6 +139,31 @@ func (p *parser) ident() (string, error) {
 	return t.text, nil
 }
 
+// column consumes a possibly dotted column name (contact.email): JSON
+// documents flatten nested fields into dotted-path columns, which are
+// ordinary cells and therefore ordinary query targets.
+func (p *parser) column() (string, error) {
+	c, err := p.ident()
+	if err != nil {
+		return "", err
+	}
+	return p.dotted(c)
+}
+
+// dotted consumes any `.ident` tail onto an already-read name part.
+func (p *parser) dotted(first string) (string, error) {
+	name := first
+	for p.peek().kind == tokSymbol && p.peek().text == "." {
+		p.next()
+		part, err := p.ident()
+		if err != nil {
+			return "", err
+		}
+		name += "." + part
+	}
+	return name, nil
+}
+
 // value consumes a string or number literal.
 func (p *parser) value() (string, error) {
 	t := p.next()
@@ -150,7 +189,7 @@ func (p *parser) insert() (Statement, error) {
 	}
 	var cols []string
 	for {
-		c, err := p.ident()
+		c, err := p.column()
 		if err != nil {
 			return nil, err
 		}
@@ -199,16 +238,30 @@ func (p *parser) selectStmt() (Statement, error) {
 	if err := p.keyword("SELECT"); err != nil {
 		return nil, err
 	}
-	var cols []string
-	if p.peek().text == "*" {
+	var s Select
+	switch {
+	case p.peekAggregate():
+		s.Agg = strings.ToUpper(p.next().text)
+		if err := p.symbol("("); err != nil {
+			return nil, err
+		}
+		col, err := p.column()
+		if err != nil {
+			return nil, err
+		}
+		s.AggCol = col
+		if err := p.symbol(")"); err != nil {
+			return nil, err
+		}
+	case p.peek().text == "*":
 		p.next()
-	} else {
+	default:
 		for {
-			c, err := p.ident()
+			c, err := p.column()
 			if err != nil {
 				return nil, err
 			}
-			cols = append(cols, c)
+			s.Columns = append(s.Columns, c)
 			if p.peek().text == "," {
 				p.next()
 				continue
@@ -223,37 +276,92 @@ func (p *parser) selectStmt() (Statement, error) {
 	if err != nil {
 		return nil, err
 	}
+	s.Table = table
 	if err := p.keyword("WHERE"); err != nil {
 		return nil, err
 	}
-	if err := p.keyword("pk"); err != nil {
-		return nil, err
+	for {
+		if err := p.condition(&s); err != nil {
+			return nil, err
+		}
+		if t := p.peek(); t.kind == tokWord && strings.EqualFold(t.text, "AND") {
+			p.next()
+			continue
+		}
+		break
 	}
-	switch {
-	case p.peek().text == "=":
-		p.next()
-		pk, err := p.value()
-		if err != nil {
-			return nil, err
-		}
-		return Select{Table: table, Columns: cols, PK: pk}, nil
-	case strings.EqualFold(p.peek().text, "BETWEEN"):
-		p.next()
-		lo, err := p.value()
-		if err != nil {
-			return nil, err
-		}
-		if err := p.keyword("AND"); err != nil {
-			return nil, err
-		}
-		hi, err := p.value()
-		if err != nil {
-			return nil, err
-		}
-		return Select{Table: table, Columns: cols, Lo: lo, Hi: hi, IsRange: true}, nil
-	default:
-		return nil, fmt.Errorf("query: expected = or BETWEEN at %d", p.peek().pos)
+	if s.Agg != "" && !s.IsRange {
+		return nil, fmt.Errorf("query: %s requires a pk BETWEEN range (aggregates are proven over complete ranges)", s.Agg)
 	}
+	return s, nil
+}
+
+// peekAggregate reports whether the upcoming tokens start an aggregate
+// call: the words COUNT or SUM immediately followed by "(". A column
+// named count stays usable because a bare identifier is never followed by
+// an opening parenthesis here.
+func (p *parser) peekAggregate() bool {
+	t := p.peek()
+	if t.kind != tokWord ||
+		(!strings.EqualFold(t.text, "COUNT") && !strings.EqualFold(t.text, "SUM")) {
+		return false
+	}
+	n := p.toks[p.i+1]
+	return n.kind == tokSymbol && n.text == "("
+}
+
+// condition parses one WHERE conjunct: `pk = v`, `pk BETWEEN lo AND hi`
+// (which greedily consumes its own AND), or `column = v`.
+func (p *parser) condition(s *Select) error {
+	t := p.next()
+	if t.kind != tokWord {
+		return fmt.Errorf("query: expected pk or column at %d, got %q", t.pos, t.text)
+	}
+	if strings.EqualFold(t.text, "pk") {
+		if s.HasPK || s.IsRange {
+			return fmt.Errorf("query: duplicate pk condition at %d", t.pos)
+		}
+		switch {
+		case p.peek().text == "=":
+			p.next()
+			pk, err := p.value()
+			if err != nil {
+				return err
+			}
+			s.PK, s.HasPK = pk, true
+			return nil
+		case strings.EqualFold(p.peek().text, "BETWEEN"):
+			p.next()
+			lo, err := p.value()
+			if err != nil {
+				return err
+			}
+			if err := p.keyword("AND"); err != nil {
+				return err
+			}
+			hi, err := p.value()
+			if err != nil {
+				return err
+			}
+			s.Lo, s.Hi, s.IsRange = lo, hi, true
+			return nil
+		default:
+			return fmt.Errorf("query: expected = or BETWEEN at %d", p.peek().pos)
+		}
+	}
+	col, err := p.dotted(t.text)
+	if err != nil {
+		return err
+	}
+	if err := p.symbol("="); err != nil {
+		return err
+	}
+	v, err := p.value()
+	if err != nil {
+		return err
+	}
+	s.Preds = append(s.Preds, Pred{Column: col, Value: v})
+	return nil
 }
 
 func (p *parser) update() (Statement, error) {
@@ -269,7 +377,7 @@ func (p *parser) update() (Statement, error) {
 	}
 	var cols, vals []string
 	for {
-		c, err := p.ident()
+		c, err := p.column()
 		if err != nil {
 			return nil, err
 		}
@@ -324,7 +432,7 @@ func (p *parser) history() (Statement, error) {
 	if err := p.symbol("."); err != nil {
 		return nil, err
 	}
-	col, err := p.ident()
+	col, err := p.column()
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,160 @@
+package query
+
+import (
+	"strings"
+	"testing"
+
+	"spitz/internal/core"
+)
+
+func seedInventory(t *testing.T, eng *core.Engine) {
+	t.Helper()
+	mustExec(t, eng, "INSERT INTO inv (pk, stock, status) VALUES ('item-a', '10', 'live')")
+	mustExec(t, eng, "INSERT INTO inv (pk, stock, status) VALUES ('item-b', '20', 'hold')")
+	mustExec(t, eng, "INSERT INTO inv (pk, stock, status) VALUES ('item-c', '30', 'live')")
+	mustExec(t, eng, "INSERT INTO inv (pk, stock, status) VALUES ('item-z', '99', 'live')")
+}
+
+func TestParsePredicates(t *testing.T) {
+	st, err := Parse("SELECT a FROM t WHERE pk BETWEEN 'x' AND 'y' AND status = 'live' AND region = 'sg'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := st.(Select)
+	if !s.IsRange || s.Lo != "x" || s.Hi != "y" {
+		t.Fatalf("range = %+v", s)
+	}
+	if len(s.Preds) != 2 || s.Preds[0] != (Pred{"status", "live"}) || s.Preds[1] != (Pred{"region", "sg"}) {
+		t.Fatalf("preds = %+v", s.Preds)
+	}
+
+	st, err = Parse("SELECT COUNT(stock) FROM t WHERE pk BETWEEN 'a' AND 'b'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := st.(Select); s.Agg != "COUNT" || s.AggCol != "stock" {
+		t.Fatalf("aggregate = %+v", s)
+	}
+
+	st, err = Parse("SELECT * FROM t WHERE status = 'live'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := st.(Select); s.HasPK || s.IsRange || len(s.Preds) != 1 {
+		t.Fatalf("lookup = %+v", s)
+	}
+}
+
+func TestParsePredicateErrors(t *testing.T) {
+	bad := []string{
+		"SELECT SUM(v) FROM t WHERE pk = 'k'",                       // aggregate needs a range
+		"SELECT COUNT(v) FROM t WHERE status = 'x'",                 // aggregate needs a range
+		"SELECT a FROM t WHERE pk = 'x' AND pk = 'y'",               // duplicate pk condition
+		"SELECT a FROM t WHERE pk = 'x' AND pk BETWEEN 'a' AND 'b'", // duplicate pk condition
+		"SELECT a FROM t WHERE status LIKE 'x'",                     // only equality predicates
+		"SELECT COUNT(*) FROM t WHERE pk BETWEEN 'a' AND 'b'",       // COUNT needs a column
+	}
+	for _, stmt := range bad {
+		if _, err := Parse(stmt); err == nil {
+			t.Errorf("statement %q accepted", stmt)
+		}
+	}
+}
+
+func TestSelectWithPredicates(t *testing.T) {
+	eng := newEngine()
+	seedInventory(t, eng)
+
+	res := mustExec(t, eng, "SELECT stock FROM inv WHERE pk BETWEEN 'item-a' AND 'item-z' AND status = 'live'")
+	if len(res.Rows) != 3 {
+		t.Fatalf("predicate range rows = %d", len(res.Rows))
+	}
+	for _, r := range res.Rows {
+		if string(r.PK) == "item-b" {
+			t.Fatal("predicate did not filter item-b")
+		}
+		if _, has := r.Columns["status"]; has {
+			t.Fatal("predicate column leaked into projection")
+		}
+	}
+
+	// Point read with a failing predicate is a proven empty result.
+	res = mustExec(t, eng, "SELECT stock FROM inv WHERE pk = 'item-b' AND status = 'live'")
+	if len(res.Rows) != 0 {
+		t.Fatal("failing point predicate returned rows")
+	}
+	res = mustExec(t, eng, "SELECT stock FROM inv WHERE pk = 'item-b' AND status = 'hold'")
+	if len(res.Rows) != 1 || string(res.Rows[0].Columns["stock"]) != "20" {
+		t.Fatalf("passing point predicate = %+v", res.Rows)
+	}
+}
+
+func TestAggregates(t *testing.T) {
+	eng := newEngine()
+	seedInventory(t, eng)
+
+	res := mustExec(t, eng, "SELECT COUNT(stock) FROM inv WHERE pk BETWEEN 'item-a' AND 'item-c'")
+	if !res.HasAgg || res.AggValue != 3 {
+		t.Fatalf("count = %+v", res)
+	}
+	res = mustExec(t, eng, "SELECT SUM(stock) FROM inv WHERE pk BETWEEN 'item-a' AND 'item-z'")
+	if !res.HasAgg || res.AggValue != 10+20+30+99 {
+		t.Fatalf("sum = %+v", res)
+	}
+	res = mustExec(t, eng, "SELECT SUM(stock) FROM inv WHERE pk BETWEEN 'item-a' AND 'item-z' AND status = 'live'")
+	if !res.HasAgg || res.AggValue != 10+30+99 {
+		t.Fatalf("filtered sum = %+v", res)
+	}
+	// An empty interval folds to zero, still flagged as an aggregate.
+	res = mustExec(t, eng, "SELECT COUNT(stock) FROM inv WHERE pk BETWEEN 'x' AND 'y'")
+	if !res.HasAgg || res.AggValue != 0 {
+		t.Fatalf("empty count = %+v", res)
+	}
+
+	if _, err := Exec(eng, "SELECT SUM(status) FROM inv WHERE pk BETWEEN 'item-a' AND 'item-z'"); err == nil ||
+		!strings.Contains(err.Error(), "non-numeric") {
+		t.Fatalf("SUM over strings = %v", err)
+	}
+}
+
+func TestLookupThroughIndex(t *testing.T) {
+	eng := core.New(core.Options{MaintainInverted: true})
+	seedInventory(t, eng)
+
+	res := mustExec(t, eng, "SELECT stock FROM inv WHERE status = 'live'")
+	if len(res.Rows) != 3 {
+		t.Fatalf("lookup rows = %d", len(res.Rows))
+	}
+	if string(res.Rows[0].PK) != "item-a" || string(res.Rows[2].PK) != "item-z" {
+		t.Fatalf("lookup order: %s..%s", res.Rows[0].PK, res.Rows[2].PK)
+	}
+
+	// INSERT -> DELETE -> SELECT through the index: the deleted row must
+	// not resurface (regression for the tombstone-ignoring index).
+	mustExec(t, eng, "DELETE FROM inv WHERE pk = 'item-c'")
+	res = mustExec(t, eng, "SELECT stock FROM inv WHERE status = 'live'")
+	if len(res.Rows) != 2 {
+		t.Fatalf("post-delete lookup rows = %d", len(res.Rows))
+	}
+	for _, r := range res.Rows {
+		if string(r.PK) == "item-c" {
+			t.Fatal("deleted row surfaced through the inverted index")
+		}
+	}
+
+	// Updates move rows between predicate buckets.
+	mustExec(t, eng, "UPDATE inv SET status = 'hold' WHERE pk = 'item-a'")
+	res = mustExec(t, eng, "SELECT stock FROM inv WHERE status = 'hold'")
+	if len(res.Rows) != 2 {
+		t.Fatalf("post-update lookup rows = %d", len(res.Rows))
+	}
+}
+
+func TestLookupWithoutIndexFallsBack(t *testing.T) {
+	eng := newEngine() // no MaintainInverted
+	seedInventory(t, eng)
+	res := mustExec(t, eng, "SELECT stock FROM inv WHERE status = 'hold'")
+	if len(res.Rows) != 1 || string(res.Rows[0].PK) != "item-b" {
+		t.Fatalf("fallback lookup = %+v", res.Rows)
+	}
+}

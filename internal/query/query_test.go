@@ -223,3 +223,17 @@ func TestDocumentErrors(t *testing.T) {
 		t.Error("absent document misbehaved")
 	}
 }
+
+func TestDottedColumns(t *testing.T) {
+	eng := newEngine()
+	mustExec(t, eng, "INSERT INTO suppliers (pk, name, contact.email) VALUES ('acme', 'ACME', 'sales@acme.example')")
+	res := mustExec(t, eng, "SELECT contact.email FROM suppliers WHERE pk = 'acme'")
+	if len(res.Rows) != 1 || string(res.Rows[0].Columns["contact.email"]) != "sales@acme.example" {
+		t.Fatalf("dotted select: %+v", res.Rows)
+	}
+	mustExec(t, eng, "UPDATE suppliers SET contact.email = 'ops@acme.example' WHERE pk = 'acme'")
+	res = mustExec(t, eng, "HISTORY suppliers.contact.email WHERE pk = 'acme'")
+	if len(res.Rows) != 2 || string(res.Rows[0].Columns["contact.email"]) != "ops@acme.example" {
+		t.Fatalf("dotted history: %+v", res.Rows)
+	}
+}

@@ -1,0 +1,31 @@
+package query
+
+import "testing"
+
+func TestUpdateAbsentRowAffectsNothing(t *testing.T) {
+	// Regression: execUpdate reported RowsAffected: 1 for rows that don't
+	// exist, and committed a block while doing it.
+	eng := newEngine()
+	mustExec(t, eng, "INSERT INTO t (pk, a) VALUES ('k', '1')")
+	before := eng.Digest().Height
+
+	res := mustExec(t, eng, "UPDATE t SET a = '2' WHERE pk = 'missing'")
+	if res.RowsAffected != 0 {
+		t.Fatalf("update of absent row reported RowsAffected = %d", res.RowsAffected)
+	}
+	if h := eng.Digest().Height; h != before {
+		t.Fatalf("update of absent row committed a block (%d -> %d)", before, h)
+	}
+
+	// The phantom row must not have been created either.
+	out := mustExec(t, eng, "SELECT a FROM t WHERE pk = 'missing'")
+	if len(out.Rows) != 0 {
+		t.Fatal("update of absent row created the row")
+	}
+
+	// Real rows still update.
+	res = mustExec(t, eng, "UPDATE t SET a = '2' WHERE pk = 'k'")
+	if res.RowsAffected != 1 {
+		t.Fatalf("update of live row affected %d rows", res.RowsAffected)
+	}
+}

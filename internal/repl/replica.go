@@ -11,6 +11,7 @@ import (
 	"spitz/internal/durable"
 	"spitz/internal/ledger"
 	"spitz/internal/obs"
+	"spitz/internal/query"
 	"spitz/internal/wire"
 )
 
@@ -375,6 +376,12 @@ func (r *Replica) Handle(req wire.Request) wire.Response {
 	switch req.Op {
 	case wire.OpPut, wire.OpRestore:
 		return wire.Response{Err: "repl: replica is read-only; write to the primary"}
+	case wire.OpQuery:
+		// SELECT and HISTORY serve from the mirrored ledger; INSERT,
+		// UPDATE and DELETE are refused like any other mutation.
+		if query.Mutates(req.Statement) {
+			return wire.Response{Err: "repl: replica is read-only; write to the primary"}
+		}
 	case wire.OpShardMap:
 		return wire.Response{ShardCount: 1}
 	case wire.OpStats:

@@ -6,6 +6,7 @@ import (
 
 	"spitz/internal/cellstore"
 	"spitz/internal/ledger"
+	"spitz/internal/query"
 	"spitz/internal/server"
 	"spitz/internal/wire"
 )
@@ -87,6 +88,10 @@ func (s *Set) Handle(req wire.Request) wire.Response {
 	switch req.Op {
 	case wire.OpPut, wire.OpRestore:
 		return wire.Response{Err: "repl: replica is read-only; write to the primary"}
+	case wire.OpQuery:
+		if query.Mutates(req.Statement) {
+			return wire.Response{Err: "repl: replica is read-only; write to the primary"}
+		}
 	case wire.OpShardMap:
 		return wire.Response{ShardCount: len(s.replicas)}
 	case wire.OpStats:
@@ -129,6 +134,32 @@ func (s *Set) Handle(req wire.Request) wire.Response {
 			return wire.Response{Err: err.Error()}
 		}
 		return wire.Response{Found: len(cells) > 0, Cells: cells}
+	case wire.OpQuery:
+		// Point SELECTs and HISTORY route to the owning mirrored shard
+		// (proofs stay checkable against that shard's digest); wider
+		// statements are proven per shard, so sharded clients fan them
+		// out with explicit Shard targets.
+		stmt, err := query.Parse(req.Statement)
+		if err != nil {
+			return wire.Response{Err: err.Error()}
+		}
+		var pk string
+		switch q := stmt.(type) {
+		case query.History:
+			pk = q.PK
+		case query.Select:
+			if !q.HasPK {
+				return wire.Response{Err: "wire: range, lookup and aggregate queries are proven per shard; " +
+					"set Shard or connect with a sharded client"}
+			}
+			pk = q.PK
+		default:
+			return wire.Response{Err: "repl: replica is read-only; write to the primary"}
+		}
+		si := server.ShardIndex([]byte(pk), len(s.replicas))
+		resp := wire.Dispatch(s.replicas[si].Engine(), req)
+		resp.Shard = si + 1
+		return resp
 	case wire.OpRangeVer:
 		return wire.Response{Err: "wire: verified range scans across a cluster must target one shard at a time (set Shard)"}
 	case wire.OpDigest, wire.OpConsistency, wire.OpProveBatch:

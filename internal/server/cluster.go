@@ -17,6 +17,7 @@ import (
 	"spitz/internal/ledger"
 	"spitz/internal/mtree"
 	"spitz/internal/obs"
+	"spitz/internal/query"
 	"spitz/internal/twopc"
 	"spitz/internal/txn"
 	"spitz/internal/txn/hlc"
@@ -368,6 +369,24 @@ func (c *Cluster) rangePKTraced(tr *obs.Trace, table, column string, pkLo, pkHi 
 	return MergeCellsByPK(parts), nil
 }
 
+// Columns returns the union of every shard's observed columns for a
+// table, sorted — a table's rows spread across shards, so no single
+// shard necessarily sees the whole schema.
+func (c *Cluster) Columns(table string) []string {
+	seen := make(map[string]struct{})
+	for i := range c.shards {
+		for _, col := range c.shards[i].eng.Columns(table) {
+			seen[col] = struct{}{}
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for col := range seen {
+		out = append(out, col)
+	}
+	sort.Strings(out)
+	return out
+}
+
 // LookupEqual returns cells of one column whose latest value equals
 // value, gathered from every shard's inverted index in parallel
 // (requires Options.MaintainInverted).
@@ -671,6 +690,10 @@ func (c *Cluster) Handle(req wire.Request) wire.Response {
 		return wire.Response{Found: true, Header: ledger.BlockHeader{Version: version}}
 	case wire.OpRestore:
 		return wire.Response{Err: "wire: a cluster's state is owned by its shards; restore is not supported"}
+	case wire.OpQuery:
+		// Intercepted before shard addressing: a statement's routing is
+		// decided by what it does, not by a client-chosen shard.
+		return c.handleQuery(req)
 	}
 	if req.Shard > 0 {
 		if req.Shard > len(c.shards) {
@@ -708,6 +731,93 @@ func (c *Cluster) Handle(req wire.Request) wire.Response {
 	default:
 		return wire.Response{Err: fmt.Sprintf("wire: unknown op %q", req.Op)}
 	}
+}
+
+// handleQuery serves OpQuery at the cluster level. Mutations always
+// route through the cluster write path — grouping writes by key
+// ownership and committing with 2PC across the touched shards — no
+// matter what Shard says. Point SELECTs and HISTORY route to the owning
+// shard, so a SELECT's proof stays checkable against that shard's
+// digest. Range, lookup and aggregate SELECTs must target one shard at
+// a time (set Shard); sharded clients fan them out and merge the
+// per-shard verified results, which is the only way a proof per shard
+// can exist — there is no cluster-wide authenticated structure to prove
+// a cross-shard scan against.
+func (c *Cluster) handleQuery(req wire.Request) wire.Response {
+	stmt, err := query.Parse(req.Statement)
+	if err != nil {
+		return wire.Response{Err: err.Error()}
+	}
+	switch s := stmt.(type) {
+	case query.Insert, query.Update, query.Delete:
+		out, err := query.ExecParsed(clusterStore{c: c, tr: req.Trace()}, req.Statement, stmt)
+		if err != nil {
+			return wire.Response{Err: err.Error()}
+		}
+		return wire.Response{RowsAffected: out.RowsAffected, Height: out.Block}
+	case query.History:
+		cells, err := c.History(s.Table, s.Column, []byte(s.PK))
+		if err != nil {
+			return wire.Response{Err: err.Error()}
+		}
+		return wire.Response{Found: len(cells) > 0, Cells: cells}
+	case query.Select:
+		if req.Shard > 0 {
+			if req.Shard > len(c.shards) {
+				return wire.Response{Err: fmt.Sprintf("wire: shard %d beyond cluster of %d", req.Shard-1, len(c.shards))}
+			}
+			resp := c.dispatchShard(req.Shard-1, req)
+			resp.Shard = req.Shard
+			return resp
+		}
+		if s.HasPK {
+			si := c.ShardFor([]byte(s.PK))
+			resp := c.dispatchShard(si, req)
+			resp.Shard = si + 1
+			return resp
+		}
+		return wire.Response{Err: "wire: range, lookup and aggregate queries are proven per shard; " +
+			"set Shard, or connect with a sharded client which fans out and merges verified results"}
+	}
+	return wire.Response{Err: "wire: unhandled statement"}
+}
+
+// Exec parses and executes one statement against the whole cluster, in
+// process (the embedded form of OpQuery): mutations group by key
+// ownership and commit with 2PC, reads scatter-gather across the
+// shards. No proofs are produced — in-process callers trust their own
+// memory; verified queries are a client concern.
+func (c *Cluster) Exec(statement string) (query.Result, error) {
+	return query.ExecStore(clusterStore{c: c}, statement)
+}
+
+// clusterStore adapts the cluster to query.Store for mutations arriving
+// over the wire, threading the request's trace into the 2PC legs.
+type clusterStore struct {
+	c  *Cluster
+	tr *obs.Trace
+}
+
+func (s clusterStore) Apply(statement string, puts []core.Put) (uint64, error) {
+	return s.c.applyTraced(s.tr, statement, puts)
+}
+
+func (s clusterStore) Get(table, column string, pk []byte) ([]byte, error) {
+	return s.c.Get(table, column, pk)
+}
+
+func (s clusterStore) Columns(table string) []string { return s.c.Columns(table) }
+
+func (s clusterStore) History(table, column string, pk []byte) ([]cellstore.Cell, error) {
+	return s.c.History(table, column, pk)
+}
+
+func (s clusterStore) RangePK(table, column string, pkLo, pkHi []byte) ([]cellstore.Cell, error) {
+	return s.c.rangePKTraced(s.tr, table, column, pkLo, pkHi)
+}
+
+func (s clusterStore) LookupEqual(table, column string, value []byte) ([]cellstore.Cell, error) {
+	return s.c.lookupEqualTraced(s.tr, table, column, value)
 }
 
 // dispatchShard routes a request to one shard's engine. A traced

@@ -29,10 +29,11 @@ var opCodes = map[Op]byte{
 	OpLookupEq: 6, OpHistory: 7, OpDigest: 8, OpConsistency: 9,
 	OpProveBatch: 10, OpSnapshot: 11, OpRestore: 12, OpShardMap: 13,
 	OpClusterDigest: 14, OpStats: 15, OpReplStream: 16, OpReplAck: 17,
+	OpQuery: 18,
 }
 
-var opFromCode = func() [18]Op {
-	var t [18]Op
+var opFromCode = func() [19]Op {
+	var t [19]Op
 	for op, c := range opCodes {
 		t[c] = op
 	}
@@ -58,6 +59,9 @@ const (
 	// ID, two fixed u64s). Absent on the unsampled majority, so the hot
 	// path's encoding is byte-identical to a build without tracing.
 	reqTrace
+	// reqDeferred's bit is the value itself — a deferred OpQuery costs
+	// zero payload bytes (like respFound).
+	reqDeferred
 )
 
 // AppendRequest appends req's binary encoding.
@@ -109,6 +113,9 @@ func AppendRequest(dst []byte, req *Request) []byte {
 	}
 	if req.traceID != 0 {
 		bits |= reqTrace
+	}
+	if req.Deferred {
+		bits |= reqDeferred
 	}
 	dst = binenc.AppendUvarint(dst, bits)
 	if bits&reqTable != 0 {
@@ -186,6 +193,7 @@ func DecodeRequest(src []byte) (Request, error) {
 	if err != nil {
 		return req, err
 	}
+	req.Deferred = bits&reqDeferred != 0
 	if bits&reqTable != 0 {
 		if req.Table, src, err = binenc.ReadString(src); err != nil {
 			return req, err
@@ -324,6 +332,7 @@ const (
 	respCluster
 	respHeight
 	respStats
+	respRowsAffected
 )
 
 // AppendResponse appends resp's binary encoding.
@@ -374,6 +383,9 @@ func AppendResponse(dst []byte, resp *Response) []byte {
 	if resp.Stats != nil {
 		bits |= respStats
 	}
+	if resp.RowsAffected != 0 {
+		bits |= respRowsAffected
+	}
 	dst = binenc.AppendUvarint(dst, bits)
 	if bits&respErr != 0 {
 		dst = binenc.AppendString(dst, resp.Err)
@@ -416,6 +428,9 @@ func AppendResponse(dst []byte, resp *Response) []byte {
 	}
 	if bits&respStats != 0 {
 		dst = appendStats(dst, resp.Stats)
+	}
+	if bits&respRowsAffected != 0 {
+		dst = binenc.AppendUvarint(dst, uint64(resp.RowsAffected))
 	}
 	return dst
 }
@@ -506,6 +521,13 @@ func DecodeResponse(src []byte) (Response, error) {
 		if resp.Stats, src, err = readStats(src); err != nil {
 			return resp, err
 		}
+	}
+	if bits&respRowsAffected != 0 {
+		var v uint64
+		if v, src, err = binenc.ReadUvarint(src); err != nil {
+			return resp, err
+		}
+		resp.RowsAffected = int(v)
 	}
 	if len(src) != 0 {
 		return resp, binenc.ErrCorrupt

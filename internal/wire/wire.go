@@ -49,6 +49,7 @@ const (
 	OpProveBatch  Op = "prove-batch" // aggregated proof for a batch of audit receipts
 	OpSnapshot    Op = "snapshot"    // stream a full engine snapshot to the client
 	OpRestore     Op = "restore"     // replace the served state from a snapshot
+	OpQuery       Op = "query"       // execute a statement; SELECTs carry proofs
 
 	// Sharded deployments (a Cluster served behind one listener).
 	OpShardMap      Op = "shard-map"      // discover the shard count and routing scheme
@@ -63,7 +64,7 @@ const (
 // knownOps lists every request type for per-op metric preallocation.
 var knownOps = []Op{OpPut, OpGet, OpGetVerified, OpRange, OpRangeVer,
 	OpLookupEq, OpHistory, OpDigest, OpConsistency, OpProveBatch,
-	OpSnapshot, OpRestore, OpShardMap, OpClusterDigest, OpStats}
+	OpSnapshot, OpRestore, OpShardMap, OpClusterDigest, OpStats, OpQuery}
 
 // Per-op server metrics, preallocated so the request loop does one
 // read-only map lookup plus atomic adds — no locks on the hot path.
@@ -122,6 +123,12 @@ type Request struct {
 	// to prove at OldDigest2's head block.
 	Audits   []ledger.BatchQuery
 	Snapshot []byte // OpRestore: the snapshot stream to load
+
+	// Deferred asks an OpQuery SELECT to skip the eager proof round: the
+	// response carries attested cells and the execution digest, and the
+	// client (AuditMode) enqueues receipts it proves later in one
+	// OpProveBatch flush.
+	Deferred bool
 
 	// Shard targets one shard of a sharded deployment: 0 routes by
 	// primary key (or addresses the whole cluster), i > 0 addresses shard
@@ -198,6 +205,9 @@ type Response struct {
 
 	// Stats is the OpStats payload.
 	Stats *Stats
+
+	// RowsAffected reports how many rows an OpQuery mutation touched.
+	RowsAffected int
 }
 
 // ---------------------------------------------------------------------------
@@ -1037,6 +1047,8 @@ func Dispatch(eng *core.Engine, req Request) Response {
 		return Response{Found: true, Value: buf.Bytes(), Digest: eng.Digest()}
 	case OpRestore:
 		return Response{Err: "wire: restore requires a server, not a bare engine"}
+	case OpQuery:
+		return dispatchQuery(eng, req)
 	default:
 		return Response{Err: fmt.Sprintf("wire: unknown op %q", req.Op)}
 	}

@@ -1,0 +1,573 @@
+package spitz_test
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"spitz"
+	"spitz/internal/core"
+	"spitz/internal/wire"
+)
+
+// End-to-end coverage of the networked query surface: statements routed
+// through OpQuery against single servers and clusters, with every
+// SELECT's batch proof verified client-side, plus the adversarial side —
+// byte-flip sweeps and structured forgeries against query proofs, in
+// both eager and deferred (AuditMode) verification.
+
+func serveQueryDB(t *testing.T) (*spitz.DB, *spitz.Client) {
+	t.Helper()
+	db := spitz.Open(spitz.Options{MaintainInverted: true})
+	ln, _ := wire.Listen()
+	go db.Serve(ln)
+	t.Cleanup(func() { ln.Close() })
+	wc, err := wire.Connect(ln)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := spitz.NewClient(wc)
+	t.Cleanup(func() { cl.Close() })
+	return db, cl
+}
+
+func mustQuery(t *testing.T, q interface {
+	Query(string) (spitz.QueryResult, error)
+}, stmt string) spitz.QueryResult {
+	t.Helper()
+	res, err := q.Query(stmt)
+	if err != nil {
+		t.Fatalf("%s: %v", stmt, err)
+	}
+	return res
+}
+
+func seedInventoryQueries(t *testing.T, q interface {
+	Query(string) (spitz.QueryResult, error)
+}) {
+	t.Helper()
+	for _, stmt := range []string{
+		"INSERT INTO inv (pk, stock, status) VALUES ('item-a', '10', 'live')",
+		"INSERT INTO inv (pk, stock, status) VALUES ('item-b', '20', 'hold')",
+		"INSERT INTO inv (pk, stock, status) VALUES ('item-c', '30', 'live')",
+		"INSERT INTO inv (pk, stock, status) VALUES ('item-z', '99', 'live')",
+	} {
+		if res := mustQuery(t, q, stmt); res.RowsAffected != 1 {
+			t.Fatalf("%s: RowsAffected = %d", stmt, res.RowsAffected)
+		}
+	}
+}
+
+// TestClientQueryEndToEnd drives the full statement surface over a real
+// connection: mutations, verified range/point/lookup/aggregate SELECTs
+// and HISTORY, all through Client.Query.
+func TestClientQueryEndToEnd(t *testing.T) {
+	_, cl := serveQueryDB(t)
+	seedInventoryQueries(t, cl)
+
+	// Range scan with a boolean predicate: complete, proven, filtered.
+	res := mustQuery(t, cl, "SELECT stock FROM inv WHERE pk BETWEEN 'item-a' AND 'item-z' AND status = 'live'")
+	if len(res.Rows) != 3 {
+		t.Fatalf("range rows = %d, want 3", len(res.Rows))
+	}
+	if string(res.Rows[0].PK) != "item-a" || string(res.Rows[0].Columns["stock"]) != "10" {
+		t.Fatalf("row 0 = %s %q", res.Rows[0].PK, res.Rows[0].Columns["stock"])
+	}
+	if string(res.Rows[2].PK) != "item-z" {
+		t.Fatalf("rows not in pk order: %s", res.Rows[2].PK)
+	}
+
+	// Point SELECT.
+	res = mustQuery(t, cl, "SELECT stock FROM inv WHERE pk = 'item-b'")
+	if len(res.Rows) != 1 || string(res.Rows[0].Columns["stock"]) != "20" {
+		t.Fatalf("point select: %+v", res.Rows)
+	}
+
+	// Lookup through the inverted index (predicate only).
+	res = mustQuery(t, cl, "SELECT stock FROM inv WHERE status = 'hold'")
+	if len(res.Rows) != 1 || string(res.Rows[0].PK) != "item-b" {
+		t.Fatalf("lookup select: %+v", res.Rows)
+	}
+
+	// Verified aggregates, re-folded client-side from proven cells.
+	res = mustQuery(t, cl, "SELECT COUNT(stock) FROM inv WHERE pk BETWEEN 'item-a' AND 'item-z'")
+	if !res.HasAgg || res.AggValue != 4 {
+		t.Fatalf("COUNT = %d (hasAgg %v)", res.AggValue, res.HasAgg)
+	}
+	res = mustQuery(t, cl, "SELECT SUM(stock) FROM inv WHERE pk BETWEEN 'item-a' AND 'item-z' AND status = 'live'")
+	if !res.HasAgg || res.AggValue != 139 {
+		t.Fatalf("SUM = %d (hasAgg %v)", res.AggValue, res.HasAgg)
+	}
+
+	// UPDATE of a live row commits; of an absent row affects nothing.
+	if res := mustQuery(t, cl, "UPDATE inv SET stock = '11' WHERE pk = 'item-a'"); res.RowsAffected != 1 || res.Block == 0 {
+		t.Fatalf("update: %+v", res)
+	}
+	if res := mustQuery(t, cl, "UPDATE inv SET stock = '1' WHERE pk = 'item-x'"); res.RowsAffected != 0 {
+		t.Fatalf("absent update affected %d rows", res.RowsAffected)
+	}
+	res = mustQuery(t, cl, "SELECT stock FROM inv WHERE pk = 'item-a'")
+	if string(res.Rows[0].Columns["stock"]) != "11" {
+		t.Fatalf("update not visible: %q", res.Rows[0].Columns["stock"])
+	}
+
+	// DELETE drops the row from verified lookups (tombstones filtered in
+	// the index) and from range scans.
+	if res := mustQuery(t, cl, "DELETE FROM inv WHERE pk = 'item-b'"); res.RowsAffected != 1 {
+		t.Fatalf("delete: %+v", res)
+	}
+	if res := mustQuery(t, cl, "SELECT stock FROM inv WHERE status = 'hold'"); len(res.Rows) != 0 {
+		t.Fatalf("deleted row still surfaced by index: %+v", res.Rows)
+	}
+	if res := mustQuery(t, cl, "SELECT COUNT(stock) FROM inv WHERE pk BETWEEN 'item-a' AND 'item-z'"); res.AggValue != 3 {
+		t.Fatalf("COUNT after delete = %d", res.AggValue)
+	}
+
+	// HISTORY: item-a's stock has two versions, newest first.
+	res = mustQuery(t, cl, "HISTORY inv.stock WHERE pk = 'item-a'")
+	if len(res.Rows) != 2 || string(res.Rows[0].Columns["stock"]) != "11" {
+		t.Fatalf("history: %+v", res.Rows)
+	}
+	if len(res.Rows[0].Columns["@version"]) == 0 {
+		t.Fatal("history rows carry no @version")
+	}
+
+	// Trust advanced along the way: the verifier holds a pinned digest.
+	if cl.Verifier().Digest().Height == 0 {
+		t.Fatal("verifier never advanced")
+	}
+}
+
+// TestShardedClientQuery runs the same surface against a 4-shard
+// cluster over one listener: mutations 2PC through the coordinator,
+// point queries route to owning shards, scans and aggregates fan out
+// and merge per-shard verified results.
+func TestShardedClientQuery(t *testing.T) {
+	db, err := spitz.OpenCluster("", spitz.ClusterOptions{Shards: 4, MaintainInverted: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	ln, dial := serveCluster(t, db)
+	defer ln.Close()
+	sc, err := spitz.NewShardedClient(dial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sc.Close()
+
+	var wantSum uint64
+	for i := 0; i < 20; i++ {
+		status := "live"
+		if i%3 == 0 {
+			status = "hold"
+		} else {
+			wantSum += uint64(i)
+		}
+		stmt := fmt.Sprintf("INSERT INTO inv (pk, stock, status) VALUES ('it%02d', '%d', '%s')", i, i, status)
+		if res := mustQuery(t, sc, stmt); res.RowsAffected != 1 {
+			t.Fatalf("%s: %+v", stmt, res)
+		}
+	}
+
+	// Fan-out range scan merges into pk order across shards.
+	res := mustQuery(t, sc, "SELECT stock FROM inv WHERE pk BETWEEN 'it00' AND 'it19'")
+	if len(res.Rows) != 20 {
+		t.Fatalf("fan-out rows = %d", len(res.Rows))
+	}
+	for i, r := range res.Rows {
+		if want := fmt.Sprintf("it%02d", i); string(r.PK) != want {
+			t.Fatalf("row %d: pk %s, want %s", i, r.PK, want)
+		}
+	}
+
+	// Aggregates add disjoint per-shard partials.
+	res = mustQuery(t, sc, "SELECT SUM(stock) FROM inv WHERE pk BETWEEN 'it00' AND 'it19' AND status = 'live'")
+	if !res.HasAgg || res.AggValue != wantSum {
+		t.Fatalf("sharded SUM = %d, want %d", res.AggValue, wantSum)
+	}
+	res = mustQuery(t, sc, "SELECT COUNT(stock) FROM inv WHERE pk BETWEEN 'it00' AND 'it19' AND status = 'hold'")
+	if res.AggValue != 7 {
+		t.Fatalf("sharded COUNT = %d, want 7", res.AggValue)
+	}
+
+	// Index lookups fan out too.
+	res = mustQuery(t, sc, "SELECT stock FROM inv WHERE status = 'hold'")
+	if len(res.Rows) != 7 {
+		t.Fatalf("sharded lookup rows = %d", len(res.Rows))
+	}
+
+	// Point query routes to the owning shard.
+	res = mustQuery(t, sc, "SELECT stock FROM inv WHERE pk = 'it07'")
+	if len(res.Rows) != 1 || string(res.Rows[0].Columns["stock"]) != "7" {
+		t.Fatalf("sharded point: %+v", res.Rows)
+	}
+
+	// Mutations through the coordinator, visible to verified reads.
+	if res := mustQuery(t, sc, "UPDATE inv SET status = 'live' WHERE pk = 'it00'"); res.RowsAffected != 1 {
+		t.Fatalf("sharded update: %+v", res)
+	}
+	if res := mustQuery(t, sc, "DELETE FROM inv WHERE pk = 'it03'"); res.RowsAffected != 1 {
+		t.Fatalf("sharded delete: %+v", res)
+	}
+	res = mustQuery(t, sc, "SELECT COUNT(status) FROM inv WHERE pk BETWEEN 'it00' AND 'it19' AND status = 'hold'")
+	if res.AggValue != 5 {
+		t.Fatalf("COUNT after update+delete = %d, want 5", res.AggValue)
+	}
+
+	// HISTORY routes by pk.
+	res = mustQuery(t, sc, "HISTORY inv.status WHERE pk = 'it00'")
+	if len(res.Rows) != 2 {
+		t.Fatalf("sharded history rows = %d", len(res.Rows))
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Adversarial coverage
+
+// queryFaultServer wraps an inverted-index engine behind a response
+// mutator, like audit_fault_test's faultServer but seeded for the query
+// surface.
+type queryFaultServer struct {
+	eng   *core.Engine
+	inner net.Listener
+
+	mu     sync.Mutex
+	mutate func(req wire.Request, resp *wire.Response)
+}
+
+func startQueryFaultServer(t *testing.T) *queryFaultServer {
+	t.Helper()
+	fs := &queryFaultServer{eng: core.New(core.Options{MaintainInverted: true})}
+	for i := 0; i < 8; i++ {
+		status := "live"
+		if i%2 == 1 {
+			status = "hold"
+		}
+		if _, err := fs.eng.Apply("seed", []core.Put{
+			{Table: "inv", Column: "stock", PK: []byte(fmt.Sprintf("it%02d", i)), Value: []byte(fmt.Sprintf("%d", i+1))},
+			{Table: "inv", Column: "status", PK: []byte(fmt.Sprintf("it%02d", i)), Value: []byte(status)},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fs.inner, _ = wire.Listen()
+	srv := wire.NewHandlerServer(wire.MutateHandler(wire.EngineHandler(fs.eng),
+		func(req wire.Request, resp *wire.Response) {
+			fs.mu.Lock()
+			m := fs.mutate
+			fs.mu.Unlock()
+			if m != nil {
+				m(req, resp)
+			}
+		}))
+	go srv.Serve(fs.inner)
+	t.Cleanup(func() { srv.Close() })
+	return fs
+}
+
+func (fs *queryFaultServer) setMutate(m func(req wire.Request, resp *wire.Response)) {
+	fs.mu.Lock()
+	fs.mutate = m
+	fs.mu.Unlock()
+}
+
+func (fs *queryFaultServer) client(t *testing.T) *spitz.Client {
+	t.Helper()
+	wc, err := wire.Connect(fs.inner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return spitz.NewClient(wc)
+}
+
+// queryProofByteSlices enumerates every mutable byte slice of an
+// OpQuery SELECT response — proof nodes, proven values and entries,
+// keys, range bounds, inclusion hashes, the digest root — in a stable
+// order for the tamper sweep.
+func queryProofByteSlices(resp *wire.Response) [][]byte {
+	bp := resp.BatchProof
+	if bp == nil {
+		return nil
+	}
+	var out [][]byte
+	if bp.Points != nil {
+		out = append(out, bp.Points.Nodes...)
+		for _, v := range bp.Points.Values {
+			if len(v) > 0 {
+				out = append(out, v)
+			}
+		}
+		out = append(out, bp.Points.Keys...)
+	}
+	for i := range bp.Ranges {
+		out = append(out, bp.Ranges[i].Nodes...)
+		for _, e := range bp.Ranges[i].Entries {
+			if len(e.Key) > 0 {
+				out = append(out, e.Key)
+			}
+			if len(e.Value) > 0 {
+				out = append(out, e.Value)
+			}
+		}
+		out = append(out, bp.Ranges[i].Start, bp.Ranges[i].End)
+	}
+	for i := range bp.Inclusion.Path {
+		out = append(out, bp.Inclusion.Path[i][:])
+	}
+	out = append(out, resp.Digest.Root[:])
+	return out
+}
+
+// TestQueryProofEveryByteTrips sweeps a byte flip across the entire
+// batch proof of each eager query kind — range+predicate, aggregate,
+// and index lookup — and requires every flip to surface as ErrTampered:
+// zero silent acceptance for the query surface.
+func TestQueryProofEveryByteTrips(t *testing.T) {
+	fs := startQueryFaultServer(t)
+	stmts := []struct {
+		name, stmt string
+	}{
+		{"range", "SELECT stock FROM inv WHERE pk BETWEEN 'it00' AND 'it07' AND status = 'live'"},
+		{"aggregate", "SELECT SUM(stock) FROM inv WHERE pk BETWEEN 'it00' AND 'it07'"},
+		{"lookup", "SELECT stock FROM inv WHERE status = 'hold'"},
+	}
+	for _, tc := range stmts {
+		t.Run(tc.name, func(t *testing.T) {
+			var total int
+			fs.setMutate(func(req wire.Request, resp *wire.Response) {
+				if req.Op == wire.OpQuery && resp.BatchProof != nil {
+					total = 0
+					for _, s := range queryProofByteSlices(resp) {
+						total += len(s)
+					}
+				}
+			})
+			cl := fs.client(t)
+			if _, err := cl.Query(tc.stmt); err != nil {
+				t.Fatalf("honest query failed: %v", err)
+			}
+			cl.Close()
+			if total == 0 {
+				t.Fatal("no proof bytes enumerated")
+			}
+			step := 1
+			if testing.Short() {
+				step = 17
+			}
+			for off := 0; off < total; off += step {
+				off := off
+				fs.setMutate(func(req wire.Request, resp *wire.Response) {
+					if req.Op != wire.OpQuery || resp.BatchProof == nil {
+						return
+					}
+					detachResponse(t, resp)
+					k := off
+					for _, s := range queryProofByteSlices(resp) {
+						if k < len(s) {
+							s[k] ^= 0x01
+							return
+						}
+						k -= len(s)
+					}
+				})
+				cl := fs.client(t)
+				_, err := cl.Query(tc.stmt)
+				if err == nil {
+					t.Fatalf("byte %d: tampered query proof passed silently", off)
+				}
+				if !errors.Is(err, spitz.ErrTampered) {
+					t.Fatalf("byte %d: tamper misreported as %v", off, err)
+				}
+				cl.Close()
+			}
+			fs.setMutate(nil)
+		})
+	}
+}
+
+// TestQueryStructuredForgeries covers the forgeries a lying server
+// could attempt on the query path beyond single byte flips: dropping
+// the proof while claiming rows, narrowing a proven range, claiming an
+// empty ledger after trust is pinned, and smuggling rows the proof does
+// not cover.
+func TestQueryStructuredForgeries(t *testing.T) {
+	const rangeStmt = "SELECT stock FROM inv WHERE pk BETWEEN 'it00' AND 'it07'"
+	cases := []struct {
+		name string
+		stmt string
+		mut  func(resp *wire.Response)
+	}{
+		{"omit the proof", rangeStmt, func(r *wire.Response) { r.BatchProof = nil }},
+		{"claim an empty ledger", rangeStmt, func(r *wire.Response) { *r = wire.Response{} }},
+		{"narrow the proven range", rangeStmt, func(r *wire.Response) {
+			rp := &r.BatchProof.Ranges[0]
+			rp.End = append([]byte(nil), rp.Start...)
+			rp.Entries = nil
+			rp.Nodes = rp.Nodes[:1]
+		}},
+		{"drop a proven entry", rangeStmt, func(r *wire.Response) {
+			rp := &r.BatchProof.Ranges[0]
+			rp.Entries = rp.Entries[:len(rp.Entries)-1]
+		}},
+		{"smuggle an unproven row", "SELECT stock FROM inv WHERE status = 'hold'", func(r *wire.Response) {
+			forged := r.Cells[0]
+			forged.PK = []byte("it99")
+			forged.Value = []byte("9999")
+			r.Cells = append(r.Cells, forged)
+		}},
+		{"swap the aggregate column proof", "SELECT SUM(stock) FROM inv WHERE pk BETWEEN 'it00' AND 'it07'", func(r *wire.Response) {
+			// Proof for a different column must not satisfy the plan.
+			rp := &r.BatchProof.Ranges[0]
+			rp.Start = append([]byte(nil), rp.End...)
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			fs := startQueryFaultServer(t)
+			cl := fs.client(t)
+			defer cl.Close()
+			// Pin trust with one honest query first, so claimed-empty and
+			// proof-less responses cannot hide behind bootstrap.
+			if _, err := cl.Query(rangeStmt); err != nil {
+				t.Fatalf("honest query: %v", err)
+			}
+			fs.setMutate(func(req wire.Request, resp *wire.Response) {
+				if req.Op == wire.OpQuery && resp.Err == "" {
+					detachResponse(t, resp)
+					tc.mut(resp)
+				}
+			})
+			_, err := cl.Query(tc.stmt)
+			if err == nil {
+				t.Fatalf("%s: passed silently", tc.name)
+			}
+			if !errors.Is(err, spitz.ErrTampered) {
+				t.Fatalf("%s: misreported as %v", tc.name, err)
+			}
+		})
+	}
+}
+
+// TestQueryAuditMode exercises the deferred path: SELECTs are accepted
+// optimistically with one receipt per proof obligation, an honest flush
+// verifies them all, and a forged value or an omitted row is caught at
+// the flush — completeness holds in audit mode too.
+func TestQueryAuditMode(t *testing.T) {
+	t.Run("honest flush passes", func(t *testing.T) {
+		fs := startQueryFaultServer(t)
+		cl := fs.client(t)
+		defer cl.Close()
+		aud, err := cl.StartAudit(spitz.AuditMode{MaxPending: 1 << 20, MaxDelay: time.Hour})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := cl.Query("SELECT stock FROM inv WHERE pk BETWEEN 'it00' AND 'it07' AND status = 'live'")
+		if err != nil || len(res.Rows) != 4 {
+			t.Fatalf("optimistic range: %d rows, %v", len(res.Rows), err)
+		}
+		res, err = cl.Query("SELECT SUM(stock) FROM inv WHERE pk BETWEEN 'it00' AND 'it07'")
+		if err != nil || res.AggValue != 36 {
+			t.Fatalf("optimistic SUM = %d, %v", res.AggValue, err)
+		}
+		res, err = cl.Query("SELECT stock FROM inv WHERE pk = 'it02'")
+		if err != nil || len(res.Rows) != 1 {
+			t.Fatalf("optimistic point: %+v, %v", res.Rows, err)
+		}
+		res, err = cl.Query("SELECT stock FROM inv WHERE status = 'hold'")
+		if err != nil || len(res.Rows) != 4 {
+			t.Fatalf("optimistic lookup: %d rows, %v", len(res.Rows), err)
+		}
+		if aud.Pending() == 0 {
+			t.Fatal("no receipts enqueued")
+		}
+		if err := aud.Flush(); err != nil {
+			t.Fatalf("honest flush failed: %v", err)
+		}
+	})
+
+	forgeries := []struct {
+		name string
+		stmt string
+		mut  func(resp *wire.Response)
+	}{
+		{"forged value", "SELECT stock FROM inv WHERE pk BETWEEN 'it00' AND 'it07'", func(r *wire.Response) {
+			r.Cells[0].Value = []byte("9999")
+		}},
+		{"omitted row", "SELECT stock FROM inv WHERE pk BETWEEN 'it00' AND 'it07'", func(r *wire.Response) {
+			r.Cells = r.Cells[1:]
+		}},
+		{"forged point", "SELECT stock FROM inv WHERE pk = 'it03'", func(r *wire.Response) {
+			r.Cells[0].Value = []byte("0")
+		}},
+	}
+	for _, tc := range forgeries {
+		t.Run(tc.name, func(t *testing.T) {
+			fs := startQueryFaultServer(t)
+			cl := fs.client(t)
+			defer cl.Close()
+			aud, err := cl.StartAudit(spitz.AuditMode{MaxPending: 1 << 20, MaxDelay: time.Hour})
+			if err != nil {
+				t.Fatal(err)
+			}
+			fs.setMutate(func(req wire.Request, resp *wire.Response) {
+				if req.Op == wire.OpQuery && len(resp.Cells) > 0 {
+					detachResponse(t, resp)
+					tc.mut(resp)
+				}
+			})
+			if _, err := cl.Query(tc.stmt); err != nil {
+				t.Fatalf("optimistic accept failed: %v", err)
+			}
+			err = aud.Flush()
+			if err == nil {
+				t.Fatalf("%s: audit passed silently", tc.name)
+			}
+			if !errors.Is(err, spitz.ErrTampered) {
+				t.Fatalf("%s: misreported as %v", tc.name, err)
+			}
+		})
+	}
+}
+
+// TestQueryConcurrentChurn hammers verified queries over the wire while
+// writes commit concurrently — under the race detector this doubles as
+// the index-maintenance-vs-commit race check on the networked path, and
+// in any mode it asserts no false tampering under digest churn.
+func TestQueryConcurrentChurn(t *testing.T) {
+	db, cl := serveQueryDB(t)
+	seedInventoryQueries(t, cl)
+	var wg sync.WaitGroup
+	wg.Add(2)
+	errs := make(chan error, 64)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 40; i++ {
+			if _, err := db.Exec(fmt.Sprintf("UPDATE inv SET stock = '%d' WHERE pk = 'item-a'", i)); err != nil {
+				errs <- err
+				return
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 40; i++ {
+			if _, err := cl.Query("SELECT SUM(stock) FROM inv WHERE pk BETWEEN 'item-a' AND 'item-z' AND status = 'live'"); err != nil {
+				errs <- err
+				return
+			}
+			if _, err := cl.Query("SELECT stock FROM inv WHERE status = 'hold'"); err != nil {
+				errs <- err
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatalf("churn: %v", err)
+	}
+}
